@@ -1,0 +1,183 @@
+//! Breadth-first search (hop levels from a source) — the simplest
+//! push-mode workload: like SSSP with unit weights, but over the hop
+//! metric, converging in diameter supersteps.
+
+use cyclops_bsp::{run_bsp, BspConfig, BspContext, BspProgram, BspResult};
+use cyclops_engine::{run_cyclops, CyclopsConfig, CyclopsContext, CyclopsProgram, CyclopsResult};
+use cyclops_graph::{Graph, VertexId};
+use cyclops_net::ClusterSpec;
+use cyclops_partition::EdgeCutPartition;
+
+/// Unvisited marker (matches `cyclops_graph::reference::bfs_levels`).
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Cyclops BFS: the frontier publishes its level; unvisited in-neighbors
+/// adopt level+1.
+pub struct CyclopsBfs {
+    /// The source vertex.
+    pub source: VertexId,
+}
+
+impl CyclopsProgram for CyclopsBfs {
+    type Value = u32;
+    type Message = u32;
+
+    fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn init_message(&self, v: VertexId, _g: &Graph, value: &u32) -> Option<u32> {
+        (v == self.source).then_some(*value)
+    }
+
+    fn initially_active(&self, v: VertexId, _g: &Graph) -> bool {
+        v == self.source
+    }
+
+    fn compute(&self, ctx: &mut CyclopsContext<'_, u32, u32>) {
+        if ctx.superstep() == 0 && ctx.vertex() == self.source {
+            ctx.activate_neighbors(0);
+            return;
+        }
+        if *ctx.value() != UNREACHED {
+            return; // already visited; levels only shrink via first touch
+        }
+        let best = ctx
+            .in_messages()
+            .map(|(m, _)| m.saturating_add(1))
+            .min()
+            .unwrap_or(UNREACHED);
+        if best < *ctx.value() {
+            ctx.set_value(best);
+            ctx.activate_neighbors(best);
+        }
+    }
+}
+
+/// BSP BFS (push-mode flooding).
+pub struct BspBfs {
+    /// The source vertex.
+    pub source: VertexId,
+}
+
+impl BspProgram for BspBfs {
+    type Value = u32;
+    type Message = u32;
+
+    fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn compute(&self, ctx: &mut BspContext<'_, u32, u32>, msgs: &[u32]) {
+        if ctx.superstep() == 0 {
+            if ctx.vertex() == self.source {
+                ctx.send_to_neighbors(1);
+            }
+            ctx.vote_to_halt();
+            return;
+        }
+        if *ctx.value() == UNREACHED {
+            if let Some(&level) = msgs.iter().min() {
+                ctx.set_value(level);
+                ctx.send_to_neighbors(level.saturating_add(1));
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(&self, a: &u32, b: &u32) -> Option<u32> {
+        Some(*a.min(b))
+    }
+}
+
+/// Runs Cyclops BFS from `source`.
+pub fn run_cyclops_bfs(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    source: VertexId,
+) -> CyclopsResult<u32, u32> {
+    run_cyclops(
+        &CyclopsBfs { source },
+        graph,
+        partition,
+        &CyclopsConfig {
+            cluster: *cluster,
+            max_supersteps: 1_000_000,
+            ..Default::default()
+        },
+    )
+}
+
+/// Runs BSP BFS from `source`.
+pub fn run_bsp_bfs(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    source: VertexId,
+) -> BspResult<u32, u32> {
+    run_bsp(
+        &BspBfs { source },
+        graph,
+        partition,
+        &BspConfig {
+            cluster: *cluster,
+            max_supersteps: 1_000_000,
+            use_combiner: true,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_graph::gen::{erdos_renyi, road_lattice};
+    use cyclops_graph::reference;
+    use cyclops_partition::{EdgeCutPartitioner, HashPartitioner};
+
+    #[test]
+    fn cyclops_matches_reference_on_er() {
+        let g = erdos_renyi(400, 1200, 9);
+        let p = HashPartitioner.partition(&g, 4);
+        let r = run_cyclops_bfs(&g, &p, &ClusterSpec::flat(2, 2), 0);
+        assert_eq!(r.values, reference::bfs_levels(&g, 0));
+    }
+
+    #[test]
+    fn bsp_matches_reference_on_er() {
+        let g = erdos_renyi(400, 1200, 9);
+        let p = HashPartitioner.partition(&g, 4);
+        let r = run_bsp_bfs(&g, &p, &ClusterSpec::flat(2, 2), 0);
+        assert_eq!(r.values, reference::bfs_levels(&g, 0));
+    }
+
+    #[test]
+    fn frontier_wave_on_grid() {
+        let g = road_lattice(15, 15, 1.0, 0.0, 1);
+        let p = HashPartitioner.partition(&g, 3);
+        let r = run_cyclops_bfs(&g, &p, &ClusterSpec::flat(3, 1), 0);
+        assert_eq!(r.values, reference::bfs_levels(&g, 0));
+        // Supersteps track the eccentricity of the source (+kickoff/drain).
+        let max_level = *r.values.iter().filter(|&&l| l != UNREACHED).max().unwrap();
+        assert!(r.supersteps as u32 >= max_level);
+    }
+
+    #[test]
+    fn source_choice_matters() {
+        let g = erdos_renyi(100, 160, 11);
+        let p = HashPartitioner.partition(&g, 2);
+        let a = run_cyclops_bfs(&g, &p, &ClusterSpec::flat(2, 1), 0);
+        let b = run_cyclops_bfs(&g, &p, &ClusterSpec::flat(2, 1), 7);
+        assert_eq!(a.values, reference::bfs_levels(&g, 0));
+        assert_eq!(b.values, reference::bfs_levels(&g, 7));
+    }
+}

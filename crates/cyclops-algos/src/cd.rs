@@ -1,0 +1,186 @@
+//! Community Detection by label propagation — the paper's DBLP workload
+//! (§6.1, after Zhou et al.). Each vertex adopts the most frequent label
+//! among its in-neighbors (ties toward the smaller label); vertices sharing
+//! a label form a community.
+
+use cyclops_bsp::{run_bsp, BspConfig, BspContext, BspProgram, BspResult};
+use cyclops_engine::{run_cyclops, CyclopsConfig, CyclopsContext, CyclopsProgram, CyclopsResult};
+use cyclops_graph::{Graph, VertexId};
+use cyclops_net::ClusterSpec;
+use cyclops_partition::EdgeCutPartition;
+
+/// Picks the most frequent label, breaking ties toward the smallest; `None`
+/// when the iterator is empty.
+fn most_frequent_label(labels: impl Iterator<Item = u32>) -> Option<u32> {
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+        .iter()
+        .max_by_key(|&(label, count)| (*count, std::cmp::Reverse(*label)))
+        .map(|(&label, _)| label)
+}
+
+/// BSP label propagation: every vertex rebroadcasts its label every
+/// superstep (pull-mode forced through messages); a changed-label count
+/// aggregated globally decides termination.
+pub struct BspCommunityDetection;
+
+impl BspProgram for BspCommunityDetection {
+    type Value = u32;
+    type Message = u32;
+
+    fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+        v
+    }
+
+    fn compute(&self, ctx: &mut BspContext<'_, u32, u32>, msgs: &[u32]) {
+        if ctx.superstep() == 0 {
+            ctx.send_to_neighbors(*ctx.value());
+            return;
+        }
+        let new = most_frequent_label(msgs.iter().copied()).unwrap_or(*ctx.value());
+        let changed = new != *ctx.value();
+        ctx.set_value(new);
+        ctx.aggregate(changed as u32 as f64);
+        // Stop when the previous sweep changed nothing: the aggregator's
+        // *sum* is the exact count of changed labels.
+        let changed_last_sweep = ctx
+            .global_aggregate_stats()
+            .map(|s| s.sum > 0.0)
+            .unwrap_or(true);
+        if changed_last_sweep {
+            ctx.send_to_neighbors(new);
+        } else {
+            ctx.vote_to_halt();
+        }
+    }
+}
+
+/// Cyclops label propagation: labels are publications; a vertex recomputes
+/// only when an in-neighbor's label changed — dynamic computation makes the
+/// quiescent parts of the graph free.
+pub struct CyclopsCommunityDetection;
+
+impl CyclopsProgram for CyclopsCommunityDetection {
+    type Value = u32;
+    type Message = u32;
+
+    fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+        v
+    }
+
+    fn init_message(&self, _v: VertexId, _g: &Graph, value: &u32) -> Option<u32> {
+        Some(*value)
+    }
+
+    fn compute(&self, ctx: &mut CyclopsContext<'_, u32, u32>) {
+        let new = most_frequent_label(ctx.in_messages().map(|(m, _)| *m))
+            .unwrap_or(*ctx.value());
+        if new != *ctx.value() {
+            ctx.set_value(new);
+            ctx.report_error(1.0);
+            ctx.activate_neighbors(new);
+        } else {
+            ctx.report_error(0.0);
+        }
+    }
+}
+
+/// Runs BSP (Hama) community detection for at most `max_supersteps`.
+pub fn run_bsp_cd(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    max_supersteps: usize,
+) -> BspResult<u32, u32> {
+    run_bsp(
+        &BspCommunityDetection,
+        graph,
+        partition,
+        &BspConfig {
+            cluster: *cluster,
+            max_supersteps,
+            track_redundant: true,
+            ..Default::default()
+        },
+    )
+}
+
+/// Runs Cyclops community detection for at most `max_supersteps`.
+pub fn run_cyclops_cd(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    max_supersteps: usize,
+) -> CyclopsResult<u32, u32> {
+    run_cyclops(
+        &CyclopsCommunityDetection,
+        graph,
+        partition,
+        &CyclopsConfig {
+            cluster: *cluster,
+            max_supersteps,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_graph::reference;
+    use cyclops_graph::GraphBuilder;
+    use cyclops_partition::{EdgeCutPartitioner, HashPartitioner};
+
+    /// Two directed triangles bridged by one edge.
+    fn two_communities() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        for &(s, t) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_undirected_edge(s, t);
+        }
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn cyclops_matches_reference_sweeps() {
+        let g = two_communities();
+        let p = HashPartitioner.partition(&g, 2);
+        let r = run_cyclops_cd(&g, &p, &ClusterSpec::flat(2, 1), 8);
+        let expected = reference::label_propagation(&g, 8);
+        assert_eq!(r.values, expected);
+    }
+
+    #[test]
+    fn bsp_matches_reference_sweeps() {
+        let g = two_communities();
+        let p = HashPartitioner.partition(&g, 2);
+        // 9 supersteps = 1 seed + 8 sweeps.
+        let r = run_bsp_cd(&g, &p, &ClusterSpec::flat(2, 1), 9);
+        let expected = reference::label_propagation(&g, 8);
+        assert_eq!(r.values, expected);
+    }
+
+    #[test]
+    fn communities_form_on_clustered_graph() {
+        let g = two_communities();
+        let p = HashPartitioner.partition(&g, 4);
+        let r = run_cyclops_cd(&g, &p, &ClusterSpec::flat(2, 2), 30);
+        assert_eq!(r.values[0], r.values[1]);
+        assert_eq!(r.values[1], r.values[2]);
+        assert_eq!(r.values[3], r.values[4]);
+        assert_eq!(r.values[4], r.values[5]);
+    }
+
+    #[test]
+    fn engines_agree_on_larger_graph() {
+        let g = cyclops_graph::gen::erdos_renyi(200, 900, 17);
+        let p = HashPartitioner.partition(&g, 4);
+        let sweeps = 12;
+        let cy = run_cyclops_cd(&g, &p, &ClusterSpec::flat(2, 2), sweeps);
+        let expected = reference::label_propagation(&g, sweeps);
+        assert_eq!(cy.values, expected);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! The paper's four evaluation algorithms on all three engines.
+//!
+//! | Algorithm | Mode | Engines | Paper workload |
+//! |-----------|------|---------|----------------|
+//! | [`pagerank`] | pull | BSP, Cyclops, GAS | Amazon, GWeb, LJournal, Wiki |
+//! | [`als`] (Alternating Least Squares) | pull | BSP, Cyclops | SYN-GL |
+//! | [`cd`] (Community Detection / label propagation) | pull | BSP, Cyclops | DBLP |
+//! | [`sssp`] (Single-Source Shortest Path) | push | BSP, Cyclops, GAS | RoadCA |
+//!
+//! Beyond the paper's four, the crate adds [`cc`] (weakly connected
+//! components), [`bfs`] (hop levels), [`triangles`] (triangle counting via
+//! adjacency-list publications), and [`kcore`] (k-core decomposition) —
+//! demonstrations of the model's generality.
+//!
+//! Each module provides the program types plus `run_*` helpers used by the
+//! examples and the benchmark harness. [`linalg`] holds the small dense
+//! Cholesky solver ALS needs. Every distributed implementation is
+//! cross-checked against the sequential references in
+//! `cyclops_graph::reference` (and [`als::reference_als`],
+//! [`kcore::reference_kcore`]) by the test suites.
+
+pub mod als;
+pub mod bfs;
+pub mod cc;
+pub mod cd;
+pub mod kcore;
+pub mod linalg;
+pub mod pagerank;
+pub mod sssp;
+pub mod triangles;

@@ -1,0 +1,138 @@
+//! Minimal dense linear algebra for ALS: symmetric rank-1 accumulation and
+//! an in-place Cholesky solve of small SPD systems (the `d x d` normal
+//! equations, `d` ≈ 5–20).
+
+/// Adds `alpha * x xᵀ` to the row-major `d x d` matrix `a`.
+pub fn syrk_update(a: &mut [f64], x: &[f64], alpha: f64) {
+    let d = x.len();
+    debug_assert_eq!(a.len(), d * d);
+    for i in 0..d {
+        let xi = alpha * x[i];
+        for j in 0..d {
+            a[i * d + j] += xi * x[j];
+        }
+    }
+}
+
+/// Adds `alpha * x` to `y`.
+pub fn axpy(y: &mut [f64], x: &[f64], alpha: f64) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` (row-major `d x d`)
+/// in place: on success `b` holds the solution and `a` holds the Cholesky
+/// factor. Returns `false` if `A` is not positive definite.
+pub fn cholesky_solve(a: &mut [f64], b: &mut [f64], d: usize) -> bool {
+    debug_assert_eq!(a.len(), d * d);
+    debug_assert_eq!(b.len(), d);
+    // Factor A = L Lᵀ, storing L in the lower triangle.
+    for i in 0..d {
+        for j in 0..=i {
+            let mut sum = a[i * d + j];
+            for k in 0..j {
+                sum -= a[i * d + k] * a[j * d + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return false;
+                }
+                a[i * d + i] = sum.sqrt();
+            } else {
+                a[i * d + j] = sum / a[j * d + j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    for i in 0..d {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= a[i * d + k] * b[k];
+        }
+        b[i] = sum / a[i * d + i];
+    }
+    // Back solve Lᵀ x = y.
+    for i in (0..d).rev() {
+        let mut sum = b[i];
+        for k in i + 1..d {
+            sum -= a[k * d + i] * b[k];
+        }
+        b[i] = sum / a[i * d + i];
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, -2.0];
+        assert!(cholesky_solve(&mut a, &mut b, 2));
+        assert_eq!(b, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5]
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        let mut b = vec![10.0, 8.0];
+        assert!(cholesky_solve(&mut a, &mut b, 2));
+        assert!((b[0] - 1.75).abs() < 1e-12, "{b:?}");
+        assert!((b[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_pd() {
+        let mut a = vec![0.0, 0.0, 0.0, 0.0];
+        let mut b = vec![1.0, 1.0];
+        assert!(!cholesky_solve(&mut a, &mut b, 2));
+    }
+
+    #[test]
+    fn random_spd_round_trip() {
+        // Build A = M Mᵀ + I from a fixed matrix, solve, verify residual.
+        let d = 5;
+        let m: Vec<f64> = (0..d * d).map(|i| ((i * 7 + 3) % 11) as f64 / 11.0).collect();
+        let mut a = vec![0.0; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..d {
+                    s += m[i * d + k] * m[j * d + k];
+                }
+                a[i * d + j] = s;
+            }
+        }
+        let x_true: Vec<f64> = (0..d).map(|i| i as f64 - 2.0).collect();
+        let mut b = vec![0.0; d];
+        for i in 0..d {
+            b[i] = dot(&a[i * d..(i + 1) * d], &x_true);
+        }
+        let mut a2 = a.clone();
+        assert!(cholesky_solve(&mut a2, &mut b, d));
+        for i in 0..d {
+            assert!((b[i] - x_true[i]).abs() < 1e-9, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn syrk_and_axpy() {
+        let mut a = vec![0.0; 4];
+        syrk_update(&mut a, &[1.0, 2.0], 2.0);
+        assert_eq!(a, vec![2.0, 4.0, 4.0, 8.0]);
+        let mut y = vec![1.0, 1.0];
+        axpy(&mut y, &[3.0, -1.0], 0.5);
+        assert_eq!(y, vec![2.5, 0.5]);
+    }
+}

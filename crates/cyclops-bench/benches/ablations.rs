@@ -1,0 +1,220 @@
+//! Ablations of the design choices, beyond the paper's own figures:
+//!
+//! 1. **dynamic computation** — Cyclops with local-error deactivation vs
+//!    the same engine forced to keep every vertex active (ε = 0),
+//! 2. **combiner** — Hama with and without message combining,
+//! 3. **checkpoint content** — value-only Cyclops checkpoints (§3.6) vs
+//!    full BSP checkpoints (values + flags + in-flight messages),
+//! 4. **incremental vs cold restart** under topology mutation (the §8
+//!    extension): recomputation cost of absorbing an edge insertion.
+
+use cyclops_bench::report::{self, Table};
+use cyclops_bench::workloads;
+use cyclops_algos::pagerank::{BspPageRank, CyclopsPageRank};
+use cyclops_bsp::{run_bsp, BspConfig};
+use cyclops_engine::{
+    run_cyclops, run_cyclops_evolving, CyclopsConfig, MutationBatch, WarmStart,
+};
+use cyclops_graph::Dataset;
+use cyclops_net::NetworkModel;
+use cyclops_partition::{EdgeCutPartitioner, HashPartitioner};
+
+fn main() {
+    let fraction = workloads::scale();
+    report::heading(&format!("Ablations (scale {fraction})"));
+    let g = workloads::gen_graph(Dataset::GWeb, fraction);
+    let cluster = workloads::paper_cluster(12);
+    let p = HashPartitioner.partition(&g, cluster.num_workers());
+
+    // ---- 1. Dynamic computation. ----
+    report::subheading("dynamic computation: local-error deactivation vs always-active");
+    let dynamic = run_cyclops(
+        &CyclopsPageRank { epsilon: 1e-7 },
+        &g,
+        &p,
+        &CyclopsConfig {
+            cluster,
+            max_supersteps: 100,
+            ..Default::default()
+        },
+    );
+    let exhaustive = run_cyclops(
+        &CyclopsPageRank { epsilon: 0.0 },
+        &g,
+        &p,
+        &CyclopsConfig {
+            cluster,
+            max_supersteps: dynamic.supersteps,
+            ..Default::default()
+        },
+    );
+    let mut table = Table::new(&["variant", "supersteps", "vertex computes", "messages", "time (s)"]);
+    for (name, r) in [("dynamic (eps=1e-7)", &dynamic), ("always-active (eps=0)", &exhaustive)] {
+        table.row(vec![
+            name.into(),
+            r.supersteps.to_string(),
+            report::count(r.stats.iter().map(|s| s.active_vertices).sum()),
+            report::count(r.counters.messages),
+            report::secs(r.elapsed),
+        ]);
+    }
+    table.print();
+
+    // ---- 2. Combiner. ----
+    report::subheading("Hama combiner: on vs off (PageRank rank-share messages)");
+    let mut table = Table::new(&["variant", "messages", "bytes", "time (s)"]);
+    for (name, use_combiner) in [("combiner on", true), ("combiner off", false)] {
+        let r = run_bsp(
+            &BspPageRank { epsilon: 1e-7 },
+            &g,
+            &p,
+            &BspConfig {
+                cluster,
+                max_supersteps: 100,
+                use_combiner,
+                ..Default::default()
+            },
+        );
+        table.row(vec![
+            name.into(),
+            report::count(r.counters.messages),
+            report::count(r.counters.bytes),
+            report::secs(r.elapsed),
+        ]);
+    }
+    table.print();
+    println!("  (combining helps only when several local vertices share a remote target)");
+
+    // ---- 3. Checkpoint content. ----
+    report::subheading("checkpoint size: Cyclops value-only (§3.6) vs BSP full state");
+    let cy = run_cyclops(
+        &CyclopsPageRank { epsilon: 1e-9 },
+        &g,
+        &p,
+        &CyclopsConfig {
+            cluster,
+            max_supersteps: 40,
+            checkpoint_every: Some(10),
+            ..Default::default()
+        },
+    );
+    let bsp = run_bsp(
+        &BspPageRank { epsilon: 1e-9 },
+        &g,
+        &p,
+        &BspConfig {
+            cluster,
+            max_supersteps: 40,
+            checkpoint_every: Some(10),
+            ..Default::default()
+        },
+    );
+    let mut table = Table::new(&["engine", "superstep", "checkpoint bytes"]);
+    for cp in &cy.checkpoints {
+        table.row(vec![
+            "Cyclops".into(),
+            cp.superstep.to_string(),
+            report::count(cp.storage_bytes()),
+        ]);
+    }
+    for cp in &bsp.checkpoints {
+        table.row(vec![
+            "Hama".into(),
+            cp.superstep.to_string(),
+            report::count(cp.storage_bytes()),
+        ]);
+    }
+    table.print();
+    println!("  (BSP checkpoints carry in-flight messages; Cyclops rebuilds replicas from masters)");
+
+    // ---- 4. Incremental vs cold mutation absorption. ----
+    report::subheading("topology mutation: incremental warm start vs cold rerun");
+    let batch = MutationBatch {
+        add_edges: vec![(0, (g.num_vertices() / 2) as u32, None)],
+        ..Default::default()
+    };
+    let config = CyclopsConfig {
+        cluster,
+        max_supersteps: 200,
+        ..Default::default()
+    };
+    let partition_fn = |g: &cyclops_graph::Graph| HashPartitioner.partition(g, cluster.num_workers());
+    let mut table = Table::new(&["policy", "epoch supersteps", "epoch vertex computes", "epoch messages"]);
+    for (name, policy) in [("incremental", WarmStart::Incremental), ("cold", WarmStart::Cold)] {
+        let r = run_cyclops_evolving(
+            &CyclopsPageRank { epsilon: 1e-7 },
+            &g,
+            partition_fn,
+            &config,
+            &[(batch.clone(), policy)],
+        );
+        let epoch = &r.epochs[1];
+        table.row(vec![
+            name.into(),
+            epoch.supersteps.to_string(),
+            report::count(epoch.stats.iter().map(|s| s.active_vertices).sum()),
+            report::count(epoch.counters.messages),
+        ]);
+    }
+    table.print();
+    println!("  (the warm epoch recomputes only the disturbance wave of the inserted edge)");
+
+    // ---- 5. Network model: ideal (zero-cost wire) vs GigE-like. ----
+    report::subheading("network model: ideal wire vs modeled 1 GigE (PR, 12 workers)");
+    let mut table = Table::new(&["network", "engine", "time (s)", "speedup over Hama"]);
+    // "congested" scales the wire down with the graphs: at 1/600 of the
+    // paper's data volume, a proportionally slower wire puts the runs in the
+    // same bandwidth-bound regime the real cluster was in.
+    let congested = NetworkModel {
+        bandwidth_bytes_per_sec: Some(10e6),
+        batch_latency: std::time::Duration::from_micros(5),
+        per_message: std::time::Duration::from_nanos(100),
+    };
+    for (name, network) in [
+        ("ideal", NetworkModel::ideal()),
+        ("gigabit", NetworkModel::gigabit()),
+        ("congested", congested),
+    ] {
+        let hama = run_bsp(
+            &BspPageRank { epsilon: 1e-7 },
+            &g,
+            &p,
+            &BspConfig {
+                cluster,
+                max_supersteps: 100,
+                use_combiner: true,
+                network,
+                ..Default::default()
+            },
+        );
+        let cy = run_cyclops(
+            &CyclopsPageRank { epsilon: 1e-7 },
+            &g,
+            &p,
+            &CyclopsConfig {
+                cluster,
+                max_supersteps: 100,
+                network,
+                ..Default::default()
+            },
+        );
+        table.row(vec![
+            name.into(),
+            "Hama".into(),
+            report::secs(hama.elapsed),
+            "1.00x".into(),
+        ]);
+        table.row(vec![
+            name.into(),
+            "Cyclops".into(),
+            report::secs(cy.elapsed),
+            report::speedup(hama.elapsed.as_secs_f64() / cy.elapsed.as_secs_f64()),
+        ]);
+    }
+    table.print();
+    println!(
+        "  (with a modeled wire the wall-clock gap tracks the engines' byte-volume\n\
+         \x20 ratio; with an ideal wire it tracks their compute/bookkeeping ratio —\n\
+         \x20 on the paper's real cluster both effects stack)"
+    );
+}

@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks of the substrate kernels the experiments rest
+//! on: codec throughput, inbox enqueue under the two disciplines, barrier
+//! latency, CSR neighbor iteration, and the ALS Cholesky solve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use cyclops_algos::linalg::cholesky_solve;
+use cyclops_graph::gen::{rmat, RmatConfig};
+use cyclops_net::codec::{decode_batch, encode_batch};
+use cyclops_net::{ClusterSpec, FlatBarrier, HierarchicalBarrier, InboxMode, Transport};
+
+fn bench_codec(c: &mut Criterion) {
+    let msgs: Vec<(u32, f64)> = (0..4096).map(|i| (i, i as f64 * 0.5)).collect();
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(msgs.len() as u64));
+    group.bench_function("encode_batch_4096", |b| {
+        b.iter(|| encode_batch(std::hint::black_box(&msgs)))
+    });
+    let encoded = encode_batch(&msgs);
+    group.bench_function("decode_batch_4096", |b| {
+        b.iter(|| {
+            let mut buf = encoded.clone().freeze();
+            let out: Vec<(u32, f64)> = decode_batch(&mut buf);
+            std::hint::black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn bench_inbox(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inbox_enqueue_1k_batches");
+    for (name, mode) in [
+        ("global_queue", InboxMode::GlobalQueue),
+        ("sharded", InboxMode::Sharded),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Transport::<(u32, f64)>::new(ClusterSpec::flat(4, 1), mode),
+                |t| {
+                    std::thread::scope(|s| {
+                        for sender in 0..4usize {
+                            let t = &t;
+                            s.spawn(move || {
+                                for i in 0..64u32 {
+                                    let batch: Vec<(u32, f64)> =
+                                        (0..16).map(|j| (i * 16 + j, 1.0)).collect();
+                                    t.send(sender, 3, batch, 0);
+                                }
+                            });
+                        }
+                    });
+                    std::hint::black_box(t.pending(3));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_8_threads_100_rounds");
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            let barrier = FlatBarrier::new(8);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..100 {
+                            barrier.wait();
+                        }
+                    });
+                }
+            });
+        })
+    });
+    group.bench_function("hierarchical_2x4", |b| {
+        b.iter(|| {
+            let barrier = HierarchicalBarrier::new(2, 4);
+            std::thread::scope(|s| {
+                for m in 0..2 {
+                    for t in 0..4 {
+                        let barrier = &barrier;
+                        s.spawn(move || {
+                            for _ in 0..100 {
+                                barrier.wait(m, t);
+                            }
+                        });
+                    }
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+fn bench_csr(c: &mut Criterion) {
+    let g = rmat(
+        RmatConfig {
+            scale: 12,
+            edges: 40_000,
+            ..Default::default()
+        },
+        3,
+    );
+    let mut group = c.benchmark_group("csr");
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("sum_in_neighbors", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in g.vertices() {
+                for &u in g.in_neighbors(v) {
+                    acc = acc.wrapping_add(u as u64);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let d = 8;
+    // SPD system resembling an ALS normal-equation solve.
+    let mut a = vec![0.0f64; d * d];
+    for i in 0..d {
+        for j in 0..d {
+            a[i * d + j] = if i == j { 4.0 } else { 1.0 / (1.0 + (i + j) as f64) };
+        }
+    }
+    let b0: Vec<f64> = (0..d).map(|i| i as f64).collect();
+    c.bench_function("cholesky_solve_8x8", |b| {
+        b.iter(|| {
+            let mut a2 = a.clone();
+            let mut b2 = b0.clone();
+            assert!(cholesky_solve(&mut a2, &mut b2, d));
+            std::hint::black_box(b2)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_inbox,
+    bench_barrier,
+    bench_csr,
+    bench_cholesky
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Figure 11 (§6.6): impact of the graph partitioning algorithm.
+//!
+//! 1. replication factor on Wiki vs number of partitions (hash vs Metis),
+//! 2. replication factor per dataset at 48 partitions,
+//! 3. speedup under the Metis partition, 48 workers (normalized to Hama
+//!    under the same partition).
+
+use cyclops_bench::report::{self, Table};
+use cyclops_bench::workloads::{self, run_on_cyclops, run_on_hama};
+use cyclops_graph::Dataset;
+use cyclops_partition::{EdgeCutPartitioner, HashPartitioner, MultilevelPartitioner};
+
+fn main() {
+    let fraction = workloads::scale();
+    let metis = MultilevelPartitioner::default();
+    report::heading(&format!(
+        "Figure 11: graph partitioning impact (scale {fraction})"
+    ));
+
+    // ---- Panel 1: replication factor vs #partitions on Wiki. ----
+    report::subheading("Fig 11(1): replication factor on Wiki vs #partitions");
+    let wiki = workloads::gen_graph(Dataset::Wiki, fraction);
+    let mut table = Table::new(&["partitions", "hash", "metis"]);
+    for k in [6usize, 12, 24, 48] {
+        let hash_rf = HashPartitioner.partition(&wiki, k).replication_factor(&wiki);
+        let metis_rf = metis.partition(&wiki, k).replication_factor(&wiki);
+        table.row(vec![
+            k.to_string(),
+            format!("{hash_rf:.2}"),
+            format!("{metis_rf:.2}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "  paper: hash approaches the average degree; Metis stays several times\n\
+         \x20 lower. (R-MAT stand-ins have less community locality than real web\n\
+         \x20 graphs, so our multilevel gap narrows at high partition counts.)"
+    );
+
+    // ---- Panel 2: replication factor per dataset at 48 partitions. ----
+    report::subheading("Fig 11(2): replication factor per dataset, 48 partitions");
+    let mut table = Table::new(&["dataset", "hash", "metis"]);
+    for ds in Dataset::all() {
+        let g = workloads::gen_graph(ds, fraction);
+        let hash_rf = HashPartitioner.partition(&g, 48).replication_factor(&g);
+        let metis_rf = metis.partition(&g, 48).replication_factor(&g);
+        table.row(vec![
+            ds.to_string(),
+            format!("{hash_rf:.2}"),
+            format!("{metis_rf:.2}"),
+        ]);
+    }
+    table.print();
+    println!("  paper: RoadCA is near-planar -> tiny replication factor (0.07 / 0.01)");
+
+    // ---- Panel 3: performance with the Metis partition. ----
+    report::subheading("Fig 11(3): speedup with Metis partition, 48 workers");
+    let mut table = Table::new(&[
+        "workload",
+        "Hama (s)",
+        "Cyclops (s)",
+        "CyclopsMT (s)",
+        "Cyclops speedup",
+        "CyclopsMT speedup",
+    ]);
+    for w in workloads::paper_workloads() {
+        let g = workloads::gen_graph(w.dataset, fraction);
+        let flat = workloads::paper_cluster(48);
+        let p48 = metis.partition(&g, 48);
+        let hama = run_on_hama(&w, &g, &p48, &flat, fraction);
+        let cy = run_on_cyclops(&w, &g, &p48, &flat, fraction);
+        let mt_cluster = workloads::paper_cluster_mt(48);
+        let p6 = metis.partition(&g, mt_cluster.num_workers());
+        let mt = run_on_cyclops(&w, &g, &p6, &mt_cluster, fraction);
+        table.row(vec![
+            format!("{} {}", w.algo, w.dataset),
+            report::secs(hama.elapsed),
+            report::secs(cy.elapsed),
+            report::secs(mt.elapsed),
+            report::speedup(hama.elapsed.as_secs_f64() / cy.elapsed.as_secs_f64()),
+            report::speedup(hama.elapsed.as_secs_f64() / mt.elapsed.as_secs_f64()),
+        ]);
+    }
+    table.print();
+    println!("  paper: Cyclops gains far more from Metis than Hama (5.95x-23.04x over Hama)");
+}

@@ -1,0 +1,90 @@
+//! Figure 9 (§6.3): overall performance.
+//!
+//! 1. speedup of Cyclops and CyclopsMT over Hama with 48 workers on every
+//!    workload (hash partition),
+//! 2. scalability over 6/12/24/48 workers, normalized to Hama with 6.
+//!
+//! Set `CYCLOPS_FULL=1` to run the full scalability sweep; the default runs
+//! panel 1 plus a reduced sweep (6 and 24 workers) to stay fast on small
+//! machines.
+
+use cyclops_bench::report::{self, Table};
+use cyclops_bench::workloads::{self, run_on_cyclops, run_on_hama};
+use cyclops_partition::{EdgeCutPartitioner, HashPartitioner};
+
+fn main() {
+    let fraction = workloads::scale();
+    let full = std::env::var("CYCLOPS_FULL").is_ok();
+    report::heading(&format!("Figure 9: overall performance (scale {fraction})"));
+
+    // ---- Panel 1: speedup over Hama at 48 workers. ----
+    report::subheading("Fig 9(1): speedup over Hama, 48 workers, hash partition");
+    let mut table = Table::new(&[
+        "workload",
+        "Hama (s)",
+        "Cyclops (s)",
+        "CyclopsMT (s)",
+        "Cyclops speedup",
+        "CyclopsMT speedup",
+    ]);
+    for w in workloads::paper_workloads() {
+        let g = workloads::gen_graph(w.dataset, fraction);
+        let flat = workloads::paper_cluster(48);
+        let p48 = HashPartitioner.partition(&g, 48);
+        let hama = run_on_hama(&w, &g, &p48, &flat, fraction);
+        let cy = run_on_cyclops(&w, &g, &p48, &flat, fraction);
+        let mt_cluster = workloads::paper_cluster_mt(48);
+        let p6 = HashPartitioner.partition(&g, mt_cluster.num_workers());
+        let mt = run_on_cyclops(&w, &g, &p6, &mt_cluster, fraction);
+        table.row(vec![
+            format!("{} {}", w.algo, w.dataset),
+            report::secs(hama.elapsed),
+            report::secs(cy.elapsed),
+            report::secs(mt.elapsed),
+            report::speedup(hama.elapsed.as_secs_f64() / cy.elapsed.as_secs_f64()),
+            report::speedup(hama.elapsed.as_secs_f64() / mt.elapsed.as_secs_f64()),
+        ]);
+    }
+    table.print();
+    println!(
+        "  paper: Cyclops 1.33x-5.03x, CyclopsMT 2.06x-8.69x; largest on Wiki, smallest on SSSP"
+    );
+
+    // ---- Panel 2: scalability. ----
+    let worker_counts: Vec<usize> = if full {
+        vec![6, 12, 24, 48]
+    } else {
+        vec![6, 24]
+    };
+    report::subheading(&format!(
+        "Fig 9(2): scalability over {worker_counts:?} workers (normalized to Hama/6)"
+    ));
+    let mut table = Table::new(&["workload", "workers", "Hama", "Cyclops", "CyclopsMT"]);
+    for w in workloads::paper_workloads() {
+        let g = workloads::gen_graph(w.dataset, fraction);
+        let mut hama6 = None;
+        for &workers in &worker_counts {
+            let flat = workloads::paper_cluster(workers);
+            let p = HashPartitioner.partition(&g, workers);
+            let hama = run_on_hama(&w, &g, &p, &flat, fraction);
+            let cy = run_on_cyclops(&w, &g, &p, &flat, fraction);
+            let mt_cluster = workloads::paper_cluster_mt(workers);
+            let pmt = HashPartitioner.partition(&g, mt_cluster.num_workers());
+            let mt = run_on_cyclops(&w, &g, &pmt, &mt_cluster, fraction);
+            let base = *hama6.get_or_insert(hama.elapsed.as_secs_f64());
+            table.row(vec![
+                format!("{} {}", w.algo, w.dataset),
+                workers.to_string(),
+                report::speedup(base / hama.elapsed.as_secs_f64()),
+                report::speedup(base / cy.elapsed.as_secs_f64()),
+                report::speedup(base / mt.elapsed.as_secs_f64()),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "  note: the simulated cluster runs on the host's cores; with one core,\n\
+         \x20 wall time measures total work, so adding workers shows overhead,\n\
+         \x20 not parallel speedup (see EXPERIMENTS.md)."
+    );
+}

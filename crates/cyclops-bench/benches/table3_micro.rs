@@ -1,0 +1,162 @@
+//! Table 3 (§6.11): message-passing micro-benchmark.
+//!
+//! Five workers concurrently send `(index, value)` messages that update an
+//! array owned by a master worker. Three implementations:
+//!
+//! * **Hama-style** — one locked global queue on the receiver plus a
+//!   separate parse phase that applies messages to the array (the paper's
+//!   Hadoop-RPC implementation),
+//! * **PowerGraph-style** — the same global-queue + parse method with a
+//!   leaner per-message footprint (the paper's Boost-RPC implementation;
+//!   our substitution drops the per-batch re-buffering the Hama path does),
+//! * **Cyclops-style** — per-sender lanes and lock-free direct array
+//!   updates, no parse phase, no protection (valid because senders own
+//!   disjoint index ranges — the replica invariant).
+//!
+//! The paper's result: an order of magnitude between Hama and PowerGraph,
+//! and Cyclops slightly beating PowerGraph despite the worse RPC library.
+//! Our substitution reproduces the architectural gap (serial enqueue+parse
+//! vs parallel lock-free update); the Java-vs-C++ language gap is out of
+//! scope (see DESIGN.md).
+
+use cyclops_bench::report::{self, Table};
+use cyclops_net::{ClusterSpec, DisjointSlots, InboxMode, Transport};
+use std::time::{Duration, Instant};
+
+const SENDERS: usize = 5;
+const BATCH: usize = 1024;
+
+/// Hama-style: global queue, extra copy per batch (modeling its
+/// serialization layering), then a serial parse phase.
+fn run_global_queue(n: usize, heavy: bool) -> (Duration, Duration) {
+    // 6 workers: 5 senders on distinct machines + receiver (worker 5).
+    let spec = ClusterSpec::flat(6, 1);
+    let t: Transport<(u32, f64)> = Transport::new(spec, InboxMode::GlobalQueue);
+    let send_start = Instant::now();
+    std::thread::scope(|s| {
+        for sender in 0..SENDERS {
+            let t = &t;
+            s.spawn(move || {
+                let per = n / SENDERS;
+                let base = (sender * per) as u32;
+                let mut batch = Vec::with_capacity(BATCH);
+                for i in 0..per {
+                    batch.push((base + (i % per) as u32, i as f64));
+                    if batch.len() == BATCH {
+                        let payload = if heavy {
+                            // Model Hama's extra buffering: one more copy.
+                            batch.clone()
+                        } else {
+                            std::mem::take(&mut batch)
+                        };
+                        t.send(sender, 5, payload, 0);
+                        batch.clear();
+                    }
+                }
+                if !batch.is_empty() {
+                    t.send(sender, 5, batch, 0);
+                }
+            });
+        }
+    });
+    let send = send_start.elapsed();
+    // Parse phase: drain the global queue and apply serially.
+    let parse_start = Instant::now();
+    let mut array = vec![0.0f64; n];
+    for (idx, val) in t.drain(5, 1) {
+        array[idx as usize] = val;
+    }
+    std::hint::black_box(&array);
+    (send, parse_start.elapsed())
+}
+
+/// Cyclops-style: per-sender lanes, receivers apply directly to disjoint
+/// slots without protection; no parse phase exists — applying IS receiving.
+fn run_direct_update(n: usize) -> (Duration, Duration) {
+    let spec = ClusterSpec::flat(6, 1);
+    let t: Transport<(u32, f64)> = Transport::new(spec, InboxMode::Sharded);
+    let array = DisjointSlots::new(vec![0.0f64; n]);
+    let send_start = Instant::now();
+    std::thread::scope(|s| {
+        for sender in 0..SENDERS {
+            let t = &t;
+            s.spawn(move || {
+                let per = n / SENDERS;
+                let base = (sender * per) as u32;
+                let mut batch = Vec::with_capacity(BATCH);
+                for i in 0..per {
+                    batch.push((base + (i % per) as u32, i as f64));
+                    if batch.len() == BATCH {
+                        t.send(sender, 5, std::mem::take(&mut batch), 0);
+                    }
+                }
+                if !batch.is_empty() {
+                    t.send(sender, 5, batch, 0);
+                }
+            });
+        }
+    });
+    let send = send_start.elapsed();
+    let apply_start = Instant::now();
+    // Receivers: one per sender lane, updating disjoint ranges lock-free.
+    std::thread::scope(|s| {
+        for r in 0..SENDERS {
+            let t = &t;
+            let array = &array;
+            s.spawn(move || {
+                for (_, batch) in t.drain_lanes_partitioned(5, 1, r, SENDERS) {
+                    for (idx, val) in batch {
+                        // SAFETY: sender index ranges are disjoint.
+                        unsafe { array.write(idx as usize, val) };
+                    }
+                }
+            });
+        }
+    });
+    std::hint::black_box(array.read(0));
+    (send, apply_start.elapsed())
+}
+
+fn main() {
+    report::heading("Table 3: message-passing micro-benchmark (5 senders -> 1 array)");
+    let sizes: Vec<usize> = match std::env::var("CYCLOPS_FULL") {
+        Ok(_) => vec![5_000_000, 25_000_000, 50_000_000],
+        Err(_) => vec![1_000_000, 5_000_000, 10_000_000],
+    };
+    let mut table = Table::new(&[
+        "#messages",
+        "Hama SND",
+        "Hama PRS",
+        "Hama TOT",
+        "PG-style SND",
+        "PG-style PRS",
+        "PG-style TOT",
+        "Cyclops SND",
+        "Cyclops APL",
+        "Cyclops TOT",
+    ]);
+    for n in sizes {
+        let (h_snd, h_prs) = run_global_queue(n, true);
+        let (p_snd, p_prs) = run_global_queue(n, false);
+        let (c_snd, c_apl) = run_direct_update(n);
+        table.row(vec![
+            report::count(n),
+            report::secs(h_snd),
+            report::secs(h_prs),
+            report::secs(h_snd + h_prs),
+            report::secs(p_snd),
+            report::secs(p_prs),
+            report::secs(p_snd + p_prs),
+            report::secs(c_snd),
+            report::secs(c_apl),
+            report::secs(c_snd + c_apl),
+        ]);
+    }
+    table.print();
+    println!(
+        "  paper (5M/25M/50M): Hama 10.1/58.3/187.2s, PowerGraph 0.8/3.6/7.3s,\n\
+         \x20 Cyclops 1.0/5.6/9.6s within 30% of PowerGraph despite the worse RPC.\n\
+         \x20 Here all three share one codec, so the architectural gap (lock-free\n\
+         \x20 direct update vs locked queue + parse) is the measured quantity."
+    );
+}

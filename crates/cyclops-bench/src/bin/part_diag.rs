@@ -1,0 +1,23 @@
+//! Quick partition-quality diagnostic: hash vs multilevel cut and
+//! replication factor on the dataset stand-ins.
+use cyclops_graph::Dataset;
+use cyclops_partition::{EdgeCutPartitioner, HashPartitioner, MultilevelPartitioner};
+
+fn main() {
+    let f: f64 = std::env::var("F").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    for ds in Dataset::all() {
+        let g = ds.generate_scaled(f, ds.default_seed());
+        let h = HashPartitioner.partition(&g, 48);
+        let m = MultilevelPartitioner::default().partition(&g, 48);
+        println!(
+            "{:<9} cut {:>7} -> {:>7} ({:.0}%)  rf {:.2} -> {:.2}  bal {:.2}",
+            ds.to_string(),
+            h.edge_cut(&g),
+            m.edge_cut(&g),
+            100.0 * m.edge_cut(&g) as f64 / h.edge_cut(&g).max(1) as f64,
+            h.replication_factor(&g),
+            m.replication_factor(&g),
+            m.balance(),
+        );
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§2.2 motivation figures and §6).
+//!
+//! Each `benches/*.rs` target (built with `harness = false`) regenerates one
+//! experiment and prints the paper's rows; `EXPERIMENTS.md` records
+//! paper-reported vs measured values. Shared machinery lives here:
+//!
+//! * [`workloads`] — the seven dataset×algorithm workloads of Table 1,
+//!   runnable on every engine with one call,
+//! * [`report`] — plain-text table formatting shared by all benches.
+//!
+//! **Scale knob.** Experiments honor the `CYCLOPS_SCALE` environment
+//! variable (default `0.1`): dataset stand-ins are generated at that
+//! fraction of their default size (which is itself ≈1/60 of the paper's
+//! graphs — see `cyclops_graph::datasets`).
+//!
+//! **Single-core caveat.** The reference environment runs the simulated
+//! cluster on one CPU; worker threads timeslice, so wall-clock measures
+//! *total work* rather than parallel speedup. All comparisons the paper
+//! makes between engines (message counts, redundant computation,
+//! contention, phase breakdowns) survive this; raw scalability-with-cores
+//! does not, and EXPERIMENTS.md flags the affected panels.
+
+pub mod report;
+pub mod workloads;

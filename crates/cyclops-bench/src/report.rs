@@ -1,0 +1,110 @@
+//! Plain-text report formatting shared by the benchmark targets.
+
+use std::time::Duration;
+
+/// Prints a top-level experiment heading.
+pub fn heading(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints a sub-heading.
+pub fn subheading(title: &str) {
+    println!();
+    println!("--- {title} ---");
+}
+
+/// Formats a duration in seconds with 3 decimals (the paper reports
+/// seconds).
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a large count with thousands separators.
+pub fn count(n: usize) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// A fixed-width text table writer.
+pub struct Table {
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        let mut t = Table {
+            widths: headers.iter().map(|h| h.len()).collect(),
+            rows: Vec::new(),
+        };
+        t.push(headers.iter().map(|s| s.to_string()).collect());
+        t
+    }
+
+    /// Adds one row; panics if the column count mismatches.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.widths.len(), "column count mismatch");
+        self.push(cells);
+    }
+
+    fn push(&mut self, cells: Vec<String>) {
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Prints the table with a separator under the header.
+    pub fn print(&self) {
+        for (i, row) in self.rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&self.widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", line.join("  "));
+            if i == 0 {
+                let sep: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+                println!("  {}", sep.join("  "));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_formats_thousands() {
+        assert_eq!(count(5), "5");
+        assert_eq!(count(1234), "1,234");
+        assert_eq!(count(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_checks_columns() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

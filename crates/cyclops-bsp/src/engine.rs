@@ -1,0 +1,608 @@
+//! The BSP superstep loop over a simulated cluster.
+//!
+//! Every worker is an OS thread owning one graph partition. A superstep runs
+//! the paper's four sequential operations (§3.5): message parsing (PRS),
+//! vertex computation (CMP), message sending (SND) and the global barrier
+//! (SYN). Messages go through [`Transport`] in
+//! [`InboxMode::GlobalQueue`] — one locked queue per worker, exactly Hama's
+//! contended design (§4.1).
+
+use crate::checkpoint::Checkpoint;
+use crate::program::{BspContext, BspProgram};
+use cyclops_graph::{Graph, VertexId};
+use cyclops_net::metrics::CounterSnapshot;
+use cyclops_net::{AggregateStats, ClusterSpec, FlatBarrier, InboxMode, Phase, PhaseTimes, SuperstepStats, Transport};
+use cyclops_partition::EdgeCutPartition;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct BspConfig {
+    /// Simulated cluster topology. BSP workers are single-threaded, so only
+    /// `machines × workers_per_machine` matters.
+    pub cluster: ClusterSpec,
+    /// Hard cap on supersteps (the paper's PageRank also caps iterations).
+    pub max_supersteps: usize,
+    /// Apply the program's combiner before sending (Hama does; §4.1).
+    pub use_combiner: bool,
+    /// Fingerprint each vertex's outgoing broadcast to count messages that
+    /// repeat the previous superstep's value — Figure 3(2)'s "redundant
+    /// messages". Costs one encode pass per message.
+    pub track_redundant: bool,
+    /// Capture a checkpoint every `n` supersteps (§3.6), if set.
+    pub checkpoint_every: Option<usize>,
+    /// Cost model for cross-machine traffic (default: ideal / zero delay).
+    pub network: cyclops_net::NetworkModel,
+}
+
+impl Default for BspConfig {
+    fn default() -> Self {
+        BspConfig {
+            cluster: ClusterSpec::flat(2, 2),
+            max_supersteps: 10_000,
+            use_combiner: false,
+            track_redundant: false,
+            checkpoint_every: None,
+            network: cyclops_net::NetworkModel::ideal(),
+        }
+    }
+}
+
+/// Output of a BSP run.
+#[derive(Clone, Debug)]
+pub struct BspResult<V, M> {
+    /// Final vertex values, indexed by global vertex id.
+    pub values: Vec<V>,
+    /// Number of supersteps executed.
+    pub supersteps: usize,
+    /// Per-superstep statistics (aggregated over workers).
+    pub stats: Vec<SuperstepStats>,
+    /// Whole-run transport counters.
+    pub counters: CounterSnapshot,
+    /// Wall-clock time of the superstep loop (excludes ingress).
+    pub elapsed: Duration,
+    /// Checkpoints captured during the run (empty unless configured).
+    pub checkpoints: Vec<Checkpoint<V, M>>,
+}
+
+/// Per-worker mutable state, owned by the worker's thread during the run.
+struct WorkerState<V, M> {
+    /// Global ids of the vertices this worker owns, ascending.
+    locals: Vec<VertexId>,
+    /// Vertex values, parallel to `locals`.
+    values: Vec<V>,
+    /// Vote-to-halt flags, parallel to `locals`.
+    halted: Vec<bool>,
+    /// Parsed incoming messages, parallel to `locals`.
+    mailbox: Vec<Vec<M>>,
+    /// Fingerprint of last superstep's outgoing messages per vertex
+    /// (redundancy tracking).
+    last_sent: Vec<u64>,
+}
+
+/// Runs `program` on `graph` over the simulated cluster described by
+/// `config`, starting from freshly initialized vertex values.
+pub fn run_bsp<P: BspProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &BspConfig,
+) -> BspResult<P::Value, P::Message> {
+    run_bsp_inner(program, graph, partition, config, None)
+}
+
+/// Resumes a BSP run from a checkpoint captured by an earlier run with
+/// `checkpoint_every` set. The partition and cluster must match the original
+/// run; execution continues from the checkpoint's superstep.
+pub fn run_bsp_from_checkpoint<P: BspProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &BspConfig,
+    checkpoint: &Checkpoint<P::Value, P::Message>,
+) -> BspResult<P::Value, P::Message> {
+    run_bsp_inner(program, graph, partition, config, Some(checkpoint))
+}
+
+fn run_bsp_inner<P: BspProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &BspConfig,
+    resume: Option<&Checkpoint<P::Value, P::Message>>,
+) -> BspResult<P::Value, P::Message> {
+    let num_workers = config.cluster.num_workers();
+    assert_eq!(
+        partition.num_parts, num_workers,
+        "partition has {} parts but the cluster has {} workers",
+        partition.num_parts, num_workers
+    );
+    assert_eq!(partition.assignment.len(), graph.num_vertices());
+
+    // ---- Ingress: build per-worker state. ----
+    let mut states: Vec<WorkerState<P::Value, P::Message>> = (0..num_workers)
+        .map(|_| WorkerState {
+            locals: Vec::new(),
+            values: Vec::new(),
+            halted: Vec::new(),
+            mailbox: Vec::new(),
+            last_sent: Vec::new(),
+        })
+        .collect();
+    for v in graph.vertices() {
+        states[partition.part_of(v) as usize].locals.push(v);
+    }
+    // Global vertex -> local index on its owner.
+    let mut local_index = vec![0u32; graph.num_vertices()];
+    for st in &mut states {
+        for (i, &v) in st.locals.iter().enumerate() {
+            local_index[v as usize] = i as u32;
+        }
+        st.values = st.locals.iter().map(|&v| program.init(v, graph)).collect();
+        st.halted = vec![false; st.locals.len()];
+        st.mailbox = (0..st.locals.len()).map(|_| Vec::new()).collect();
+        st.last_sent = vec![0; st.locals.len()];
+    }
+
+    let transport: Transport<(VertexId, P::Message)> =
+        Transport::with_network(config.cluster, InboxMode::GlobalQueue, config.network);
+    let barrier = FlatBarrier::new(num_workers);
+
+    let start_superstep = match resume {
+        Some(cp) => {
+            for (v, value) in &cp.values {
+                let w = partition.part_of(*v) as usize;
+                let li = local_index[*v as usize] as usize;
+                states[w].values[li] = value.clone();
+            }
+            for (v, halted) in &cp.halted {
+                let w = partition.part_of(*v) as usize;
+                let li = local_index[*v as usize] as usize;
+                states[w].halted[li] = *halted;
+            }
+            // Reinject in-flight messages; they will be parsed in the first
+            // resumed superstep's PRS phase.
+            for (dest, msg) in &cp.messages {
+                let w = partition.part_of(*dest) as usize;
+                transport.inject(w, vec![(*dest, msg.clone())], cp.superstep);
+            }
+            cp.superstep
+        }
+        None => 0,
+    };
+
+    // ---- Shared coordination state. ----
+    let stop = AtomicBool::new(false);
+    let active_total = AtomicUsize::new(0);
+    let aggregate_acc: Mutex<AggregateStats> = Mutex::new(AggregateStats::default());
+    let prev_aggregate: Mutex<Option<AggregateStats>> =
+        Mutex::new(resume.and_then(|cp| cp.aggregate));
+    let history: Mutex<Vec<SuperstepStats>> = Mutex::new(Vec::new());
+    let current: Mutex<SuperstepStats> = Mutex::new(SuperstepStats::default());
+    let checkpoints: Mutex<Vec<Checkpoint<P::Value, P::Message>>> = Mutex::new(Vec::new());
+    let last_counters = Mutex::new(CounterSnapshot::default());
+    let supersteps_done = AtomicUsize::new(0);
+
+    let loop_start = Instant::now();
+    std::thread::scope(|scope| {
+        for (me, st) in states.iter_mut().enumerate() {
+            let transport = &transport;
+            let barrier = &barrier;
+            let stop = &stop;
+            let active_total = &active_total;
+            let aggregate_acc = &aggregate_acc;
+            let prev_aggregate = &prev_aggregate;
+            let history = &history;
+            let current = &current;
+            let checkpoints = &checkpoints;
+            let last_counters = &last_counters;
+            let supersteps_done = &supersteps_done;
+            let local_index = &local_index;
+            scope.spawn(move || {
+                worker_loop(
+                    me,
+                    program,
+                    graph,
+                    partition,
+                    config,
+                    st,
+                    local_index,
+                    transport,
+                    barrier,
+                    stop,
+                    active_total,
+                    aggregate_acc,
+                    prev_aggregate,
+                    history,
+                    current,
+                    checkpoints,
+                    last_counters,
+                    supersteps_done,
+                    start_superstep,
+                );
+            });
+        }
+    });
+    let elapsed = loop_start.elapsed();
+
+    // ---- Assemble global values. ----
+    let mut values: Vec<Option<P::Value>> = vec![None; graph.num_vertices()];
+    for st in states {
+        for (v, value) in st.locals.into_iter().zip(st.values) {
+            values[v as usize] = Some(value);
+        }
+    }
+    BspResult {
+        values: values.into_iter().map(Option::unwrap).collect(),
+        supersteps: supersteps_done.load(Ordering::Acquire),
+        stats: history.into_inner(),
+        counters: transport.counters().snapshot(),
+        elapsed,
+        checkpoints: checkpoints.into_inner(),
+    }
+}
+
+/// FNV-1a over encoded message bytes; used to detect a vertex re-sending the
+/// same messages as last superstep.
+fn fingerprint<M: cyclops_net::Codec>(msgs: &[(VertexId, M)]) -> u64 {
+    use cyclops_net::Codec as _;
+    let mut buf = bytes::BytesMut::new();
+    for (d, m) in msgs {
+        d.encode(&mut buf);
+        m.encode(&mut buf);
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in buf.iter() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Avoid the empty-outbox fingerprint colliding with "never sent".
+    h | 1
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<P: BspProgram>(
+    me: usize,
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &BspConfig,
+    st: &mut WorkerState<P::Value, P::Message>,
+    local_index: &[u32],
+    transport: &Transport<(VertexId, P::Message)>,
+    barrier: &FlatBarrier,
+    stop: &AtomicBool,
+    active_total: &AtomicUsize,
+    aggregate_acc: &Mutex<AggregateStats>,
+    prev_aggregate: &Mutex<Option<AggregateStats>>,
+    history: &Mutex<Vec<SuperstepStats>>,
+    current: &Mutex<SuperstepStats>,
+    checkpoints: &Mutex<Vec<Checkpoint<P::Value, P::Message>>>,
+    last_counters: &Mutex<CounterSnapshot>,
+    supersteps_done: &AtomicUsize,
+    start_superstep: usize,
+) {
+    let num_workers = partition.num_parts;
+    let mut superstep = start_superstep;
+    let mut outboxes: Vec<Vec<(VertexId, P::Message)>> =
+        (0..num_workers).map(|_| Vec::new()).collect();
+    let mut vertex_outbox: Vec<(VertexId, P::Message)> = Vec::new();
+
+    loop {
+        let mut times = PhaseTimes::default();
+        let agg_in = *prev_aggregate.lock();
+
+        // ---- PRS: parse received messages into per-vertex mailboxes. ----
+        let received = times.time(Phase::Parse, || {
+            let msgs = transport.drain(me, superstep);
+            let count = msgs.len();
+            for (dest, msg) in msgs {
+                let li = local_index[dest as usize] as usize;
+                debug_assert_eq!(partition.part_of(dest) as usize, me);
+                // A message reactivates a halted vertex (Pregel semantics).
+                st.halted[li] = false;
+                st.mailbox[li].push(msg);
+            }
+            count
+        });
+
+        // ---- Checkpoint (post-parse state is a consistent cut). ----
+        if let Some(every) = config.checkpoint_every {
+            if every > 0 && superstep > start_superstep && (superstep - start_superstep) % every == 0 {
+                let mut cp = checkpoints.lock();
+                capture_checkpoint(&mut cp, st, superstep, agg_in);
+            }
+        }
+
+        // ---- CMP: run compute on active vertices. ----
+        let mut local_active = 0usize;
+        let mut local_agg = AggregateStats::default();
+        let mut redundant = 0usize;
+        times.time(Phase::Compute, || {
+            for li in 0..st.locals.len() {
+                if st.halted[li] {
+                    continue;
+                }
+                local_active += 1;
+                let vertex = st.locals[li];
+                vertex_outbox.clear();
+                let mut halted = false;
+                {
+                    let mut ctx = BspContext {
+                        vertex,
+                        superstep,
+                        graph,
+                        value: &mut st.values[li],
+                        halted: &mut halted,
+                        outbox: &mut vertex_outbox,
+                        aggregate: &mut local_agg,
+                        prev_aggregate: agg_in,
+                    };
+                    let msgs = std::mem::take(&mut st.mailbox[li]);
+                    program.compute(&mut ctx, &msgs);
+                }
+                st.halted[li] = halted;
+                if config.track_redundant && !vertex_outbox.is_empty() {
+                    let fp = fingerprint(&vertex_outbox);
+                    if fp == st.last_sent[li] {
+                        redundant += vertex_outbox.len();
+                    }
+                    st.last_sent[li] = fp;
+                }
+                for (dest, msg) in vertex_outbox.drain(..) {
+                    outboxes[partition.part_of(dest) as usize].push((dest, msg));
+                }
+            }
+        });
+        active_total.fetch_add(local_active, Ordering::Relaxed);
+        if !local_agg.is_empty() {
+            aggregate_acc.lock().merge(&local_agg);
+        }
+
+        // ---- SND: combine and transmit. ----
+        times.time(Phase::Send, || {
+            for dest_worker in 0..num_workers {
+                let mut batch = std::mem::take(&mut outboxes[dest_worker]);
+                if batch.is_empty() {
+                    continue;
+                }
+                if config.use_combiner {
+                    combine_batch(program, &mut batch);
+                }
+                transport.send(me, dest_worker, batch, superstep);
+            }
+        });
+
+        // ---- SYN: barrier + leader bookkeeping. ----
+        let _ = received;
+        {
+            let mut cur = current.lock();
+            cur.active_vertices += local_active;
+            cur.redundant_messages += redundant;
+            cur.phase_times = cur.phase_times.merge(&times);
+        }
+        let sync_start = Instant::now();
+        let leader = barrier.wait();
+        if leader {
+            let total_active = active_total.swap(0, Ordering::Relaxed);
+            // Publish the aggregate for the next superstep.
+            let mut acc = aggregate_acc.lock();
+            *prev_aggregate.lock() = if acc.is_empty() { None } else { Some(*acc) };
+            *acc = AggregateStats::default();
+            // Record superstep statistics.
+            let snap = transport.counters().snapshot();
+            let mut last = last_counters.lock();
+            let mut cur = current.lock();
+            cur.superstep = superstep;
+            cur.messages_sent = snap.messages - last.messages;
+            cur.bytes_sent = snap.bytes - last.bytes;
+            history.lock().push(std::mem::take(&mut cur));
+            *last = snap;
+            supersteps_done.store(superstep + 1, Ordering::Release);
+            // Termination: nothing active and nothing in flight, or cap hit.
+            let halt = (total_active == 0 && transport.all_empty())
+                || superstep + 1 >= config.max_supersteps + start_superstep;
+            stop.store(halt, Ordering::Release);
+        }
+        barrier.wait();
+        // Every worker charges its barrier wait to the *next* superstep's
+        // record (this superstep's entry was already published above) —
+        // summed over workers, like the compute phases, and the same scheme
+        // the Cyclops engine uses.
+        current.lock().phase_times.add(Phase::Sync, sync_start.elapsed());
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        superstep += 1;
+    }
+}
+
+/// Captures this worker's slice of a checkpoint (called under the shared
+/// lock; the checkpoint for superstep `s` is assembled cooperatively).
+fn capture_checkpoint<V: Clone, M: Clone>(
+    cps: &mut Vec<Checkpoint<V, M>>,
+    st: &WorkerState<V, M>,
+    superstep: usize,
+    aggregate: Option<AggregateStats>,
+) {
+    if cps.last().map(|c| c.superstep) != Some(superstep) {
+        cps.push(Checkpoint {
+            superstep,
+            values: Vec::new(),
+            halted: Vec::new(),
+            messages: Vec::new(),
+            aggregate,
+        });
+    }
+    let cp = cps.last_mut().unwrap();
+    for (i, &v) in st.locals.iter().enumerate() {
+        cp.values.push((v, st.values[i].clone()));
+        cp.halted.push((v, st.halted[i]));
+        for m in &st.mailbox[i] {
+            cp.messages.push((v, m.clone()));
+        }
+    }
+}
+
+/// Sorts a batch by destination and folds adjacent messages with the
+/// program's combiner.
+fn combine_batch<P: BspProgram>(program: &P, batch: &mut Vec<(VertexId, P::Message)>) {
+    if batch.len() < 2 {
+        return;
+    }
+    batch.sort_by_key(|&(d, _)| d);
+    let mut out: Vec<(VertexId, P::Message)> = Vec::with_capacity(batch.len());
+    for (dest, msg) in batch.drain(..) {
+        match out.last_mut() {
+            Some((d, last)) if *d == dest => match program.combine(last, &msg) {
+                Some(merged) => *last = merged,
+                None => out.push((dest, msg)),
+            },
+            _ => out.push((dest, msg)),
+        }
+    }
+    *batch = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_graph::GraphBuilder;
+    use cyclops_partition::{EdgeCutPartitioner, HashPartitioner};
+
+    /// Toy program: every vertex floods its id+1 hops; value = max id seen.
+    /// Push-mode: vertices halt and wake on messages.
+    struct MaxFlood;
+    impl BspProgram for MaxFlood {
+        type Value = u32;
+        type Message = u32;
+        fn init(&self, vertex: VertexId, _g: &Graph) -> u32 {
+            vertex
+        }
+        fn compute(&self, ctx: &mut BspContext<'_, u32, u32>, msgs: &[u32]) {
+            let mut best = *ctx.value();
+            for &m in msgs {
+                best = best.max(m);
+            }
+            if best > *ctx.value() || ctx.superstep() == 0 {
+                ctx.set_value(best);
+                ctx.send_to_neighbors(best);
+            }
+            ctx.vote_to_halt();
+        }
+        fn combine(&self, a: &u32, b: &u32) -> Option<u32> {
+            Some(*a.max(b))
+        }
+    }
+
+    fn ring(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(i as VertexId, ((i + 1) % n) as VertexId);
+        }
+        b.build()
+    }
+
+    fn run_maxflood(cluster: ClusterSpec, use_combiner: bool) -> BspResult<u32, u32> {
+        let g = ring(64);
+        let p = HashPartitioner.partition(&g, cluster.num_workers());
+        run_bsp(
+            &MaxFlood,
+            &g,
+            &p,
+            &BspConfig {
+                cluster,
+                use_combiner,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn max_floods_around_ring() {
+        let r = run_maxflood(ClusterSpec::flat(2, 2), false);
+        assert!(r.values.iter().all(|&v| v == 63), "{:?}", &r.values[..8]);
+        // The max needs 63 hops to go around; +1 initial and +1 empty final.
+        assert!(r.supersteps >= 64, "supersteps {}", r.supersteps);
+    }
+
+    #[test]
+    fn single_worker_matches_multi_worker() {
+        let a = run_maxflood(ClusterSpec::flat(1, 1), false);
+        let b = run_maxflood(ClusterSpec::flat(3, 2), false);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn combiner_preserves_result() {
+        let a = run_maxflood(ClusterSpec::flat(2, 2), false);
+        let b = run_maxflood(ClusterSpec::flat(2, 2), true);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn stats_recorded_per_superstep() {
+        let r = run_maxflood(ClusterSpec::flat(2, 2), false);
+        assert_eq!(r.stats.len(), r.supersteps);
+        // Superstep 0: every vertex computes and sends one message each.
+        assert_eq!(r.stats[0].active_vertices, 64);
+        assert_eq!(r.stats[0].messages_sent, 64);
+        assert!(r.counters.messages >= 64);
+    }
+
+    #[test]
+    fn max_supersteps_caps_run() {
+        let g = ring(64);
+        let p = HashPartitioner.partition(&g, 2);
+        let r = run_bsp(
+            &MaxFlood,
+            &g,
+            &p,
+            &BspConfig {
+                cluster: ClusterSpec::flat(2, 1),
+                max_supersteps: 5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.supersteps, 5);
+    }
+
+    #[test]
+    fn checkpoint_resume_reaches_same_result() {
+        let g = ring(64);
+        let cluster = ClusterSpec::flat(2, 2);
+        let p = HashPartitioner.partition(&g, 4);
+        let config = BspConfig {
+            cluster,
+            checkpoint_every: Some(10),
+            ..Default::default()
+        };
+        let full = run_bsp(&MaxFlood, &g, &p, &config);
+        assert!(!full.checkpoints.is_empty());
+        // Simulate a crash: resume from the second checkpoint.
+        let cp = &full.checkpoints[1];
+        assert!(cp.storage_bytes() > 0);
+        let resumed = run_bsp_from_checkpoint(
+            &MaxFlood,
+            &g,
+            &p,
+            &BspConfig {
+                checkpoint_every: None,
+                ..config
+            },
+            cp,
+        );
+        assert_eq!(resumed.values, full.values);
+    }
+
+    #[test]
+    fn cross_machine_messages_have_bytes() {
+        let r = run_maxflood(ClusterSpec::flat(4, 1), false);
+        assert!(r.counters.bytes > 0);
+        // Same machine everywhere -> zero bytes.
+        let r2 = run_maxflood(ClusterSpec::flat(1, 4), false);
+        assert_eq!(r2.counters.bytes, 0);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Hama-style BSP (Pregel) baseline engine.
+//!
+//! This crate reimplements the system Cyclops is built on and compared
+//! against: Apache Hama, an open-source Pregel clone (§2.1, §4). The
+//! execution model is the classic Bulk Synchronous Parallel loop — each
+//! superstep parses received messages (PRS), runs the user `compute`
+//! function on active vertices (CMP), sends messages (SND), and meets a
+//! global barrier (SYN). Communication is pure message passing into one
+//! locked global queue per worker ([`cyclops_net::InboxMode::GlobalQueue`]),
+//! faithfully reproducing Hama's contention behaviour (§4.1), combiners and
+//! all.
+//!
+//! * [`BspProgram`] — the user-facing vertex program trait (Figure 2's
+//!   `compute(Iterator msgs)` shape),
+//! * [`BspContext`] — what `compute` may touch: its own value, message
+//!   sends, vote-to-halt, and the global aggregator,
+//! * [`run_bsp`] / [`BspConfig`] — the engine runner over a simulated
+//!   cluster,
+//! * [`BspResult`] — final values plus the per-superstep statistics the
+//!   figures need.
+
+pub mod checkpoint;
+pub mod engine;
+pub mod program;
+
+pub use checkpoint::Checkpoint;
+pub use engine::{run_bsp, run_bsp_from_checkpoint, BspConfig, BspResult};
+pub use program::{BspContext, BspProgram};

@@ -1,0 +1,947 @@
+//! The unified Cyclops / CyclopsMT superstep loop.
+//!
+//! One engine serves both systems: flat Cyclops is a [`ClusterSpec`] with
+//! single-threaded workers (`M x W x 1`); CyclopsMT is one worker per
+//! machine with `T` compute threads and `R` receiver threads
+//! (`M x 1 x T / R`, §5). Because the partition has one part per *worker*,
+//! replicas automatically exist at worker granularity for flat Cyclops and
+//! at machine granularity for CyclopsMT — the replica/message reduction
+//! §6.10 and Table 4 measure.
+//!
+//! Superstep structure (per worker, with `T` threads and `R ≤ T` receivers):
+//!
+//! 1. **apply** — receiver threads drain their share of the inbound lanes
+//!    and update replica publications lock-free ([`DisjointSlots`]): each
+//!    replica receives at most one message per superstep, the paper's §3.4
+//!    invariant (debug builds actually verify it);
+//! 2. **compute** — compute threads run the program on their chunk of the
+//!    active masters, reading in-neighbor publications from the immutable
+//!    view;
+//! 3. **publish & send** — updated publications become visible locally and
+//!    one sync+activation message per mirror goes out through private
+//!    per-thread lanes;
+//! 4. **barrier** — a hierarchical barrier (local then global) ends the
+//!    superstep; the global leader evaluates convergence.
+
+use crate::checkpoint::CyclopsCheckpoint;
+use crate::plan::CyclopsPlan;
+use crate::program::{CyclopsContext, CyclopsProgram};
+use cyclops_graph::Graph;
+use cyclops_net::metrics::CounterSnapshot;
+use cyclops_net::{
+    AggregateStats, ClusterSpec, DisjointSlots, HierarchicalBarrier, InboxMode, Phase, PhaseTimes,
+    SuperstepStats, Transport,
+};
+use cyclops_partition::EdgeCutPartition;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Convergence detection scheme (§4.4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Convergence {
+    /// Halt when no vertex is active and no message is in flight — the
+    /// natural endpoint of local-error activation (the default).
+    ActiveVertices,
+    /// Halt when at least `target` (0..=1) of all vertices have reported a
+    /// local error ≤ `epsilon` — the fine-grained detector Cyclops adds
+    /// because a global error bound converges different proportions on
+    /// different datasets (§2.2.3, §4.4).
+    Proportion {
+        /// Per-vertex convergence threshold.
+        epsilon: f64,
+        /// Required converged fraction of all vertices.
+        target: f64,
+    },
+    /// Halt when the mean reported error of this superstep's computed
+    /// vertices drops to `epsilon` — the legacy aggregator scheme Cyclops
+    /// retains for compatibility.
+    GlobalError {
+        /// Mean-error threshold.
+        epsilon: f64,
+    },
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CyclopsConfig {
+    /// Cluster topology; decides flat Cyclops vs CyclopsMT.
+    pub cluster: ClusterSpec,
+    /// Hard cap on supersteps.
+    pub max_supersteps: usize,
+    /// Convergence detection scheme.
+    pub convergence: Convergence,
+    /// Capture a value-only checkpoint every `n` supersteps (§3.6).
+    pub checkpoint_every: Option<usize>,
+    /// Cost model for cross-machine traffic (default: ideal / zero delay).
+    pub network: cyclops_net::NetworkModel,
+}
+
+impl Default for CyclopsConfig {
+    fn default() -> Self {
+        CyclopsConfig {
+            cluster: ClusterSpec::flat(2, 2),
+            max_supersteps: 10_000,
+            convergence: Convergence::ActiveVertices,
+            checkpoint_every: None,
+            network: cyclops_net::NetworkModel::ideal(),
+        }
+    }
+}
+
+/// Output of a Cyclops run.
+#[derive(Clone, Debug)]
+pub struct CyclopsResult<V, M> {
+    /// Final private vertex values, indexed by global vertex id.
+    pub values: Vec<V>,
+    /// Final publications, indexed by global vertex id.
+    pub publications: Vec<Option<M>>,
+    /// Number of supersteps executed.
+    pub supersteps: usize,
+    /// Per-superstep statistics, aggregated over workers.
+    pub stats: Vec<SuperstepStats>,
+    /// Whole-run transport counters.
+    pub counters: CounterSnapshot,
+    /// Wall-clock time of the superstep loop (excludes ingress).
+    pub elapsed: Duration,
+    /// Ingress phase breakdown (LD / REP / INIT) and replica counts.
+    pub ingress: crate::plan::IngressStats,
+    /// Average replicas per vertex for this partition and cluster.
+    pub replication_factor: f64,
+    /// Value-only checkpoints captured during the run.
+    pub checkpoints: Vec<CyclopsCheckpoint<V, M>>,
+    /// Cross-machine barrier protocol messages over the run (hierarchical
+    /// barriers send one per machine leader instead of one per thread).
+    pub barrier_protocol_messages: usize,
+}
+
+/// Per-worker state shared by that worker's threads.
+struct WorkerShared<V, M> {
+    values: DisjointSlots<V>,
+    /// Publications visible this superstep (the immutable view).
+    msg_cur: DisjointSlots<Option<M>>,
+    /// Publications produced this superstep, made visible at the copy phase.
+    msg_next: DisjointSlots<Option<M>>,
+    /// Replica publications (updated by receiver threads).
+    rep_msg: DisjointSlots<Option<M>>,
+    /// Activation bits, indexed by superstep parity. Paired with
+    /// `active_list` so per-superstep work is O(frontier), not O(masters):
+    /// the bit deduplicates, the list enumerates.
+    active: [Vec<AtomicBool>; 2],
+    /// Activated master indices per parity (deduplicated via `active`).
+    active_list: [Mutex<Vec<u32>>; 2],
+    /// This superstep's frontier, snapshotted from `active_list` by the
+    /// worker leader between the apply and compute phases.
+    frontier: parking_lot::RwLock<Vec<u32>>,
+    /// Per-master converged flags (Proportion mode).
+    converged: Vec<AtomicBool>,
+    /// Intra-worker phase barrier (T participants).
+    local: Barrier,
+}
+
+impl<V, M> WorkerShared<V, M> {
+    /// Marks master `li` active for the given parity; first activation per
+    /// parity-epoch enqueues it (lock-free test, short lock on the list).
+    #[inline]
+    fn mark_active(&self, parity: usize, li: usize) {
+        if !self.active[parity][li].swap(true, Ordering::Relaxed) {
+            self.active_list[parity].lock().push(li as u32);
+        }
+    }
+}
+
+/// Runs `program` over `graph` cut by `partition` on the simulated cluster,
+/// building the immutable view first. Use [`run_cyclops_with_plan`] to reuse
+/// an existing plan across runs (ingress "is a one-time cost as a loaded
+/// graph will usually be processed multiple times", §6.7).
+pub fn run_cyclops<P: CyclopsProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &CyclopsConfig,
+) -> CyclopsResult<P::Value, P::Message> {
+    let plan = CyclopsPlan::build_parallel(graph, partition);
+    run_cyclops_with_plan(program, graph, &plan, config, None)
+}
+
+/// Resumes from a checkpoint captured by an earlier run (replicas and
+/// messages are *not* in the checkpoint — they are reconstructed from the
+/// master publications, §3.6).
+pub fn run_cyclops_from_checkpoint<P: CyclopsProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &CyclopsConfig,
+    checkpoint: &CyclopsCheckpoint<P::Value, P::Message>,
+) -> CyclopsResult<P::Value, P::Message> {
+    let plan = CyclopsPlan::build_parallel(graph, partition);
+    run_cyclops_with_plan(program, graph, &plan, config, Some(checkpoint))
+}
+
+/// Runs `program` against a pre-built [`CyclopsPlan`].
+pub fn run_cyclops_with_plan<P: CyclopsProgram>(
+    program: &P,
+    graph: &Graph,
+    plan: &CyclopsPlan,
+    config: &CyclopsConfig,
+    resume: Option<&CyclopsCheckpoint<P::Value, P::Message>>,
+) -> CyclopsResult<P::Value, P::Message> {
+    let spec = config.cluster;
+    let num_workers = spec.num_workers();
+    let threads = spec.threads_per_worker;
+    let receivers = spec.receivers_per_worker.min(threads);
+    assert_eq!(
+        plan.workers.len(),
+        num_workers,
+        "plan has {} workers but the cluster has {}",
+        plan.workers.len(),
+        num_workers
+    );
+
+    // ---- INIT ingress phase: values, publications, replica seeds. ----
+    let init_start = Instant::now();
+    let mut shared: Vec<WorkerShared<P::Value, P::Message>> = Vec::with_capacity(num_workers);
+    for wp in &plan.workers {
+        let n = wp.num_masters();
+        let mut values: Vec<P::Value> = Vec::with_capacity(n);
+        let mut msgs: Vec<Option<P::Message>> = Vec::with_capacity(n);
+        let mut active0: Vec<AtomicBool> = Vec::with_capacity(n);
+        for &v in &wp.masters {
+            let value = program.init(v, graph);
+            let msg = program.init_message(v, graph, &value);
+            values.push(value);
+            msgs.push(msg);
+            active0.push(AtomicBool::new(program.initially_active(v, graph)));
+        }
+        let list0: Vec<u32> = active0
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.load(Ordering::Relaxed))
+            .map(|(i, _)| i as u32)
+            .collect();
+        shared.push(WorkerShared {
+            values: DisjointSlots::new(values),
+            msg_cur: DisjointSlots::new(msgs.clone()),
+            msg_next: DisjointSlots::new(msgs),
+            rep_msg: DisjointSlots::new(Vec::new()), // filled below
+            active: [active0, (0..n).map(|_| AtomicBool::new(false)).collect()],
+            active_list: [Mutex::new(list0), Mutex::new(Vec::new())],
+            frontier: parking_lot::RwLock::new(Vec::new()),
+            converged: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            local: Barrier::new(threads),
+        });
+    }
+    // Apply a resume checkpoint to master state before seeding replicas.
+    if let Some(cp) = resume {
+        for ws in shared.iter_mut() {
+            for parity in 0..2 {
+                ws.active_list[parity].lock().clear();
+                for a in &ws.active[parity] {
+                    a.store(false, Ordering::Relaxed);
+                }
+            }
+        }
+        for (v, value, publication, active) in &cp.vertices {
+            let w = plan.owner[*v as usize] as usize;
+            let li = plan.local_of[*v as usize] as usize;
+            *shared[w].values.as_mut_slice().get_mut(li).unwrap() = value.clone();
+            shared[w].msg_cur.as_mut_slice()[li] = publication.clone();
+            shared[w].msg_next.as_mut_slice()[li] = publication.clone();
+            if *active {
+                shared[w].mark_active(cp.superstep & 1, li);
+            }
+        }
+    }
+    // Seed replica publications from their masters — the initial one-way
+    // sync of the ingress (and of checkpoint recovery).
+    for w in 0..num_workers {
+        let reps: Vec<Option<P::Message>> = plan.workers[w]
+            .replicas
+            .iter()
+            .map(|&u| {
+                let ow = plan.owner[u as usize] as usize;
+                let li = plan.local_of[u as usize] as usize;
+                shared[ow].msg_cur.read(li).clone()
+            })
+            .collect();
+        shared[w].rep_msg = DisjointSlots::new(reps);
+    }
+    let mut ingress = plan.ingress;
+    ingress.init = init_start.elapsed();
+
+    let transport: Transport<(u32, P::Message, bool)> =
+        Transport::with_network(spec, InboxMode::Sharded, config.network);
+    let barrier = HierarchicalBarrier::new(num_workers, threads);
+
+    // ---- Shared coordination state. ----
+    let start_superstep = resume.map(|cp| cp.superstep).unwrap_or(0);
+    let stop = AtomicBool::new(false);
+    let computed_total = AtomicUsize::new(0);
+    let next_active_total = AtomicUsize::new(0);
+    let converged_delta = AtomicIsize::new(0);
+    let converged_total = AtomicIsize::new(0);
+    let aggregate_acc: Mutex<AggregateStats> = Mutex::new(AggregateStats::default());
+    let error_acc = Mutex::new((0.0f64, 0usize));
+    let prev_aggregate: Mutex<Option<AggregateStats>> =
+        Mutex::new(resume.and_then(|cp| cp.aggregate));
+    let history: Mutex<Vec<SuperstepStats>> = Mutex::new(Vec::new());
+    let current: Mutex<SuperstepStats> = Mutex::new(SuperstepStats::default());
+    let checkpoints: Mutex<Vec<CyclopsCheckpoint<P::Value, P::Message>>> = Mutex::new(Vec::new());
+    let last_counters = Mutex::new(CounterSnapshot::default());
+    let supersteps_done = AtomicUsize::new(start_superstep);
+    let total_vertices = graph.num_vertices();
+
+    let loop_start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..num_workers {
+            for t in 0..threads {
+                let shared = &shared;
+                let plan_ref = plan;
+                let transport = &transport;
+                let barrier = &barrier;
+                let stop = &stop;
+                let computed_total = &computed_total;
+                let next_active_total = &next_active_total;
+                let converged_delta = &converged_delta;
+                let converged_total = &converged_total;
+                let aggregate_acc = &aggregate_acc;
+                let error_acc = &error_acc;
+                let prev_aggregate = &prev_aggregate;
+                let history = &history;
+                let current = &current;
+                let checkpoints = &checkpoints;
+                let last_counters = &last_counters;
+                let supersteps_done = &supersteps_done;
+                scope.spawn(move || {
+                    thread_loop(ThreadEnv {
+                        w,
+                        t,
+                        threads,
+                        receivers,
+                        program,
+                        graph,
+                        plan: plan_ref,
+                        config,
+                        shared,
+                        transport,
+                        barrier,
+                        stop,
+                        computed_total,
+                        next_active_total,
+                        converged_delta,
+                        converged_total,
+                        aggregate_acc,
+                        error_acc,
+                        prev_aggregate,
+                        history,
+                        current,
+                        checkpoints,
+                        last_counters,
+                        supersteps_done,
+                        total_vertices,
+                        start_superstep,
+                    });
+                });
+            }
+        }
+    });
+    let elapsed = loop_start.elapsed();
+
+    // ---- Assemble global outputs. ----
+    let mut values: Vec<Option<P::Value>> = vec![None; total_vertices];
+    let mut publications: Vec<Option<P::Message>> = vec![None; total_vertices];
+    for (w, ws) in shared.into_iter().enumerate() {
+        let vals = ws.values.into_inner();
+        let msgs = ws.msg_cur.into_inner();
+        for (i, &v) in plan.workers[w].masters.iter().enumerate() {
+            values[v as usize] = Some(vals[i].clone());
+            publications[v as usize] = msgs[i].clone();
+        }
+    }
+    CyclopsResult {
+        values: values.into_iter().map(Option::unwrap).collect(),
+        publications,
+        supersteps: supersteps_done.load(Ordering::Acquire),
+        stats: history.into_inner(),
+        counters: transport.counters().snapshot(),
+        elapsed,
+        ingress,
+        replication_factor: plan.replication_factor(graph),
+        checkpoints: checkpoints.into_inner(),
+        barrier_protocol_messages: barrier.protocol_messages(),
+    }
+}
+
+/// Everything one engine thread needs; bundling keeps the spawn readable.
+struct ThreadEnv<'a, P: CyclopsProgram> {
+    w: usize,
+    t: usize,
+    threads: usize,
+    receivers: usize,
+    program: &'a P,
+    graph: &'a Graph,
+    plan: &'a CyclopsPlan,
+    config: &'a CyclopsConfig,
+    shared: &'a [WorkerShared<P::Value, P::Message>],
+    transport: &'a Transport<(u32, P::Message, bool)>,
+    barrier: &'a HierarchicalBarrier,
+    stop: &'a AtomicBool,
+    computed_total: &'a AtomicUsize,
+    next_active_total: &'a AtomicUsize,
+    converged_delta: &'a AtomicIsize,
+    converged_total: &'a AtomicIsize,
+    aggregate_acc: &'a Mutex<AggregateStats>,
+    error_acc: &'a Mutex<(f64, usize)>,
+    prev_aggregate: &'a Mutex<Option<AggregateStats>>,
+    history: &'a Mutex<Vec<SuperstepStats>>,
+    current: &'a Mutex<SuperstepStats>,
+    checkpoints: &'a Mutex<Vec<CyclopsCheckpoint<P::Value, P::Message>>>,
+    last_counters: &'a Mutex<CounterSnapshot>,
+    supersteps_done: &'a AtomicUsize,
+    total_vertices: usize,
+    start_superstep: usize,
+}
+
+fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
+    let ws = &env.shared[env.w];
+    let wp = &env.plan.workers[env.w];
+    let n = wp.num_masters();
+    // This thread's chunk of the worker's masters.
+    let chunk_start = env.t * n / env.threads;
+    let chunk_end = (env.t + 1) * n / env.threads;
+    let lane = env.w * env.threads + env.t;
+    let num_workers = env.plan.workers.len();
+
+    let mut superstep = env.start_superstep;
+    let mut outboxes: Vec<Vec<(u32, P::Message, bool)>> =
+        (0..num_workers).map(|_| Vec::new()).collect();
+    let mut updated: Vec<u32> = Vec::new();
+
+    loop {
+        let mut times = PhaseTimes::default();
+        let cur_parity = superstep & 1;
+        let next_parity = (superstep + 1) & 1;
+        let agg_in = *env.prev_aggregate.lock();
+
+        // ---- Superstep prologue (worker leader). ----
+        if env.t == 0 {
+            ws.values.begin_epoch();
+            ws.msg_cur.begin_epoch();
+            ws.msg_next.begin_epoch();
+            ws.rep_msg.begin_epoch();
+        }
+        let checkpoint_now = match env.config.checkpoint_every {
+            Some(every) => {
+                every > 0
+                    && superstep > env.start_superstep
+                    && (superstep - env.start_superstep) % every == 0
+            }
+            None => false,
+        };
+        ws.local.wait();
+
+        // ---- Apply phase (PRS): receivers update replicas lock-free. ----
+        let apply_start = Instant::now();
+        if env.t < env.receivers {
+            for (_, batch) in
+                env.transport
+                    .drain_lanes_partitioned(env.w, superstep, env.t, env.receivers)
+            {
+                for (rep_idx, m, activate) in batch {
+                    // SAFETY: each replica receives at most one message per
+                    // superstep (one master, one sync), and lanes touching
+                    // the same replica are handled by one receiver.
+                    unsafe { ws.rep_msg.write(rep_idx as usize, Some(m)) };
+                    if activate {
+                        for &lo in wp.rep_out(rep_idx as usize) {
+                            ws.mark_active(cur_parity, lo as usize);
+                        }
+                    }
+                }
+            }
+        }
+        ws.local.wait();
+        // Value-only checkpoint (no replicas, no messages — §3.6), taken on
+        // the post-apply consistent cut: remote activations delivered this
+        // superstep are reflected in the activation flags, and every replica
+        // equals its master's publication, so a restore can rebuild replicas
+        // from masters alone.
+        if checkpoint_now {
+            if env.t == 0 {
+                capture_checkpoint(env.checkpoints, wp, ws, superstep, cur_parity, agg_in);
+            }
+            ws.local.wait();
+        }
+        // Snapshot the frontier: everything activated for this superstep by
+        // last superstep's local activations plus this superstep's replica
+        // messages. O(frontier), not O(masters).
+        if env.t == 0 {
+            let mut frontier = ws.frontier.write();
+            frontier.clear();
+            frontier.append(&mut ws.active_list[cur_parity].lock());
+        }
+        ws.local.wait();
+        times.add(Phase::Parse, apply_start.elapsed());
+
+        // ---- Compute phase (CMP). ----
+        let compute_start = Instant::now();
+        let mut computed = 0usize;
+        let mut local_agg = AggregateStats::default();
+        let mut local_err = (0.0f64, 0usize);
+        let mut conv_delta = 0isize;
+        updated.clear();
+        let frontier = ws.frontier.read();
+        for &li in frontier.iter() {
+            let li = li as usize;
+            if li < chunk_start || li >= chunk_end {
+                continue;
+            }
+            // Consume the activation so the parity slot can be reused two
+            // supersteps from now.
+            ws.active[cur_parity][li].store(false, Ordering::Relaxed);
+            computed += 1;
+            let mut publish: Option<P::Message> = None;
+            let mut reported: Option<f64> = None;
+            {
+                // SAFETY: each master belongs to exactly one thread's chunk
+                // and is computed at most once per superstep.
+                let value = unsafe { ws.values.get_mut(li) };
+                let mut ctx = CyclopsContext {
+                    vertex: wp.masters[li],
+                    local: li,
+                    superstep,
+                    graph: env.graph,
+                    plan: wp,
+                    value,
+                    msg_cur: &ws.msg_cur,
+                    rep_msg: &ws.rep_msg,
+                    publish: &mut publish,
+                    reported_error: &mut reported,
+                    aggregate: &mut local_agg,
+                    prev_aggregate: agg_in,
+                };
+                env.program.compute(&mut ctx);
+            }
+            if let Some(err) = reported {
+                local_err.0 += err;
+                local_err.1 += 1;
+                if let Convergence::Proportion { epsilon, .. } = env.config.convergence {
+                    let now = err <= epsilon;
+                    let was = ws.converged[li].swap(now, Ordering::Relaxed);
+                    conv_delta += now as isize - was as isize;
+                }
+            }
+            if let Some(m) = publish {
+                // Publish for local readers (visible next superstep)...
+                // SAFETY: one write per master per superstep.
+                unsafe { ws.msg_next.write(li, Some(m.clone())) };
+                updated.push(li as u32);
+                // ...activate same-worker neighbors (lock-free bit test,
+                // §5)...
+                for &lo in wp.local_out(li) {
+                    ws.mark_active(next_parity, lo as usize);
+                }
+                // ...and send exactly one sync+activation message per mirror.
+                for &(mw, rep_idx) in wp.mirrors(li) {
+                    outboxes[mw as usize].push((rep_idx, m.clone(), true));
+                }
+            }
+        }
+        drop(frontier);
+        ws.local.wait();
+        times.add(Phase::Compute, compute_start.elapsed());
+
+        // ---- Publish & send phase (SND). ----
+        let send_start = Instant::now();
+        for &li in &updated {
+            let li = li as usize;
+            // SAFETY: only the owning thread copies its updated slots, after
+            // the post-compute barrier (no readers are active).
+            let m = ws.msg_next.read(li).clone();
+            unsafe { ws.msg_cur.write(li, m) };
+        }
+        // All compute-phase local activations are in; the list length is the
+        // worker's locally-known next frontier (remote activations are still
+        // in flight and covered by the transport-empty termination check).
+        let next_active = if env.t == 0 {
+            ws.active_list[next_parity].lock().len()
+        } else {
+            0
+        };
+        for (dest, batch) in outboxes.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                env.transport.send(lane, dest, std::mem::take(batch), superstep);
+            }
+        }
+        times.add(Phase::Send, send_start.elapsed());
+
+        // ---- Publish per-thread statistics. ----
+        env.computed_total.fetch_add(computed, Ordering::Relaxed);
+        env.next_active_total.fetch_add(next_active, Ordering::Relaxed);
+        if conv_delta != 0 {
+            env.converged_delta.fetch_add(conv_delta, Ordering::Relaxed);
+        }
+        if !local_agg.is_empty() {
+            env.aggregate_acc.lock().merge(&local_agg);
+        }
+        if local_err.1 > 0 {
+            let mut acc = env.error_acc.lock();
+            acc.0 += local_err.0;
+            acc.1 += local_err.1;
+        }
+        if env.t == 0 {
+            let mut cur = env.current.lock();
+            cur.phase_times = cur.phase_times.merge(&times);
+        }
+        {
+            let mut cur = env.current.lock();
+            cur.active_vertices += computed;
+        }
+
+        // ---- SYN: hierarchical barrier + leader bookkeeping. ----
+        let sync_start = Instant::now();
+        env.barrier.wait(env.w, env.t);
+        if env.w == 0 && env.t == 0 {
+            let total_computed = env.computed_total.swap(0, Ordering::Relaxed);
+            let total_next = env.next_active_total.swap(0, Ordering::Relaxed);
+            let delta = env.converged_delta.swap(0, Ordering::Relaxed);
+            let conv_total = env.converged_total.fetch_add(delta, Ordering::Relaxed) + delta;
+            let mut agg = env.aggregate_acc.lock();
+            *env.prev_aggregate.lock() = if agg.is_empty() { None } else { Some(*agg) };
+            *agg = AggregateStats::default();
+            let mut err = env.error_acc.lock();
+            let mean_err = if err.1 > 0 { Some(err.0 / err.1 as f64) } else { None };
+            *err = (0.0, 0);
+
+            let snap = env.transport.counters().snapshot();
+            let mut last = env.last_counters.lock();
+            let mut cur = env.current.lock();
+            cur.superstep = superstep;
+            cur.messages_sent = snap.messages - last.messages;
+            cur.bytes_sent = snap.bytes - last.bytes;
+            debug_assert_eq!(cur.active_vertices, total_computed);
+            env.history.lock().push(std::mem::take(&mut cur));
+            *last = snap;
+            env.supersteps_done.store(superstep + 1, Ordering::Release);
+
+            let converged_enough = match env.config.convergence {
+                Convergence::ActiveVertices => false,
+                Convergence::Proportion { target, .. } => {
+                    conv_total as f64 >= target * env.total_vertices as f64
+                }
+                Convergence::GlobalError { epsilon } => {
+                    mean_err.map(|e| e <= epsilon).unwrap_or(false)
+                }
+            };
+            let drained = total_next == 0 && env.transport.all_empty();
+            let capped = superstep + 1 >= env.config.max_supersteps + env.start_superstep;
+            env.stop.store(drained || converged_enough || capped, Ordering::Release);
+        }
+        env.barrier.wait(env.w, env.t);
+        if env.t == 0 {
+            let mut cur = env.current.lock();
+            cur.phase_times.add(Phase::Sync, sync_start.elapsed());
+        }
+        if env.stop.load(Ordering::Acquire) {
+            return;
+        }
+        superstep += 1;
+    }
+}
+
+/// Captures a value-only checkpoint of one worker's masters (cooperative:
+/// the first worker to arrive creates the superstep's entry).
+fn capture_checkpoint<V: Clone, M: Clone>(
+    checkpoints: &Mutex<Vec<CyclopsCheckpoint<V, M>>>,
+    wp: &crate::plan::WorkerPlan,
+    ws: &WorkerShared<V, M>,
+    superstep: usize,
+    cur_parity: usize,
+    aggregate: Option<AggregateStats>,
+) {
+    let mut cps = checkpoints.lock();
+    if cps.last().map(|c| c.superstep) != Some(superstep) {
+        cps.push(CyclopsCheckpoint {
+            superstep,
+            vertices: Vec::new(),
+            aggregate,
+        });
+    }
+    let cp = cps.last_mut().unwrap();
+    for (li, &v) in wp.masters.iter().enumerate() {
+        cp.vertices.push((
+            v,
+            ws.values.read(li).clone(),
+            ws.msg_cur.read(li).clone(),
+            ws.active[cur_parity][li].load(Ordering::Relaxed),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_graph::{GraphBuilder, VertexId};
+    use cyclops_partition::{EdgeCutPartitioner, HashPartitioner};
+
+    /// Pull-mode max propagation: each vertex's value becomes the max of
+    /// its own value and its in-neighbors' publications; it re-publishes
+    /// (and thereby activates neighbors) only when its value grew.
+    /// Converges in diameter+1 supersteps with strongly asymmetric
+    /// per-vertex convergence times — a miniature of the paper's
+    /// pull-mode workloads.
+    struct MaxPull;
+    impl CyclopsProgram for MaxPull {
+        type Value = u32;
+        type Message = u32;
+        fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+            v
+        }
+        fn init_message(&self, _v: VertexId, _g: &Graph, value: &u32) -> Option<u32> {
+            Some(*value)
+        }
+        fn compute(&self, ctx: &mut CyclopsContext<'_, u32, u32>) {
+            let mut best = *ctx.value();
+            for (m, _) in ctx.in_messages() {
+                best = best.max(*m);
+            }
+            if best > *ctx.value() {
+                ctx.set_value(best);
+                ctx.report_error(1.0);
+                ctx.activate_neighbors(best);
+            } else {
+                ctx.report_error(0.0);
+            }
+        }
+    }
+
+    fn ring(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(i as VertexId, ((i + 1) % n) as VertexId);
+        }
+        b.build()
+    }
+
+    fn run_maxpull(cluster: ClusterSpec) -> CyclopsResult<u32, u32> {
+        let g = ring(48);
+        let p = HashPartitioner.partition(&g, cluster.num_workers());
+        run_cyclops(
+            &MaxPull,
+            &g,
+            &p,
+            &CyclopsConfig {
+                cluster,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn ring_max_floods_everywhere() {
+        let r = run_maxpull(ClusterSpec::flat(2, 2));
+        assert!(r.values.iter().all(|&v| v == 47), "{:?}", &r.values[..8]);
+        // The max needs 47 hops; activity then drains.
+        assert!(r.supersteps >= 47, "supersteps {}", r.supersteps);
+    }
+
+    #[test]
+    fn flat_and_mt_agree() {
+        // 4 single-threaded workers vs 2 workers with 2 threads each.
+        let flat = run_maxpull(ClusterSpec::flat(4, 1));
+        let mt = run_maxpull(ClusterSpec::mt(2, 2, 1));
+        // Different partitions (4 vs 2 parts) — compare values only.
+        assert_eq!(flat.values, mt.values);
+    }
+
+    #[test]
+    fn dynamic_computation_reduces_active_vertices() {
+        let r = run_maxpull(ClusterSpec::flat(2, 2));
+        let first = r.stats.first().unwrap().active_vertices;
+        let last = r.stats.last().unwrap().active_vertices;
+        assert_eq!(first, 48);
+        assert!(last < first, "activity should decay: {first} -> {last}");
+    }
+
+    #[test]
+    fn replication_factor_reported() {
+        let r = run_maxpull(ClusterSpec::flat(4, 1));
+        // Ring with hash partition over 4 workers: every vertex's successor
+        // is remote, so one replica each.
+        assert!((r.replication_factor - 1.0).abs() < 1e-12);
+    }
+
+    /// Complete directed graph on `n` vertices.
+    fn clique(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n as VertexId {
+            for j in 0..n as VertexId {
+                if i != j {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn mt_reduces_replicas_and_messages() {
+        let g = clique(16);
+        // 4 single-thread workers on 4 machines...
+        let flat = {
+            let p = HashPartitioner.partition(&g, 4);
+            run_cyclops(
+                &MaxPull,
+                &g,
+                &p,
+                &CyclopsConfig {
+                    cluster: ClusterSpec::flat(4, 1),
+                    ..Default::default()
+                },
+            )
+        };
+        // ...vs 2 machines with 2 threads each (4 total threads).
+        let mt = {
+            let p = HashPartitioner.partition(&g, 2);
+            run_cyclops(
+                &MaxPull,
+                &g,
+                &p,
+                &CyclopsConfig {
+                    cluster: ClusterSpec::mt(2, 2, 1),
+                    ..Default::default()
+                },
+            )
+        };
+        assert!(mt.replication_factor < flat.replication_factor);
+        assert!(mt.counters.messages < flat.counters.messages);
+        assert_eq!(flat.values, mt.values);
+    }
+
+    #[test]
+    fn proportion_convergence_halts_early() {
+        let g = ring(48);
+        let p = HashPartitioner.partition(&g, 4);
+        let full = run_cyclops(
+            &MaxPull,
+            &g,
+            &p,
+            &CyclopsConfig {
+                cluster: ClusterSpec::flat(2, 2),
+                max_supersteps: 200,
+                ..Default::default()
+            },
+        );
+        let prop = run_cyclops(
+            &MaxPull,
+            &g,
+            &p,
+            &CyclopsConfig {
+                cluster: ClusterSpec::flat(2, 2),
+                max_supersteps: 200,
+                convergence: Convergence::Proportion {
+                    epsilon: 0.5,
+                    target: 0.6,
+                },
+                ..Default::default()
+            },
+        );
+        assert!(prop.supersteps < full.supersteps, "prop {} vs full {}", prop.supersteps, full.supersteps);
+    }
+
+    #[test]
+    fn sync_messages_only_for_remote_mirrors() {
+        let g = ring(8);
+        // Single worker: no replicas, no messages at all.
+        let p = HashPartitioner.partition(&g, 1);
+        let r = run_cyclops(
+            &MaxPull,
+            &g,
+            &p,
+            &CyclopsConfig {
+                cluster: ClusterSpec::flat(1, 1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.counters.messages, 0);
+        assert!(r.values.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_full_run() {
+        let g = ring(32);
+        let p = HashPartitioner.partition(&g, 4);
+        let config = CyclopsConfig {
+            cluster: ClusterSpec::flat(2, 2),
+            checkpoint_every: Some(5),
+            ..Default::default()
+        };
+        let full = run_cyclops(&MaxPull, &g, &p, &config);
+        assert!(!full.checkpoints.is_empty());
+        let cp = &full.checkpoints[0];
+        let resumed = run_cyclops_from_checkpoint(
+            &MaxPull,
+            &g,
+            &p,
+            &CyclopsConfig {
+                checkpoint_every: None,
+                ..config
+            },
+            cp,
+        );
+        assert_eq!(full.values, resumed.values);
+    }
+
+    #[test]
+    fn global_error_convergence_halts() {
+        // MaxPull reports error 1.0 on change, 0.0 when stable; the
+        // GlobalError detector stops once the mean reported error drops
+        // under the bound — before full quiescence drains the frontier.
+        let g = ring(48);
+        let p = HashPartitioner.partition(&g, 4);
+        let full = run_cyclops(
+            &MaxPull,
+            &g,
+            &p,
+            &CyclopsConfig {
+                cluster: ClusterSpec::flat(2, 2),
+                ..Default::default()
+            },
+        );
+        let ge = run_cyclops(
+            &MaxPull,
+            &g,
+            &p,
+            &CyclopsConfig {
+                cluster: ClusterSpec::flat(2, 2),
+                convergence: Convergence::GlobalError { epsilon: 0.6 },
+                ..Default::default()
+            },
+        );
+        assert!(
+            ge.supersteps < full.supersteps,
+            "global-error {} vs full {}",
+            ge.supersteps,
+            full.supersteps
+        );
+    }
+
+    #[test]
+    fn max_supersteps_caps() {
+        let g = ring(16);
+        let p = HashPartitioner.partition(&g, 2);
+        let r = run_cyclops(
+            &MaxPull,
+            &g,
+            &p,
+            &CyclopsConfig {
+                cluster: ClusterSpec::flat(2, 1),
+                max_supersteps: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.supersteps, 3);
+        assert_eq!(r.stats.len(), 3);
+    }
+}

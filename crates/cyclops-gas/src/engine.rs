@@ -1,0 +1,870 @@
+//! The synchronous GAS superstep loop over a vertex-cut.
+//!
+//! Each worker thread owns the edges assigned to it plus a replica of every
+//! vertex incident to one of them. One superstep of an active vertex `v`
+//! with `k` mirrors exchanges the paper's five messages per mirror:
+//! GatherReq + GatherResp (2), Apply (1), ScatterReq + ScatterResp (2) —
+//! plus batched mirror→master activation digests. All incoming messages
+//! funnel through a locked global queue per worker, reproducing the
+//! master-side contention of PowerGraph's Gather/Scatter phases (§2.3).
+
+use crate::program::GasProgram;
+use bytes::{Buf, BufMut, BytesMut};
+use cyclops_graph::{Graph, VertexId};
+use cyclops_net::metrics::CounterSnapshot;
+use cyclops_net::{ClusterSpec, Codec, FlatBarrier, InboxMode, Phase, PhaseTimes, SuperstepStats, Transport};
+use cyclops_partition::VertexCutPartition;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GasConfig {
+    /// Simulated cluster topology (single-threaded workers).
+    pub cluster: ClusterSpec,
+    /// Hard cap on supersteps.
+    pub max_supersteps: usize,
+    /// Cost model for cross-machine traffic (default: ideal / zero delay).
+    pub network: cyclops_net::NetworkModel,
+}
+
+impl Default for GasConfig {
+    fn default() -> Self {
+        GasConfig {
+            cluster: ClusterSpec::flat(2, 2),
+            max_supersteps: 10_000,
+            network: cyclops_net::NetworkModel::ideal(),
+        }
+    }
+}
+
+/// Output of a GAS run.
+#[derive(Clone, Debug)]
+pub struct GasResult<V> {
+    /// Final vertex values (from masters), indexed by global vertex id.
+    pub values: Vec<V>,
+    /// Number of supersteps executed.
+    pub supersteps: usize,
+    /// Per-superstep statistics.
+    pub stats: Vec<SuperstepStats>,
+    /// Whole-run transport counters.
+    pub counters: CounterSnapshot,
+    /// Wall-clock time of the superstep loop.
+    pub elapsed: Duration,
+    /// PowerGraph-style replication factor (replicas incl. masters / |V|).
+    pub replication_factor: f64,
+}
+
+/// Wire messages of the GAS protocol.
+enum GasMsg<V, G> {
+    /// Master → mirror: compute your partial gather for replica `local`
+    /// and reply to my index `reply`.
+    GatherReq { local: u32, reply: u32 },
+    /// Mirror → master: partial accumulator for master index `local`
+    /// (`None` when the mirror holds no in-edges of the vertex).
+    GatherResp { local: u32, acc: Option<G> },
+    /// Master → mirror: new value for replica `local`.
+    Apply { local: u32, value: V },
+    /// Master → mirror: scatter along your local out-edges of `local`.
+    ScatterReq { local: u32 },
+    /// Mirror → master: scatter done (ack completing the 2-message pattern).
+    ScatterResp { local: u32 },
+    /// Mirror worker → master worker: batched activations (global ids).
+    Activate { vertices: Vec<u32> },
+}
+
+impl<V: Codec, G: Codec> Codec for GasMsg<V, G> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            GasMsg::GatherReq { local, reply } => {
+                buf.put_u8(0);
+                local.encode(buf);
+                reply.encode(buf);
+            }
+            GasMsg::GatherResp { local, acc } => {
+                buf.put_u8(1);
+                local.encode(buf);
+                match acc {
+                    Some(g) => {
+                        buf.put_u8(1);
+                        g.encode(buf);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            GasMsg::Apply { local, value } => {
+                buf.put_u8(2);
+                local.encode(buf);
+                value.encode(buf);
+            }
+            GasMsg::ScatterReq { local } => {
+                buf.put_u8(3);
+                local.encode(buf);
+            }
+            GasMsg::ScatterResp { local } => {
+                buf.put_u8(4);
+                local.encode(buf);
+            }
+            GasMsg::Activate { vertices } => {
+                buf.put_u8(5);
+                vertices.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut impl Buf) -> Self {
+        match buf.get_u8() {
+            0 => GasMsg::GatherReq {
+                local: u32::decode(buf),
+                reply: u32::decode(buf),
+            },
+            1 => {
+                let local = u32::decode(buf);
+                let acc = if buf.get_u8() == 1 {
+                    Some(G::decode(buf))
+                } else {
+                    None
+                };
+                GasMsg::GatherResp { local, acc }
+            }
+            2 => GasMsg::Apply {
+                local: u32::decode(buf),
+                value: V::decode(buf),
+            },
+            3 => GasMsg::ScatterReq {
+                local: u32::decode(buf),
+            },
+            4 => GasMsg::ScatterResp {
+                local: u32::decode(buf),
+            },
+            5 => GasMsg::Activate {
+                vertices: Vec::<u32>::decode(buf),
+            },
+            t => panic!("corrupt GasMsg tag {t}"),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            GasMsg::GatherReq { .. } => 8,
+            GasMsg::GatherResp { acc, .. } => {
+                4 + 1 + acc.as_ref().map(|g| g.encoded_len()).unwrap_or(0)
+            }
+            GasMsg::Apply { value, .. } => 4 + value.encoded_len(),
+            GasMsg::ScatterReq { .. } | GasMsg::ScatterResp { .. } => 4,
+            GasMsg::Activate { vertices } => vertices.encoded_len(),
+        }
+    }
+}
+
+/// One worker's share of the vertex-cut.
+struct PartState<V> {
+    /// Global ids of the vertices replicated on this worker, ascending.
+    local_vertices: Vec<VertexId>,
+    /// `true` if this worker is the vertex's master, parallel to
+    /// `local_vertices`.
+    is_master: Vec<bool>,
+    /// Replica values, parallel to `local_vertices`.
+    data: Vec<V>,
+    /// Active flags (meaningful for masters only).
+    active: Vec<bool>,
+    /// Local in-edge CSR: offsets per local vertex into `(in_src, in_w)`.
+    in_off: Vec<u32>,
+    in_src: Vec<u32>,
+    in_w: Vec<f64>,
+    /// Local out-edge CSR.
+    out_off: Vec<u32>,
+    out_dst: Vec<u32>,
+    out_w: Vec<f64>,
+    /// Mirror workers per local vertex (masters only; empty otherwise).
+    mirror_off: Vec<u32>,
+    mirrors: Vec<u32>,
+}
+
+impl<V> PartState<V> {
+    fn local_index(&self, v: VertexId) -> u32 {
+        self.local_vertices.binary_search(&v).expect("local vertex") as u32
+    }
+    fn mirrors_of(&self, li: usize) -> &[u32] {
+        &self.mirrors[self.mirror_off[li] as usize..self.mirror_off[li + 1] as usize]
+    }
+    fn in_edges(&self, li: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let (s, e) = (self.in_off[li] as usize, self.in_off[li + 1] as usize);
+        self.in_src[s..e]
+            .iter()
+            .enumerate()
+            .map(move |(i, &src)| (src, if self.in_w.is_empty() { 1.0 } else { self.in_w[s + i] }))
+    }
+    fn out_edges(&self, li: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let (s, e) = (self.out_off[li] as usize, self.out_off[li + 1] as usize);
+        self.out_dst[s..e]
+            .iter()
+            .enumerate()
+            .map(move |(i, &dst)| (dst, if self.out_w.is_empty() { 1.0 } else { self.out_w[s + i] }))
+    }
+}
+
+/// Runs `program` on `graph` over the vertex-cut `partition`.
+pub fn run_gas<P: GasProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &VertexCutPartition,
+    config: &GasConfig,
+) -> GasResult<P::Value> {
+    let num_workers = config.cluster.num_workers();
+    assert_eq!(
+        partition.num_parts, num_workers,
+        "vertex-cut has {} parts but the cluster has {} workers",
+        partition.num_parts, num_workers
+    );
+    assert_eq!(
+        config.cluster.threads_per_worker, 1,
+        "the GAS engine uses single-threaded workers"
+    );
+
+    // ---- Ingress: build per-part state. ----
+    let mut parts: Vec<PartState<P::Value>> = (0..num_workers)
+        .map(|_| PartState {
+            local_vertices: Vec::new(),
+            is_master: Vec::new(),
+            data: Vec::new(),
+            active: Vec::new(),
+            in_off: Vec::new(),
+            in_src: Vec::new(),
+            in_w: Vec::new(),
+            out_off: Vec::new(),
+            out_dst: Vec::new(),
+            out_w: Vec::new(),
+            mirror_off: Vec::new(),
+            mirrors: Vec::new(),
+        })
+        .collect();
+    for (v, reps) in partition.replicas.iter().enumerate() {
+        for &p in reps {
+            parts[p as usize].local_vertices.push(v as VertexId);
+        }
+    }
+    let weighted = graph.is_weighted();
+    for (p, part) in parts.iter_mut().enumerate() {
+        // local_vertices is ascending already (outer loop over v).
+        let nl = part.local_vertices.len();
+        part.is_master = part
+            .local_vertices
+            .iter()
+            .map(|&v| partition.masters[v as usize] == p as u32)
+            .collect();
+        part.data = part
+            .local_vertices
+            .iter()
+            .map(|&v| program.init(v, graph))
+            .collect();
+        part.active = part
+            .local_vertices
+            .iter()
+            .zip(&part.is_master)
+            .map(|(&v, &m)| m && program.initially_active(v, graph))
+            .collect();
+        part.mirror_off = vec![0; nl + 1];
+        let mut mirrors = Vec::new();
+        for (li, &v) in part.local_vertices.iter().enumerate() {
+            if part.is_master[li] {
+                for &mp in &partition.replicas[v as usize] {
+                    if mp != p as u32 {
+                        mirrors.push(mp);
+                    }
+                }
+            }
+            part.mirror_off[li + 1] = mirrors.len() as u32;
+        }
+        part.mirrors = mirrors;
+    }
+    // Local edge CSRs: bucket edges per part, then build.
+    {
+        let mut in_adj: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); num_workers]; // (dst_li, src_li, w)
+        let mut out_adj: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); num_workers];
+        for (e, (u, x, w)) in graph.edges().enumerate() {
+            let p = partition.edge_assignment[e] as usize;
+            let part = &parts[p];
+            let ul = part.local_index(u);
+            let xl = part.local_index(x);
+            in_adj[p].push((xl, ul, w));
+            out_adj[p].push((ul, xl, w));
+        }
+        for (p, part) in parts.iter_mut().enumerate() {
+            let nl = part.local_vertices.len();
+            let build = |adj: &mut Vec<(u32, u32, f64)>| {
+                adj.sort_unstable_by_key(|&(a, b, _)| (a, b));
+                let mut off = vec![0u32; nl + 1];
+                let mut nbr = Vec::with_capacity(adj.len());
+                let mut ws = if weighted { Vec::with_capacity(adj.len()) } else { Vec::new() };
+                for &(a, b, w) in adj.iter() {
+                    off[a as usize + 1] += 1;
+                    nbr.push(b);
+                    if weighted {
+                        ws.push(w);
+                    }
+                }
+                for i in 0..nl {
+                    off[i + 1] += off[i];
+                }
+                (off, nbr, ws)
+            };
+            let (in_off, in_src, in_w) = build(&mut in_adj[p]);
+            part.in_off = in_off;
+            part.in_src = in_src;
+            part.in_w = in_w;
+            let (out_off, out_dst, out_w) = build(&mut out_adj[p]);
+            part.out_off = out_off;
+            part.out_dst = out_dst;
+            part.out_w = out_w;
+        }
+    }
+
+    let transport: Transport<GasMsg<P::Value, P::Gather>> =
+        Transport::with_network(config.cluster, InboxMode::GlobalQueue, config.network);
+    let barrier = FlatBarrier::new(num_workers);
+    let stop = AtomicBool::new(false);
+    let active_total = AtomicUsize::new(0);
+    let history: Mutex<Vec<SuperstepStats>> = Mutex::new(Vec::new());
+    let current: Mutex<SuperstepStats> = Mutex::new(SuperstepStats::default());
+    let last_counters = Mutex::new(CounterSnapshot::default());
+    let supersteps_done = AtomicUsize::new(0);
+
+    let loop_start = Instant::now();
+    std::thread::scope(|scope| {
+        for (me, part) in parts.iter_mut().enumerate() {
+            let transport = &transport;
+            let barrier = &barrier;
+            let stop = &stop;
+            let active_total = &active_total;
+            let history = &history;
+            let current = &current;
+            let last_counters = &last_counters;
+            let supersteps_done = &supersteps_done;
+            scope.spawn(move || {
+                gas_worker(
+                    me,
+                    program,
+                    graph,
+                    partition,
+                    config,
+                    part,
+                    transport,
+                    barrier,
+                    stop,
+                    active_total,
+                    history,
+                    current,
+                    last_counters,
+                    supersteps_done,
+                );
+            });
+        }
+    });
+    let elapsed = loop_start.elapsed();
+
+    let mut values: Vec<Option<P::Value>> = vec![None; graph.num_vertices()];
+    for (p, part) in parts.into_iter().enumerate() {
+        for (li, v) in part.local_vertices.into_iter().enumerate() {
+            if partition.masters[v as usize] == p as u32 {
+                values[v as usize] = Some(part.data[li].clone());
+            }
+        }
+    }
+    GasResult {
+        values: values.into_iter().map(Option::unwrap).collect(),
+        supersteps: supersteps_done.load(Ordering::Acquire),
+        stats: history.into_inner(),
+        counters: transport.counters().snapshot(),
+        elapsed,
+        replication_factor: partition.replication_factor(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gas_worker<P: GasProgram>(
+    me: usize,
+    program: &P,
+    graph: &Graph,
+    partition: &VertexCutPartition,
+    config: &GasConfig,
+    part: &mut PartState<P::Value>,
+    transport: &Transport<GasMsg<P::Value, P::Gather>>,
+    barrier: &FlatBarrier,
+    stop: &AtomicBool,
+    active_total: &AtomicUsize,
+    history: &Mutex<Vec<SuperstepStats>>,
+    current: &Mutex<SuperstepStats>,
+    last_counters: &Mutex<CounterSnapshot>,
+    supersteps_done: &AtomicUsize,
+) {
+    let num_workers = partition.num_parts;
+    let mut superstep = 0usize;
+    let mut outboxes: Vec<Vec<GasMsg<P::Value, P::Gather>>> =
+        (0..num_workers).map(|_| Vec::new()).collect();
+    // Gather accumulators pending per active master.
+    let mut pending: HashMap<u32, Option<P::Gather>> = HashMap::new();
+    // Old values of vertices applied this superstep (for scatter).
+    let mut old_values: HashMap<u32, P::Value> = HashMap::new();
+    // Which local vertices were activated by local scatter this superstep.
+    let mut locally_activated: Vec<u32> = Vec::new();
+
+    let flush = |outboxes: &mut Vec<Vec<GasMsg<P::Value, P::Gather>>>, epoch: usize| {
+        for (dest, batch) in outboxes.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                transport.send(me, dest, std::mem::take(batch), epoch);
+            }
+        }
+    };
+
+    loop {
+        let mut times = PhaseTimes::default();
+        let base = superstep * 4;
+
+        // ---- Phase 0: absorb activations, decide the active set. ----
+        times.time(Phase::Parse, || {
+            for msg in transport.drain(me, base) {
+                match msg {
+                    GasMsg::Activate { vertices } => {
+                        for v in vertices {
+                            let li = part.local_index(v) as usize;
+                            debug_assert!(part.is_master[li]);
+                            part.active[li] = true;
+                        }
+                    }
+                    GasMsg::ScatterResp { .. } => {} // ack only
+                    _ => unreachable!("unexpected message in activation phase"),
+                }
+            }
+        });
+        let my_active = part.active.iter().filter(|&&a| a).count();
+        active_total.fetch_add(my_active, Ordering::Relaxed);
+        let sync_start = Instant::now();
+        if barrier.wait() {
+            let total = active_total.swap(0, Ordering::Relaxed);
+            stop.store(
+                total == 0 || superstep >= config.max_supersteps,
+                Ordering::Release,
+            );
+        }
+        barrier.wait();
+        times.add(Phase::Sync, sync_start.elapsed());
+        if stop.load(Ordering::Acquire) {
+            // Record nothing for the would-be superstep; exit.
+            if me == 0 {
+                supersteps_done.store(superstep, Ordering::Release);
+            }
+            return;
+        }
+
+        // ---- Phase 0 (send): gather requests to mirrors. ----
+        pending.clear();
+        times.time(Phase::Send, || {
+            for li in 0..part.local_vertices.len() {
+                if !part.active[li] {
+                    continue;
+                }
+                pending.insert(li as u32, None);
+                for &mp in part.mirrors_of(li) {
+                    outboxes[mp as usize].push(GasMsg::GatherReq {
+                        local: 0, // resolved below via global id
+                        reply: li as u32,
+                    });
+                    // The mirror resolves by global id; patch the request.
+                    let v = part.local_vertices[li];
+                    if let Some(GasMsg::GatherReq { local, .. }) =
+                        outboxes[mp as usize].last_mut()
+                    {
+                        *local = v;
+                    }
+                }
+            }
+            flush(&mut outboxes, base);
+        });
+        barrier.wait();
+
+        // ---- Phase 1: mirrors answer gather requests; master's own
+        //      partial. ----
+        times.time(Phase::Compute, || {
+            for msg in transport.drain(me, base + 1) {
+                if let GasMsg::GatherReq { local: v, reply } = msg {
+                    let li = part.local_index(v) as usize;
+                    let acc = local_gather(program, graph, part, li);
+                    let master = partition.masters[v as usize] as usize;
+                    outboxes[master].push(GasMsg::GatherResp { local: reply, acc });
+                } else {
+                    unreachable!("unexpected message in gather phase");
+                }
+            }
+            // Master's own partial gather.
+            let actives: Vec<u32> = pending.keys().copied().collect();
+            for li in actives {
+                let acc = local_gather(program, graph, part, li as usize);
+                merge_pending(program, &mut pending, li, acc);
+            }
+        });
+        times.time(Phase::Send, || flush(&mut outboxes, base + 1));
+        barrier.wait();
+
+        // ---- Phase 2: apply at masters, broadcast new values. ----
+        old_values.clear();
+        times.time(Phase::Compute, || {
+            for msg in transport.drain(me, base + 2) {
+                if let GasMsg::GatherResp { local, acc } = msg {
+                    if let Some(a) = acc {
+                        merge_pending(program, &mut pending, local, Some(a));
+                    }
+                } else {
+                    unreachable!("unexpected message in apply phase");
+                }
+            }
+            let mut actives: Vec<u32> = pending.keys().copied().collect();
+            actives.sort_unstable();
+            for li in actives {
+                let liu = li as usize;
+                let v = part.local_vertices[liu];
+                let acc = pending.remove(&li).unwrap();
+                let old = part.data[liu].clone();
+                let new = program.apply(graph, v, &old, acc);
+                part.data[liu] = new.clone();
+                old_values.insert(li, old);
+                part.active[liu] = false; // deactivate; scatter may re-activate
+                for &mp in part.mirrors_of(liu) {
+                    outboxes[mp as usize].push(GasMsg::Apply {
+                        local: v,
+                        value: new.clone(),
+                    });
+                    outboxes[mp as usize].push(GasMsg::ScatterReq { local: v });
+                }
+            }
+        });
+        times.time(Phase::Send, || flush(&mut outboxes, base + 2));
+        barrier.wait();
+
+        // ---- Phase 3: scatter at mirrors and at the master. ----
+        locally_activated.clear();
+        let computed = old_values.len();
+        times.time(Phase::Compute, || {
+            let mut mirror_old: HashMap<u32, P::Value> = HashMap::new();
+            for msg in transport.drain(me, base + 3) {
+                match msg {
+                    GasMsg::Apply { local: v, value } => {
+                        let li = part.local_index(v) as usize;
+                        mirror_old.insert(v, part.data[li].clone());
+                        part.data[li] = value;
+                    }
+                    GasMsg::ScatterReq { local: v } => {
+                        let li = part.local_index(v) as usize;
+                        let old = mirror_old.get(&v).expect("Apply precedes ScatterReq");
+                        let new = part.data[li].clone();
+                        scatter_local(
+                            program,
+                            graph,
+                            part,
+                            li,
+                            old,
+                            &new,
+                            &mut locally_activated,
+                        );
+                        let master = partition.masters[v as usize] as usize;
+                        outboxes[master].push(GasMsg::ScatterResp { local: v });
+                    }
+                    _ => unreachable!("unexpected message in scatter phase"),
+                }
+            }
+            // Master scatters its own local out-edges.
+            let applied: Vec<u32> = old_values.keys().copied().collect();
+            for li in applied {
+                let old = old_values.get(&li).unwrap().clone();
+                let new = part.data[li as usize].clone();
+                scatter_local(
+                    program,
+                    graph,
+                    part,
+                    li as usize,
+                    &old,
+                    &new,
+                    &mut locally_activated,
+                );
+            }
+            // Route activations: local masters directly, remote via digests.
+            locally_activated.sort_unstable();
+            locally_activated.dedup();
+            let mut digests: Vec<Vec<u32>> = vec![Vec::new(); num_workers];
+            for &li in locally_activated.iter() {
+                let v = part.local_vertices[li as usize];
+                let master = partition.masters[v as usize] as usize;
+                if master == me {
+                    part.active[li as usize] = true;
+                } else {
+                    digests[master].push(v);
+                }
+            }
+            for (dest, vs) in digests.into_iter().enumerate() {
+                if !vs.is_empty() {
+                    outboxes[dest].push(GasMsg::Activate { vertices: vs });
+                }
+            }
+        });
+        times.time(Phase::Send, || flush(&mut outboxes, base + 3));
+
+        {
+            let mut cur = current.lock();
+            cur.active_vertices += computed;
+            cur.phase_times = cur.phase_times.merge(&times);
+        }
+        let sync_start = Instant::now();
+        if barrier.wait() {
+            let snap = transport.counters().snapshot();
+            let mut last = last_counters.lock();
+            let mut cur = current.lock();
+            cur.superstep = superstep;
+            cur.messages_sent = snap.messages - last.messages;
+            cur.bytes_sent = snap.bytes - last.bytes;
+            cur.phase_times.add(Phase::Sync, sync_start.elapsed());
+            history.lock().push(std::mem::take(&mut cur));
+            *last = snap;
+            supersteps_done.store(superstep + 1, Ordering::Release);
+        }
+        barrier.wait();
+        superstep += 1;
+    }
+}
+
+/// Partial gather of vertex `li` over this part's local in-edges.
+fn local_gather<P: GasProgram>(
+    program: &P,
+    graph: &Graph,
+    part: &PartState<P::Value>,
+    li: usize,
+) -> Option<P::Gather> {
+    let dst = part.local_vertices[li];
+    let mut acc: Option<P::Gather> = None;
+    for (src_li, w) in part.in_edges(li) {
+        let src = part.local_vertices[src_li as usize];
+        let g = program.gather(graph, src, &part.data[src_li as usize], w, dst);
+        acc = Some(match acc {
+            Some(a) => program.sum(a, g),
+            None => g,
+        });
+    }
+    acc
+}
+
+fn merge_pending<P: GasProgram>(
+    program: &P,
+    pending: &mut HashMap<u32, Option<P::Gather>>,
+    li: u32,
+    acc: Option<P::Gather>,
+) {
+    let slot = pending.entry(li).or_insert(None);
+    *slot = match (slot.take(), acc) {
+        (Some(a), Some(b)) => Some(program.sum(a, b)),
+        (a, None) => a,
+        (None, b) => b,
+    };
+}
+
+/// Scatter along this part's local out-edges of `li`, collecting activations.
+fn scatter_local<P: GasProgram>(
+    program: &P,
+    graph: &Graph,
+    part: &PartState<P::Value>,
+    li: usize,
+    old: &P::Value,
+    new: &P::Value,
+    activated: &mut Vec<u32>,
+) {
+    let src = part.local_vertices[li];
+    for (dst_li, w) in part.out_edges(li) {
+        let dst = part.local_vertices[dst_li as usize];
+        if program.scatter_activates(graph, src, old, new, w, dst) {
+            activated.push(dst_li);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_graph::GraphBuilder;
+    use cyclops_partition::{GreedyVertexCut, RandomVertexCut, VertexCutPartitioner};
+
+    /// Max propagation in GAS form.
+    struct MaxGas;
+    impl GasProgram for MaxGas {
+        type Value = u32;
+        type Gather = u32;
+        fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+            v
+        }
+        fn gather(&self, _g: &Graph, _s: VertexId, sv: &u32, _w: f64, _d: VertexId) -> u32 {
+            *sv
+        }
+        fn sum(&self, a: u32, b: u32) -> u32 {
+            a.max(b)
+        }
+        fn apply(&self, _g: &Graph, _v: VertexId, old: &u32, acc: Option<u32>) -> u32 {
+            acc.map(|a| a.max(*old)).unwrap_or(*old)
+        }
+        fn scatter_activates(
+            &self,
+            _g: &Graph,
+            _s: VertexId,
+            old: &u32,
+            new: &u32,
+            _w: f64,
+            _d: VertexId,
+        ) -> bool {
+            new > old
+        }
+    }
+
+    fn ring(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(i as VertexId, ((i + 1) % n) as VertexId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn max_floods_ring_random_cut() {
+        let g = ring(32);
+        let p = RandomVertexCut::default().partition(&g, 4);
+        let r = run_gas(
+            &MaxGas,
+            &g,
+            &p,
+            &GasConfig {
+                cluster: ClusterSpec::flat(2, 2),
+                ..Default::default()
+            },
+        );
+        assert!(r.values.iter().all(|&v| v == 31), "{:?}", &r.values[..8]);
+        assert!(r.supersteps >= 31);
+    }
+
+    #[test]
+    fn greedy_cut_agrees_with_random_cut() {
+        let g = ring(24);
+        let cfg = GasConfig {
+            cluster: ClusterSpec::flat(3, 1),
+            ..Default::default()
+        };
+        let a = run_gas(&MaxGas, &g, &RandomVertexCut::default().partition(&g, 3), &cfg);
+        let b = run_gas(&MaxGas, &g, &GreedyVertexCut::default().partition(&g, 3), &cfg);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn message_pattern_is_five_per_mirror() {
+        // A two-vertex graph with one edge, split so the edge lives on a
+        // non-master part of vertex 0: vertex 0 has one mirror.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        // Edge on part 1. Masters: v0 -> part 1 (most edges), v1 -> part 1.
+        let p = VertexCutPartition::from_edge_assignment(&g, 2, vec![1]);
+        // All replicas on part 1: no mirrors at all -> no messages.
+        let r = run_gas(
+            &MaxGas,
+            &g,
+            &p,
+            &GasConfig {
+                cluster: ClusterSpec::flat(2, 1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.counters.messages, 0);
+
+        // Force a split: vertex 0's master on part 0, its edge on part 1.
+        let mut p2 = VertexCutPartition::from_edge_assignment(&g, 2, vec![1]);
+        p2.masters[0] = 0;
+        p2.replicas[0] = vec![0, 1];
+        let r2 = run_gas(
+            &MaxGas,
+            &g,
+            &p2,
+            &GasConfig {
+                cluster: ClusterSpec::flat(2, 1),
+                ..Default::default()
+            },
+        );
+        // Superstep 0: v0 active with 1 mirror -> 2 gather + 1 apply +
+        // 2 scatter = 5; v1 active, no mirrors -> 0. Nothing re-activates
+        // (values can only stay equal), so the run ends there.
+        assert_eq!(r2.counters.messages, 5);
+    }
+
+    #[test]
+    fn sssp_style_push_only_runs_active_vertices() {
+        // With only vertex 0 initially active, superstep 0 computes 1 vertex.
+        struct MaxFromZero;
+        impl GasProgram for MaxFromZero {
+            type Value = u32;
+            type Gather = u32;
+            fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+                if v == 0 {
+                    100
+                } else {
+                    0
+                }
+            }
+            fn initially_active(&self, v: VertexId, _g: &Graph) -> bool {
+                v == 0
+            }
+            fn gather(&self, _g: &Graph, _s: VertexId, sv: &u32, _w: f64, _d: VertexId) -> u32 {
+                *sv
+            }
+            fn sum(&self, a: u32, b: u32) -> u32 {
+                a.max(b)
+            }
+            fn apply(&self, _g: &Graph, _v: VertexId, old: &u32, acc: Option<u32>) -> u32 {
+                acc.map(|a| a.max(*old)).unwrap_or(*old)
+            }
+            fn scatter_activates(
+                &self,
+                _g: &Graph,
+                _s: VertexId,
+                _old: &u32,
+                new: &u32,
+                _w: f64,
+                _d: VertexId,
+            ) -> bool {
+                *new == 100
+            }
+        }
+        let g = ring(8);
+        let p = RandomVertexCut::default().partition(&g, 2);
+        let r = run_gas(
+            &MaxFromZero,
+            &g,
+            &p,
+            &GasConfig {
+                cluster: ClusterSpec::flat(2, 1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.stats[0].active_vertices, 1);
+        assert!(r.values.iter().all(|&v| v == 100));
+    }
+
+    #[test]
+    fn replication_factor_matches_partition() {
+        let g = ring(16);
+        let p = RandomVertexCut::default().partition(&g, 4);
+        let r = run_gas(
+            &MaxGas,
+            &g,
+            &p,
+            &GasConfig {
+                cluster: ClusterSpec::flat(4, 1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.replication_factor, p.replication_factor());
+    }
+}

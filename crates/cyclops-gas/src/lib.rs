@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! PowerGraph-style Gather-Apply-Scatter baseline engine.
+//!
+//! The paper's strongest competitor (§2.3, §6.12) abstracts vertex programs
+//! as **GAS**: a vertex *gathers* an accumulator over its in-edges, *applies*
+//! it to produce a new value, and *scatters* along its out-edges to activate
+//! neighbors. Graphs are partitioned by **vertex-cut**: edges are assigned
+//! to workers and a vertex is replicated on every worker holding one of its
+//! edges, one replica being the master.
+//!
+//! The synchronous engine here reproduces PowerGraph's message pattern as
+//! the paper describes it — "about 5 messages for each replica of the vertex
+//! in one iteration (2 for Gather, 1 for Apply and 2 for Scatter)" — plus the
+//! batched mirror→master activation digests, and it funnels incoming
+//! messages through a locked global queue per worker
+//! ([`cyclops_net::InboxMode::GlobalQueue`]), reproducing the master-side
+//! contention of the Gather and Scatter phases that §2.3 calls out.
+//!
+//! * [`GasProgram`] — the gather/sum/apply/scatter vertex program trait,
+//! * [`run_gas`] / [`GasConfig`] — the engine runner over a vertex-cut,
+//! * [`GasResult`] — final values plus message statistics for Table 4.
+
+pub mod engine;
+pub mod program;
+
+pub use engine::{run_gas, GasConfig, GasResult};
+pub use program::GasProgram;

@@ -1,0 +1,68 @@
+//! The Gather-Apply-Scatter vertex-program abstraction.
+
+use cyclops_graph::{Graph, VertexId};
+use cyclops_net::Codec;
+
+/// A PowerGraph-style vertex program.
+///
+/// Each active vertex `v` runs one GAS cycle per superstep:
+///
+/// 1. **Gather** — [`GasProgram::gather`] maps every in-edge `(u, v)` to an
+///    accumulator; [`GasProgram::sum`] folds them (must be commutative and
+///    associative, since partial sums are computed per mirror),
+/// 2. **Apply** — [`GasProgram::apply`] combines the old value with the
+///    gathered accumulator (or `None` when `v` has no in-edges) into the new
+///    value,
+/// 3. **Scatter** — [`GasProgram::scatter_activates`] decides, per out-edge,
+///    whether the destination vertex becomes active next superstep.
+pub trait GasProgram: Sync {
+    /// Per-vertex data, replicated to every mirror (hence `Codec`).
+    type Value: Codec + Clone + Send + Sync;
+    /// Gather accumulator, sent from mirrors to the master (hence `Codec`).
+    type Gather: Codec + Clone + Send + Sync;
+
+    /// Initial value of `vertex`.
+    fn init(&self, vertex: VertexId, graph: &Graph) -> Self::Value;
+
+    /// Whether `vertex` starts active in superstep 0 (default: yes).
+    fn initially_active(&self, _vertex: VertexId, _graph: &Graph) -> bool {
+        true
+    }
+
+    /// Maps one in-edge `(src, dst)` of the gathering vertex `dst` to an
+    /// accumulator. `src_value` is read from the *local replica* of `src` on
+    /// whichever worker owns the edge — the locality the vertex-cut buys.
+    fn gather(
+        &self,
+        graph: &Graph,
+        src: VertexId,
+        src_value: &Self::Value,
+        weight: f64,
+        dst: VertexId,
+    ) -> Self::Gather;
+
+    /// Folds two accumulators. Must be commutative and associative.
+    fn sum(&self, a: Self::Gather, b: Self::Gather) -> Self::Gather;
+
+    /// Produces the new value of `vertex` from the old value and the total
+    /// gathered accumulator (`None` if the vertex has no in-edges).
+    fn apply(
+        &self,
+        graph: &Graph,
+        vertex: VertexId,
+        old: &Self::Value,
+        acc: Option<Self::Gather>,
+    ) -> Self::Value;
+
+    /// After `src` updated from `old` to `new`, should the out-edge
+    /// `(src, dst)` activate `dst` for the next superstep?
+    fn scatter_activates(
+        &self,
+        graph: &Graph,
+        src: VertexId,
+        old: &Self::Value,
+        new: &Self::Value,
+        weight: f64,
+        dst: VertexId,
+    ) -> bool;
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the GAS engine: distributed fixpoints equal
+//! sequential ones for arbitrary graphs and vertex-cuts, and the protocol's
+//! message accounting stays within the 5-per-mirror pattern.
+
+use cyclops_gas::{run_gas, GasConfig, GasProgram};
+use cyclops_graph::{Graph, GraphBuilder, VertexId};
+use cyclops_net::ClusterSpec;
+use cyclops_partition::{
+    GreedyVertexCut, RandomVertexCut, VertexCutPartition, VertexCutPartitioner,
+};
+use proptest::prelude::*;
+
+/// Max propagation as a GAS program (same dynamics as the engine tests).
+struct MaxGas;
+impl GasProgram for MaxGas {
+    type Value = u32;
+    type Gather = u32;
+    fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+        v * 3 + 1
+    }
+    fn gather(&self, _g: &Graph, _s: VertexId, sv: &u32, _w: f64, _d: VertexId) -> u32 {
+        *sv
+    }
+    fn sum(&self, a: u32, b: u32) -> u32 {
+        a.max(b)
+    }
+    fn apply(&self, _g: &Graph, _v: VertexId, old: &u32, acc: Option<u32>) -> u32 {
+        acc.map(|a| a.max(*old)).unwrap_or(*old)
+    }
+    fn scatter_activates(
+        &self,
+        _g: &Graph,
+        _s: VertexId,
+        old: &u32,
+        new: &u32,
+        _w: f64,
+        _d: VertexId,
+    ) -> bool {
+        new > old
+    }
+}
+
+fn sequential_fixpoint(g: &Graph) -> Vec<u32> {
+    let mut values: Vec<u32> = g.vertices().map(|v| v * 3 + 1).collect();
+    loop {
+        let mut changed = false;
+        let snapshot = values.clone();
+        for v in g.vertices() {
+            let mut best = values[v as usize];
+            for &u in g.in_neighbors(v) {
+                best = best.max(snapshot[u as usize]);
+            }
+            if best > values[v as usize] {
+                values[v as usize] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            return values;
+        }
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..20).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 1..60).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (s, t) in edges {
+                b.add_edge(s, t);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gas_fixpoint_equals_sequential(
+        g in arb_graph(),
+        k in 1usize..5,
+        seed in 0u64..500,
+        greedy in any::<bool>(),
+    ) {
+        let partition: VertexCutPartition = if greedy {
+            GreedyVertexCut { seed }.partition(&g, k)
+        } else {
+            RandomVertexCut { seed }.partition(&g, k)
+        };
+        let r = run_gas(&MaxGas, &g, &partition, &GasConfig {
+            cluster: ClusterSpec::flat(k, 1),
+            ..Default::default()
+        });
+        prop_assert_eq!(r.values, sequential_fixpoint(&g));
+    }
+
+    #[test]
+    fn gas_message_budget_respects_mirror_pattern(
+        g in arb_graph(),
+        k in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let partition = RandomVertexCut { seed }.partition(&g, k);
+        let r = run_gas(&MaxGas, &g, &partition, &GasConfig {
+            cluster: ClusterSpec::flat(k, 1),
+            ..Default::default()
+        });
+        // Per superstep: at most 5 messages per mirror of each active
+        // vertex plus one activation digest per worker pair.
+        let mirrors = partition.total_mirrors();
+        for s in &r.stats {
+            let budget = 5 * mirrors * s.active_vertices.max(1) + k * k;
+            prop_assert!(
+                s.messages_sent <= budget,
+                "superstep {}: {} messages > budget {}",
+                s.superstep, s.messages_sent, budget
+            );
+        }
+    }
+}

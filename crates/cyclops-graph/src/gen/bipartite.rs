@@ -1,0 +1,94 @@
+//! Bipartite users×items ratings-graph generator (the ALS workload).
+//!
+//! The paper's SYN-GL dataset is a synthetic sparse users-by-movies matrix
+//! generated with the PowerGraph tooling. We reproduce its shape: users pick
+//! items with Zipf-distributed popularity, edges carry a rating weight, and
+//! both directions are materialized (ALS alternates between the two sides,
+//! each side pulling from the other).
+
+use crate::gen::dist::Zipf;
+use crate::graph::{Graph, VertexId};
+use crate::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a bipartite ratings graph. Vertices `0..users` are the left
+/// (user) side; `users..users+items` are the right (item) side. Each of the
+/// `ratings` undirected rating edges appears in both directions with a weight
+/// in `1.0..=5.0`. Duplicate user–item pairs are removed.
+///
+/// Returns the graph together with the user count (the bipartite split point).
+pub fn bipartite_ratings(
+    users: usize,
+    items: usize,
+    ratings: usize,
+    zipf_exponent: f64,
+    seed: u64,
+) -> (Graph, usize) {
+    assert!(users > 0 && items > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let popularity = Zipf::new(items, zipf_exponent);
+    let mut b = GraphBuilder::new(users + items).dedup(true);
+    for _ in 0..ratings {
+        let u = rng.gen_range(0..users) as VertexId;
+        let i = (users + popularity.sample(&mut rng)) as VertexId;
+        let rating = rng.gen_range(1u32..=5) as f64;
+        b.add_undirected_weighted_edge(u, i, rating);
+    }
+    (b.build(), users)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_bipartite_structure() {
+        let (g, users) = bipartite_ratings(100, 50, 1000, 0.8, 3);
+        assert_eq!(g.num_vertices(), 150);
+        for v in g.vertices() {
+            for &t in g.out_neighbors(v) {
+                let v_left = (v as usize) < users;
+                let t_left = (t as usize) < users;
+                assert_ne!(v_left, t_left, "edge within one side: {v} -> {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_are_symmetric_with_equal_weight() {
+        let (g, _) = bipartite_ratings(30, 20, 300, 1.0, 9);
+        for v in g.vertices() {
+            for (t, w) in g.out_edges(v) {
+                let back = g
+                    .out_edges(t)
+                    .find(|&(s, _)| s == v)
+                    .expect("missing reverse edge");
+                assert_eq!(back.1, w);
+            }
+        }
+    }
+
+    #[test]
+    fn ratings_are_in_range() {
+        let (g, _) = bipartite_ratings(30, 20, 300, 1.0, 4);
+        for (_, _, w) in g.edges() {
+            assert!((1.0..=5.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = bipartite_ratings(40, 40, 500, 0.7, 77);
+        let b = bipartite_ratings(40, 40, 500, 0.7, 77);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn popular_items_get_more_ratings() {
+        let (g, users) = bipartite_ratings(2000, 200, 20_000, 1.0, 5);
+        let first_item_deg = g.in_degree(users as VertexId);
+        let late_item_deg = g.in_degree((users + 150) as VertexId);
+        assert!(first_item_deg > late_item_deg);
+    }
+}

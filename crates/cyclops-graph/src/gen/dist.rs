@@ -1,0 +1,97 @@
+//! Small probability-distribution helpers shared by the generators.
+//!
+//! Only what the paper needs is implemented: a log-normal sampler (edge
+//! weights for RoadCA are drawn log-normal with µ=0.4, σ=1.2 per §6.2 of the
+//! paper, following the Facebook interaction-graph fit) and a Zipf sampler
+//! (power-law popularity for the bipartite ratings generator).
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to keep the logarithm finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `exp(mu + sigma * Z)` with `Z ~ N(0, 1)` — the log-normal
+/// distribution used for synthetic edge weights.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// A cumulative-table Zipf sampler over `{0, .., n-1}` with exponent `s`.
+/// Item `i` has probability proportional to `1 / (i + 1)^s`.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the cumulative table; `n` must be positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_normal_is_positive_and_has_sane_median() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| log_normal(&mut rng, 0.4, 1.2)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        // Median of log-normal is exp(mu) = exp(0.4) ≈ 1.49.
+        assert!((median - 0.4f64.exp()).abs() < 0.15, "median = {median}");
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let z = Zipf::new(100, 1.0);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9]);
+        assert!(counts[9] > counts[80]);
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Zipf::new(1, 2.0);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

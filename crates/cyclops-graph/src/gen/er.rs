@@ -1,0 +1,50 @@
+//! Erdős–Rényi G(n, m) generator, used by tests and micro-benchmarks where a
+//! structureless graph is the right control.
+
+use crate::graph::{Graph, VertexId};
+use crate::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a uniform random directed graph with `n` vertices and `m` edges
+/// (no self-loops, duplicates removed, so the result may have slightly fewer
+/// than `m` edges on dense inputs).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).dedup(true);
+    for _ in 0..m {
+        let src = rng.gen_range(0..n) as VertexId;
+        let mut dst = rng.gen_range(0..n) as VertexId;
+        if dst == src {
+            dst = (dst + 1) % n as VertexId;
+        }
+        b.add_edge(src, dst);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_close_to_requested() {
+        let g = erdos_renyi(1000, 5000, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() > 4900 && g.num_edges() <= 5000);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(50, 600, 2);
+        for v in g.vertices() {
+            assert!(!g.out_neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(100, 400, 9), erdos_renyi(100, 400, 9));
+    }
+}

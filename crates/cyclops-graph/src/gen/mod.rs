@@ -1,0 +1,24 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on seven real-world graphs (Table 1). Those datasets
+//! are not redistributable here, so [`crate::datasets`] builds stand-ins with
+//! matched degree shape from the generators in this module:
+//!
+//! * [`mod@rmat`] — recursive-matrix (R-MAT) power-law graphs for the web/social
+//!   datasets (Amazon, GoogleWeb, LiveJournal, Wiki, DBLP),
+//! * [`bipartite`] — a users×movies ratings graph for ALS (SYN-GL),
+//! * [`road`] — a perturbed 2-D lattice with log-normal weights for RoadCA,
+//! * [`er`] — Erdős–Rényi G(n, m) graphs for tests and micro-benchmarks.
+//!
+//! All generators are seeded and deterministic.
+
+pub mod bipartite;
+pub mod dist;
+pub mod er;
+pub mod rmat;
+pub mod road;
+
+pub use bipartite::bipartite_ratings;
+pub use er::erdos_renyi;
+pub use rmat::{rmat, RmatConfig};
+pub use road::road_lattice;

@@ -1,0 +1,175 @@
+//! R-MAT (recursive matrix) power-law graph generator.
+//!
+//! R-MAT recursively subdivides the adjacency matrix into quadrants with
+//! probabilities `(a, b, c, d)`; the classic `(0.57, 0.19, 0.19, 0.05)`
+//! parameters produce a skewed in/out-degree distribution similar to web and
+//! social graphs — the degree shape that drives the paper's replication-factor
+//! and convergence-asymmetry results.
+
+use crate::graph::{Graph, VertexId};
+use crate::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`rmat`].
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// log2 of the vertex count; the graph has `2^scale` vertices.
+    pub scale: u32,
+    /// Number of directed edges to generate.
+    pub edges: usize,
+    /// Quadrant probability a (top-left).
+    pub a: f64,
+    /// Quadrant probability b (top-right).
+    pub b: f64,
+    /// Quadrant probability c (bottom-left).
+    pub c: f64,
+    /// Probability noise added per recursion level to avoid exact
+    /// self-similarity, as in the Graph500 reference generator.
+    pub noise: f64,
+    /// Drop duplicate edges and self-loops when true.
+    pub simple: bool,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 10,
+            edges: 8 << 10,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+            simple: true,
+        }
+    }
+}
+
+/// Generates an R-MAT graph. Deterministic in `(config, seed)`.
+pub fn rmat(config: RmatConfig, seed: u64) -> Graph {
+    let n = 1usize << config.scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).dedup(config.simple);
+    let d = 1.0 - config.a - config.b - config.c;
+    assert!(d >= 0.0, "quadrant probabilities exceed 1");
+    let mut produced = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = config.edges.saturating_mul(20).max(1024);
+    while produced < config.edges && attempts < max_attempts {
+        attempts += 1;
+        let (src, dst) = sample_edge(&config, &mut rng);
+        if config.simple && src == dst {
+            continue;
+        }
+        b.add_edge(src, dst);
+        produced += 1;
+    }
+    b.build()
+}
+
+fn sample_edge(config: &RmatConfig, rng: &mut StdRng) -> (VertexId, VertexId) {
+    let (mut row, mut col) = (0u64, 0u64);
+    for level in (0..config.scale).rev() {
+        // Perturb the quadrant probabilities slightly at each level.
+        let mut jitter = |p: f64| {
+            let f: f64 = rng.gen_range(-config.noise..=config.noise);
+            (p * (1.0 + f)).max(1e-6)
+        };
+        let (a, b_, c) = (jitter(config.a), jitter(config.b), jitter(config.c));
+        let d = (1.0 - config.a - config.b - config.c).max(1e-6);
+        let total = a + b_ + c + d;
+        let u: f64 = rng.gen::<f64>() * total;
+        let bit = 1u64 << level;
+        if u < a {
+            // top-left: nothing set
+        } else if u < a + b_ {
+            col |= bit;
+        } else if u < a + b_ + c {
+            row |= bit;
+        } else {
+            row |= bit;
+            col |= bit;
+        }
+    }
+    (row as VertexId, col as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let g = rmat(
+            RmatConfig {
+                scale: 8,
+                edges: 2000,
+                simple: false,
+                ..Default::default()
+            },
+            42,
+        );
+        assert_eq!(g.num_vertices(), 256);
+        assert_eq!(g.num_edges(), 2000);
+    }
+
+    #[test]
+    fn simple_graph_has_no_self_loops_or_duplicates() {
+        let g = rmat(
+            RmatConfig {
+                scale: 8,
+                edges: 3000,
+                ..Default::default()
+            },
+            1,
+        );
+        for v in g.vertices() {
+            let nbrs = g.out_neighbors(v);
+            for w in nbrs.windows(2) {
+                assert!(w[0] < w[1], "duplicate edge at {v}");
+            }
+            assert!(!nbrs.contains(&v), "self loop at {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = RmatConfig {
+            scale: 9,
+            edges: 4000,
+            ..Default::default()
+        };
+        assert_eq!(rmat(cfg, 99), rmat(cfg, 99));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RmatConfig {
+            scale: 9,
+            edges: 4000,
+            ..Default::default()
+        };
+        assert_ne!(rmat(cfg, 1), rmat(cfg, 2));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = rmat(
+            RmatConfig {
+                scale: 11,
+                edges: 30_000,
+                ..Default::default()
+            },
+            5,
+        );
+        let mut degs: Vec<usize> = g.vertices().map(|v| g.out_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: usize = degs[..degs.len() / 100].iter().sum();
+        let total: usize = degs.iter().sum();
+        // Power-law: the top 1% of vertices should own far more than 1% of edges.
+        assert!(
+            top1pct as f64 > 0.08 * total as f64,
+            "top 1% owns only {top1pct} of {total}"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Road-network generator: a perturbed 2-D lattice with log-normal weights.
+//!
+//! The paper's SSSP workload runs on RoadCA — a near-planar, low-degree,
+//! high-diameter road network, with synthetic log-normal edge weights
+//! (µ=0.4, σ=1.2) assigned by the authors (§6.2). We reproduce that shape
+//! with a rows×cols lattice whose grid edges are kept with high probability
+//! plus a sprinkle of short diagonal "shortcut" roads; both directions of
+//! every road are materialized, as SSSP requires a directed weighted graph.
+
+use crate::gen::dist::log_normal;
+use crate::graph::{Graph, VertexId};
+use crate::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a road-like lattice of `rows * cols` vertices.
+///
+/// * `keep` — probability that each lattice edge exists (models missing road
+///   segments; 1.0 gives the full grid),
+/// * `diagonal` — probability of adding a diagonal shortcut in each cell,
+/// * weights are log-normal with the paper's parameters (µ=0.4, σ=1.2).
+pub fn road_lattice(rows: usize, cols: usize, keep: f64, diagonal: f64, seed: u64) -> Graph {
+    let n = rows * cols;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let w = |rng: &mut StdRng| log_normal(rng, 0.4, 1.2);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.gen::<f64>() < keep {
+                let wt = w(&mut rng);
+                b.add_undirected_weighted_edge(id(r, c), id(r, c + 1), wt);
+            }
+            if r + 1 < rows && rng.gen::<f64>() < keep {
+                let wt = w(&mut rng);
+                b.add_undirected_weighted_edge(id(r, c), id(r + 1, c), wt);
+            }
+            if r + 1 < rows && c + 1 < cols && rng.gen::<f64>() < diagonal {
+                let wt = w(&mut rng);
+                b.add_undirected_weighted_edge(id(r, c), id(r + 1, c + 1), wt);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn full_grid_edge_count() {
+        // rows*(cols-1) + (rows-1)*cols undirected roads, two directions each.
+        let g = road_lattice(10, 10, 1.0, 0.0, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 2 * (10 * 9 + 9 * 10));
+    }
+
+    #[test]
+    fn weights_positive() {
+        let g = road_lattice(8, 8, 1.0, 0.2, 2);
+        assert!(g.is_weighted());
+        for (_, _, w) in g.edges() {
+            assert!(w > 0.0);
+        }
+    }
+
+    #[test]
+    fn low_average_degree() {
+        let g = road_lattice(30, 30, 0.95, 0.1, 3);
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(avg < 6.0, "road networks have low degree, got {avg}");
+    }
+
+    #[test]
+    fn full_grid_is_connected() {
+        let g = road_lattice(12, 9, 1.0, 0.0, 4);
+        assert_eq!(stats::reachable_from(&g, 0), g.num_vertices());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            road_lattice(15, 15, 0.9, 0.1, 8),
+            road_lattice(15, 15, 0.9, 0.1, 8)
+        );
+    }
+}

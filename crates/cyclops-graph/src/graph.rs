@@ -1,0 +1,275 @@
+//! Immutable CSR graph representation.
+//!
+//! The [`Graph`] stores a directed graph in compressed-sparse-row form twice:
+//! once by out-edges (for push-mode algorithms and for sending activation) and
+//! once by in-edges (for pull-mode algorithms that read all incoming
+//! neighbors, the access pattern at the heart of the distributed immutable
+//! view). Edge weights, when present, are stored aligned with both views so a
+//! pull-mode vertex can read the weight of an incoming edge without an
+//! indirection.
+
+/// Identifier of a vertex. Graphs in this reproduction are bounded by `u32`,
+/// which comfortably covers the paper's largest dataset (Wiki, 5.7M vertices).
+pub type VertexId = u32;
+
+/// Sentinel vertex id used to mark "no vertex" in dense tables.
+pub const INVALID_VERTEX: VertexId = u32::MAX;
+
+/// An immutable directed graph in CSR form with both adjacency directions.
+///
+/// Construct one through [`crate::GraphBuilder`], the generators in
+/// [`crate::gen`], or the loaders in [`crate::io`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graph {
+    num_vertices: usize,
+    // Out-CSR.
+    out_offsets: Vec<usize>,
+    out_targets: Vec<VertexId>,
+    out_weights: Option<Vec<f64>>,
+    // In-CSR (transpose).
+    in_offsets: Vec<usize>,
+    in_sources: Vec<VertexId>,
+    in_weights: Option<Vec<f64>>,
+}
+
+impl Graph {
+    /// Assembles a graph from raw CSR parts. Intended for use by
+    /// [`crate::GraphBuilder`]; panics if the parts are inconsistent.
+    pub(crate) fn from_csr(
+        num_vertices: usize,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<VertexId>,
+        out_weights: Option<Vec<f64>>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<VertexId>,
+        in_weights: Option<Vec<f64>>,
+    ) -> Self {
+        assert_eq!(out_offsets.len(), num_vertices + 1);
+        assert_eq!(in_offsets.len(), num_vertices + 1);
+        assert_eq!(*out_offsets.last().unwrap(), out_targets.len());
+        assert_eq!(*in_offsets.last().unwrap(), in_sources.len());
+        assert_eq!(out_targets.len(), in_sources.len());
+        if let Some(w) = &out_weights {
+            assert_eq!(w.len(), out_targets.len());
+        }
+        assert_eq!(out_weights.is_some(), in_weights.is_some());
+        Graph {
+            num_vertices,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
+    }
+
+    /// An empty graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            num_vertices: n,
+            out_offsets: vec![0; n + 1],
+            out_targets: Vec::new(),
+            out_weights: None,
+            in_offsets: vec![0; n + 1],
+            in_sources: Vec::new(),
+            in_weights: None,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Whether the graph carries edge weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.out_weights.is_some()
+    }
+
+    /// Iterator over all vertex ids, `0..num_vertices`.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices as VertexId).into_iter()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Targets of `v`'s out-edges.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Sources of `v`'s in-edges.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Weights of `v`'s out-edges, aligned with [`Self::out_neighbors`].
+    /// Returns an empty slice for unweighted graphs.
+    #[inline]
+    pub fn out_weights(&self, v: VertexId) -> &[f64] {
+        match &self.out_weights {
+            Some(w) => {
+                let v = v as usize;
+                &w[self.out_offsets[v]..self.out_offsets[v + 1]]
+            }
+            None => &[],
+        }
+    }
+
+    /// Weights of `v`'s in-edges, aligned with [`Self::in_neighbors`].
+    /// Returns an empty slice for unweighted graphs.
+    #[inline]
+    pub fn in_weights(&self, v: VertexId) -> &[f64] {
+        match &self.in_weights {
+            Some(w) => {
+                let v = v as usize;
+                &w[self.in_offsets[v]..self.in_offsets[v + 1]]
+            }
+            None => &[],
+        }
+    }
+
+    /// Iterator over `(target, weight)` pairs of `v`'s out-edges. For an
+    /// unweighted graph every weight is `1.0`.
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let nbrs = self.out_neighbors(v);
+        let ws = self.out_weights(v);
+        nbrs.iter()
+            .enumerate()
+            .map(move |(i, &t)| (t, if ws.is_empty() { 1.0 } else { ws[i] }))
+    }
+
+    /// Iterator over `(source, weight)` pairs of `v`'s in-edges. For an
+    /// unweighted graph every weight is `1.0`.
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let nbrs = self.in_neighbors(v);
+        let ws = self.in_weights(v);
+        nbrs.iter()
+            .enumerate()
+            .map(move |(i, &s)| (s, if ws.is_empty() { 1.0 } else { ws[i] }))
+    }
+
+    /// Iterator over every directed edge `(src, dst, weight)` in the graph.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, f64)> + '_ {
+        (0..self.num_vertices as VertexId)
+            .flat_map(move |v| self.out_edges(v).map(move |(t, w)| (v, t, w)))
+    }
+
+    /// Total bytes of the CSR arrays — the resident size of the topology.
+    /// Used by the Table 2 memory-accounting experiment.
+    pub fn resident_bytes(&self) -> usize {
+        let mut bytes = self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_targets.len() * std::mem::size_of::<VertexId>()
+            + self.in_offsets.len() * std::mem::size_of::<usize>()
+            + self.in_sources.len() * std::mem::size_of::<VertexId>();
+        if let Some(w) = &self.out_weights {
+            bytes += 2 * w.len() * std::mem::size_of::<f64>();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+    }
+
+    #[test]
+    fn unweighted_edges_report_unit_weight() {
+        let g = diamond();
+        assert!(!g.is_weighted());
+        let e: Vec<_> = g.out_edges(0).collect();
+        assert_eq!(e, vec![(1, 1.0), (2, 1.0)]);
+        assert!(g.out_weights(0).is_empty());
+    }
+
+    #[test]
+    fn weighted_edges_round_trip_both_views() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 2.5);
+        b.add_weighted_edge(1, 2, 0.5);
+        b.add_weighted_edge(0, 2, 7.0);
+        let g = b.build();
+        assert!(g.is_weighted());
+        let out0: Vec<_> = g.out_edges(0).collect();
+        assert_eq!(out0, vec![(1, 2.5), (2, 7.0)]);
+        let in2: Vec<_> = g.in_edges(2).collect();
+        assert_eq!(in2, vec![(0, 7.0), (1, 0.5)]);
+    }
+
+    #[test]
+    fn edges_iterator_visits_everything() {
+        let g = diamond();
+        let all: Vec<_> = g.edges().map(|(s, t, _)| (s, t)).collect();
+        assert_eq!(all, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_degree(4), 0);
+        assert!(g.out_neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn resident_bytes_is_positive_and_scales() {
+        let small = diamond();
+        let mut b = GraphBuilder::new(100);
+        for i in 0..99 {
+            b.add_edge(i, i + 1);
+        }
+        let big = b.build();
+        assert!(big.resident_bytes() > small.resident_bytes());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for the Cyclops reproduction.
+//!
+//! This crate provides everything the engines need to get a graph into memory:
+//!
+//! * [`Graph`] — an immutable compressed-sparse-row (CSR) directed graph with
+//!   both out- and in-adjacency and optional edge weights,
+//! * [`GraphBuilder`] — the mutable edge-list accumulator that produces a
+//!   [`Graph`],
+//! * [`io`] — plain-text edge-list reading/writing (the paper loads text files
+//!   from HDFS; we use the local filesystem),
+//! * [`gen`] — deterministic synthetic generators (R-MAT, bipartite ratings,
+//!   road lattice, Erdős–Rényi),
+//! * [`datasets`] — scaled stand-ins for the seven graphs of Table 1 of the
+//!   paper,
+//! * [`mod@reference`] — simple sequential implementations of the four evaluated
+//!   algorithms, used by the test suite to validate the distributed engines,
+//! * [`stats`] — degree and connectivity statistics.
+//!
+//! All generators take explicit seeds and are fully deterministic, so every
+//! experiment in the repository is reproducible bit-for-bit.
+
+pub mod builder;
+pub mod datasets;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod reference;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use datasets::{Dataset, DatasetInfo};
+pub use graph::{Graph, VertexId, INVALID_VERTEX};

@@ -1,0 +1,140 @@
+//! Property-based tests of the graph substrate: CSR invariants, transpose
+//! consistency, I/O round-trips, and generator guarantees hold for
+//! arbitrary inputs.
+
+use cyclops_graph::{io, Graph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary small directed graph as (n, edge list).
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..200);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(s, t) in edges {
+        b.add_edge(s, t);
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn degree_sums_equal_edge_count((n, edges) in arb_edges()) {
+        let g = build(n, &edges);
+        prop_assert_eq!(g.num_edges(), edges.len());
+        let out_sum: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, edges.len());
+        prop_assert_eq!(in_sum, edges.len());
+    }
+
+    #[test]
+    fn adjacency_is_sorted((n, edges) in arb_edges()) {
+        let g = build(n, &edges);
+        for v in g.vertices() {
+            let nbrs = g.out_neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] <= w[1]));
+            let srcs = g.in_neighbors(v);
+            prop_assert!(srcs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive((n, edges) in arb_edges()) {
+        let g = build(n, &edges);
+        // Every out-edge appears as an in-edge and vice versa.
+        let mut out_pairs: Vec<(VertexId, VertexId)> =
+            g.edges().map(|(s, t, _)| (s, t)).collect();
+        let mut in_pairs: Vec<(VertexId, VertexId)> = g
+            .vertices()
+            .flat_map(|v| g.in_neighbors(v).iter().map(move |&s| (s, v)))
+            .collect();
+        out_pairs.sort_unstable();
+        in_pairs.sort_unstable();
+        prop_assert_eq!(out_pairs, in_pairs);
+    }
+
+    #[test]
+    fn edge_multiset_is_preserved((n, edges) in arb_edges()) {
+        let g = build(n, &edges);
+        let mut expected = edges.clone();
+        expected.sort_unstable();
+        let mut actual: Vec<(u32, u32)> = g.edges().map(|(s, t, _)| (s, t)).collect();
+        actual.sort_unstable();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn dedup_removes_exactly_duplicates((n, edges) in arb_edges()) {
+        let mut b = GraphBuilder::new(n).dedup(true);
+        for &(s, t) in &edges {
+            b.add_edge(s, t);
+        }
+        let g = b.build();
+        let mut unique = edges.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(g.num_edges(), unique.len());
+    }
+
+    #[test]
+    fn io_round_trip_unweighted((n, edges) in arb_edges()) {
+        let g = build(n, &edges);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = io::read_edge_list(&buf[..], n).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn io_round_trip_weighted(
+        (n, edges) in arb_edges(),
+        seed in 0u64..1000,
+    ) {
+        let mut b = GraphBuilder::new(n);
+        for (i, &(s, t)) in edges.iter().enumerate() {
+            // Deterministic pseudo-weights; keep them exactly representable.
+            let w = ((seed as usize + i) % 17) as f64 * 0.25 + 0.25;
+            b.add_weighted_edge(s, t, w);
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = io::read_edge_list(&buf[..], n).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn pagerank_reference_invariants((n, edges) in arb_edges()) {
+        let g = build(n, &edges);
+        let (pr, _) = cyclops_graph::reference::pagerank(&g, 1e-10, 100);
+        // Ranks are positive and bounded by 1.
+        prop_assert!(pr.iter().all(|&r| r > 0.0 && r <= 1.0 + 1e-9));
+        // A vertex with no in-edges has exactly the base rank.
+        for v in g.vertices() {
+            if g.in_degree(v) == 0 {
+                prop_assert!((pr[v as usize] - 0.15 / n as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_reference_satisfies_triangle_inequality((n, edges) in arb_edges()) {
+        let mut b = GraphBuilder::new(n);
+        for (i, &(s, t)) in edges.iter().enumerate() {
+            b.add_weighted_edge(s, t, 1.0 + (i % 5) as f64);
+        }
+        let g = b.build();
+        let dist = cyclops_graph::reference::sssp(&g, 0);
+        prop_assert_eq!(dist[0], 0.0);
+        for (s, t, w) in g.edges() {
+            if dist[s as usize].is_finite() {
+                prop_assert!(dist[t as usize] <= dist[s as usize] + w + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Hand-written binary message codec.
+//!
+//! Hama pays heavily for Java object serialization and Hadoop RPC (§6.11);
+//! our simulated cluster models serialization by round-tripping every
+//! cross-machine message through this codec into real byte buffers. The
+//! codec is little-endian, non-self-describing (both sides know the message
+//! type), and deliberately minimal — exactly what a tuned graph engine would
+//! put on the wire.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// A type that can be written to and read back from a byte buffer.
+///
+/// `decode` must consume exactly the bytes `encode` produced
+/// (`proptest` round-trip tests in each engine enforce this for its message
+/// types).
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Reads one value from the front of `buf`.
+    fn decode(buf: &mut impl Buf) -> Self;
+    /// Exact number of bytes `encode` appends. Used for pre-sizing buffers
+    /// and for byte accounting.
+    fn encoded_len(&self) -> usize;
+}
+
+impl Codec for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(*self);
+    }
+    fn decode(buf: &mut impl Buf) -> Self {
+        buf.get_u32_le()
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn decode(buf: &mut impl Buf) -> Self {
+        buf.get_u64_le()
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(*self);
+    }
+    fn decode(buf: &mut impl Buf) -> Self {
+        buf.get_f64_le()
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode(buf: &mut impl Buf) -> Self {
+        buf.get_u8() != 0
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Codec for () {
+    fn encode(&self, _buf: &mut BytesMut) {}
+    fn decode(_buf: &mut impl Buf) -> Self {}
+    fn encoded_len(&self) -> usize {
+        0
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Self {
+        let a = A::decode(buf);
+        let b = B::decode(buf);
+        (a, b)
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Self {
+        let a = A::decode(buf);
+        let b = B::decode(buf);
+        let c = C::decode(buf);
+        (a, b, c)
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len() + self.2.encoded_len()
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut impl Buf) -> Self {
+        let len = u32::decode(buf) as usize;
+        (0..len).map(|_| T::decode(buf)).collect()
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(Codec::encoded_len).sum::<usize>()
+    }
+}
+
+/// Encodes a batch of messages into a fresh buffer — the "bundle the
+/// messages sent to the same worker in one package" path (§4.1).
+pub fn encode_batch<M: Codec>(msgs: &[M]) -> BytesMut {
+    let total: usize = 4 + msgs.iter().map(Codec::encoded_len).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(total);
+    (msgs.len() as u32).encode(&mut buf);
+    for m in msgs {
+        m.encode(&mut buf);
+    }
+    debug_assert_eq!(buf.len(), total);
+    buf
+}
+
+/// Decodes a batch previously produced by [`encode_batch`].
+pub fn decode_batch<M: Codec>(buf: &mut impl Buf) -> Vec<M> {
+    let len = u32::decode(buf) as usize;
+    (0..len).map(|_| M::decode(buf)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<M: Codec + PartialEq + std::fmt::Debug>(v: M) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), v.encoded_len());
+        let mut read = buf.freeze();
+        assert_eq!(M::decode(&mut read), v);
+        assert!(!read.has_remaining());
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u32);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX - 7);
+        round_trip(3.141592653589793f64);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        round_trip((7u32, 2.5f64));
+        round_trip((1u32, 2u64, false));
+    }
+
+    #[test]
+    fn vecs_round_trip() {
+        round_trip(Vec::<f64>::new());
+        round_trip(vec![1.0f64, -2.0, 3.5]);
+        round_trip(vec![(1u32, 1.0f64), (2, 2.0)]);
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let msgs: Vec<(u32, f64)> = (0..100).map(|i| (i, i as f64 * 0.5)).collect();
+        let buf = encode_batch(&msgs);
+        let mut read = buf.freeze();
+        let out: Vec<(u32, f64)> = decode_batch(&mut read);
+        assert_eq!(out, msgs);
+        assert!(!read.has_remaining());
+    }
+
+    #[test]
+    fn nan_payload_survives() {
+        let mut buf = BytesMut::new();
+        f64::NAN.encode(&mut buf);
+        let v = f64::decode(&mut buf.freeze());
+        assert!(v.is_nan());
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Simulated multicore-cluster substrate.
+//!
+//! The paper evaluates on a 6-machine cluster (12 cores and 64 GB each,
+//! 1 GigE). This crate replaces that testbed with an **in-process simulated
+//! cluster** (see DESIGN.md): machines are groups of OS threads, and messages
+//! that cross a simulated machine boundary round-trip through a real binary
+//! codec into byte buffers, so serialization cost, message counts, byte
+//! volumes, queue contention, and barrier structure are all real — only the
+//! wire is missing.
+//!
+//! Building blocks:
+//!
+//! * [`cluster::ClusterSpec`] — the `M x W x T / R` topology of the paper's
+//!   Figure 12 (machines × workers × compute threads / receiver threads),
+//! * [`codec::Codec`] — the hand-written binary encoding used for
+//!   cross-machine messages,
+//! * [`transport::Transport`] — worker-to-worker message delivery with two
+//!   inbox disciplines: [`transport::InboxMode::GlobalQueue`] (one locked
+//!   queue per worker — Hama's design, §4.1) and
+//!   [`transport::InboxMode::Sharded`] (per-sender lanes, contention-free —
+//!   Cyclops' design),
+//! * [`barrier::FlatBarrier`] / [`barrier::HierarchicalBarrier`] — the global
+//!   and hierarchical supserstep barriers (§5),
+//! * [`metrics`] — per-superstep phase timing (SYN/PRS/CMP/SND), message and
+//!   byte counters, contention counters, and allocation accounting for the
+//!   Table 2 memory experiment,
+//! * [`slots::DisjointSlots`] — the lock-free "update replicas without
+//!   protection" write path that Cyclops' at-most-one-message-per-replica
+//!   guarantee makes safe (§3.4, Table 3).
+
+pub mod barrier;
+pub mod cluster;
+pub mod codec;
+pub mod metrics;
+pub mod slots;
+pub mod transport;
+
+pub use barrier::{FlatBarrier, HierarchicalBarrier};
+pub use cluster::ClusterSpec;
+pub use codec::Codec;
+pub use metrics::{AggregateStats, Phase, PhaseTimes, SuperstepStats};
+pub use slots::DisjointSlots;
+pub use transport::{InboxMode, NetworkModel, Transport};

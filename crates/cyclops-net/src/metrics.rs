@@ -1,0 +1,351 @@
+//! Phase timing, message/byte counters, and allocation accounting.
+//!
+//! The paper decomposes each superstep into four sequential operations
+//! (§3.5): message parsing (PRS), vertex computation (CMP), message sending
+//! (SND), and the global barrier (SYN). Figure 10(1) and Figure 12 report
+//! per-phase execution-time breakdowns; Figure 10(2,3) report active-vertex
+//! and message counts per superstep; Table 2 reports memory behaviour. The
+//! types here collect all of that.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A distributed aggregation over `f64` contributions: the engines gather
+/// per-worker partials at the superstep barrier and publish the combined
+/// statistics for the next superstep (the Pregel aggregator pattern; the
+/// paper's PageRank uses the mean as its "global error", §2.2.3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AggregateStats {
+    /// Sum of all contributions.
+    pub sum: f64,
+    /// Number of contributions.
+    pub count: usize,
+    /// Minimum contribution.
+    pub min: f64,
+    /// Maximum contribution.
+    pub max: f64,
+}
+
+impl Default for AggregateStats {
+    fn default() -> Self {
+        AggregateStats {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl AggregateStats {
+    /// Adds one contribution.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.sum += x;
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another partial into this one.
+    pub fn merge(&mut self, other: &AggregateStats) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the contributions, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Whether anything was contributed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// The four superstep phases of the BSP execution model (§3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Message parsing (PRS) — delivering received messages to vertices.
+    Parse,
+    /// Vertex computation (CMP) — running the user compute function.
+    Compute,
+    /// Message sending (SND) — serializing and transmitting messages.
+    Send,
+    /// Global barrier (SYN) — waiting for all workers.
+    Sync,
+}
+
+/// Wall-clock time spent in each phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// PRS time.
+    pub parse: Duration,
+    /// CMP time.
+    pub compute: Duration,
+    /// SND time.
+    pub send: Duration,
+    /// SYN time.
+    pub sync: Duration,
+}
+
+impl PhaseTimes {
+    /// Adds `d` to the accumulator of `phase`.
+    pub fn add(&mut self, phase: Phase, d: Duration) {
+        match phase {
+            Phase::Parse => self.parse += d,
+            Phase::Compute => self.compute += d,
+            Phase::Send => self.send += d,
+            Phase::Sync => self.sync += d,
+        }
+    }
+
+    /// Sum of all four phases.
+    pub fn total(&self) -> Duration {
+        self.parse + self.compute + self.send + self.sync
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&self, other: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            parse: self.parse + other.parse,
+            compute: self.compute + other.compute,
+            send: self.send + other.send,
+            sync: self.sync + other.sync,
+        }
+    }
+
+    /// Times a closure and adds the elapsed duration to `phase`; returns the
+    /// closure's result.
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+}
+
+/// Statistics of one superstep, aggregated over all workers.
+#[derive(Clone, Debug, Default)]
+pub struct SuperstepStats {
+    /// Superstep index (0-based).
+    pub superstep: usize,
+    /// Number of vertices that executed the compute function.
+    pub active_vertices: usize,
+    /// Messages sent this superstep (all workers).
+    pub messages_sent: usize,
+    /// Bytes of cross-machine traffic this superstep.
+    pub bytes_sent: usize,
+    /// Messages carrying the same value as the previous superstep — the
+    /// paper's "redundant messages" (Figure 3(2)). Only pull-mode BSP
+    /// algorithms produce these; engines that don't track it leave 0.
+    pub redundant_messages: usize,
+    /// Per-phase times, summed across workers (so a perfectly parallel
+    /// phase on `P` workers contributes `P ×` its wall time; the figures
+    /// normalize, so only ratios matter — same as the paper's "ratio of
+    /// execution time" presentation).
+    pub phase_times: PhaseTimes,
+}
+
+/// Thread-safe counters shared by all workers of one engine run.
+///
+/// Everything is a relaxed atomic: the counters are statistics, not
+/// synchronization (the barrier provides the happens-before edges that make
+/// final reads exact).
+#[derive(Debug, Default)]
+pub struct RunCounters {
+    /// Total messages sent.
+    pub messages: AtomicUsize,
+    /// Total cross-machine bytes.
+    pub bytes: AtomicUsize,
+    /// Times a sender found the destination queue lock already held —
+    /// the contention the paper eliminates (§2.2.2, §4.1).
+    pub lock_contentions: AtomicUsize,
+    /// Bytes allocated for message buffers over the whole run (Table 2's
+    /// "messages occupy a large number of memory in each superstep").
+    pub message_bytes_allocated: AtomicU64,
+    /// Peak bytes held in in-flight message queues at any superstep.
+    pub peak_queue_bytes: AtomicU64,
+    /// Messages currently sitting in queues (enqueued minus drained).
+    pub inflight_messages: AtomicU64,
+    /// Peak of `inflight_messages` over the run.
+    pub peak_queue_messages: AtomicU64,
+}
+
+impl RunCounters {
+    /// Adds to the message counter.
+    #[inline]
+    pub fn add_messages(&self, n: usize) {
+        self.messages.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the byte counters (wire bytes + allocation accounting).
+    #[inline]
+    pub fn add_bytes(&self, n: usize) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+        self.message_bytes_allocated
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records one contended lock acquisition.
+    #[inline]
+    pub fn add_contention(&self) {
+        self.lock_contentions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the peak-queue-bytes watermark to at least `bytes`.
+    pub fn observe_queue_bytes(&self, bytes: u64) {
+        self.peak_queue_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `n` messages entering queues, updating the peak watermark.
+    #[inline]
+    pub fn queue_enter(&self, n: usize) {
+        let now = self
+            .inflight_messages
+            .fetch_add(n as u64, Ordering::Relaxed)
+            + n as u64;
+        self.peak_queue_messages.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Records `n` messages leaving queues.
+    #[inline]
+    pub fn queue_leave(&self, n: usize) {
+        if n > 0 {
+            self.inflight_messages.fetch_sub(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the counters as plain numbers.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            lock_contentions: self.lock_contentions.load(Ordering::Relaxed),
+            message_bytes_allocated: self.message_bytes_allocated.load(Ordering::Relaxed),
+            peak_queue_bytes: self.peak_queue_bytes.load(Ordering::Relaxed),
+            peak_queue_messages: self.peak_queue_messages.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-number snapshot of [`RunCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Total messages sent.
+    pub messages: usize,
+    /// Total cross-machine bytes.
+    pub bytes: usize,
+    /// Contended lock acquisitions.
+    pub lock_contentions: usize,
+    /// Message buffer bytes allocated over the run.
+    pub message_bytes_allocated: u64,
+    /// Peak bytes in in-flight queues.
+    pub peak_queue_bytes: u64,
+    /// Peak number of messages in in-flight queues.
+    pub peak_queue_messages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_stats_track_all_moments() {
+        let mut a = AggregateStats::default();
+        assert!(a.is_empty());
+        assert_eq!(a.mean(), None);
+        a.add(2.0);
+        a.add(-1.0);
+        a.add(5.0);
+        assert_eq!(a.sum, 6.0);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, -1.0);
+        assert_eq!(a.max, 5.0);
+        assert_eq!(a.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn aggregate_stats_merge() {
+        let mut a = AggregateStats::default();
+        a.add(1.0);
+        let mut b = AggregateStats::default();
+        b.add(9.0);
+        b.add(-3.0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 7.0);
+        assert_eq!(a.min, -3.0);
+        assert_eq!(a.max, 9.0);
+        // Merging an empty partial is a no-op.
+        a.merge(&AggregateStats::default());
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, -3.0);
+    }
+
+    #[test]
+    fn phase_times_accumulate() {
+        let mut t = PhaseTimes::default();
+        t.add(Phase::Parse, Duration::from_millis(5));
+        t.add(Phase::Parse, Duration::from_millis(5));
+        t.add(Phase::Sync, Duration::from_millis(2));
+        assert_eq!(t.parse, Duration::from_millis(10));
+        assert_eq!(t.total(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = PhaseTimes::default();
+        let v = t.time(Phase::Compute, || 42);
+        assert_eq!(v, 42);
+        assert!(t.compute > Duration::ZERO || t.compute == Duration::ZERO); // recorded
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = PhaseTimes::default();
+        a.add(Phase::Send, Duration::from_millis(1));
+        let mut b = PhaseTimes::default();
+        b.add(Phase::Send, Duration::from_millis(2));
+        b.add(Phase::Sync, Duration::from_millis(3));
+        let m = a.merge(&b);
+        assert_eq!(m.send, Duration::from_millis(3));
+        assert_eq!(m.sync, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let c = RunCounters::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add_messages(1);
+                        c.add_bytes(8);
+                    }
+                });
+            }
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.messages, 4000);
+        assert_eq!(snap.bytes, 32_000);
+        assert_eq!(snap.message_bytes_allocated, 32_000);
+    }
+
+    #[test]
+    fn peak_watermark_keeps_max() {
+        let c = RunCounters::default();
+        c.observe_queue_bytes(100);
+        c.observe_queue_bytes(50);
+        c.observe_queue_bytes(200);
+        c.observe_queue_bytes(10);
+        assert_eq!(c.snapshot().peak_queue_bytes, 200);
+    }
+}

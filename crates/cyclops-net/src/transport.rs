@@ -1,0 +1,476 @@
+//! Worker-to-worker message delivery with Hama-style and Cyclops-style
+//! inbox disciplines.
+//!
+//! Hama buffers all incoming messages in **one global queue per worker**
+//! whose enqueue must be serialized — the contention the paper blames for
+//! much of the communication cost (§2.2.2, §4.1, Table 3). Cyclops instead
+//! gives each sender its own lane (its replica-update messages can be
+//! applied "in parallel by multiple receiving threads" because no two
+//! senders target the same replica), so enqueue never contends.
+//!
+//! Messages crossing a simulated machine boundary are round-tripped through
+//! the binary [`Codec`] into real byte buffers; intra-machine sends move the
+//! values directly, matching CyclopsMT's replacement of internal messages
+//! with memory references (§6.10).
+
+use crate::cluster::ClusterSpec;
+use crate::codec::{decode_batch, encode_batch, Codec};
+use crate::metrics::RunCounters;
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// A simple cost model for the simulated wire. The default ([`ideal`]) adds
+/// no delay — cross-machine sends still pay real serialization, but no
+/// transmission time. [`gigabit`] approximates the paper's testbed (1 GigE):
+/// senders sleep for the modeled transmission time of each batch, so
+/// message- and byte-volume differences between engines show up in
+/// wall-clock even though the "wire" is shared memory.
+///
+/// [`ideal`]: NetworkModel::ideal
+/// [`gigabit`]: NetworkModel::gigabit
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Simulated wire bandwidth in bytes/second; `None` = infinite.
+    pub bandwidth_bytes_per_sec: Option<f64>,
+    /// Fixed cost per cross-machine batch (propagation + protocol).
+    pub batch_latency: Duration,
+    /// Per-message software overhead (header handling, dispatch).
+    pub per_message: Duration,
+}
+
+impl NetworkModel {
+    /// No modeled delay (the default).
+    pub fn ideal() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: None,
+            batch_latency: Duration::ZERO,
+            per_message: Duration::ZERO,
+        }
+    }
+
+    /// Approximation of the paper's 1 GigE ports: 125 MB/s, 50 µs per
+    /// batch, 100 ns of software overhead per message.
+    pub fn gigabit() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: Some(125e6),
+            batch_latency: Duration::from_micros(50),
+            per_message: Duration::from_nanos(100),
+        }
+    }
+
+    /// Transmission delay of a cross-machine batch of `messages` messages
+    /// totalling `bytes` bytes.
+    pub fn delay(&self, messages: usize, bytes: usize) -> Duration {
+        let mut d = self.batch_latency + self.per_message * messages as u32;
+        if let Some(bw) = self.bandwidth_bytes_per_sec {
+            d += Duration::from_secs_f64(bytes as f64 / bw);
+        }
+        d
+    }
+
+    /// Whether any delay is modeled.
+    pub fn is_ideal(&self) -> bool {
+        self.bandwidth_bytes_per_sec.is_none()
+            && self.batch_latency.is_zero()
+            && self.per_message.is_zero()
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::ideal()
+    }
+}
+
+/// Inbox discipline: how concurrent senders enqueue into one receiver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InboxMode {
+    /// One locked queue per receiver; all senders contend (Hama, §4.1).
+    GlobalQueue,
+    /// One lane per `(receiver, sender)` pair; enqueue never contends
+    /// (Cyclops, §4.1: "multiple sub-queues to separately cache messages").
+    Sharded,
+}
+
+/// Message fabric for one engine run.
+///
+/// `Transport` is shared by reference across worker threads; all methods
+/// take `&self`. Statistics are recorded into [`RunCounters`], which the
+/// engine reads after each superstep.
+pub struct Transport<M> {
+    spec: ClusterSpec,
+    mode: InboxMode,
+    /// Sender lanes per worker: one per compute thread, so threads of the
+    /// same worker never contend ("private out-queues", §5).
+    lanes_per_worker: usize,
+    /// `lanes[parity][receiver][sender lane]`; GlobalQueue mode uses
+    /// `lanes[parity][receiver][0]`. Queues are double-buffered by superstep
+    /// parity: a message sent during superstep `s` must only be visible to
+    /// its receiver's parse phase of superstep `s + 1`, even when workers
+    /// race one superstep apart inside the barrier interval.
+    lanes: [Vec<Vec<Mutex<Vec<M>>>>; 2],
+    /// `dirty[parity][receiver]` — indices of lanes that may hold messages,
+    /// so drains touch only active lanes instead of walking all of them
+    /// (sparse frontiers would otherwise pay O(senders) per superstep).
+    /// Entries may be stale or duplicated (senders record them after
+    /// releasing the lane lock); drains tolerate both.
+    dirty: [Vec<Mutex<Vec<u32>>>; 2],
+    network: NetworkModel,
+    counters: RunCounters,
+}
+
+impl<M: Codec + Send> Transport<M> {
+    /// Creates a transport for `spec.num_workers()` workers with
+    /// `spec.threads_per_worker` private sender lanes per worker and an
+    /// ideal (zero-delay) network. See [`Self::with_network`].
+    pub fn new(spec: ClusterSpec, mode: InboxMode) -> Self {
+        Self::with_network(spec, mode, NetworkModel::ideal())
+    }
+
+    /// Like [`Self::new`] but with a [`NetworkModel`] applied to every
+    /// cross-machine batch: the sending thread sleeps for the modeled
+    /// transmission time, exactly like a sender blocked on a saturated NIC.
+    pub fn with_network(spec: ClusterSpec, mode: InboxMode, network: NetworkModel) -> Self {
+        let w = spec.num_workers();
+        let lanes_per_receiver = match mode {
+            InboxMode::GlobalQueue => 1,
+            InboxMode::Sharded => w * spec.threads_per_worker,
+        };
+        let make = || {
+            (0..w)
+                .map(|_| {
+                    (0..lanes_per_receiver)
+                        .map(|_| Mutex::new(Vec::new()))
+                        .collect()
+                })
+                .collect()
+        };
+        let make_dirty = || (0..w).map(|_| Mutex::new(Vec::new())).collect();
+        Transport {
+            spec,
+            mode,
+            lanes_per_worker: spec.threads_per_worker,
+            lanes: [make(), make()],
+            dirty: [make_dirty(), make_dirty()],
+            network,
+            counters: RunCounters::default(),
+        }
+    }
+
+    /// The cluster topology this transport serves.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The shared statistics counters.
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
+    }
+
+    /// Sends a batch of messages from sender lane `from` to worker `to`
+    /// during superstep `epoch`; the batch becomes visible to [`Self::drain`]
+    /// calls for epoch `epoch + 1`. A sender lane is
+    /// `worker * threads_per_worker + thread`; for single-threaded workers
+    /// it is just the worker id.
+    ///
+    /// Cross-machine batches are serialized into a byte buffer and decoded
+    /// on arrival (both real work); intra-machine batches move by value.
+    /// Returns the number of wire bytes (0 for intra-machine sends).
+    pub fn send(&self, from: usize, to: usize, msgs: Vec<M>, epoch: usize) -> usize {
+        if msgs.is_empty() {
+            return 0;
+        }
+        let from_worker = from / self.lanes_per_worker;
+        self.counters.add_messages(msgs.len());
+        let (payload, bytes) = if self.spec.crosses_machines(from_worker, to) {
+            let buf = encode_batch(&msgs);
+            let bytes = buf.len();
+            self.counters.add_bytes(bytes);
+            if !self.network.is_ideal() {
+                // The sender blocks for the modeled transmission time, like
+                // a thread waiting on a saturated NIC queue.
+                let delay = self.network.delay(msgs.len(), bytes);
+                if delay >= Duration::from_micros(1) {
+                    std::thread::sleep(delay);
+                }
+            }
+            drop(msgs);
+            let decoded = decode_batch(&mut buf.freeze());
+            (decoded, bytes)
+        } else {
+            (msgs, 0)
+        };
+        let parity = (epoch + 1) & 1;
+        let lane_idx = match self.mode {
+            InboxMode::GlobalQueue => 0,
+            InboxMode::Sharded => from,
+        };
+        let lane = &self.lanes[parity][to][lane_idx];
+        self.counters.queue_enter(payload.len());
+        // try_lock first so contended acquisitions are observable — the
+        // effect Table 3 measures.
+        let was_empty = match lane.try_lock() {
+            Some(mut q) => {
+                let was = q.is_empty();
+                q.extend(payload);
+                was
+            }
+            None => {
+                self.counters.add_contention();
+                let mut q = lane.lock();
+                let was = q.is_empty();
+                q.extend(payload);
+                was
+            }
+        };
+        if was_empty {
+            // Outside the lane lock (no lock-order cycle with drains); a
+            // racing drain may leave this entry stale, which drains tolerate.
+            self.dirty[parity][to].lock().push(lane_idx as u32);
+        }
+        bytes
+    }
+
+    /// Enqueues messages for delivery at exactly epoch `deliver_epoch`,
+    /// bypassing serialization and the send counters (the queue-occupancy
+    /// gauge is still maintained). Used to reinject in-flight messages when
+    /// resuming from a checkpoint.
+    pub fn inject(&self, to: usize, msgs: Vec<M>, deliver_epoch: usize) {
+        if msgs.is_empty() {
+            return;
+        }
+        self.counters.queue_enter(msgs.len());
+        let lanes = &self.lanes[deliver_epoch & 1][to];
+        lanes[0].lock().extend(msgs);
+        self.dirty[deliver_epoch & 1][to].lock().push(0);
+    }
+
+    /// Drains everything queued for worker `to`'s superstep `epoch`, in
+    /// sender order.
+    pub fn drain(&self, to: usize, epoch: usize) -> Vec<M> {
+        let mut indices = std::mem::take(&mut *self.dirty[epoch & 1][to].lock());
+        indices.sort_unstable();
+        indices.dedup();
+        let mut out = Vec::new();
+        for idx in indices {
+            out.append(&mut self.lanes[epoch & 1][to][idx as usize].lock());
+        }
+        self.counters.queue_leave(out.len());
+        out
+    }
+
+    /// Drains worker `to`'s epoch-`epoch` inbox lane by lane as
+    /// `(sender, batch)` pairs. Only meaningful in [`InboxMode::Sharded`];
+    /// GlobalQueue mode returns a single pair with sender 0 (senders were
+    /// merged at enqueue).
+    pub fn drain_lanes(&self, to: usize, epoch: usize) -> Vec<(usize, Vec<M>)> {
+        self.drain_lanes_partitioned(to, epoch, 0, 1)
+    }
+
+    /// Drains the subset of worker `to`'s epoch-`epoch` lanes whose index is
+    /// congruent to `part` modulo `parts` — how `R` receiver threads split
+    /// the inbound lanes among themselves (§5). Lane-disjointness guarantees
+    /// the batches of different parts touch disjoint replicas.
+    pub fn drain_lanes_partitioned(
+        &self,
+        to: usize,
+        epoch: usize,
+        part: usize,
+        parts: usize,
+    ) -> Vec<(usize, Vec<M>)> {
+        // Claim this receiver's share of the dirty-lane registry.
+        let mut mine = Vec::new();
+        {
+            let mut dirty = self.dirty[epoch & 1][to].lock();
+            dirty.retain(|&lane| {
+                if lane as usize % parts == part {
+                    mine.push(lane);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        mine.sort_unstable();
+        mine.dedup();
+        mine.into_iter()
+            .filter_map(|sender| {
+                let batch =
+                    std::mem::take(&mut *self.lanes[epoch & 1][to][sender as usize].lock());
+                if batch.is_empty() {
+                    None
+                } else {
+                    self.counters.queue_leave(batch.len());
+                    Some((sender as usize, batch))
+                }
+            })
+            .collect()
+    }
+
+    /// Number of messages currently queued for worker `to` (both parities).
+    pub fn pending(&self, to: usize) -> usize {
+        self.lanes
+            .iter()
+            .map(|par| par[to].iter().map(|l| l.lock().len()).sum::<usize>())
+            .sum()
+    }
+
+    /// True if no worker has pending messages in either parity. O(1): reads
+    /// the in-flight gauge instead of walking every lane (engines call this
+    /// once per superstep inside the barrier).
+    pub fn all_empty(&self) -> bool {
+        self.counters
+            .inflight_messages
+            .load(std::sync::atomic::Ordering::Relaxed)
+            == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::flat(2, 2) // workers 0,1 on machine 0; 2,3 on machine 1
+    }
+
+    #[test]
+    fn intra_machine_send_is_byte_free() {
+        let t: Transport<(u32, f64)> = Transport::new(spec(), InboxMode::Sharded);
+        let bytes = t.send(0, 1, vec![(5, 1.5)], 0);
+        assert_eq!(bytes, 0);
+        assert_eq!(t.counters().snapshot().bytes, 0);
+        assert_eq!(t.drain(1, 1), vec![(5, 1.5)]);
+    }
+
+    #[test]
+    fn cross_machine_send_serializes() {
+        let t: Transport<(u32, f64)> = Transport::new(spec(), InboxMode::Sharded);
+        let bytes = t.send(0, 2, vec![(5, 1.5), (6, 2.5)], 0);
+        assert_eq!(bytes, 4 + 2 * 12); // batch length prefix + 2 * (u32+f64)
+        assert_eq!(t.drain(2, 1), vec![(5, 1.5), (6, 2.5)]);
+        assert_eq!(t.counters().snapshot().bytes, bytes);
+    }
+
+    #[test]
+    fn empty_send_is_free() {
+        let t: Transport<u32> = Transport::new(spec(), InboxMode::GlobalQueue);
+        assert_eq!(t.send(0, 1, vec![], 0), 0);
+        assert_eq!(t.counters().snapshot().messages, 0);
+    }
+
+    #[test]
+    fn sends_are_invisible_to_same_epoch_drain() {
+        let t: Transport<u32> = Transport::new(spec(), InboxMode::Sharded);
+        t.send(0, 1, vec![7], 4);
+        assert!(t.drain(1, 4).is_empty(), "epoch-4 send visible at epoch 4");
+        assert_eq!(t.drain(1, 5), vec![7]);
+    }
+
+    #[test]
+    fn inject_targets_exact_epoch() {
+        let t: Transport<u32> = Transport::new(spec(), InboxMode::Sharded);
+        t.inject(2, vec![9], 6);
+        assert!(t.drain(2, 5).is_empty());
+        assert_eq!(t.drain(2, 6), vec![9]);
+        assert_eq!(t.counters().snapshot().messages, 0, "inject is uncounted");
+    }
+
+    #[test]
+    fn drain_lanes_reports_senders() {
+        let t: Transport<u32> = Transport::new(spec(), InboxMode::Sharded);
+        t.send(3, 0, vec![30], 0);
+        t.send(1, 0, vec![10, 11], 0);
+        let lanes = t.drain_lanes(0, 1);
+        assert_eq!(lanes, vec![(1, vec![10, 11]), (3, vec![30])]);
+        assert!(t.all_empty());
+    }
+
+    #[test]
+    fn global_queue_merges_senders() {
+        let t: Transport<u32> = Transport::new(spec(), InboxMode::GlobalQueue);
+        t.send(1, 0, vec![1], 0);
+        t.send(2, 0, vec![2], 0);
+        let lanes = t.drain_lanes(0, 1);
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].1.len(), 2);
+    }
+
+    #[test]
+    fn message_counter_counts_everything() {
+        let t: Transport<u32> = Transport::new(spec(), InboxMode::GlobalQueue);
+        t.send(0, 3, vec![1, 2, 3], 0);
+        t.send(0, 1, vec![4], 0);
+        assert_eq!(t.counters().snapshot().messages, 4);
+    }
+
+    #[test]
+    fn network_model_delay_math() {
+        let ideal = NetworkModel::ideal();
+        assert!(ideal.is_ideal());
+        assert_eq!(ideal.delay(1000, 1 << 20), Duration::ZERO);
+        let gig = NetworkModel::gigabit();
+        assert!(!gig.is_ideal());
+        // 125 MB across a 125 MB/s wire = 1s, plus overheads.
+        let d = gig.delay(0, 125_000_000);
+        assert!(d >= Duration::from_secs(1));
+        assert!(d < Duration::from_millis(1100));
+        // Per-message overhead accumulates.
+        assert!(gig.delay(10_000, 0) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn modeled_network_slows_cross_machine_sends_only() {
+        let model = NetworkModel {
+            bandwidth_bytes_per_sec: Some(1e6), // 1 MB/s: very slow wire
+            batch_latency: Duration::from_micros(200),
+            per_message: Duration::ZERO,
+        };
+        let t: Transport<(u32, f64)> = Transport::with_network(spec(), InboxMode::Sharded, model);
+        let batch: Vec<(u32, f64)> = (0..512).map(|i| (i, 0.0)).collect();
+        let start = std::time::Instant::now();
+        t.send(0, 1, batch.clone(), 0); // intra-machine: no delay
+        let intra = start.elapsed();
+        let start = std::time::Instant::now();
+        t.send(0, 2, batch, 0); // cross-machine: ~6.3ms wire + 0.2ms latency
+        let cross = start.elapsed();
+        assert!(cross > Duration::from_millis(3), "cross {cross:?}");
+        assert!(cross > intra * 4, "cross {cross:?} vs intra {intra:?}");
+    }
+
+    #[test]
+    fn concurrent_sharded_sends_do_not_contend() {
+        let t: Transport<u64> = Transport::new(ClusterSpec::flat(4, 1), InboxMode::Sharded);
+        std::thread::scope(|s| {
+            for sender in 0..4usize {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..2000u64 {
+                        t.send(sender, 3, vec![i], 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.pending(3), 8000);
+        // Each sender has its own lane: no contention possible.
+        assert_eq!(t.counters().snapshot().lock_contentions, 0);
+    }
+
+    #[test]
+    fn concurrent_global_queue_sends_all_arrive() {
+        let t: Transport<u64> = Transport::new(ClusterSpec::flat(4, 1), InboxMode::GlobalQueue);
+        std::thread::scope(|s| {
+            for sender in 0..4usize {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..2000u64 {
+                        t.send(sender, 3, vec![i], 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.drain(3, 1).len(), 8000);
+        // Contention is probabilistic; we only require delivery correctness
+        // here. Table 3's bench demonstrates the contention differential.
+    }
+}

@@ -1,0 +1,473 @@
+//! `cyclops` — command-line driver for the graph engines.
+//!
+//! ```text
+//! cyclops <command> [options]
+//!
+//! commands:
+//!   pagerank    PageRank ranks
+//!   sssp        single-source shortest paths (needs weights or unit)
+//!   bfs         hop levels from a source
+//!   cc          weakly connected components
+//!   cd          community detection (label propagation)
+//!   triangles   triangle count
+//!   gen         generate a dataset stand-in as an edge list
+//!   info        graph statistics
+//!
+//! input (choose one):
+//!   --input FILE          edge-list file ("src dst [weight]" per line)
+//!   --dataset NAME        Amazon|GWeb|LJournal|Wiki|SYN-GL|DBLP|RoadCA
+//!   --scale F             dataset scale fraction (default 0.1)
+//!
+//! execution:
+//!   --engine E            cyclops (default) | hama
+//!   --machines M          simulated machines (default 2)
+//!   --workers W           workers per machine (default 2)
+//!   --threads T           compute threads per worker (default 1)
+//!   --receivers R         receiver threads per worker (default 1)
+//!   --partitioner P       hash (default) | metis
+//!
+//! algorithm:
+//!   --epsilon F           convergence threshold (pagerank; default 1e-9)
+//!   --max-supersteps N    superstep cap (default 10000)
+//!   --source V            source vertex (sssp/bfs; default 0)
+//!   --sweeps N            label-propagation sweeps (cd; default 30)
+//!
+//! output:
+//!   --output FILE         write per-vertex results ("vertex value" lines)
+//!   --top N               print the N best-ranked vertices (default 10)
+//!   --seed N              generator seed (gen; default dataset seed)
+//!   --stats               print per-superstep statistics
+//! ```
+
+use cyclops::prelude::*;
+use cyclops_partition::EdgeCutPartition;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+struct Options {
+    command: String,
+    input: Option<String>,
+    dataset: Option<String>,
+    scale: f64,
+    engine: String,
+    machines: usize,
+    workers: usize,
+    threads: usize,
+    receivers: usize,
+    partitioner: String,
+    epsilon: f64,
+    max_supersteps: usize,
+    source: u32,
+    sweeps: usize,
+    output: Option<String>,
+    top: usize,
+    seed: Option<u64>,
+    stats: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            command: String::new(),
+            input: None,
+            dataset: None,
+            scale: 0.1,
+            engine: "cyclops".into(),
+            machines: 2,
+            workers: 2,
+            threads: 1,
+            receivers: 1,
+            partitioner: "hash".into(),
+            epsilon: 1e-9,
+            max_supersteps: 10_000,
+            source: 0,
+            sweeps: 30,
+            output: None,
+            top: 10,
+            seed: None,
+            stats: false,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    opts.command = it
+        .next()
+        .ok_or_else(|| "missing command; try `cyclops help`".to_string())?
+        .clone();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--input" => opts.input = Some(value("--input")?),
+            "--dataset" => opts.dataset = Some(value("--dataset")?),
+            "--scale" => opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--engine" => opts.engine = value("--engine")?,
+            "--machines" => opts.machines = value("--machines")?.parse().map_err(|e| format!("--machines: {e}"))?,
+            "--workers" => opts.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--threads" => opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--receivers" => opts.receivers = value("--receivers")?.parse().map_err(|e| format!("--receivers: {e}"))?,
+            "--partitioner" => opts.partitioner = value("--partitioner")?,
+            "--epsilon" => opts.epsilon = value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?,
+            "--max-supersteps" => opts.max_supersteps = value("--max-supersteps")?.parse().map_err(|e| format!("--max-supersteps: {e}"))?,
+            "--source" => opts.source = value("--source")?.parse().map_err(|e| format!("--source: {e}"))?,
+            "--sweeps" => opts.sweeps = value("--sweeps")?.parse().map_err(|e| format!("--sweeps: {e}"))?,
+            "--output" => opts.output = Some(value("--output")?),
+            "--top" => opts.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--seed" => opts.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--stats" => opts.stats = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.machines == 0 || opts.workers == 0 || opts.threads == 0 || opts.receivers == 0 {
+        return Err("cluster dimensions must be positive".into());
+    }
+    Ok(opts)
+}
+
+fn dataset_by_name(name: &str) -> Option<Dataset> {
+    Dataset::all()
+        .into_iter()
+        .find(|d| d.info().name.eq_ignore_ascii_case(name))
+}
+
+fn load_graph(opts: &Options) -> Result<Graph, String> {
+    match (&opts.input, &opts.dataset) {
+        (Some(path), None) => cyclops_graph::io::read_edge_list_file(path)
+            .map_err(|e| format!("reading {path}: {e}")),
+        (None, Some(name)) => {
+            let ds = dataset_by_name(name)
+                .ok_or_else(|| format!("unknown dataset {name}; see `cyclops help`"))?;
+            Ok(ds.generate_scaled(opts.scale, opts.seed.unwrap_or(ds.default_seed())))
+        }
+        (None, None) => Err("provide --input FILE or --dataset NAME".into()),
+        (Some(_), Some(_)) => Err("--input and --dataset are mutually exclusive".into()),
+    }
+}
+
+fn build_cluster(opts: &Options) -> ClusterSpec {
+    ClusterSpec {
+        machines: opts.machines,
+        workers_per_machine: opts.workers,
+        threads_per_worker: opts.threads,
+        receivers_per_worker: opts.receivers,
+    }
+}
+
+fn build_partition(opts: &Options, g: &Graph, k: usize) -> Result<EdgeCutPartition, String> {
+    match opts.partitioner.as_str() {
+        "hash" => Ok(HashPartitioner.partition(g, k)),
+        "metis" | "multilevel" => Ok(MultilevelPartitioner::default().partition(g, k)),
+        other => Err(format!("unknown partitioner {other} (hash|metis)")),
+    }
+}
+
+/// Writes `vertex value` lines to `path`.
+fn write_output<T: std::fmt::Display>(path: &str, values: &[T]) -> Result<(), String> {
+    let mut f = std::io::BufWriter::new(
+        std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+    );
+    for (v, x) in values.iter().enumerate() {
+        writeln!(f, "{v} {x}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn print_stats(stats: &[cyclops_net::SuperstepStats]) {
+    println!("superstep  active  messages  bytes");
+    for s in stats {
+        println!(
+            "{:>9}  {:>6}  {:>8}  {:>5}",
+            s.superstep, s.active_vertices, s.messages_sent, s.bytes_sent
+        );
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    if opts.command == "help" || opts.command == "--help" || opts.command == "-h" {
+        // The module doc is the manual.
+        print!("{}", HELP);
+        return Ok(());
+    }
+    const COMMANDS: &[&str] = &[
+        "pagerank", "sssp", "bfs", "cc", "cd", "triangles", "gen", "info",
+    ];
+    if !COMMANDS.contains(&opts.command.as_str()) {
+        return Err(format!(
+            "unknown command {}; try `cyclops help`",
+            opts.command
+        ));
+    }
+
+    // `gen` writes an edge list and exits.
+    if opts.command == "gen" {
+        let name = opts.dataset.as_deref().ok_or("gen needs --dataset")?;
+        let ds = dataset_by_name(name).ok_or_else(|| format!("unknown dataset {name}"))?;
+        let g = ds.generate_scaled(opts.scale, opts.seed.unwrap_or(ds.default_seed()));
+        let path = opts.output.as_deref().ok_or("gen needs --output FILE")?;
+        cyclops_graph::io::write_edge_list_file(&g, path).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {}: {} vertices, {} edges",
+            path,
+            g.num_vertices(),
+            g.num_edges()
+        );
+        return Ok(());
+    }
+
+    let g = load_graph(opts)?;
+    if opts.command == "info" {
+        let s = cyclops_graph::stats::degree_stats(&g);
+        println!("vertices: {}", g.num_vertices());
+        println!("edges: {}", g.num_edges());
+        println!("weighted: {}", g.is_weighted());
+        println!("avg degree: {:.2}", s.avg_degree);
+        println!("max out-degree: {}", s.max_out_degree);
+        println!("max in-degree: {}", s.max_in_degree);
+        println!("sinks: {:.1}%", 100.0 * s.sink_fraction);
+        println!("sources: {:.1}%", 100.0 * s.source_fraction);
+        return Ok(());
+    }
+
+    let cluster = build_cluster(opts);
+    let partition = build_partition(opts, &g, cluster.num_workers())?;
+    let use_hama = match opts.engine.as_str() {
+        "cyclops" => false,
+        "hama" | "bsp" => true,
+        other => return Err(format!("unknown engine {other} (cyclops|hama)")),
+    };
+    if (opts.source as usize) >= g.num_vertices() && matches!(opts.command.as_str(), "sssp" | "bfs")
+    {
+        return Err(format!(
+            "--source {} out of range ({} vertices)",
+            opts.source,
+            g.num_vertices()
+        ));
+    }
+
+    match opts.command.as_str() {
+        "pagerank" => {
+            let (values, supersteps, messages, stats) = if use_hama {
+                let r = cyclops_algos::pagerank::run_bsp_pagerank(
+                    &g, &partition, &cluster, opts.epsilon, opts.max_supersteps,
+                );
+                (r.values, r.supersteps, r.counters.messages, r.stats)
+            } else {
+                let r = cyclops_algos::pagerank::run_cyclops_pagerank(
+                    &g, &partition, &cluster, opts.epsilon, opts.max_supersteps,
+                );
+                (r.values, r.supersteps, r.counters.messages, r.stats)
+            };
+            println!("pagerank: {supersteps} supersteps, {messages} messages");
+            let mut ranked: Vec<(u32, f64)> = values
+                .iter()
+                .enumerate()
+                .map(|(v, &r)| (v as u32, r))
+                .collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            for (v, r) in ranked.iter().take(opts.top) {
+                println!("  {v} {r:.6e}");
+            }
+            if opts.stats {
+                print_stats(&stats);
+            }
+            if let Some(path) = &opts.output {
+                write_output(path, &values)?;
+            }
+        }
+        "sssp" => {
+            let (values, supersteps) = if use_hama {
+                let r = cyclops_algos::sssp::run_bsp_sssp(
+                    &g, &partition, &cluster, opts.source, opts.max_supersteps,
+                );
+                (r.values, r.supersteps)
+            } else {
+                let r = cyclops_algos::sssp::run_cyclops_sssp(
+                    &g, &partition, &cluster, opts.source, opts.max_supersteps,
+                );
+                (r.values, r.supersteps)
+            };
+            let reachable = values.iter().filter(|d| d.is_finite()).count();
+            println!(
+                "sssp from {}: {supersteps} supersteps, {reachable}/{} reachable",
+                opts.source,
+                g.num_vertices()
+            );
+            if let Some(path) = &opts.output {
+                write_output(path, &values)?;
+            }
+        }
+        "bfs" => {
+            let (values, supersteps) = if use_hama {
+                let r = cyclops_algos::bfs::run_bsp_bfs(&g, &partition, &cluster, opts.source);
+                (r.values, r.supersteps)
+            } else {
+                let r = cyclops_algos::bfs::run_cyclops_bfs(&g, &partition, &cluster, opts.source);
+                (r.values, r.supersteps)
+            };
+            let reached = values.iter().filter(|&&l| l != u32::MAX).count();
+            let depth = values
+                .iter()
+                .filter(|&&l| l != u32::MAX)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            println!(
+                "bfs from {}: {supersteps} supersteps, {reached}/{} reached, depth {depth}",
+                opts.source,
+                g.num_vertices()
+            );
+            if let Some(path) = &opts.output {
+                write_output(path, &values)?;
+            }
+        }
+        "cc" => {
+            let sym = cyclops_algos::cc::symmetrize(&g);
+            let partition = build_partition(opts, &sym, cluster.num_workers())?;
+            let values = if use_hama {
+                cyclops_algos::cc::run_bsp_cc(&sym, &partition, &cluster).values
+            } else {
+                cyclops_algos::cc::run_cyclops_cc(&sym, &partition, &cluster).values
+            };
+            let mut labels = values.clone();
+            labels.sort_unstable();
+            labels.dedup();
+            println!("cc: {} components", labels.len());
+            if let Some(path) = &opts.output {
+                write_output(path, &values)?;
+            }
+        }
+        "cd" => {
+            let values = if use_hama {
+                cyclops_algos::cd::run_bsp_cd(&g, &partition, &cluster, opts.sweeps + 1).values
+            } else {
+                cyclops_algos::cd::run_cyclops_cd(&g, &partition, &cluster, opts.sweeps).values
+            };
+            let mut sizes: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+            for &l in &values {
+                *sizes.entry(l).or_insert(0) += 1;
+            }
+            println!("cd: {} communities after {} sweeps", sizes.len(), opts.sweeps);
+            let mut by_size: Vec<(u32, usize)> = sizes.into_iter().collect();
+            by_size.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            for (label, n) in by_size.iter().take(opts.top) {
+                println!("  community {label}: {n} members");
+            }
+            if let Some(path) = &opts.output {
+                write_output(path, &values)?;
+            }
+        }
+        "triangles" => {
+            let sym = cyclops_algos::cc::symmetrize(&g);
+            let partition = build_partition(opts, &sym, cluster.num_workers())?;
+            let values = if use_hama {
+                cyclops_algos::triangles::run_bsp_triangles(&sym, &partition, &cluster).values
+            } else {
+                cyclops_algos::triangles::run_cyclops_triangles(&sym, &partition, &cluster).values
+            };
+            println!("triangles: {}", values.iter().sum::<u64>());
+        }
+        other => return Err(format!("unknown command {other}; try `cyclops help`")),
+    }
+    Ok(())
+}
+
+const HELP: &str = "cyclops — distributed graph processing with distributed immutable view
+
+usage: cyclops <command> [options]
+
+commands:
+  pagerank | sssp | bfs | cc | cd | triangles | gen | info | help
+
+input:       --input FILE | --dataset NAME [--scale F] [--seed N]
+             datasets: Amazon GWeb LJournal Wiki SYN-GL DBLP RoadCA
+execution:   --engine cyclops|hama  --machines M --workers W
+             --threads T --receivers R  --partitioner hash|metis
+algorithm:   --epsilon F  --max-supersteps N  --source V  --sweeps N
+output:      --output FILE  --top N  --stats
+
+examples:
+  cyclops pagerank --dataset GWeb --scale 0.2 --machines 3 --workers 2
+  cyclops sssp --dataset RoadCA --source 5 --partitioner metis
+  cyclops gen --dataset Wiki --scale 0.1 --output wiki.txt
+  cyclops cc --input wiki.txt --engine hama
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|opts| run(&opts)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let o = parse_args(&args(
+            "pagerank --dataset GWeb --scale 0.2 --engine hama --machines 3 \
+             --workers 4 --threads 2 --receivers 2 --partitioner metis \
+             --epsilon 1e-6 --max-supersteps 50 --top 3 --stats",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "pagerank");
+        assert_eq!(o.dataset.as_deref(), Some("GWeb"));
+        assert_eq!(o.scale, 0.2);
+        assert_eq!(o.engine, "hama");
+        assert_eq!(o.machines, 3);
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.receivers, 2);
+        assert_eq!(o.partitioner, "metis");
+        assert_eq!(o.epsilon, 1e-6);
+        assert_eq!(o.max_supersteps, 50);
+        assert_eq!(o.top, 3);
+        assert!(o.stats);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(parse_args(&args("pagerank --bogus")).is_err());
+        assert!(parse_args(&args("pagerank --scale")).is_err());
+        assert!(parse_args(&args("")).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_cluster_dimensions() {
+        assert!(parse_args(&args("pagerank --machines 0")).is_err());
+    }
+
+    #[test]
+    fn dataset_names_resolve_case_insensitively() {
+        assert_eq!(dataset_by_name("gweb"), Some(Dataset::GWeb));
+        assert_eq!(dataset_by_name("SYN-GL"), Some(Dataset::SynGl));
+        assert_eq!(dataset_by_name("roadca"), Some(Dataset::RoadCa));
+        assert_eq!(dataset_by_name("nope"), None);
+    }
+
+    #[test]
+    fn load_graph_requires_exactly_one_source() {
+        let mut o = Options::default();
+        assert!(load_graph(&o).is_err());
+        o.input = Some("x".into());
+        o.dataset = Some("GWeb".into());
+        assert!(load_graph(&o).is_err());
+    }
+}

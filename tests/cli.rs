@@ -1,0 +1,178 @@
+//! End-to-end tests of the `cyclops` command-line tool, driving the real
+//! binary through generate → analyze → output-file round trips.
+
+use std::process::Command;
+
+fn cyclops(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cyclops"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cyclops-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = cyclops(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage: cyclops"));
+    assert!(stdout.contains("pagerank"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, stderr) = cyclops(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn pagerank_on_dataset_prints_ranks() {
+    let (ok, stdout, stderr) = cyclops(&[
+        "pagerank",
+        "--dataset",
+        "GWeb",
+        "--scale",
+        "0.03",
+        "--top",
+        "3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("pagerank:"), "{stdout}");
+    assert_eq!(stdout.lines().filter(|l| l.starts_with("  ")).count(), 3);
+}
+
+#[test]
+fn gen_then_analyze_round_trip() {
+    let graph_file = temp_path("gweb.txt");
+    let (ok, stdout, stderr) = cyclops(&[
+        "gen",
+        "--dataset",
+        "GWeb",
+        "--scale",
+        "0.03",
+        "--output",
+        graph_file.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("wrote"));
+
+    let (ok, stdout, stderr) = cyclops(&["info", "--input", graph_file.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("vertices:"));
+
+    let out_file = temp_path("ranks.txt");
+    let (ok, _, stderr) = cyclops(&[
+        "pagerank",
+        "--input",
+        graph_file.to_str().unwrap(),
+        "--engine",
+        "hama",
+        "--output",
+        out_file.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let ranks = std::fs::read_to_string(&out_file).unwrap();
+    assert!(ranks.lines().count() > 100);
+    // Every line is "vertex value".
+    for line in ranks.lines().take(5) {
+        let mut parts = line.split_whitespace();
+        parts.next().unwrap().parse::<u32>().unwrap();
+        parts.next().unwrap().parse::<f64>().unwrap();
+    }
+}
+
+#[test]
+fn sssp_and_bfs_run_on_road() {
+    let (ok, stdout, stderr) = cyclops(&[
+        "sssp", "--dataset", "RoadCA", "--scale", "0.05", "--source", "3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("sssp from 3"));
+
+    let (ok, stdout, _) = cyclops(&[
+        "bfs",
+        "--dataset",
+        "RoadCA",
+        "--scale",
+        "0.05",
+        "--partitioner",
+        "metis",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("bfs from 0"));
+}
+
+#[test]
+fn cc_cd_triangles_summaries() {
+    let (ok, stdout, _) = cyclops(&["cc", "--dataset", "DBLP", "--scale", "0.05"]);
+    assert!(ok);
+    assert!(stdout.contains("components"));
+
+    let (ok, stdout, _) = cyclops(&[
+        "cd", "--dataset", "DBLP", "--scale", "0.05", "--sweeps", "5",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("communities"));
+
+    let (ok, stdout, _) = cyclops(&["triangles", "--dataset", "DBLP", "--scale", "0.05"]);
+    assert!(ok);
+    assert!(stdout.contains("triangles:"));
+}
+
+#[test]
+fn out_of_range_source_is_rejected() {
+    let (ok, _, stderr) = cyclops(&[
+        "sssp",
+        "--dataset",
+        "Amazon",
+        "--scale",
+        "0.03",
+        "--source",
+        "99999999",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("out of range"));
+}
+
+#[test]
+fn engines_agree_via_cli_output_files() {
+    let graph_file = temp_path("agree.txt");
+    cyclops(&[
+        "gen",
+        "--dataset",
+        "Amazon",
+        "--scale",
+        "0.03",
+        "--output",
+        graph_file.to_str().unwrap(),
+    ]);
+    let cy_file = temp_path("cy.txt");
+    let ha_file = temp_path("ha.txt");
+    for (engine, file) in [("cyclops", &cy_file), ("hama", &ha_file)] {
+        let (ok, _, stderr) = cyclops(&[
+            "sssp",
+            "--input",
+            graph_file.to_str().unwrap(),
+            "--engine",
+            engine,
+            "--output",
+            file.to_str().unwrap(),
+        ]);
+        assert!(ok, "{engine}: {stderr}");
+    }
+    assert_eq!(
+        std::fs::read_to_string(&cy_file).unwrap(),
+        std::fs::read_to_string(&ha_file).unwrap()
+    );
+}
