@@ -110,9 +110,7 @@ impl CyclopsProgram for CyclopsAls {
         if users_turn != self.params.is_user(ctx.vertex()) {
             return;
         }
-        let new = self
-            .params
-            .solve(ctx.in_messages(), ctx.value().as_slice());
+        let new = self.params.solve(ctx.in_messages(), ctx.value().as_slice());
         let delta: f64 = new
             .iter()
             .zip(ctx.value())

@@ -76,8 +76,7 @@ impl CyclopsProgram for CyclopsCommunityDetection {
     }
 
     fn compute(&self, ctx: &mut CyclopsContext<'_, u32, u32>) {
-        let new = most_frequent_label(ctx.in_messages().map(|(m, _)| *m))
-            .unwrap_or(*ctx.value());
+        let new = most_frequent_label(ctx.in_messages().map(|(m, _)| *m)).unwrap_or(*ctx.value());
         if new != *ctx.value() {
             ctx.set_value(new);
             ctx.report_error(1.0);

@@ -103,7 +103,9 @@ mod tests {
     fn random_spd_round_trip() {
         // Build A = M Mᵀ + I from a fixed matrix, solve, verify residual.
         let d = 5;
-        let m: Vec<f64> = (0..d * d).map(|i| ((i * 7 + 3) % 11) as f64 / 11.0).collect();
+        let m: Vec<f64> = (0..d * d)
+            .map(|i| ((i * 7 + 3) % 11) as f64 / 11.0)
+            .collect();
         let mut a = vec![0.0; d * d];
         for i in 0..d {
             for j in 0..d {

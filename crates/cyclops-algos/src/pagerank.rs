@@ -3,12 +3,13 @@
 //!
 //! Update rule: `rank' = 0.15 / n + 0.85 * Σ_in rank(u) / deg⁺(u)`.
 
-use cyclops_bsp::{run_bsp, BspConfig, BspContext, BspProgram, BspResult};
+use cyclops_bsp::{run_bsp_traced, BspConfig, BspContext, BspProgram, BspResult};
 use cyclops_engine::{
-    run_cyclops, Convergence, CyclopsConfig, CyclopsContext, CyclopsProgram, CyclopsResult,
+    run_cyclops_traced, Convergence, CyclopsConfig, CyclopsContext, CyclopsProgram, CyclopsResult,
 };
-use cyclops_gas::{run_gas, GasConfig, GasProgram, GasResult};
+use cyclops_gas::{run_gas_traced, GasConfig, GasProgram, GasResult};
 use cyclops_graph::{Graph, VertexId};
+use cyclops_net::trace::TraceSink;
 use cyclops_net::ClusterSpec;
 use cyclops_partition::{EdgeCutPartition, VertexCutPartition};
 
@@ -141,7 +142,19 @@ pub fn run_bsp_pagerank(
     epsilon: f64,
     max_supersteps: usize,
 ) -> BspResult<f64, f64> {
-    run_bsp(
+    run_bsp_pagerank_traced(graph, partition, cluster, epsilon, max_supersteps, None)
+}
+
+/// [`run_bsp_pagerank`] with a superstep-trace sink attached.
+pub fn run_bsp_pagerank_traced(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    epsilon: f64,
+    max_supersteps: usize,
+    trace: Option<&TraceSink>,
+) -> BspResult<f64, f64> {
+    run_bsp_traced(
         &BspPageRank { epsilon },
         graph,
         partition,
@@ -152,6 +165,7 @@ pub fn run_bsp_pagerank(
             track_redundant: true,
             ..Default::default()
         },
+        trace,
     )
 }
 
@@ -163,7 +177,19 @@ pub fn run_cyclops_pagerank(
     epsilon: f64,
     max_supersteps: usize,
 ) -> CyclopsResult<f64, f64> {
-    run_cyclops(
+    run_cyclops_pagerank_traced(graph, partition, cluster, epsilon, max_supersteps, None)
+}
+
+/// [`run_cyclops_pagerank`] with a superstep-trace sink attached.
+pub fn run_cyclops_pagerank_traced(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    epsilon: f64,
+    max_supersteps: usize,
+    trace: Option<&TraceSink>,
+) -> CyclopsResult<f64, f64> {
+    run_cyclops_traced(
         &CyclopsPageRank { epsilon },
         graph,
         partition,
@@ -173,6 +199,7 @@ pub fn run_cyclops_pagerank(
             convergence: Convergence::ActiveVertices,
             ..Default::default()
         },
+        trace,
     )
 }
 
@@ -184,7 +211,19 @@ pub fn run_gas_pagerank(
     epsilon: f64,
     max_supersteps: usize,
 ) -> GasResult<f64> {
-    run_gas(
+    run_gas_pagerank_traced(graph, partition, cluster, epsilon, max_supersteps, None)
+}
+
+/// [`run_gas_pagerank`] with a superstep-trace sink attached.
+pub fn run_gas_pagerank_traced(
+    graph: &Graph,
+    partition: &VertexCutPartition,
+    cluster: &ClusterSpec,
+    epsilon: f64,
+    max_supersteps: usize,
+    trace: Option<&TraceSink>,
+) -> GasResult<f64> {
+    run_gas_traced(
         &GasPageRank { epsilon },
         graph,
         partition,
@@ -193,6 +232,7 @@ pub fn run_gas_pagerank(
             max_supersteps,
             ..Default::default()
         },
+        trace,
     )
 }
 
@@ -206,7 +246,10 @@ mod tests {
     };
 
     fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -275,7 +318,10 @@ mod tests {
         // shrinks, so the total vertex activations are fewer...
         let cy_total: usize = cy.stats.iter().map(|s| s.active_vertices).sum();
         let bsp_total: usize = bsp.stats.iter().map(|s| s.active_vertices).sum();
-        assert!(cy_total < bsp_total, "cyclops {cy_total} vs bsp {bsp_total}");
+        assert!(
+            cy_total < bsp_total,
+            "cyclops {cy_total} vs bsp {bsp_total}"
+        );
         // ...and the tail of the run computes only stragglers.
         let cy_tail = cy.stats[cy.stats.len().saturating_sub(2)].active_vertices;
         assert!(cy_tail < 400, "cyclops tail still fully active: {cy_tail}");

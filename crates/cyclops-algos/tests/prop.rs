@@ -25,15 +25,13 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 
 fn arb_weighted_graph() -> impl Strategy<Value = Graph> {
     (3usize..20).prop_flat_map(|n| {
-        prop::collection::vec((0..n as u32, 0..n as u32, 1u32..20), 1..60).prop_map(
-            move |edges| {
-                let mut b = GraphBuilder::new(n);
-                for (s, t, w) in edges {
-                    b.add_weighted_edge(s, t, w as f64 * 0.5);
-                }
-                b.build()
-            },
-        )
+        prop::collection::vec((0..n as u32, 0..n as u32, 1u32..20), 1..60).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (s, t, w) in edges {
+                b.add_weighted_edge(s, t, w as f64 * 0.5);
+            }
+            b.build()
+        })
     })
 }
 

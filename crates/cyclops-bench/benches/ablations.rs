@@ -8,13 +8,11 @@
 //! 4. **incremental vs cold restart** under topology mutation (the §8
 //!    extension): recomputation cost of absorbing an edge insertion.
 
+use cyclops_algos::pagerank::{BspPageRank, CyclopsPageRank};
 use cyclops_bench::report::{self, Table};
 use cyclops_bench::workloads;
-use cyclops_algos::pagerank::{BspPageRank, CyclopsPageRank};
 use cyclops_bsp::{run_bsp, BspConfig};
-use cyclops_engine::{
-    run_cyclops, run_cyclops_evolving, CyclopsConfig, MutationBatch, WarmStart,
-};
+use cyclops_engine::{run_cyclops, run_cyclops_evolving, CyclopsConfig, MutationBatch, WarmStart};
 use cyclops_graph::Dataset;
 use cyclops_net::NetworkModel;
 use cyclops_partition::{EdgeCutPartitioner, HashPartitioner};
@@ -48,8 +46,17 @@ fn main() {
             ..Default::default()
         },
     );
-    let mut table = Table::new(&["variant", "supersteps", "vertex computes", "messages", "time (s)"]);
-    for (name, r) in [("dynamic (eps=1e-7)", &dynamic), ("always-active (eps=0)", &exhaustive)] {
+    let mut table = Table::new(&[
+        "variant",
+        "supersteps",
+        "vertex computes",
+        "messages",
+        "time (s)",
+    ]);
+    for (name, r) in [
+        ("dynamic (eps=1e-7)", &dynamic),
+        ("always-active (eps=0)", &exhaustive),
+    ] {
         table.row(vec![
             name.into(),
             r.supersteps.to_string(),
@@ -125,7 +132,9 @@ fn main() {
         ]);
     }
     table.print();
-    println!("  (BSP checkpoints carry in-flight messages; Cyclops rebuilds replicas from masters)");
+    println!(
+        "  (BSP checkpoints carry in-flight messages; Cyclops rebuilds replicas from masters)"
+    );
 
     // ---- 4. Incremental vs cold mutation absorption. ----
     report::subheading("topology mutation: incremental warm start vs cold rerun");
@@ -138,9 +147,18 @@ fn main() {
         max_supersteps: 200,
         ..Default::default()
     };
-    let partition_fn = |g: &cyclops_graph::Graph| HashPartitioner.partition(g, cluster.num_workers());
-    let mut table = Table::new(&["policy", "epoch supersteps", "epoch vertex computes", "epoch messages"]);
-    for (name, policy) in [("incremental", WarmStart::Incremental), ("cold", WarmStart::Cold)] {
+    let partition_fn =
+        |g: &cyclops_graph::Graph| HashPartitioner.partition(g, cluster.num_workers());
+    let mut table = Table::new(&[
+        "policy",
+        "epoch supersteps",
+        "epoch vertex computes",
+        "epoch messages",
+    ]);
+    for (name, policy) in [
+        ("incremental", WarmStart::Incremental),
+        ("cold", WarmStart::Cold),
+    ] {
         let r = run_cyclops_evolving(
             &CyclopsPageRank { epsilon: 1e-7 },
             &g,

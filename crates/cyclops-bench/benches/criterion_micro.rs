@@ -124,7 +124,11 @@ fn bench_cholesky(c: &mut Criterion) {
     let mut a = vec![0.0f64; d * d];
     for i in 0..d {
         for j in 0..d {
-            a[i * d + j] = if i == j { 4.0 } else { 1.0 / (1.0 + (i + j) as f64) };
+            a[i * d + j] = if i == j {
+                4.0
+            } else {
+                1.0 / (1.0 + (i + j) as f64)
+            };
         }
     }
     let b0: Vec<f64> = (0..d).map(|i| i as f64).collect();

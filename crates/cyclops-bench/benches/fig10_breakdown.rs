@@ -20,7 +20,10 @@ fn phase_row(label: String, engine: &str, t: &PhaseTimes, hama_total: f64) -> Ve
         ms(t.parse),
         ms(t.compute),
         ms(t.send),
-        format!("{:.0}%", 100.0 * t.total().as_secs_f64() / hama_total.max(1e-12)),
+        format!(
+            "{:.0}%",
+            100.0 * t.total().as_secs_f64() / hama_total.max(1e-12)
+        ),
     ]
 }
 
@@ -39,7 +42,13 @@ fn main() {
     // ---- Panel 1: phase breakdown per workload. ----
     report::subheading("Fig 10(1): execution time breakdown, 48 workers (ms, summed over workers)");
     let mut table = Table::new(&[
-        "workload", "engine", "SYN", "PRS", "CMP", "SND", "total vs Hama",
+        "workload",
+        "engine",
+        "SYN",
+        "PRS",
+        "CMP",
+        "SND",
+        "total vs Hama",
     ]);
     for w in workloads::paper_workloads() {
         let g = workloads::gen_graph(w.dataset, fraction);
@@ -48,13 +57,28 @@ fn main() {
         let p48 = HashPartitioner.partition(&g, 48);
         let hama = run_on_hama(&w, &g, &p48, &flat, fraction);
         let hama_total = total_phases(&hama).total().as_secs_f64();
-        table.row(phase_row(label.clone(), "Hama", &total_phases(&hama), hama_total));
+        table.row(phase_row(
+            label.clone(),
+            "Hama",
+            &total_phases(&hama),
+            hama_total,
+        ));
         let cy = run_on_cyclops(&w, &g, &p48, &flat, fraction);
-        table.row(phase_row(label.clone(), "Cyclops", &total_phases(&cy), hama_total));
+        table.row(phase_row(
+            label.clone(),
+            "Cyclops",
+            &total_phases(&cy),
+            hama_total,
+        ));
         let mt_cluster = workloads::paper_cluster_mt(48);
         let p6 = HashPartitioner.partition(&g, mt_cluster.num_workers());
         let mt = run_on_cyclops(&w, &g, &p6, &mt_cluster, fraction);
-        table.row(phase_row(label, "CyclopsMT", &total_phases(&mt), hama_total));
+        table.row(phase_row(
+            label,
+            "CyclopsMT",
+            &total_phases(&mt),
+            hama_total,
+        ));
     }
     table.print();
     println!(

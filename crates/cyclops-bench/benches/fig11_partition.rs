@@ -22,7 +22,9 @@ fn main() {
     let wiki = workloads::gen_graph(Dataset::Wiki, fraction);
     let mut table = Table::new(&["partitions", "hash", "metis"]);
     for k in [6usize, 12, 24, 48] {
-        let hash_rf = HashPartitioner.partition(&wiki, k).replication_factor(&wiki);
+        let hash_rf = HashPartitioner
+            .partition(&wiki, k)
+            .replication_factor(&wiki);
         let metis_rf = metis.partition(&wiki, k).replication_factor(&wiki);
         table.row(vec![
             k.to_string(),

@@ -88,7 +88,10 @@ fn main() {
         let mt = workloads::paper_cluster_mt(48);
         let p = HashPartitioner.partition(&g, mt.num_workers());
         let out = run_on_cyclops(&w, &g, &p, &mt, f);
-        table.row(vec![report::count(g.num_edges()), report::secs(out.elapsed)]);
+        table.row(vec![
+            report::count(g.num_edges()),
+            report::secs(out.elapsed),
+        ]);
     }
     table.print();
     println!("  paper: 9.6s at 0.34M edges to 207.7s at 20.2M — roughly linear");
@@ -103,8 +106,7 @@ fn main() {
         // measure distance of the partial result to the converged ranks.
         let flat = workloads::paper_cluster(48);
         let p48 = HashPartitioner.partition(&g, 48);
-        let hama =
-            cyclops_algos::pagerank::run_bsp_pagerank(&g, &p48, &flat, 0.0, k + 1);
+        let hama = cyclops_algos::pagerank::run_bsp_pagerank(&g, &p48, &flat, 0.0, k + 1);
         table.row(vec![
             k.to_string(),
             "Hama".into(),

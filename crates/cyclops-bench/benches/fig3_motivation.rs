@@ -67,7 +67,11 @@ fn main() {
     let p = HashPartitioner.partition(&g, cluster.num_workers());
     let r = cyclops_algos::pagerank::run_bsp_pagerank(&g, &p, &cluster, EPSILON, 60);
     let mut table = Table::new(&["superstep", "messages", "redundant", "ratio"]);
-    for s in r.stats.iter().filter(|s| s.superstep % 4 == 0 || s.superstep < 8) {
+    for s in r
+        .stats
+        .iter()
+        .filter(|s| s.superstep % 4 == 0 || s.superstep < 8)
+    {
         let ratio = if s.messages_sent > 0 {
             s.redundant_messages as f64 / s.messages_sent as f64
         } else {
@@ -115,14 +119,17 @@ fn main() {
 
         // The paper's key point: unconverged vertices concentrate among the
         // high-rank (important) vertices.
-        let mut by_rank: Vec<(f64, f64)> =
-            r.values.iter().copied().zip(errors.iter().copied()).collect();
+        let mut by_rank: Vec<(f64, f64)> = r
+            .values
+            .iter()
+            .copied()
+            .zip(errors.iter().copied())
+            .collect();
         by_rank.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
         let top = &by_rank[..by_rank.len() / 10];
         let bottom = &by_rank[by_rank.len() / 2..];
         let unconv = |slice: &[(f64, f64)]| {
-            100.0 * slice.iter().filter(|&&(_, e)| e > EPSILON).count() as f64
-                / slice.len() as f64
+            100.0 * slice.iter().filter(|&&(_, e)| e > EPSILON).count() as f64 / slice.len() as f64
         };
         println!(
             "  {ds}: {prop:.1}% converged at global bound; unconverged among top-10% ranks: \

@@ -10,8 +10,8 @@
 use cyclops_bench::report::{self, Table};
 use cyclops_bench::workloads::{self, run_on_cyclops, run_on_gas};
 use cyclops_partition::{
-    EdgeCutPartitioner, GreedyVertexCut, HashPartitioner, MultilevelPartitioner,
-    VertexCutPartitioner, RandomVertexCut,
+    EdgeCutPartitioner, GreedyVertexCut, HashPartitioner, MultilevelPartitioner, RandomVertexCut,
+    VertexCutPartitioner,
 };
 
 fn main() {
@@ -71,13 +71,12 @@ fn main() {
                 / cy_phases.total().as_secs_f64().max(1e-12);
 
             // Messages per replica per iteration.
-            let cy_replicas =
-                cy.ingress.map(|i| i.total_replicas).unwrap_or(0).max(1);
+            let cy_replicas = cy.ingress.map(|i| i.total_replicas).unwrap_or(0).max(1);
             let pg_mirrors = vertex_cut.total_mirrors().max(1);
-            let cy_rate = cy.counters.messages as f64
-                / (cy_replicas as f64 * cy.supersteps.max(1) as f64);
-            let pg_rate = pg.counters.messages as f64
-                / (pg_mirrors as f64 * pg.supersteps.max(1) as f64);
+            let cy_rate =
+                cy.counters.messages as f64 / (cy_replicas as f64 * cy.supersteps.max(1) as f64);
+            let pg_rate =
+                pg.counters.messages as f64 / (pg_mirrors as f64 * pg.supersteps.max(1) as f64);
 
             table.row(vec![
                 w.dataset.to_string(),

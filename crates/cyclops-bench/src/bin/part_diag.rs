@@ -4,7 +4,10 @@ use cyclops_graph::Dataset;
 use cyclops_partition::{EdgeCutPartitioner, HashPartitioner, MultilevelPartitioner};
 
 fn main() {
-    let f: f64 = std::env::var("F").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    let f: f64 = std::env::var("F")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
     for ds in Dataset::all() {
         let g = ds.generate_scaled(f, ds.default_seed());
         let h = HashPartitioner.partition(&g, 48);

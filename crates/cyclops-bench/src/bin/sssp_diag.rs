@@ -1,7 +1,10 @@
-use cyclops_bench::workloads::{self, run_on_hama, run_on_cyclops};
+use cyclops_bench::workloads::{self, run_on_cyclops, run_on_hama};
 use cyclops_partition::{EdgeCutPartitioner, HashPartitioner};
 fn main() {
-    let f: f64 = std::env::var("F").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    let f: f64 = std::env::var("F")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
     let w = workloads::paper_workloads()[6];
     let g = workloads::gen_graph(w.dataset, f);
     println!("graph: {} v {} e", g.num_vertices(), g.num_edges());
@@ -9,10 +12,38 @@ fn main() {
     let p = HashPartitioner.partition(&g, 48);
     let h = run_on_hama(&w, &g, &p, &cluster, f);
     let c = run_on_cyclops(&w, &g, &p, &cluster, f);
-    println!("hama: {:?} supersteps={} msgs={} active_total={}", h.elapsed, h.supersteps, h.counters.messages, h.stats.iter().map(|s| s.active_vertices).sum::<usize>());
-    println!("cyc : {:?} supersteps={} msgs={} active_total={}", c.elapsed, c.supersteps, c.counters.messages, c.stats.iter().map(|s| s.active_vertices).sum::<usize>());
-    let ph = h.stats.iter().fold(cyclops_net::PhaseTimes::default(), |a, s| a.merge(&s.phase_times));
-    let pc = c.stats.iter().fold(cyclops_net::PhaseTimes::default(), |a, s| a.merge(&s.phase_times));
-    println!("hama phases: syn={:?} prs={:?} cmp={:?} snd={:?}", ph.sync, ph.parse, ph.compute, ph.send);
-    println!("cyc  phases: syn={:?} prs={:?} cmp={:?} snd={:?}", pc.sync, pc.parse, pc.compute, pc.send);
+    println!(
+        "hama: {:?} supersteps={} msgs={} active_total={}",
+        h.elapsed,
+        h.supersteps,
+        h.counters.messages,
+        h.stats.iter().map(|s| s.active_vertices).sum::<usize>()
+    );
+    println!(
+        "cyc : {:?} supersteps={} msgs={} active_total={}",
+        c.elapsed,
+        c.supersteps,
+        c.counters.messages,
+        c.stats.iter().map(|s| s.active_vertices).sum::<usize>()
+    );
+    let ph = h
+        .stats
+        .iter()
+        .fold(cyclops_net::PhaseTimes::default(), |a, s| {
+            a.merge(&s.phase_times)
+        });
+    let pc = c
+        .stats
+        .iter()
+        .fold(cyclops_net::PhaseTimes::default(), |a, s| {
+            a.merge(&s.phase_times)
+        });
+    println!(
+        "hama phases: syn={:?} prs={:?} cmp={:?} snd={:?}",
+        ph.sync, ph.parse, ph.compute, ph.send
+    );
+    println!(
+        "cyc  phases: syn={:?} prs={:?} cmp={:?} snd={:?}",
+        pc.sync, pc.parse, pc.compute, pc.send
+    );
 }

@@ -1,5 +1,6 @@
 //! Plain-text report formatting shared by the benchmark targets.
 
+use cyclops_net::trace::{RunTrace, TraceRecord};
 use std::time::Duration;
 
 /// Prints a top-level experiment heading.
@@ -30,7 +31,7 @@ pub fn count(n: usize) -> String {
     let s = n.to_string();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -85,9 +86,62 @@ impl Table {
     }
 }
 
+/// Builds a per-superstep table from an engine trace, summing worker records
+/// and converting phase durations to milliseconds. This supersedes hand-built
+/// tables over `SuperstepStats`: any engine with a [`TraceSink`] attached
+/// yields the same columns, including phase attribution and drain counts the
+/// old plumbing never carried.
+///
+/// [`TraceSink`]: cyclops_net::trace::TraceSink
+pub fn trace_table(trace: &RunTrace) -> Table {
+    let mut table = Table::new(&[
+        "superstep",
+        "frontier",
+        "computed",
+        "activated",
+        "drained",
+        "messages",
+        "bytes",
+        "prs_ms",
+        "cmp_ms",
+        "snd_ms",
+        "syn_ms",
+    ]);
+    let supersteps = trace.supersteps();
+    let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
+    for s in 0..supersteps {
+        let rows: Vec<&TraceRecord> = trace.records.iter().filter(|r| r.superstep == s).collect();
+        let sum = |f: &dyn Fn(&TraceRecord) -> u64| rows.iter().map(|r| f(r)).sum::<u64>();
+        table.row(vec![
+            s.to_string(),
+            count(sum(&|r| r.frontier) as usize),
+            count(sum(&|r| r.computed) as usize),
+            count(sum(&|r| r.activated) as usize),
+            count(sum(&|r| r.drained) as usize),
+            count(sum(&|r| r.messages) as usize),
+            count(sum(&|r| r.bytes) as usize),
+            ms(sum(&|r| r.parse_ns)),
+            ms(sum(&|r| r.compute_ns)),
+            ms(sum(&|r| r.send_ns)),
+            ms(sum(&|r| r.sync_ns)),
+        ]);
+    }
+    table
+}
+
+/// Prints a [`trace_table`] under a heading naming the traced engine.
+pub fn print_trace(trace: &RunTrace) {
+    subheading(&format!(
+        "superstep trace — {} on {} ({} workers)",
+        trace.meta.engine, trace.meta.cluster, trace.meta.workers
+    ));
+    trace_table(trace).print();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cyclops_net::trace::TraceMeta;
 
     #[test]
     fn count_formats_thousands() {
@@ -106,5 +160,51 @@ mod tests {
     fn table_checks_columns() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn trace_table_sums_workers_per_superstep() {
+        let trace = RunTrace {
+            meta: TraceMeta {
+                engine: "cyclops".into(),
+                cluster: "1x2x1".into(),
+                workers: 2,
+                values: false,
+            },
+            records: vec![
+                TraceRecord {
+                    superstep: 0,
+                    worker: 0,
+                    computed: 3,
+                    messages: 5,
+                    ..Default::default()
+                },
+                TraceRecord {
+                    superstep: 0,
+                    worker: 1,
+                    computed: 4,
+                    messages: 6,
+                    ..Default::default()
+                },
+                TraceRecord {
+                    superstep: 1,
+                    worker: 0,
+                    computed: 1,
+                    ..Default::default()
+                },
+                TraceRecord {
+                    superstep: 1,
+                    worker: 1,
+                    computed: 2,
+                    ..Default::default()
+                },
+            ],
+        };
+        let t = trace_table(&trace);
+        // header + 2 superstep rows
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[1][2], "7"); // computed, superstep 0
+        assert_eq!(t.rows[1][5], "11"); // messages, superstep 0
+        assert_eq!(t.rows[2][2], "3"); // computed, superstep 1
     }
 }

@@ -39,14 +39,17 @@ pub fn scale() -> f64 {
 
 /// The paper's in-house cluster: 6 machines. "48 workers" is `6 x 8`.
 pub fn paper_cluster(workers: usize) -> ClusterSpec {
-    assert!(workers % 6 == 0, "the paper's cluster has 6 machines");
+    assert!(
+        workers.is_multiple_of(6),
+        "the paper's cluster has 6 machines"
+    );
     ClusterSpec::flat(6, workers / 6)
 }
 
 /// The CyclopsMT configuration matched to `workers` total threads
 /// (the paper's best uses 2 receiver threads, §6.5).
 pub fn paper_cluster_mt(workers: usize) -> ClusterSpec {
-    assert!(workers % 6 == 0);
+    assert!(workers.is_multiple_of(6));
     ClusterSpec::mt(6, workers / 6, 2.min(workers / 6).max(1))
 }
 
@@ -86,13 +89,34 @@ pub struct Workload {
 /// The paper's seven workloads in Figure 9 order.
 pub fn paper_workloads() -> Vec<Workload> {
     vec![
-        Workload { dataset: Dataset::Amazon, algo: Algo::PageRank },
-        Workload { dataset: Dataset::GWeb, algo: Algo::PageRank },
-        Workload { dataset: Dataset::LJournal, algo: Algo::PageRank },
-        Workload { dataset: Dataset::Wiki, algo: Algo::PageRank },
-        Workload { dataset: Dataset::SynGl, algo: Algo::Als },
-        Workload { dataset: Dataset::Dblp, algo: Algo::Cd },
-        Workload { dataset: Dataset::RoadCa, algo: Algo::Sssp },
+        Workload {
+            dataset: Dataset::Amazon,
+            algo: Algo::PageRank,
+        },
+        Workload {
+            dataset: Dataset::GWeb,
+            algo: Algo::PageRank,
+        },
+        Workload {
+            dataset: Dataset::LJournal,
+            algo: Algo::PageRank,
+        },
+        Workload {
+            dataset: Dataset::Wiki,
+            algo: Algo::PageRank,
+        },
+        Workload {
+            dataset: Dataset::SynGl,
+            algo: Algo::Als,
+        },
+        Workload {
+            dataset: Dataset::Dblp,
+            algo: Algo::Cd,
+        },
+        Workload {
+            dataset: Dataset::RoadCa,
+            algo: Algo::Sssp,
+        },
     ]
 }
 

@@ -11,7 +11,11 @@ use crate::checkpoint::Checkpoint;
 use crate::program::{BspContext, BspProgram};
 use cyclops_graph::{Graph, VertexId};
 use cyclops_net::metrics::CounterSnapshot;
-use cyclops_net::{AggregateStats, ClusterSpec, FlatBarrier, InboxMode, Phase, PhaseTimes, SuperstepStats, Transport};
+use cyclops_net::trace::TraceSink;
+use cyclops_net::{
+    AggregateStats, ClusterSpec, FlatBarrier, InboxMode, Phase, PhaseTimes, SuperstepStats,
+    Transport,
+};
 use cyclops_partition::EdgeCutPartition;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -90,7 +94,19 @@ pub fn run_bsp<P: BspProgram>(
     partition: &EdgeCutPartition,
     config: &BspConfig,
 ) -> BspResult<P::Value, P::Message> {
-    run_bsp_inner(program, graph, partition, config, None)
+    run_bsp_inner(program, graph, partition, config, None, None)
+}
+
+/// [`run_bsp`] with a superstep-trace sink attached. The sink must have been
+/// built for the same [`ClusterSpec`] as `config.cluster`.
+pub fn run_bsp_traced<P: BspProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &BspConfig,
+    trace: Option<&TraceSink>,
+) -> BspResult<P::Value, P::Message> {
+    run_bsp_inner(program, graph, partition, config, None, trace)
 }
 
 /// Resumes a BSP run from a checkpoint captured by an earlier run with
@@ -103,7 +119,7 @@ pub fn run_bsp_from_checkpoint<P: BspProgram>(
     config: &BspConfig,
     checkpoint: &Checkpoint<P::Value, P::Message>,
 ) -> BspResult<P::Value, P::Message> {
-    run_bsp_inner(program, graph, partition, config, Some(checkpoint))
+    run_bsp_inner(program, graph, partition, config, Some(checkpoint), None)
 }
 
 fn run_bsp_inner<P: BspProgram>(
@@ -112,6 +128,7 @@ fn run_bsp_inner<P: BspProgram>(
     partition: &EdgeCutPartition,
     config: &BspConfig,
     resume: Option<&Checkpoint<P::Value, P::Message>>,
+    trace: Option<&TraceSink>,
 ) -> BspResult<P::Value, P::Message> {
     let num_workers = config.cluster.num_workers();
     assert_eq!(
@@ -203,6 +220,7 @@ fn run_bsp_inner<P: BspProgram>(
             scope.spawn(move || {
                 worker_loop(
                     me,
+                    trace,
                     program,
                     graph,
                     partition,
@@ -265,6 +283,7 @@ fn fingerprint<M: cyclops_net::Codec>(msgs: &[(VertexId, M)]) -> u64 {
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<P: BspProgram>(
     me: usize,
+    trace: Option<&TraceSink>,
     program: &P,
     graph: &Graph,
     partition: &EdgeCutPartition,
@@ -289,6 +308,7 @@ fn worker_loop<P: BspProgram>(
     let mut outboxes: Vec<Vec<(VertexId, P::Message)>> =
         (0..num_workers).map(|_| Vec::new()).collect();
     let mut vertex_outbox: Vec<(VertexId, P::Message)> = Vec::new();
+    let tracer = trace.map(|s| s.worker(me));
 
     loop {
         let mut times = PhaseTimes::default();
@@ -309,15 +329,21 @@ fn worker_loop<P: BspProgram>(
         });
 
         // ---- Checkpoint (post-parse state is a consistent cut). ----
+        let mut checkpointed = false;
         if let Some(every) = config.checkpoint_every {
-            if every > 0 && superstep > start_superstep && (superstep - start_superstep) % every == 0 {
+            if every > 0
+                && superstep > start_superstep
+                && (superstep - start_superstep).is_multiple_of(every)
+            {
                 let mut cp = checkpoints.lock();
                 capture_checkpoint(&mut cp, st, superstep, agg_in);
+                checkpointed = true;
             }
         }
 
         // ---- CMP: run compute on active vertices. ----
         let mut local_active = 0usize;
+        let mut local_activated = 0usize;
         let mut local_agg = AggregateStats::default();
         let mut redundant = 0usize;
         times.time(Phase::Compute, || {
@@ -344,6 +370,9 @@ fn worker_loop<P: BspProgram>(
                     program.compute(&mut ctx, &msgs);
                 }
                 st.halted[li] = halted;
+                if !halted {
+                    local_activated += 1;
+                }
                 if config.track_redundant && !vertex_outbox.is_empty() {
                     let fp = fingerprint(&vertex_outbox);
                     if fp == st.last_sent[li] {
@@ -360,18 +389,30 @@ fn worker_loop<P: BspProgram>(
         if !local_agg.is_empty() {
             aggregate_acc.lock().merge(&local_agg);
         }
+        if let Some(tr) = tracer {
+            tr.add_drained(received as u64);
+            tr.add_computed(local_active as u64);
+            tr.add_activated(local_activated as u64);
+            if !local_agg.is_empty() {
+                tr.set_thread_agg(0, local_agg);
+            }
+        }
 
         // ---- SND: combine and transmit. ----
         times.time(Phase::Send, || {
-            for dest_worker in 0..num_workers {
-                let mut batch = std::mem::take(&mut outboxes[dest_worker]);
+            for (dest_worker, outbox) in outboxes.iter_mut().enumerate() {
+                let mut batch = std::mem::take(outbox);
                 if batch.is_empty() {
                     continue;
                 }
                 if config.use_combiner {
                     combine_batch(program, &mut batch);
                 }
-                transport.send(me, dest_worker, batch, superstep);
+                let sent = batch.len();
+                let wire = transport.send(me, dest_worker, batch, superstep);
+                if let Some(tr) = tracer {
+                    tr.add_sent(sent as u64, wire as u64);
+                }
             }
         });
 
@@ -411,7 +452,15 @@ fn worker_loop<P: BspProgram>(
         // record (this superstep's entry was already published above) —
         // summed over workers, like the compute phases, and the same scheme
         // the Cyclops engine uses.
-        current.lock().phase_times.add(Phase::Sync, sync_start.elapsed());
+        let sync_elapsed = sync_start.elapsed();
+        current.lock().phase_times.add(Phase::Sync, sync_elapsed);
+        // The trace record, in contrast, attributes this barrier wait to the
+        // superstep that just ran: the per-worker frontier for BSP is the
+        // active-vertex count entering compute.
+        if let Some(tr) = tracer {
+            times.add(Phase::Sync, sync_elapsed);
+            tr.commit(superstep, me, local_active, &times, checkpointed);
+        }
         if stop.load(Ordering::Acquire) {
             return;
         }

@@ -26,5 +26,5 @@ pub mod engine;
 pub mod program;
 
 pub use checkpoint::Checkpoint;
-pub use engine::{run_bsp, run_bsp_from_checkpoint, BspConfig, BspResult};
+pub use engine::{run_bsp, run_bsp_from_checkpoint, run_bsp_traced, BspConfig, BspResult};
 pub use program::{BspContext, BspProgram};

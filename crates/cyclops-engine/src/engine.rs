@@ -28,9 +28,10 @@ use crate::plan::CyclopsPlan;
 use crate::program::{CyclopsContext, CyclopsProgram};
 use cyclops_graph::Graph;
 use cyclops_net::metrics::CounterSnapshot;
+use cyclops_net::trace::{digest_bytes, TraceSink};
 use cyclops_net::{
-    AggregateStats, ClusterSpec, DisjointSlots, HierarchicalBarrier, InboxMode, Phase, PhaseTimes,
-    SuperstepStats, Transport,
+    AggregateStats, ClusterSpec, Codec, DisjointSlots, HierarchicalBarrier, InboxMode, Phase,
+    PhaseTimes, SuperstepStats, Transport,
 };
 use cyclops_partition::EdgeCutPartition;
 use parking_lot::Mutex;
@@ -165,6 +166,19 @@ pub fn run_cyclops<P: CyclopsProgram>(
     run_cyclops_with_plan(program, graph, &plan, config, None)
 }
 
+/// [`run_cyclops`] with a superstep-trace sink attached. The sink must have
+/// been built for the same [`ClusterSpec`] as `config.cluster`.
+pub fn run_cyclops_traced<P: CyclopsProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &CyclopsConfig,
+    trace: Option<&TraceSink>,
+) -> CyclopsResult<P::Value, P::Message> {
+    let plan = CyclopsPlan::build_parallel(graph, partition);
+    run_cyclops_with_plan_traced(program, graph, &plan, config, None, trace)
+}
+
 /// Resumes from a checkpoint captured by an earlier run (replicas and
 /// messages are *not* in the checkpoint — they are reconstructed from the
 /// master publications, §3.6).
@@ -186,6 +200,20 @@ pub fn run_cyclops_with_plan<P: CyclopsProgram>(
     plan: &CyclopsPlan,
     config: &CyclopsConfig,
     resume: Option<&CyclopsCheckpoint<P::Value, P::Message>>,
+) -> CyclopsResult<P::Value, P::Message> {
+    run_cyclops_with_plan_traced(program, graph, plan, config, resume, None)
+}
+
+/// [`run_cyclops_with_plan`] with a superstep-trace sink attached. Trace
+/// collection is entirely passive when `trace` is `None` — the hot loop
+/// only pays for it when a sink is installed.
+pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
+    program: &P,
+    graph: &Graph,
+    plan: &CyclopsPlan,
+    config: &CyclopsConfig,
+    resume: Option<&CyclopsCheckpoint<P::Value, P::Message>>,
+    trace: Option<&TraceSink>,
 ) -> CyclopsResult<P::Value, P::Message> {
     let spec = config.cluster;
     let num_workers = spec.num_workers();
@@ -317,6 +345,7 @@ pub fn run_cyclops_with_plan<P: CyclopsProgram>(
                     thread_loop(ThreadEnv {
                         w,
                         t,
+                        trace,
                         threads,
                         receivers,
                         program,
@@ -377,6 +406,7 @@ pub fn run_cyclops_with_plan<P: CyclopsProgram>(
 struct ThreadEnv<'a, P: CyclopsProgram> {
     w: usize,
     t: usize,
+    trace: Option<&'a TraceSink>,
     threads: usize,
     receivers: usize,
     program: &'a P,
@@ -417,9 +447,12 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
     let mut outboxes: Vec<Vec<(u32, P::Message, bool)>> =
         (0..num_workers).map(|_| Vec::new()).collect();
     let mut updated: Vec<u32> = Vec::new();
+    let tracer = env.trace.map(|s| s.worker(env.w));
+    let capture_values = env.trace.map(|s| s.captures_values()).unwrap_or(false);
 
     loop {
         let mut times = PhaseTimes::default();
+        let mut frontier_len = 0usize;
         let cur_parity = superstep & 1;
         let next_parity = (superstep + 1) & 1;
         let agg_in = *env.prev_aggregate.lock();
@@ -435,7 +468,7 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             Some(every) => {
                 every > 0
                     && superstep > env.start_superstep
-                    && (superstep - env.start_superstep) % every == 0
+                    && (superstep - env.start_superstep).is_multiple_of(every)
             }
             None => false,
         };
@@ -444,10 +477,12 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         // ---- Apply phase (PRS): receivers update replicas lock-free. ----
         let apply_start = Instant::now();
         if env.t < env.receivers {
+            let mut drained = 0u64;
             for (_, batch) in
                 env.transport
                     .drain_lanes_partitioned(env.w, superstep, env.t, env.receivers)
             {
+                drained += batch.len() as u64;
                 for (rep_idx, m, activate) in batch {
                     // SAFETY: each replica receives at most one message per
                     // superstep (one master, one sync), and lanes touching
@@ -460,7 +495,16 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                     }
                 }
             }
+            if let Some(tr) = tracer {
+                tr.add_drained(drained);
+            }
         }
+        // Only the drain/apply loop above is parse work; the barrier waits
+        // (and the optional checkpoint they bracket) are coordination time
+        // and belong to SYN — charging them to PRS used to inflate the parse
+        // column by a full barrier interval per superstep.
+        times.add(Phase::Parse, apply_start.elapsed());
+        let wait_start = Instant::now();
         ws.local.wait();
         // Value-only checkpoint (no replicas, no messages — §3.6), taken on
         // the post-apply consistent cut: remote activations delivered this
@@ -473,16 +517,21 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             }
             ws.local.wait();
         }
+        times.add(Phase::Sync, wait_start.elapsed());
         // Snapshot the frontier: everything activated for this superstep by
         // last superstep's local activations plus this superstep's replica
         // messages. O(frontier), not O(masters).
         if env.t == 0 {
+            let snap_start = Instant::now();
             let mut frontier = ws.frontier.write();
             frontier.clear();
             frontier.append(&mut ws.active_list[cur_parity].lock());
+            frontier_len = frontier.len();
+            times.add(Phase::Parse, snap_start.elapsed());
         }
+        let wait_start = Instant::now();
         ws.local.wait();
-        times.add(Phase::Parse, apply_start.elapsed());
+        times.add(Phase::Sync, wait_start.elapsed());
 
         // ---- Compute phase (CMP). ----
         let compute_start = Instant::now();
@@ -533,6 +582,16 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                 }
             }
             if let Some(m) = publish {
+                // Digest the publication exactly as it would go on the wire
+                // (values mode only — this is the diagnostic path that lets
+                // trace-diff name the first divergent vertex).
+                if capture_values {
+                    if let Some(tr) = tracer {
+                        let mut buf = bytes::BytesMut::with_capacity(m.encoded_len());
+                        m.encode(&mut buf);
+                        tr.record_publication(wp.masters[li], digest_bytes(&buf));
+                    }
+                }
                 // Publish for local readers (visible next superstep)...
                 // SAFETY: one write per master per superstep.
                 unsafe { ws.msg_next.write(li, Some(m.clone())) };
@@ -549,8 +608,10 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             }
         }
         drop(frontier);
-        ws.local.wait();
         times.add(Phase::Compute, compute_start.elapsed());
+        let wait_start = Instant::now();
+        ws.local.wait();
+        times.add(Phase::Sync, wait_start.elapsed());
 
         // ---- Publish & send phase (SND). ----
         let send_start = Instant::now();
@@ -571,14 +632,21 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         };
         for (dest, batch) in outboxes.iter_mut().enumerate() {
             if !batch.is_empty() {
-                env.transport.send(lane, dest, std::mem::take(batch), superstep);
+                let sent = batch.len();
+                let wire = env
+                    .transport
+                    .send(lane, dest, std::mem::take(batch), superstep);
+                if let Some(tr) = tracer {
+                    tr.add_sent(sent as u64, wire as u64);
+                }
             }
         }
         times.add(Phase::Send, send_start.elapsed());
 
         // ---- Publish per-thread statistics. ----
         env.computed_total.fetch_add(computed, Ordering::Relaxed);
-        env.next_active_total.fetch_add(next_active, Ordering::Relaxed);
+        env.next_active_total
+            .fetch_add(next_active, Ordering::Relaxed);
         if conv_delta != 0 {
             env.converged_delta.fetch_add(conv_delta, Ordering::Relaxed);
         }
@@ -589,6 +657,16 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             let mut acc = env.error_acc.lock();
             acc.0 += local_err.0;
             acc.1 += local_err.1;
+        }
+        if let Some(tr) = tracer {
+            tr.add_computed(computed as u64);
+            tr.add_converged_delta(conv_delta as i64);
+            if !local_agg.is_empty() {
+                tr.set_thread_agg(env.t, local_agg);
+            }
+            if env.t == 0 {
+                tr.add_activated(next_active as u64);
+            }
         }
         if env.t == 0 {
             let mut cur = env.current.lock();
@@ -611,7 +689,11 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             *env.prev_aggregate.lock() = if agg.is_empty() { None } else { Some(*agg) };
             *agg = AggregateStats::default();
             let mut err = env.error_acc.lock();
-            let mean_err = if err.1 > 0 { Some(err.0 / err.1 as f64) } else { None };
+            let mean_err = if err.1 > 0 {
+                Some(err.0 / err.1 as f64)
+            } else {
+                None
+            };
             *err = (0.0, 0);
 
             let snap = env.transport.counters().snapshot();
@@ -636,12 +718,20 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             };
             let drained = total_next == 0 && env.transport.all_empty();
             let capped = superstep + 1 >= env.config.max_supersteps + env.start_superstep;
-            env.stop.store(drained || converged_enough || capped, Ordering::Release);
+            env.stop
+                .store(drained || converged_enough || capped, Ordering::Release);
         }
         env.barrier.wait(env.w, env.t);
         if env.t == 0 {
-            let mut cur = env.current.lock();
-            cur.phase_times.add(Phase::Sync, sync_start.elapsed());
+            let final_sync = sync_start.elapsed();
+            env.current.lock().phase_times.add(Phase::Sync, final_sync);
+            // Commit this worker's superstep record. Safe to read every
+            // thread's accumulators: all of them published before the first
+            // hierarchical barrier above.
+            if let Some(tr) = tracer {
+                times.add(Phase::Sync, final_sync);
+                tr.commit(superstep, env.w, frontier_len, &times, checkpoint_now);
+            }
         }
         if env.stop.load(Ordering::Acquire) {
             return;
@@ -847,7 +937,12 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(prop.supersteps < full.supersteps, "prop {} vs full {}", prop.supersteps, full.supersteps);
+        assert!(
+            prop.supersteps < full.supersteps,
+            "prop {} vs full {}",
+            prop.supersteps,
+            full.supersteps
+        );
     }
 
     #[test]

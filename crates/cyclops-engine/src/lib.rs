@@ -44,9 +44,11 @@ pub mod program;
 
 pub use checkpoint::CyclopsCheckpoint;
 pub use engine::{
-    run_cyclops, run_cyclops_from_checkpoint, run_cyclops_with_plan, Convergence, CyclopsConfig,
-    CyclopsResult,
+    run_cyclops, run_cyclops_from_checkpoint, run_cyclops_traced, run_cyclops_with_plan,
+    run_cyclops_with_plan_traced, Convergence, CyclopsConfig, CyclopsResult,
 };
-pub use mutation::{apply_mutations, run_cyclops_evolving, EvolvingResult, MutationBatch, WarmStart};
+pub use mutation::{
+    apply_mutations, run_cyclops_evolving, EvolvingResult, MutationBatch, WarmStart,
+};
 pub use plan::{CyclopsPlan, IngressStats};
 pub use program::{CyclopsContext, CyclopsProgram};

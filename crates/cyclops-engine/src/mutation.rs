@@ -136,7 +136,9 @@ where
     let mut current = graph.clone();
     let mut epochs = Vec::with_capacity(batches.len() + 1);
     let plan = CyclopsPlan::build_parallel(&current, &partition_fn(&current));
-    epochs.push(run_cyclops_with_plan(program, &current, &plan, config, None));
+    epochs.push(run_cyclops_with_plan(
+        program, &current, &plan, config, None,
+    ));
 
     for (batch, policy) in batches {
         let prev: &CyclopsResult<P::Value, P::Message> = epochs.last().unwrap();
@@ -169,8 +171,7 @@ where
                         (current.num_vertices() as VertexId..next_graph.num_vertices() as VertexId)
                             .map(|v| {
                                 let value = program.init(v, &next_graph);
-                                let publication =
-                                    program.init_message(v, &next_graph, &value);
+                                let publication = program.init_message(v, &next_graph, &value);
                                 let act = program.initially_active(v, &next_graph);
                                 (v, value, publication, act)
                             }),
@@ -289,7 +290,12 @@ mod tests {
             &[(batch.clone(), WarmStart::Incremental)],
         );
         let final_graph = apply_mutations(&g, &batch);
-        let cold = run_cyclops(&MaxPull, &final_graph, &partition_fn(&final_graph), &config());
+        let cold = run_cyclops(
+            &MaxPull,
+            &final_graph,
+            &partition_fn(&final_graph),
+            &config(),
+        );
         assert_eq!(evolving.final_values(), &cold.values[..]);
         // Vertex 8 publishes 80; everything downstream of 3 must see it.
         assert_eq!(evolving.final_values()[7], 80);
@@ -334,7 +340,12 @@ mod tests {
                 ..Default::default()
             },
         );
-        let cold = run_cyclops(&MaxPull, &final_graph, &partition_fn(&final_graph), &config());
+        let cold = run_cyclops(
+            &MaxPull,
+            &final_graph,
+            &partition_fn(&final_graph),
+            &config(),
+        );
         assert_eq!(evolving.final_values(), &cold.values[..]);
     }
 

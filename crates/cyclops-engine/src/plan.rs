@@ -92,15 +92,14 @@ impl WorkerPlan {
     /// Same-worker out-neighbors (local master indices) of master `local`.
     #[inline]
     pub fn local_out(&self, local: usize) -> &[u32] {
-        &self.local_out[self.local_out_offsets[local] as usize
-            ..self.local_out_offsets[local + 1] as usize]
+        &self.local_out
+            [self.local_out_offsets[local] as usize..self.local_out_offsets[local + 1] as usize]
     }
 
     /// Remote replicas of master `local` as `(worker, replica index)`.
     #[inline]
     pub fn mirrors(&self, local: usize) -> &[(u32, u32)] {
-        &self.mirrors
-            [self.mirror_offsets[local] as usize..self.mirror_offsets[local + 1] as usize]
+        &self.mirrors[self.mirror_offsets[local] as usize..self.mirror_offsets[local + 1] as usize]
     }
 
     /// Local out-neighbors activated by replica `rep`.
@@ -150,7 +149,7 @@ impl CyclopsPlan {
     /// worker constructs its own replicas and edge tables (the paper's
     /// ingress "generates in-memory data structures by all workers in
     /// parallel", §6.7), in two barrier-separated phases — replica discovery
-    /// + in-edge wiring first, then mirror/activation wiring once every
+    /// and in-edge wiring first, then mirror/activation wiring once every
     /// worker's replica list exists. Produces exactly the same plan as
     /// [`Self::build`].
     pub fn build_parallel(graph: &Graph, partition: &EdgeCutPartition) -> CyclopsPlan {
@@ -425,8 +424,8 @@ impl CyclopsPlan {
             workers[w].mirror_offsets = mir_off;
             workers[w].mirrors = mir;
         }
-        for w in 0..k {
-            let replicas = std::mem::take(&mut workers[w].replicas);
+        for (w, worker) in workers.iter_mut().enumerate() {
+            let replicas = std::mem::take(&mut worker.replicas);
             let mut ro_off = vec![0u32];
             let mut ro = Vec::new();
             for &u in &replicas {
@@ -443,9 +442,9 @@ impl CyclopsPlan {
                 }
                 ro_off.push(ro.len() as u32);
             }
-            workers[w].replicas = replicas;
-            workers[w].rep_out_offsets = ro_off;
-            workers[w].rep_out = ro;
+            worker.replicas = replicas;
+            worker.rep_out_offsets = ro_off;
+            worker.rep_out = ro;
         }
         let replicate = rep_start.elapsed();
 
@@ -492,7 +491,18 @@ mod tests {
         // From the figure: 1->2, 2->1, 1->4(? via cut), 3->2, 3->4, 4->3,
         // 1->3, 6->3, 5->6, 6->5, 4->5, 5->2. We reproduce the cut
         // structure, not the exact figure edges: workers {0,1}, {2,3}, {4,5}.
-        for &(s, t) in &[(0, 1), (1, 0), (0, 2), (2, 1), (2, 3), (3, 2), (5, 2), (4, 5), (5, 4), (3, 4)] {
+        for &(s, t) in &[
+            (0, 1),
+            (1, 0),
+            (0, 2),
+            (2, 1),
+            (2, 3),
+            (3, 2),
+            (5, 2),
+            (4, 5),
+            (5, 4),
+            (3, 4),
+        ] {
             b.add_edge(s, t);
         }
         let g = b.build();
@@ -526,9 +536,7 @@ mod tests {
     fn replication_factor_matches_partition_metric() {
         let (g, p) = figure6();
         let plan = CyclopsPlan::build(&g, &p);
-        assert!(
-            (plan.replication_factor(&g) - p.replication_factor(&g)).abs() < 1e-12
-        );
+        assert!((plan.replication_factor(&g) - p.replication_factor(&g)).abs() < 1e-12);
     }
 
     #[test]

@@ -33,8 +33,12 @@ pub trait CyclopsProgram: Sync {
     /// Initial publication of `vertex`, visible to neighbors in superstep 0
     /// (e.g. PageRank publishes `initial_rank / out_degree`). Return `None`
     /// to publish nothing (SSSP's non-source vertices).
-    fn init_message(&self, vertex: VertexId, graph: &Graph, value: &Self::Value)
-        -> Option<Self::Message>;
+    fn init_message(
+        &self,
+        vertex: VertexId,
+        graph: &Graph,
+        value: &Self::Value,
+    ) -> Option<Self::Message>;
 
     /// Whether `vertex` starts active in superstep 0. Defaults to `true`
     /// (pull-mode algorithms); push-mode algorithms like SSSP activate only
@@ -132,9 +136,7 @@ impl<'a, V, M> CyclopsContext<'a, V, M> {
     /// id (the plan's in-edge references are built in the graph's in-edge
     /// order, so ids and publications line up). Used by programs that need
     /// to know *who* published, e.g. triangle counting.
-    pub fn in_messages_with_sources(
-        &self,
-    ) -> impl Iterator<Item = ((VertexId, &M), f64)> + '_ {
+    pub fn in_messages_with_sources(&self) -> impl Iterator<Item = ((VertexId, &M), f64)> + '_ {
         let (start, end) = self.plan.in_ref_range(self.local);
         let weights = self.plan.in_weights(self.local);
         let sources = self.graph.in_neighbors(self.vertex);

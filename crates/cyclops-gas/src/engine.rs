@@ -12,7 +12,10 @@ use crate::program::GasProgram;
 use bytes::{Buf, BufMut, BytesMut};
 use cyclops_graph::{Graph, VertexId};
 use cyclops_net::metrics::CounterSnapshot;
-use cyclops_net::{ClusterSpec, Codec, FlatBarrier, InboxMode, Phase, PhaseTimes, SuperstepStats, Transport};
+use cyclops_net::trace::TraceSink;
+use cyclops_net::{
+    ClusterSpec, Codec, FlatBarrier, InboxMode, Phase, PhaseTimes, SuperstepStats, Transport,
+};
 use cyclops_partition::VertexCutPartition;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -146,6 +149,41 @@ impl<V: Codec, G: Codec> Codec for GasMsg<V, G> {
         }
     }
 
+    fn try_decode(buf: &mut impl Buf) -> Option<Self> {
+        if !buf.has_remaining() {
+            return None;
+        }
+        Some(match buf.get_u8() {
+            0 => GasMsg::GatherReq {
+                local: u32::try_decode(buf)?,
+                reply: u32::try_decode(buf)?,
+            },
+            1 => {
+                let local = u32::try_decode(buf)?;
+                let acc = if bool::try_decode(buf)? {
+                    Some(G::try_decode(buf)?)
+                } else {
+                    None
+                };
+                GasMsg::GatherResp { local, acc }
+            }
+            2 => GasMsg::Apply {
+                local: u32::try_decode(buf)?,
+                value: V::try_decode(buf)?,
+            },
+            3 => GasMsg::ScatterReq {
+                local: u32::try_decode(buf)?,
+            },
+            4 => GasMsg::ScatterResp {
+                local: u32::try_decode(buf)?,
+            },
+            5 => GasMsg::Activate {
+                vertices: Vec::<u32>::try_decode(buf)?,
+            },
+            _ => return None,
+        })
+    }
+
     fn encoded_len(&self) -> usize {
         1 + match self {
             GasMsg::GatherReq { .. } => 8,
@@ -192,17 +230,29 @@ impl<V> PartState<V> {
     }
     fn in_edges(&self, li: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
         let (s, e) = (self.in_off[li] as usize, self.in_off[li + 1] as usize);
-        self.in_src[s..e]
-            .iter()
-            .enumerate()
-            .map(move |(i, &src)| (src, if self.in_w.is_empty() { 1.0 } else { self.in_w[s + i] }))
+        self.in_src[s..e].iter().enumerate().map(move |(i, &src)| {
+            (
+                src,
+                if self.in_w.is_empty() {
+                    1.0
+                } else {
+                    self.in_w[s + i]
+                },
+            )
+        })
     }
     fn out_edges(&self, li: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
         let (s, e) = (self.out_off[li] as usize, self.out_off[li + 1] as usize);
-        self.out_dst[s..e]
-            .iter()
-            .enumerate()
-            .map(move |(i, &dst)| (dst, if self.out_w.is_empty() { 1.0 } else { self.out_w[s + i] }))
+        self.out_dst[s..e].iter().enumerate().map(move |(i, &dst)| {
+            (
+                dst,
+                if self.out_w.is_empty() {
+                    1.0
+                } else {
+                    self.out_w[s + i]
+                },
+            )
+        })
     }
 }
 
@@ -212,6 +262,18 @@ pub fn run_gas<P: GasProgram>(
     graph: &Graph,
     partition: &VertexCutPartition,
     config: &GasConfig,
+) -> GasResult<P::Value> {
+    run_gas_traced(program, graph, partition, config, None)
+}
+
+/// [`run_gas`] with a superstep-trace sink attached. The sink must have been
+/// built for the same [`ClusterSpec`] as `config.cluster`.
+pub fn run_gas_traced<P: GasProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &VertexCutPartition,
+    config: &GasConfig,
+    trace: Option<&TraceSink>,
 ) -> GasResult<P::Value> {
     let num_workers = config.cluster.num_workers();
     assert_eq!(
@@ -298,7 +360,11 @@ pub fn run_gas<P: GasProgram>(
                 adj.sort_unstable_by_key(|&(a, b, _)| (a, b));
                 let mut off = vec![0u32; nl + 1];
                 let mut nbr = Vec::with_capacity(adj.len());
-                let mut ws = if weighted { Vec::with_capacity(adj.len()) } else { Vec::new() };
+                let mut ws = if weighted {
+                    Vec::with_capacity(adj.len())
+                } else {
+                    Vec::new()
+                };
                 for &(a, b, w) in adj.iter() {
                     off[a as usize + 1] += 1;
                     nbr.push(b);
@@ -346,6 +412,7 @@ pub fn run_gas<P: GasProgram>(
             scope.spawn(move || {
                 gas_worker(
                     me,
+                    trace,
                     program,
                     graph,
                     partition,
@@ -386,6 +453,7 @@ pub fn run_gas<P: GasProgram>(
 #[allow(clippy::too_many_arguments)]
 fn gas_worker<P: GasProgram>(
     me: usize,
+    trace: Option<&TraceSink>,
     program: &P,
     graph: &Graph,
     partition: &VertexCutPartition,
@@ -411,10 +479,16 @@ fn gas_worker<P: GasProgram>(
     // Which local vertices were activated by local scatter this superstep.
     let mut locally_activated: Vec<u32> = Vec::new();
 
+    let tracer = trace.map(|s| s.worker(me));
+
     let flush = |outboxes: &mut Vec<Vec<GasMsg<P::Value, P::Gather>>>, epoch: usize| {
         for (dest, batch) in outboxes.iter_mut().enumerate() {
             if !batch.is_empty() {
-                transport.send(me, dest, std::mem::take(batch), epoch);
+                let sent = batch.len();
+                let wire = transport.send(me, dest, std::mem::take(batch), epoch);
+                if let Some(tr) = tracer {
+                    tr.add_sent(sent as u64, wire as u64);
+                }
             }
         }
     };
@@ -422,10 +496,13 @@ fn gas_worker<P: GasProgram>(
     loop {
         let mut times = PhaseTimes::default();
         let base = superstep * 4;
+        let mut drained = 0u64;
 
         // ---- Phase 0: absorb activations, decide the active set. ----
         times.time(Phase::Parse, || {
-            for msg in transport.drain(me, base) {
+            let msgs = transport.drain(me, base);
+            drained += msgs.len() as u64;
+            for msg in msgs {
                 match msg {
                     GasMsg::Activate { vertices } => {
                         for v in vertices {
@@ -474,8 +551,7 @@ fn gas_worker<P: GasProgram>(
                     });
                     // The mirror resolves by global id; patch the request.
                     let v = part.local_vertices[li];
-                    if let Some(GasMsg::GatherReq { local, .. }) =
-                        outboxes[mp as usize].last_mut()
+                    if let Some(GasMsg::GatherReq { local, .. }) = outboxes[mp as usize].last_mut()
                     {
                         *local = v;
                     }
@@ -488,7 +564,9 @@ fn gas_worker<P: GasProgram>(
         // ---- Phase 1: mirrors answer gather requests; master's own
         //      partial. ----
         times.time(Phase::Compute, || {
-            for msg in transport.drain(me, base + 1) {
+            let msgs = transport.drain(me, base + 1);
+            drained += msgs.len() as u64;
+            for msg in msgs {
                 if let GasMsg::GatherReq { local: v, reply } = msg {
                     let li = part.local_index(v) as usize;
                     let acc = local_gather(program, graph, part, li);
@@ -511,7 +589,9 @@ fn gas_worker<P: GasProgram>(
         // ---- Phase 2: apply at masters, broadcast new values. ----
         old_values.clear();
         times.time(Phase::Compute, || {
-            for msg in transport.drain(me, base + 2) {
+            let msgs = transport.drain(me, base + 2);
+            drained += msgs.len() as u64;
+            for msg in msgs {
                 if let GasMsg::GatherResp { local, acc } = msg {
                     if let Some(a) = acc {
                         merge_pending(program, &mut pending, local, Some(a));
@@ -548,7 +628,9 @@ fn gas_worker<P: GasProgram>(
         let computed = old_values.len();
         times.time(Phase::Compute, || {
             let mut mirror_old: HashMap<u32, P::Value> = HashMap::new();
-            for msg in transport.drain(me, base + 3) {
+            let msgs = transport.drain(me, base + 3);
+            drained += msgs.len() as u64;
+            for msg in msgs {
                 match msg {
                     GasMsg::Apply { local: v, value } => {
                         let li = part.local_index(v) as usize;
@@ -559,15 +641,7 @@ fn gas_worker<P: GasProgram>(
                         let li = part.local_index(v) as usize;
                         let old = mirror_old.get(&v).expect("Apply precedes ScatterReq");
                         let new = part.data[li].clone();
-                        scatter_local(
-                            program,
-                            graph,
-                            part,
-                            li,
-                            old,
-                            &new,
-                            &mut locally_activated,
-                        );
+                        scatter_local(program, graph, part, li, old, &new, &mut locally_activated);
                         let master = partition.masters[v as usize] as usize;
                         outboxes[master].push(GasMsg::ScatterResp { local: v });
                     }
@@ -629,6 +703,15 @@ fn gas_worker<P: GasProgram>(
             supersteps_done.store(superstep + 1, Ordering::Release);
         }
         barrier.wait();
+        if let Some(tr) = tracer {
+            tr.add_drained(drained);
+            tr.add_computed(computed as u64);
+            tr.add_activated(locally_activated.len() as u64);
+            times.add(Phase::Sync, sync_start.elapsed());
+            // GAS workers are single-threaded, so each worker is its own
+            // leader; the frontier is the active set entering the superstep.
+            tr.commit(superstep, me, my_active, &times, false);
+        }
         superstep += 1;
     }
 }
@@ -754,8 +837,18 @@ mod tests {
             cluster: ClusterSpec::flat(3, 1),
             ..Default::default()
         };
-        let a = run_gas(&MaxGas, &g, &RandomVertexCut::default().partition(&g, 3), &cfg);
-        let b = run_gas(&MaxGas, &g, &GreedyVertexCut::default().partition(&g, 3), &cfg);
+        let a = run_gas(
+            &MaxGas,
+            &g,
+            &RandomVertexCut::default().partition(&g, 3),
+            &cfg,
+        );
+        let b = run_gas(
+            &MaxGas,
+            &g,
+            &GreedyVertexCut::default().partition(&g, 3),
+            &cfg,
+        );
         assert_eq!(a.values, b.values);
     }
 

@@ -24,5 +24,5 @@
 pub mod engine;
 pub mod program;
 
-pub use engine::{run_gas, GasConfig, GasResult};
+pub use engine::{run_gas, run_gas_traced, GasConfig, GasResult};
 pub use program::GasProgram;

@@ -163,7 +163,11 @@ impl GraphBuilder {
             out_offsets[i + 1] += out_offsets[i];
         }
         let mut out_targets = vec![0 as VertexId; m];
-        let mut out_weights = if weighted { vec![0.0f64; m] } else { Vec::new() };
+        let mut out_weights = if weighted {
+            vec![0.0f64; m]
+        } else {
+            Vec::new()
+        };
         for (pos, &i) in keep.iter().enumerate() {
             out_targets[pos] = dsts[i as usize];
             if weighted {
@@ -180,7 +184,11 @@ impl GraphBuilder {
             in_offsets[i + 1] += in_offsets[i];
         }
         let mut in_sources = vec![0 as VertexId; m];
-        let mut in_weights = if weighted { vec![0.0f64; m] } else { Vec::new() };
+        let mut in_weights = if weighted {
+            vec![0.0f64; m]
+        } else {
+            Vec::new()
+        };
         {
             let mut cursor = in_offsets.clone();
             // Iterating sources in increasing order keeps each in-adjacency

@@ -66,7 +66,9 @@ mod tests {
     #[test]
     fn log_normal_is_positive_and_has_sane_median() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut samples: Vec<f64> = (0..20_000).map(|_| log_normal(&mut rng, 0.4, 1.2)).collect();
+        let mut samples: Vec<f64> = (0..20_000)
+            .map(|_| log_normal(&mut rng, 0.4, 1.2))
+            .collect();
         assert!(samples.iter().all(|&x| x > 0.0));
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];

@@ -98,7 +98,7 @@ impl Graph {
     /// Iterator over all vertex ids, `0..num_vertices`.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices as VertexId).into_iter()
+        0..self.num_vertices as VertexId
     }
 
     /// Out-degree of `v`.

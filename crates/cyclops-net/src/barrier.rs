@@ -43,11 +43,10 @@ impl FlatBarrier {
     pub fn protocol_messages(&self) -> usize {
         // Each round, all `participants` waiters add `participants - 1`;
         // normalize to one count per round.
-        if self.participants == 0 {
-            0
-        } else {
-            self.messages.load(Ordering::Relaxed) / self.participants
-        }
+        self.messages
+            .load(Ordering::Relaxed)
+            .checked_div(self.participants)
+            .unwrap_or(0)
     }
 }
 
@@ -85,10 +84,8 @@ impl HierarchicalBarrier {
         // Phase 1: gather locally; one leader per machine emerges.
         let leader = self.local[machine].wait().is_leader();
         // Phase 2: leaders run the global protocol.
-        if leader {
-            if self.global.wait().is_leader() {
-                self.rounds.fetch_add(1, Ordering::Relaxed);
-            }
+        if leader && self.global.wait().is_leader() {
+            self.rounds.fetch_add(1, Ordering::Relaxed);
         }
         // Phase 3: release the machine's threads.
         self.local[machine].wait();

@@ -17,8 +17,14 @@ use bytes::{Buf, BufMut, BytesMut};
 pub trait Codec: Sized {
     /// Appends the encoding of `self` to `buf`.
     fn encode(&self, buf: &mut BytesMut);
-    /// Reads one value from the front of `buf`.
+    /// Reads one value from the front of `buf`. Panics if `buf` ends
+    /// mid-value; use [`Self::try_decode`] on buffers that may be
+    /// truncated or corrupt.
     fn decode(buf: &mut impl Buf) -> Self;
+    /// Checked variant of [`Self::decode`]: returns `None` instead of
+    /// panicking when `buf` ends mid-value or holds an invalid encoding.
+    /// On `None` the buffer may be left partially consumed.
+    fn try_decode(buf: &mut impl Buf) -> Option<Self>;
     /// Exact number of bytes `encode` appends. Used for pre-sizing buffers
     /// and for byte accounting.
     fn encoded_len(&self) -> usize;
@@ -30,6 +36,9 @@ impl Codec for u32 {
     }
     fn decode(buf: &mut impl Buf) -> Self {
         buf.get_u32_le()
+    }
+    fn try_decode(buf: &mut impl Buf) -> Option<Self> {
+        (buf.remaining() >= 4).then(|| buf.get_u32_le())
     }
     fn encoded_len(&self) -> usize {
         4
@@ -43,6 +52,9 @@ impl Codec for u64 {
     fn decode(buf: &mut impl Buf) -> Self {
         buf.get_u64_le()
     }
+    fn try_decode(buf: &mut impl Buf) -> Option<Self> {
+        (buf.remaining() >= 8).then(|| buf.get_u64_le())
+    }
     fn encoded_len(&self) -> usize {
         8
     }
@@ -54,6 +66,9 @@ impl Codec for f64 {
     }
     fn decode(buf: &mut impl Buf) -> Self {
         buf.get_f64_le()
+    }
+    fn try_decode(buf: &mut impl Buf) -> Option<Self> {
+        (buf.remaining() >= 8).then(|| buf.get_f64_le())
     }
     fn encoded_len(&self) -> usize {
         8
@@ -67,6 +82,9 @@ impl Codec for bool {
     fn decode(buf: &mut impl Buf) -> Self {
         buf.get_u8() != 0
     }
+    fn try_decode(buf: &mut impl Buf) -> Option<Self> {
+        buf.has_remaining().then(|| buf.get_u8() != 0)
+    }
     fn encoded_len(&self) -> usize {
         1
     }
@@ -75,6 +93,9 @@ impl Codec for bool {
 impl Codec for () {
     fn encode(&self, _buf: &mut BytesMut) {}
     fn decode(_buf: &mut impl Buf) -> Self {}
+    fn try_decode(_buf: &mut impl Buf) -> Option<Self> {
+        Some(())
+    }
     fn encoded_len(&self) -> usize {
         0
     }
@@ -89,6 +110,11 @@ impl<A: Codec, B: Codec> Codec for (A, B) {
         let a = A::decode(buf);
         let b = B::decode(buf);
         (a, b)
+    }
+    fn try_decode(buf: &mut impl Buf) -> Option<Self> {
+        let a = A::try_decode(buf)?;
+        let b = B::try_decode(buf)?;
+        Some((a, b))
     }
     fn encoded_len(&self) -> usize {
         self.0.encoded_len() + self.1.encoded_len()
@@ -107,6 +133,12 @@ impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
         let c = C::decode(buf);
         (a, b, c)
     }
+    fn try_decode(buf: &mut impl Buf) -> Option<Self> {
+        let a = A::try_decode(buf)?;
+        let b = B::try_decode(buf)?;
+        let c = C::try_decode(buf)?;
+        Some((a, b, c))
+    }
     fn encoded_len(&self) -> usize {
         self.0.encoded_len() + self.1.encoded_len() + self.2.encoded_len()
     }
@@ -122,6 +154,14 @@ impl<T: Codec> Codec for Vec<T> {
     fn decode(buf: &mut impl Buf) -> Self {
         let len = u32::decode(buf) as usize;
         (0..len).map(|_| T::decode(buf)).collect()
+    }
+    fn try_decode(buf: &mut impl Buf) -> Option<Self> {
+        let len = u32::try_decode(buf)? as usize;
+        let mut out = Vec::with_capacity(len.min(buf.remaining()));
+        for _ in 0..len {
+            out.push(T::try_decode(buf)?);
+        }
+        Some(out)
     }
     fn encoded_len(&self) -> usize {
         4 + self.iter().map(Codec::encoded_len).sum::<usize>()
@@ -141,10 +181,22 @@ pub fn encode_batch<M: Codec>(msgs: &[M]) -> BytesMut {
     buf
 }
 
-/// Decodes a batch previously produced by [`encode_batch`].
+/// Decodes a batch previously produced by [`encode_batch`]. Panics on a
+/// truncated buffer; the wire path uses [`try_decode_batch`].
 pub fn decode_batch<M: Codec>(buf: &mut impl Buf) -> Vec<M> {
     let len = u32::decode(buf) as usize;
     (0..len).map(|_| M::decode(buf)).collect()
+}
+
+/// Checked variant of [`decode_batch`]: `None` when the buffer is truncated
+/// mid-batch or an element's encoding is invalid, instead of panicking.
+pub fn try_decode_batch<M: Codec>(buf: &mut impl Buf) -> Option<Vec<M>> {
+    let len = u32::try_decode(buf)? as usize;
+    let mut out = Vec::with_capacity(len.min(buf.remaining()));
+    for _ in 0..len {
+        out.push(M::try_decode(buf)?);
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -165,7 +217,7 @@ mod tests {
         round_trip(0u32);
         round_trip(u32::MAX);
         round_trip(u64::MAX - 7);
-        round_trip(3.141592653589793f64);
+        round_trip(std::f64::consts::PI);
         round_trip(f64::NEG_INFINITY);
         round_trip(true);
         round_trip(false);
@@ -192,6 +244,43 @@ mod tests {
         let out: Vec<(u32, f64)> = decode_batch(&mut read);
         assert_eq!(out, msgs);
         assert!(!read.has_remaining());
+    }
+
+    #[test]
+    fn try_decode_rejects_truncation_at_every_offset() {
+        let msgs: Vec<(u32, f64, bool)> = (0..5).map(|i| (i, i as f64, i % 2 == 0)).collect();
+        let full = encode_batch(&msgs);
+        for cut in 0..full.len() {
+            let mut prefix = BytesMut::new();
+            prefix.put_slice(&full[..cut]);
+            let mut read = prefix.freeze();
+            assert_eq!(
+                try_decode_batch::<(u32, f64, bool)>(&mut read),
+                None,
+                "decode of a {cut}-byte prefix should fail"
+            );
+        }
+        let out = try_decode_batch::<(u32, f64, bool)>(&mut full.freeze());
+        assert_eq!(out, Some(msgs));
+    }
+
+    #[test]
+    fn try_decode_handles_nested_vecs() {
+        let v = vec![vec![1u32, 2], vec![], vec![3]];
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        assert_eq!(
+            Vec::<Vec<u32>>::try_decode(&mut buf.freeze()),
+            Some(v.clone())
+        );
+        // A corrupted (oversized) inner length prefix must fail cleanly.
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        let mut bytes: Vec<u8> = buf.to_vec();
+        bytes[4] = 0xFF; // inner vec claims 255+ elements
+        let mut read = BytesMut::new();
+        read.put_slice(&bytes);
+        assert_eq!(Vec::<Vec<u32>>::try_decode(&mut read.freeze()), None);
     }
 
     #[test]

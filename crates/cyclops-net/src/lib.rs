@@ -28,13 +28,17 @@
 //!   Table 2 memory experiment,
 //! * [`slots::DisjointSlots`] — the lock-free "update replicas without
 //!   protection" write path that Cyclops' at-most-one-message-per-replica
-//!   guarantee makes safe (§3.4, Table 3).
+//!   guarantee makes safe (§3.4, Table 3),
+//! * [`trace`] — structured superstep-trace observability shared by every
+//!   engine (per-superstep × worker counter records, JSONL sinks, and
+//!   [`trace::diff`] for root-causing run divergence).
 
 pub mod barrier;
 pub mod cluster;
 pub mod codec;
 pub mod metrics;
 pub mod slots;
+pub mod trace;
 pub mod transport;
 
 pub use barrier::{FlatBarrier, HierarchicalBarrier};
@@ -42,4 +46,5 @@ pub use cluster::ClusterSpec;
 pub use codec::Codec;
 pub use metrics::{AggregateStats, Phase, PhaseTimes, SuperstepStats};
 pub use slots::DisjointSlots;
+pub use trace::{RunTrace, TraceRecord, TraceSink, WorkerTracer};
 pub use transport::{InboxMode, NetworkModel, Transport};

@@ -219,7 +219,8 @@ impl RunCounters {
     #[inline]
     pub fn queue_leave(&self, n: usize) {
         if n > 0 {
-            self.inflight_messages.fetch_sub(n as u64, Ordering::Relaxed);
+            self.inflight_messages
+                .fetch_sub(n as u64, Ordering::Relaxed);
         }
     }
 
@@ -305,7 +306,7 @@ mod tests {
         let mut t = PhaseTimes::default();
         let v = t.time(Phase::Compute, || 42);
         assert_eq!(v, 42);
-        assert!(t.compute > Duration::ZERO || t.compute == Duration::ZERO); // recorded
+        assert!(t.compute >= Duration::ZERO); // recorded
     }
 
     #[test]

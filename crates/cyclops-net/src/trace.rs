@@ -1,0 +1,843 @@
+//! Superstep-trace observability shared by all three engines.
+//!
+//! A [`TraceSink`] collects one [`TraceRecord`] per superstep × worker:
+//! phase durations, frontier size, computed / activated / converged counts,
+//! messages and bytes sent and drained, the worker's aggregate contribution,
+//! and checkpoint captures. Records land in preallocated per-worker ring
+//! buffers with no locks on the hot path: worker threads accumulate into
+//! relaxed per-worker atomics, and only the worker leader commits a record
+//! (one writer per ring). When no sink is installed, engines skip every
+//! trace call — the observability layer costs nothing unless asked for.
+//!
+//! Traces serialize to JSON lines (hand-written; no external dependencies)
+//! via [`TraceSink::write_jsonl`] and load back with [`read_jsonl`]. The
+//! [`diff`] module compares two runs and reports the first divergent
+//! superstep, worker, and counter — and, when publication digests were
+//! captured ([`TraceSink::with_values`]), the first divergent vertex —
+//! which is how a nondeterministic run is root-caused to the superstep
+//! where it forked.
+
+use crate::cluster::ClusterSpec;
+use crate::metrics::{AggregateStats, PhaseTimes};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Default per-worker ring capacity (records). A record is ~150 bytes
+/// without digests, so the default bounds a worker's trace memory at a few
+/// hundred KiB while holding far more supersteps than any workload here
+/// runs.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// One superstep on one worker.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceRecord {
+    /// Superstep index.
+    pub superstep: u64,
+    /// Worker id.
+    pub worker: u64,
+    /// PRS (drain + replica apply) nanoseconds, worker-leader thread.
+    pub parse_ns: u64,
+    /// CMP nanoseconds, worker-leader thread.
+    pub compute_ns: u64,
+    /// SND nanoseconds, worker-leader thread.
+    pub send_ns: u64,
+    /// SYN (barrier wait) nanoseconds, worker-leader thread.
+    pub sync_ns: u64,
+    /// Frontier size entering the compute phase.
+    pub frontier: u64,
+    /// Vertices that ran the compute function on this worker.
+    pub computed: u64,
+    /// Local activations produced for the next superstep.
+    pub activated: u64,
+    /// Net change in this worker's converged-vertex count (Proportion
+    /// convergence); 0 for engines/modes that don't track it.
+    pub converged_delta: i64,
+    /// Messages drained by this worker's receivers during PRS.
+    pub drained: u64,
+    /// Messages this worker sent during SND.
+    pub messages: u64,
+    /// Cross-machine wire bytes this worker sent during SND.
+    pub bytes: u64,
+    /// Whether a checkpoint was captured this superstep.
+    pub checkpoint: bool,
+    /// This worker's aggregate contribution, reduced over its threads in
+    /// thread order (deterministic, unlike the engines' global merge).
+    pub agg: Option<AggregateStats>,
+    /// `(vertex, digest)` publication digests, present only when the sink
+    /// was created with [`TraceSink::with_values`]. Sorted by vertex.
+    pub pubs: Vec<(u32, u64)>,
+}
+
+/// Fixed-capacity ring of records; overwrites the oldest when full.
+struct Ring {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    start: usize,
+    /// Count of records dropped to overwriting.
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap: cap.max(1),
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, r: TraceRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(r);
+        } else {
+            self.buf[self.start] = r;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn drain_in_order(&mut self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.start..]);
+        out.extend_from_slice(&self.buf[..self.start]);
+        self.buf.clear();
+        self.start = 0;
+        out
+    }
+}
+
+/// Per-worker trace accumulator. Threads of the worker add into relaxed
+/// atomics; the worker leader alone commits records into the ring.
+pub struct WorkerTracer {
+    computed: AtomicU64,
+    activated: AtomicU64,
+    converged_delta: AtomicI64,
+    drained: AtomicU64,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    /// Per-thread aggregate partials, reduced in thread order at commit so
+    /// the recorded aggregate is deterministic regardless of which thread
+    /// finishes first. One slot per thread: no cross-thread contention.
+    thread_aggs: Vec<Mutex<AggregateStats>>,
+    /// Publication digests for the current superstep (values mode only;
+    /// a short lock per publishing thread, acceptable for a diagnostic
+    /// mode that already pays for hashing every publication).
+    pubs: Mutex<Vec<(u32, u64)>>,
+    ring: UnsafeCell<Ring>,
+}
+
+// SAFETY: the ring is written only by the worker-leader thread (commit) and
+// read only after the run's threads have joined (take_records on &mut
+// TraceSink) — the same single-writer discipline DisjointSlots relies on.
+unsafe impl Sync for WorkerTracer {}
+
+impl WorkerTracer {
+    fn new(threads: usize, cap: usize) -> Self {
+        WorkerTracer {
+            computed: AtomicU64::new(0),
+            activated: AtomicU64::new(0),
+            converged_delta: AtomicI64::new(0),
+            drained: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            thread_aggs: (0..threads.max(1))
+                .map(|_| Mutex::new(AggregateStats::default()))
+                .collect(),
+            pubs: Mutex::new(Vec::new()),
+            ring: UnsafeCell::new(Ring::new(cap)),
+        }
+    }
+
+    /// Adds vertices computed by the calling thread this superstep.
+    #[inline]
+    pub fn add_computed(&self, n: u64) {
+        self.computed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds local activations produced for the next superstep.
+    #[inline]
+    pub fn add_activated(&self, n: u64) {
+        self.activated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds the calling thread's net converged-count change.
+    #[inline]
+    pub fn add_converged_delta(&self, d: i64) {
+        if d != 0 {
+            self.converged_delta.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds messages drained by the calling receiver thread.
+    #[inline]
+    pub fn add_drained(&self, n: u64) {
+        self.drained.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds messages/bytes sent by the calling thread.
+    #[inline]
+    pub fn add_sent(&self, messages: u64, bytes: u64) {
+        self.messages.fetch_add(messages, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Stores thread `t`'s aggregate partial for this superstep.
+    pub fn set_thread_agg(&self, t: usize, agg: AggregateStats) {
+        *self.thread_aggs[t].lock() = agg;
+    }
+
+    /// Records one publication digest (values mode).
+    pub fn record_publication(&self, vertex: u32, digest: u64) {
+        self.pubs.lock().push((vertex, digest));
+    }
+
+    /// Commits the accumulated superstep into the ring and resets the
+    /// accumulators. Must be called by exactly one thread per worker (the
+    /// worker leader), after this worker's threads have published their
+    /// counts for the superstep.
+    pub fn commit(
+        &self,
+        superstep: usize,
+        worker: usize,
+        frontier: usize,
+        times: &PhaseTimes,
+        checkpoint: bool,
+    ) {
+        let mut agg = AggregateStats::default();
+        for slot in &self.thread_aggs {
+            let mut s = slot.lock();
+            agg.merge(&s);
+            *s = AggregateStats::default();
+        }
+        let mut pubs = std::mem::take(&mut *self.pubs.lock());
+        pubs.sort_unstable();
+        let record = TraceRecord {
+            superstep: superstep as u64,
+            worker: worker as u64,
+            parse_ns: times.parse.as_nanos() as u64,
+            compute_ns: times.compute.as_nanos() as u64,
+            send_ns: times.send.as_nanos() as u64,
+            sync_ns: times.sync.as_nanos() as u64,
+            frontier: frontier as u64,
+            computed: self.computed.swap(0, Ordering::Relaxed),
+            activated: self.activated.swap(0, Ordering::Relaxed),
+            converged_delta: self.converged_delta.swap(0, Ordering::Relaxed),
+            drained: self.drained.swap(0, Ordering::Relaxed),
+            messages: self.messages.swap(0, Ordering::Relaxed),
+            bytes: self.bytes.swap(0, Ordering::Relaxed),
+            checkpoint,
+            agg: if agg.is_empty() { None } else { Some(agg) },
+            pubs,
+        };
+        // SAFETY: single committer per worker (see the Sync impl above).
+        unsafe { (*self.ring.get()).push(record) };
+    }
+}
+
+/// Run-level trace metadata, written as the first JSONL line.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceMeta {
+    /// Engine label: "cyclops", "bsp", or "gas".
+    pub engine: String,
+    /// Cluster label, e.g. "3x2x2/2".
+    pub cluster: String,
+    /// Number of workers (records per superstep).
+    pub workers: u64,
+    /// Whether publication digests were captured.
+    pub values: bool,
+}
+
+/// Shared trace collector for one engine run.
+pub struct TraceSink {
+    meta: TraceMeta,
+    capture_values: bool,
+    workers: Vec<WorkerTracer>,
+}
+
+impl TraceSink {
+    /// A sink for `engine` on `spec`, counters only.
+    pub fn new(engine: &str, spec: &ClusterSpec) -> Self {
+        Self::build(engine, spec, false, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A sink that additionally captures per-publication value digests —
+    /// heavier (hashes every publication, locks a per-worker vec) but lets
+    /// [`diff`] name the first divergent vertex.
+    pub fn with_values(engine: &str, spec: &ClusterSpec) -> Self {
+        Self::build(engine, spec, true, DEFAULT_RING_CAPACITY)
+    }
+
+    fn build(engine: &str, spec: &ClusterSpec, values: bool, cap: usize) -> Self {
+        let workers = spec.num_workers();
+        TraceSink {
+            meta: TraceMeta {
+                engine: engine.to_string(),
+                cluster: spec.label(),
+                workers: workers as u64,
+                values,
+            },
+            capture_values: values,
+            workers: (0..workers)
+                .map(|_| WorkerTracer::new(spec.threads_per_worker, cap))
+                .collect(),
+        }
+    }
+
+    /// Whether publication digests should be recorded.
+    #[inline]
+    pub fn captures_values(&self) -> bool {
+        self.capture_values
+    }
+
+    /// The tracer for worker `w`.
+    #[inline]
+    pub fn worker(&self, w: usize) -> &WorkerTracer {
+        &self.workers[w]
+    }
+
+    /// Run metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Extracts all committed records ordered by `(superstep, worker)`.
+    /// Requires `&mut self`: the run's threads must have finished.
+    pub fn take_records(&mut self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for w in &mut self.workers {
+            out.append(&mut w.ring.get_mut().drain_in_order());
+        }
+        out.sort_by_key(|r| (r.superstep, r.worker));
+        out
+    }
+
+    /// Total records overwritten by ring wraparound, across workers.
+    pub fn dropped_records(&self) -> u64 {
+        // SAFETY: read-only scan; callers invoke this between supersteps or
+        // after the run, and a racing u64 read of `dropped` is harmless for
+        // a diagnostic count.
+        self.workers
+            .iter()
+            .map(|w| unsafe { (*w.ring.get()).dropped })
+            .sum()
+    }
+
+    /// Writes the trace as JSON lines: one metadata line, then one line per
+    /// record ordered by `(superstep, worker)`.
+    pub fn write_jsonl(&mut self, path: &str) -> std::io::Result<()> {
+        let records = self.take_records();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            f,
+            "{{\"engine\":\"{}\",\"cluster\":\"{}\",\"workers\":{},\"values\":{}}}",
+            self.meta.engine, self.meta.cluster, self.meta.workers, self.meta.values
+        )?;
+        let mut line = String::with_capacity(256);
+        for r in &records {
+            line.clear();
+            r.to_json(&mut line);
+            writeln!(f, "{line}")?;
+        }
+        f.flush()
+    }
+}
+
+impl TraceRecord {
+    /// Appends this record as a single JSON object (no trailing newline).
+    pub fn to_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"superstep\":{},\"worker\":{},\"parse_ns\":{},\"compute_ns\":{},\
+             \"send_ns\":{},\"sync_ns\":{},\"frontier\":{},\"computed\":{},\
+             \"activated\":{},\"converged_delta\":{},\"drained\":{},\
+             \"messages\":{},\"bytes\":{},\"checkpoint\":{}",
+            self.superstep,
+            self.worker,
+            self.parse_ns,
+            self.compute_ns,
+            self.send_ns,
+            self.sync_ns,
+            self.frontier,
+            self.computed,
+            self.activated,
+            self.converged_delta,
+            self.drained,
+            self.messages,
+            self.bytes,
+            self.checkpoint
+        );
+        if let Some(a) = &self.agg {
+            let _ = write!(
+                out,
+                ",\"agg\":{{\"sum\":{:?},\"count\":{},\"min\":{:?},\"max\":{:?}}}",
+                a.sum, a.count, a.min, a.max
+            );
+        }
+        if !self.pubs.is_empty() {
+            out.push_str(",\"pubs\":[");
+            for (i, (v, d)) in self.pubs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{v},{d}]");
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+}
+
+/// A loaded trace: metadata plus records ordered by `(superstep, worker)`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunTrace {
+    /// Run metadata from the header line.
+    pub meta: TraceMeta,
+    /// All records, ordered by `(superstep, worker)`.
+    pub records: Vec<TraceRecord>,
+}
+
+impl RunTrace {
+    /// Number of supersteps covered (max superstep index + 1).
+    pub fn supersteps(&self) -> u64 {
+        self.records.last().map(|r| r.superstep + 1).unwrap_or(0)
+    }
+}
+
+/// FNV-1a digest of a byte string — the publication digest used by values
+/// mode. Stable across runs and platforms.
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---- Minimal JSON reading for exactly the lines this module writes. ----
+
+/// Pulls the raw text of `"key":<value>` out of a JSON object line, where
+/// the value runs until the next top-level `,` or the closing `}`.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' if depth > 0 => depth -= 1,
+            ',' | '}' if depth == 0 => return Some(&rest[..i]),
+            _ => {}
+        }
+    }
+    Some(rest)
+}
+
+fn num<T: std::str::FromStr>(line: &str, key: &str) -> Option<T> {
+    field(line, key)?.trim().parse().ok()
+}
+
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let raw = field(line, key)?.trim();
+    Some(raw.trim_matches('"').to_string())
+}
+
+fn parse_record(line: &str) -> Option<TraceRecord> {
+    let mut r = TraceRecord {
+        superstep: num(line, "superstep")?,
+        worker: num(line, "worker")?,
+        parse_ns: num(line, "parse_ns")?,
+        compute_ns: num(line, "compute_ns")?,
+        send_ns: num(line, "send_ns")?,
+        sync_ns: num(line, "sync_ns")?,
+        frontier: num(line, "frontier")?,
+        computed: num(line, "computed")?,
+        activated: num(line, "activated")?,
+        converged_delta: num(line, "converged_delta")?,
+        drained: num(line, "drained")?,
+        messages: num(line, "messages")?,
+        bytes: num(line, "bytes")?,
+        checkpoint: field(line, "checkpoint")?.trim() == "true",
+        agg: None,
+        pubs: Vec::new(),
+    };
+    if let Some(agg) = field(line, "agg") {
+        r.agg = Some(AggregateStats {
+            sum: num(agg, "sum")?,
+            count: num(agg, "count")?,
+            min: num(agg, "min")?,
+            max: num(agg, "max")?,
+        });
+    }
+    if let Some(pubs) = field(line, "pubs") {
+        let inner = pubs.trim().trim_start_matches('[').trim_end_matches(']');
+        for pair in inner.split("],[") {
+            let pair = pair.trim_matches(|c| c == '[' || c == ']');
+            if pair.is_empty() {
+                continue;
+            }
+            let (v, d) = pair.split_once(',')?;
+            r.pubs
+                .push((v.trim().parse().ok()?, d.trim().parse().ok()?));
+        }
+    }
+    Some(r)
+}
+
+/// Loads a trace written by [`TraceSink::write_jsonl`].
+pub fn read_jsonl(path: &str) -> std::io::Result<RunTrace> {
+    let corrupt = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
+    let f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut lines = f.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| corrupt(format!("{path}: empty trace")))??;
+    let meta = TraceMeta {
+        engine: string_field(&header, "engine")
+            .ok_or_else(|| corrupt(format!("{path}: header missing engine")))?,
+        cluster: string_field(&header, "cluster").unwrap_or_default(),
+        workers: num(&header, "workers")
+            .ok_or_else(|| corrupt(format!("{path}: header missing workers")))?,
+        values: field(&header, "values")
+            .map(|v| v.trim() == "true")
+            .unwrap_or(false),
+    };
+    let mut records = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(
+            parse_record(&line)
+                .ok_or_else(|| corrupt(format!("{path}: bad record on line {}", i + 2)))?,
+        );
+    }
+    records.sort_by_key(|r| (r.superstep, r.worker));
+    Ok(RunTrace { meta, records })
+}
+
+/// Comparing two traces: find where runs diverge.
+pub mod diff {
+    use super::{RunTrace, TraceRecord};
+
+    /// The first difference between two runs.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Divergence {
+        /// Superstep where the traces first differ.
+        pub superstep: u64,
+        /// Worker whose record first differs (0 when the difference is
+        /// run-level, e.g. superstep counts).
+        pub worker: u64,
+        /// Name of the first divergent counter.
+        pub counter: &'static str,
+        /// The counter's value in run A, rendered.
+        pub a: String,
+        /// The counter's value in run B, rendered.
+        pub b: String,
+        /// First divergent vertex, when publication digests differ.
+        pub vertex: Option<u32>,
+    }
+
+    /// Compares the pubs lists of two records, returning the first vertex
+    /// whose digest differs (or exists on one side only).
+    fn first_divergent_vertex(a: &TraceRecord, b: &TraceRecord) -> Option<u32> {
+        let (mut i, mut j) = (0, 0);
+        while i < a.pubs.len() && j < b.pubs.len() {
+            let (va, da) = a.pubs[i];
+            let (vb, db) = b.pubs[j];
+            match va.cmp(&vb) {
+                std::cmp::Ordering::Less => return Some(va),
+                std::cmp::Ordering::Greater => return Some(vb),
+                std::cmp::Ordering::Equal => {
+                    if da != db {
+                        return Some(va);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        a.pubs.get(i).or_else(|| b.pubs.get(j)).map(|&(v, _)| v)
+    }
+
+    /// The deterministic counters compared per record, in report order.
+    /// Phase durations are deliberately excluded: wall-clock differs
+    /// between identical runs.
+    fn counters(r: &TraceRecord) -> [(&'static str, String); 8] {
+        [
+            ("frontier", r.frontier.to_string()),
+            ("computed", r.computed.to_string()),
+            ("activated", r.activated.to_string()),
+            ("converged_delta", r.converged_delta.to_string()),
+            ("drained", r.drained.to_string()),
+            ("messages", r.messages.to_string()),
+            ("bytes", r.bytes.to_string()),
+            (
+                "agg",
+                r.agg
+                    .map(|a| format!("{:?}/{}/{:?}/{:?}", a.sum, a.count, a.min, a.max))
+                    .unwrap_or_else(|| "-".to_string()),
+            ),
+        ]
+    }
+
+    /// Returns the first divergence between `a` and `b`, or `None` when
+    /// every compared counter matches. When `values` is set (and both
+    /// traces carry digests), publication digests are compared too and the
+    /// divergence names the first differing vertex.
+    pub fn first_divergence(a: &RunTrace, b: &RunTrace, values: bool) -> Option<Divergence> {
+        let mut ia = a.records.iter().peekable();
+        let mut ib = b.records.iter().peekable();
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (None, None) => return None,
+                (Some(ra), None) => {
+                    return Some(Divergence {
+                        superstep: ra.superstep,
+                        worker: ra.worker,
+                        counter: "supersteps",
+                        a: a.supersteps().to_string(),
+                        b: b.supersteps().to_string(),
+                        vertex: None,
+                    })
+                }
+                (None, Some(rb)) => {
+                    return Some(Divergence {
+                        superstep: rb.superstep,
+                        worker: rb.worker,
+                        counter: "supersteps",
+                        a: a.supersteps().to_string(),
+                        b: b.supersteps().to_string(),
+                        vertex: None,
+                    })
+                }
+                (Some(ra), Some(rb)) => {
+                    let ka = (ra.superstep, ra.worker);
+                    let kb = (rb.superstep, rb.worker);
+                    if ka != kb {
+                        let (s, w) = ka.min(kb);
+                        return Some(Divergence {
+                            superstep: s,
+                            worker: w,
+                            counter: "record",
+                            a: format!("s{}/w{}", ka.0, ka.1),
+                            b: format!("s{}/w{}", kb.0, kb.1),
+                            vertex: None,
+                        });
+                    }
+                    for ((name, va), (_, vb)) in counters(ra).iter().zip(counters(rb).iter()) {
+                        if va != vb {
+                            return Some(Divergence {
+                                superstep: ra.superstep,
+                                worker: ra.worker,
+                                counter: name,
+                                a: va.clone(),
+                                b: vb.clone(),
+                                vertex: if values {
+                                    first_divergent_vertex(ra, rb)
+                                } else {
+                                    None
+                                },
+                            });
+                        }
+                    }
+                    if values && ra.pubs != rb.pubs {
+                        return Some(Divergence {
+                            superstep: ra.superstep,
+                            worker: ra.worker,
+                            counter: "publication_digest",
+                            a: format!("{} pubs", ra.pubs.len()),
+                            b: format!("{} pubs", rb.pubs.len()),
+                            vertex: first_divergent_vertex(ra, rb),
+                        });
+                    }
+                    ia.next();
+                    ib.next();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::flat(1, 2)
+    }
+
+    fn committed(sink: &TraceSink, w: usize, superstep: usize) {
+        let t = sink.worker(w);
+        t.add_computed(10 + w as u64);
+        t.add_activated(5);
+        t.add_drained(3);
+        t.add_sent(4, 48);
+        let mut agg = AggregateStats::default();
+        agg.add(0.25 * (w + 1) as f64);
+        t.set_thread_agg(0, agg);
+        t.commit(superstep, w, 12, &PhaseTimes::default(), superstep == 2);
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let mut sink = TraceSink::with_values("cyclops", &spec());
+        for s in 0..3 {
+            for w in 0..2 {
+                sink.worker(w)
+                    .record_publication(7 + w as u32, 0xdead + s as u64);
+                committed(&sink, w, s);
+            }
+        }
+        let path = std::env::temp_dir().join("cyclops-trace-roundtrip.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        // take_records consumes; serialize a clone through a second sink run.
+        let mut sink2 = TraceSink::with_values("cyclops", &spec());
+        for s in 0..3 {
+            for w in 0..2 {
+                sink2
+                    .worker(w)
+                    .record_publication(7 + w as u32, 0xdead + s as u64);
+                committed(&sink2, w, s);
+            }
+        }
+        let records = sink.take_records();
+        sink2.write_jsonl(&path).unwrap();
+        let loaded = read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.meta.engine, "cyclops");
+        assert_eq!(loaded.meta.workers, 2);
+        assert!(loaded.meta.values);
+        assert_eq!(loaded.records, records);
+        assert_eq!(loaded.supersteps(), 3);
+        assert!(loaded.records.iter().any(|r| r.checkpoint));
+    }
+
+    #[test]
+    fn accumulators_reset_between_commits() {
+        let sink = TraceSink::new("bsp", &spec());
+        sink.worker(0).add_computed(5);
+        sink.worker(0)
+            .commit(0, 0, 5, &PhaseTimes::default(), false);
+        sink.worker(0)
+            .commit(1, 0, 0, &PhaseTimes::default(), false);
+        let mut sink = sink;
+        let records = sink.take_records();
+        assert_eq!(records[0].computed, 5);
+        assert_eq!(records[1].computed, 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut sink = TraceSink::build("gas", &spec(), false, 2);
+        for s in 0..5 {
+            sink.worker(0)
+                .commit(s, 0, 0, &PhaseTimes::default(), false);
+        }
+        assert_eq!(sink.dropped_records(), 3);
+        let records = sink.take_records();
+        let steps: Vec<u64> = records.iter().map(|r| r.superstep).collect();
+        assert_eq!(steps, vec![3, 4]);
+    }
+
+    #[test]
+    fn thread_aggs_reduce_in_thread_order() {
+        let spec = ClusterSpec::mt(1, 3, 1);
+        let sink = TraceSink::new("cyclops", &spec);
+        for t in 0..3 {
+            let mut a = AggregateStats::default();
+            a.add(t as f64 + 1.0);
+            sink.worker(0).set_thread_agg(t, a);
+        }
+        sink.worker(0)
+            .commit(0, 0, 0, &PhaseTimes::default(), false);
+        let mut sink = sink;
+        let agg = sink.take_records()[0].agg.unwrap();
+        assert_eq!(agg.sum, 6.0);
+        assert_eq!(agg.count, 3);
+        assert_eq!(agg.min, 1.0);
+        assert_eq!(agg.max, 3.0);
+    }
+
+    #[test]
+    fn diff_reports_first_divergent_counter() {
+        let base = RunTrace {
+            meta: TraceMeta::default(),
+            records: vec![
+                TraceRecord {
+                    superstep: 0,
+                    worker: 0,
+                    computed: 10,
+                    ..Default::default()
+                },
+                TraceRecord {
+                    superstep: 1,
+                    worker: 0,
+                    computed: 8,
+                    ..Default::default()
+                },
+            ],
+        };
+        let mut other = base.clone();
+        other.records[1].computed = 9;
+        let d = diff::first_divergence(&base, &other, false).unwrap();
+        assert_eq!(d.superstep, 1);
+        assert_eq!(d.worker, 0);
+        assert_eq!(d.counter, "computed");
+        assert_eq!((d.a.as_str(), d.b.as_str()), ("8", "9"));
+        assert_eq!(diff::first_divergence(&base, &base.clone(), false), None);
+    }
+
+    #[test]
+    fn diff_reports_first_divergent_vertex_in_values_mode() {
+        let mk = |digest: u64| RunTrace {
+            meta: TraceMeta::default(),
+            records: vec![TraceRecord {
+                superstep: 4,
+                worker: 1,
+                pubs: vec![(2, 11), (5, digest), (9, 33)],
+                ..Default::default()
+            }],
+        };
+        let d = diff::first_divergence(&mk(22), &mk(99), true).unwrap();
+        assert_eq!(d.superstep, 4);
+        assert_eq!(d.worker, 1);
+        assert_eq!(d.counter, "publication_digest");
+        assert_eq!(d.vertex, Some(5));
+        // Without values mode the digests are ignored.
+        assert_eq!(diff::first_divergence(&mk(22), &mk(99), false), None);
+    }
+
+    #[test]
+    fn diff_reports_superstep_count_mismatch() {
+        let r = |s| TraceRecord {
+            superstep: s,
+            worker: 0,
+            ..Default::default()
+        };
+        let a = RunTrace {
+            meta: TraceMeta::default(),
+            records: vec![r(0), r(1)],
+        };
+        let b = RunTrace {
+            meta: TraceMeta::default(),
+            records: vec![r(0)],
+        };
+        let d = diff::first_divergence(&a, &b, false).unwrap();
+        assert_eq!(d.counter, "supersteps");
+        assert_eq!((d.a.as_str(), d.b.as_str()), ("2", "1"));
+    }
+
+    #[test]
+    fn digest_is_stable() {
+        assert_eq!(digest_bytes(b""), 0xcbf29ce484222325);
+        assert_eq!(digest_bytes(b"cyclops"), digest_bytes(b"cyclops"));
+        assert_ne!(digest_bytes(b"a"), digest_bytes(b"b"));
+    }
+}

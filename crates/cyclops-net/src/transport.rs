@@ -14,7 +14,7 @@
 //! with memory references (§6.10).
 
 use crate::cluster::ClusterSpec;
-use crate::codec::{decode_batch, encode_batch, Codec};
+use crate::codec::{encode_batch, try_decode_batch, Codec};
 use crate::metrics::RunCounters;
 use parking_lot::Mutex;
 use std::time::Duration;
@@ -104,7 +104,9 @@ pub struct Transport<M> {
     /// same worker never contend ("private out-queues", §5).
     lanes_per_worker: usize,
     /// `lanes[parity][receiver][sender lane]`; GlobalQueue mode uses
-    /// `lanes[parity][receiver][0]`. Queues are double-buffered by superstep
+    /// `lanes[parity][receiver][0]`, Sharded mode adds one extra trailing
+    /// lane per receiver reserved for [`Self::inject`] (checkpoint-resume
+    /// traffic has no sender lane). Queues are double-buffered by superstep
     /// parity: a message sent during superstep `s` must only be visible to
     /// its receiver's parse phase of superstep `s + 1`, even when workers
     /// race one superstep apart inside the barrier interval.
@@ -134,7 +136,12 @@ impl<M: Codec + Send> Transport<M> {
         let w = spec.num_workers();
         let lanes_per_receiver = match mode {
             InboxMode::GlobalQueue => 1,
-            InboxMode::Sharded => w * spec.threads_per_worker,
+            // One lane per sender thread plus a dedicated injection lane
+            // (the last index) for checkpoint-resume traffic, so injected
+            // batches never share a lane with a live sender — sharing
+            // would break the lane-disjointness that lets R receiver
+            // threads apply lanes to replicas without coordination.
+            InboxMode::Sharded => w * spec.threads_per_worker + 1,
         };
         let make = || {
             (0..w)
@@ -195,7 +202,10 @@ impl<M: Codec + Send> Transport<M> {
                 }
             }
             drop(msgs);
-            let decoded = decode_batch(&mut buf.freeze());
+            // The checked decoder turns a framing bug into a diagnosable
+            // panic instead of an out-of-bounds read deep in the codec.
+            let decoded = try_decode_batch(&mut buf.freeze())
+                .expect("simulated wire corrupted: batch truncated mid-message");
             (decoded, bytes)
         } else {
             (msgs, 0)
@@ -235,14 +245,23 @@ impl<M: Codec + Send> Transport<M> {
     /// bypassing serialization and the send counters (the queue-occupancy
     /// gauge is still maintained). Used to reinject in-flight messages when
     /// resuming from a checkpoint.
+    ///
+    /// In [`InboxMode::Sharded`] the messages go into the dedicated
+    /// injection lane (index `num_workers * threads_per_worker`), never a
+    /// sender's lane: the checkpoint does not record senders, and merging
+    /// injected messages into lane 0 would let two receiver threads apply
+    /// messages for the same replica from different lanes.
     pub fn inject(&self, to: usize, msgs: Vec<M>, deliver_epoch: usize) {
         if msgs.is_empty() {
             return;
         }
         self.counters.queue_enter(msgs.len());
         let lanes = &self.lanes[deliver_epoch & 1][to];
-        lanes[0].lock().extend(msgs);
-        self.dirty[deliver_epoch & 1][to].lock().push(0);
+        let lane_idx = lanes.len() - 1;
+        lanes[lane_idx].lock().extend(msgs);
+        self.dirty[deliver_epoch & 1][to]
+            .lock()
+            .push(lane_idx as u32);
     }
 
     /// Drains everything queued for worker `to`'s superstep `epoch`, in
@@ -295,8 +314,7 @@ impl<M: Codec + Send> Transport<M> {
         mine.dedup();
         mine.into_iter()
             .filter_map(|sender| {
-                let batch =
-                    std::mem::take(&mut *self.lanes[epoch & 1][to][sender as usize].lock());
+                let batch = std::mem::take(&mut *self.lanes[epoch & 1][to][sender as usize].lock());
                 if batch.is_empty() {
                     None
                 } else {
@@ -374,6 +392,36 @@ mod tests {
         assert!(t.drain(2, 5).is_empty());
         assert_eq!(t.drain(2, 6), vec![9]);
         assert_eq!(t.counters().snapshot().messages, 0, "inject is uncounted");
+    }
+
+    #[test]
+    fn inject_uses_a_dedicated_lane_in_sharded_mode() {
+        // mt(1, 2, 2): one worker with two sender threads and two receiver
+        // threads — sender lanes 0..2, injection lane 2.
+        let spec = ClusterSpec::mt(1, 2, 2);
+        let t: Transport<u32> = Transport::new(spec, InboxMode::Sharded);
+        t.send(0, 0, vec![100], 5); // sender lane 0
+        t.send(1, 0, vec![101], 5); // sender lane 1
+        t.inject(0, vec![200, 201], 6);
+        // Each receiver thread claims its share of the lanes; every batch
+        // must come from exactly one source — injected messages must not be
+        // merged into sender lane 0 (that merge is what used to let two
+        // receivers apply messages for the same replica concurrently).
+        let receivers = spec.receivers_per_worker;
+        let mut by_lane = Vec::new();
+        for r in 0..receivers {
+            for (lane, batch) in t.drain_lanes_partitioned(0, 6, r, receivers) {
+                assert_eq!(lane % receivers, r, "lane {lane} drained by wrong part");
+                by_lane.push((lane, batch));
+            }
+        }
+        by_lane.sort();
+        assert_eq!(
+            by_lane,
+            vec![(0, vec![100]), (1, vec![101]), (2, vec![200, 201])],
+            "injected batch must stay in its own lane"
+        );
+        assert!(t.all_empty());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! round-trip exactly; arbitrary send schedules deliver exactly once with
 //! correct epoch isolation.
 
-use bytes::Buf;
-use cyclops_net::codec::{decode_batch, encode_batch};
+use bytes::{Buf, BufMut};
+use cyclops_net::codec::{decode_batch, encode_batch, try_decode_batch};
 use cyclops_net::{ClusterSpec, Codec, InboxMode, Transport};
 use proptest::prelude::*;
 
@@ -32,6 +32,27 @@ proptest! {
         let out: Vec<(u32, f64)> = decode_batch(&mut read);
         prop_assert_eq!(out, msgs);
         prop_assert!(!read.has_remaining());
+    }
+
+    /// Truncating an encoded batch at *any* byte offset must yield `None`
+    /// from the checked decoder — never a panic, never a short batch
+    /// mistaken for a complete one.
+    #[test]
+    fn truncated_batches_fail_cleanly_at_every_offset(
+        msgs in prop::collection::vec(
+            (any::<u32>(), any::<u64>(), any::<bool>()),
+            1..30,
+        ),
+    ) {
+        let full = encode_batch(&msgs);
+        for cut in 0..full.len() {
+            let mut prefix = bytes::BytesMut::new();
+            prefix.put_slice(&full[..cut]);
+            let got = try_decode_batch::<(u32, u64, bool)>(&mut prefix.freeze());
+            prop_assert_eq!(got, None, "a {}-byte prefix of {} decoded", cut, full.len());
+        }
+        let got = try_decode_batch::<(u32, u64, bool)>(&mut full.freeze());
+        prop_assert_eq!(got, Some(msgs));
     }
 
     #[test]

@@ -84,7 +84,13 @@ impl EdgeCutPartitioner for MultilevelPartitioner {
         let mut best_cut = u64::MAX;
         for _ in 0..self.initial_trials.max(1) {
             let mut candidate = coarsest.grow_regions(k, &mut rng);
-            coarsest.refine(&mut candidate, k, self.imbalance, self.refine_passes, &mut rng);
+            coarsest.refine(
+                &mut candidate,
+                k,
+                self.imbalance,
+                self.refine_passes,
+                &mut rng,
+            );
             let cut = coarsest.cut(&candidate);
             if cut < best_cut {
                 best_cut = cut;
@@ -248,7 +254,8 @@ impl WorkGraph {
         order.shuffle(rng);
         let mut cursor = 0usize;
         // Max-heap on connectivity to the growing region.
-        let mut heap: std::collections::BinaryHeap<(u64, u32)> = std::collections::BinaryHeap::new();
+        let mut heap: std::collections::BinaryHeap<(u64, u32)> =
+            std::collections::BinaryHeap::new();
         // conn[v]: weight from v into the current region (reset lazily via
         // a generation stamp).
         let mut conn = vec![0u64; n];
@@ -312,10 +319,10 @@ impl WorkGraph {
                 weights[assignment[v] as usize] += self.vwgt[v];
             }
         }
-        for v in 0..n {
-            if assignment[v] == u32::MAX {
+        for (v, a) in assignment.iter_mut().enumerate() {
+            if *a == u32::MAX {
                 let lightest = (0..k).min_by_key(|&p| weights[p]).unwrap();
-                assignment[v] = lightest as u32;
+                *a = lightest as u32;
                 weights[lightest] += self.vwgt[v];
             }
         }
@@ -398,8 +405,7 @@ impl WorkGraph {
         // can overload parts; push boundary vertices of overloaded parts to
         // underloaded ones, taking the least cut damage.
         for _ in 0..4 {
-            let overloaded: Vec<usize> =
-                (0..k).filter(|&p| weights[p] > max_weight).collect();
+            let overloaded: Vec<usize> = (0..k).filter(|&p| weights[p] > max_weight).collect();
             if overloaded.is_empty() {
                 break;
             }
@@ -558,7 +564,11 @@ mod tests {
     fn every_part_nonempty_on_reasonable_input() {
         let g = erdos_renyi(1000, 6000, 9);
         let p = MultilevelPartitioner::default().partition(&g, 8);
-        assert!(p.part_sizes().iter().all(|&s| s > 0), "{:?}", p.part_sizes());
+        assert!(
+            p.part_sizes().iter().all(|&s| s > 0),
+            "{:?}",
+            p.part_sizes()
+        );
     }
 
     #[test]

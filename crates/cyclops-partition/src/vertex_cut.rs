@@ -50,18 +50,18 @@ impl VertexCutPartition {
         }
         let mut replicas = Vec::with_capacity(n);
         let mut masters = Vec::with_capacity(n);
-        for v in 0..n {
-            if counts[v].is_empty() {
+        for (v, count) in counts.iter().enumerate() {
+            if count.is_empty() {
                 let p = (v % num_parts) as u32;
                 replicas.push(vec![p]);
                 masters.push(p);
             } else {
-                let master = counts[v]
+                let master = count
                     .iter()
                     .max_by_key(|&(p, c)| (*c, std::cmp::Reverse(*p)))
                     .map(|(&p, _)| p)
                     .unwrap();
-                replicas.push(counts[v].keys().copied().collect());
+                replicas.push(count.keys().copied().collect());
                 masters.push(master);
             }
         }
@@ -136,7 +136,9 @@ impl VertexCutPartitioner for RandomVertexCut {
     fn partition(&self, g: &Graph, k: usize) -> VertexCutPartition {
         assert!(k > 0);
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let assignment = (0..g.num_edges()).map(|_| rng.gen_range(0..k as u32)).collect();
+        let assignment = (0..g.num_edges())
+            .map(|_| rng.gen_range(0..k as u32))
+            .collect();
         VertexCutPartition::from_edge_assignment(g, k, assignment)
     }
 
@@ -207,7 +209,9 @@ impl VertexCutPartitioner for GreedyVertexCut {
             } else if !seen[v].is_empty() {
                 least_loaded_of(&seen[v], &loads)
             } else {
-                (0..k as u32).min_by_key(|&p| (loads[p as usize], p)).unwrap()
+                (0..k as u32)
+                    .min_by_key(|&p| (loads[p as usize], p))
+                    .unwrap()
             };
             assignment[e as usize] = part;
             loads[part as usize] += 1;
@@ -280,8 +284,12 @@ mod tests {
             },
             7,
         );
-        let random = RandomVertexCut::default().partition(&g, 8).replication_factor();
-        let greedy = GreedyVertexCut::default().partition(&g, 8).replication_factor();
+        let random = RandomVertexCut::default()
+            .partition(&g, 8)
+            .replication_factor();
+        let greedy = GreedyVertexCut::default()
+            .partition(&g, 8)
+            .replication_factor();
         assert!(greedy < random, "greedy {greedy} vs random {random}");
     }
 

@@ -111,11 +111,7 @@ fn main() {
     println!("\ninfection levels after {} supersteps:", result.supersteps);
     for w in bands.windows(2) {
         let (hi, lo) = (w[0], w[1]);
-        let count = result
-            .values
-            .iter()
-            .filter(|&&x| x <= hi && x > lo)
-            .count();
+        let count = result.values.iter().filter(|&&x| x <= hi && x > lo).count();
         println!("  ({lo:.3}, {hi:.3}]: {count:>6} people");
     }
     let untouched = result.values.iter().filter(|&&x| x == 0.0).count();

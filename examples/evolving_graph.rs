@@ -43,9 +43,8 @@ fn main() {
         })
         .collect();
 
-    let evolving = cyclops_engine::run_cyclops_evolving(
-        &program, &graph, partition_fn, &config, &batches,
-    );
+    let evolving =
+        cyclops_engine::run_cyclops_evolving(&program, &graph, partition_fn, &config, &batches);
 
     println!("epoch  supersteps  vertex-computes  messages");
     for (i, epoch) in evolving.epochs.iter().enumerate() {

@@ -45,16 +45,17 @@ fn main() {
     let seen: Vec<u32> = graph.out_neighbors(user).to_vec();
     let mut predictions: Vec<(u32, f64)> = (users as u32..(users + movies) as u32)
         .filter(|m| !seen.contains(m))
-        .map(|m| {
-            (
-                m,
-                dot(&factors[user as usize], &factors[m as usize]),
-            )
-        })
+        .map(|m| (m, dot(&factors[user as usize], &factors[m as usize])))
         .collect();
     predictions.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("\nuser {user} rated {} movies; top recommendations:", seen.len());
+    println!(
+        "\nuser {user} rated {} movies; top recommendations:",
+        seen.len()
+    );
     for (movie, score) in predictions.iter().take(5) {
-        println!("  movie {:>4}: predicted rating {score:.2}", movie - users as u32);
+        println!(
+            "  movie {:>4}: predicted rating {score:.2}",
+            movie - users as u32
+        );
     }
 }

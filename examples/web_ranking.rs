@@ -31,7 +31,10 @@ fn main() {
     let cyclops = run_cyclops_pagerank(&graph, &edge_cut, &cluster, epsilon, 300);
     let gas = run_gas_pagerank(&graph, &vertex_cut, &cluster, epsilon, 300);
 
-    println!("\n{:<12} {:>10} {:>12} {:>14} {:>10}", "engine", "supersteps", "messages", "vertex-computes", "time");
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>14} {:>10}",
+        "engine", "supersteps", "messages", "vertex-computes", "time"
+    );
     for (name, supersteps, messages, computes, elapsed) in [
         (
             "Hama",
@@ -44,7 +47,11 @@ fn main() {
             "Cyclops",
             cyclops.supersteps,
             cyclops.counters.messages,
-            cyclops.stats.iter().map(|s| s.active_vertices).sum::<usize>(),
+            cyclops
+                .stats
+                .iter()
+                .map(|s| s.active_vertices)
+                .sum::<usize>(),
             cyclops.elapsed,
         ),
         (

@@ -12,6 +12,7 @@
 //!   triangles   triangle count
 //!   gen         generate a dataset stand-in as an edge list
 //!   info        graph statistics
+//!   trace-diff  compare two superstep traces: `trace-diff A B [--values]`
 //!
 //! input (choose one):
 //!   --input FILE          edge-list file ("src dst [weight]" per line)
@@ -37,6 +38,8 @@
 //!   --top N               print the N best-ranked vertices (default 10)
 //!   --seed N              generator seed (gen; default dataset seed)
 //!   --stats               print per-superstep statistics
+//!   --trace FILE          write a superstep trace (JSON lines; pagerank)
+//!   --values              capture/compare per-publication value digests
 //! ```
 
 use cyclops::prelude::*;
@@ -65,6 +68,10 @@ struct Options {
     top: usize,
     seed: Option<u64>,
     stats: bool,
+    trace: Option<String>,
+    values: bool,
+    /// Non-flag arguments after the command (trace-diff's two paths).
+    positional: Vec<String>,
 }
 
 impl Default for Options {
@@ -88,6 +95,9 @@ impl Default for Options {
             top: 10,
             seed: None,
             stats: false,
+            trace: None,
+            values: false,
+            positional: Vec::new(),
         }
     }
 }
@@ -108,21 +118,66 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match flag.as_str() {
             "--input" => opts.input = Some(value("--input")?),
             "--dataset" => opts.dataset = Some(value("--dataset")?),
-            "--scale" => opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
             "--engine" => opts.engine = value("--engine")?,
-            "--machines" => opts.machines = value("--machines")?.parse().map_err(|e| format!("--machines: {e}"))?,
-            "--workers" => opts.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?,
-            "--threads" => opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
-            "--receivers" => opts.receivers = value("--receivers")?.parse().map_err(|e| format!("--receivers: {e}"))?,
+            "--machines" => {
+                opts.machines = value("--machines")?
+                    .parse()
+                    .map_err(|e| format!("--machines: {e}"))?
+            }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--receivers" => {
+                opts.receivers = value("--receivers")?
+                    .parse()
+                    .map_err(|e| format!("--receivers: {e}"))?
+            }
             "--partitioner" => opts.partitioner = value("--partitioner")?,
-            "--epsilon" => opts.epsilon = value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?,
-            "--max-supersteps" => opts.max_supersteps = value("--max-supersteps")?.parse().map_err(|e| format!("--max-supersteps: {e}"))?,
-            "--source" => opts.source = value("--source")?.parse().map_err(|e| format!("--source: {e}"))?,
-            "--sweeps" => opts.sweeps = value("--sweeps")?.parse().map_err(|e| format!("--sweeps: {e}"))?,
+            "--epsilon" => {
+                opts.epsilon = value("--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?
+            }
+            "--max-supersteps" => {
+                opts.max_supersteps = value("--max-supersteps")?
+                    .parse()
+                    .map_err(|e| format!("--max-supersteps: {e}"))?
+            }
+            "--source" => {
+                opts.source = value("--source")?
+                    .parse()
+                    .map_err(|e| format!("--source: {e}"))?
+            }
+            "--sweeps" => {
+                opts.sweeps = value("--sweeps")?
+                    .parse()
+                    .map_err(|e| format!("--sweeps: {e}"))?
+            }
             "--output" => opts.output = Some(value("--output")?),
             "--top" => opts.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
-            "--seed" => opts.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
             "--stats" => opts.stats = true,
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--values" => opts.values = true,
+            other if !other.starts_with('-') => opts.positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -140,8 +195,9 @@ fn dataset_by_name(name: &str) -> Option<Dataset> {
 
 fn load_graph(opts: &Options) -> Result<Graph, String> {
     match (&opts.input, &opts.dataset) {
-        (Some(path), None) => cyclops_graph::io::read_edge_list_file(path)
-            .map_err(|e| format!("reading {path}: {e}")),
+        (Some(path), None) => {
+            cyclops_graph::io::read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))
+        }
         (None, Some(name)) => {
             let ds = dataset_by_name(name)
                 .ok_or_else(|| format!("unknown dataset {name}; see `cyclops help`"))?;
@@ -197,13 +253,51 @@ fn run(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
     const COMMANDS: &[&str] = &[
-        "pagerank", "sssp", "bfs", "cc", "cd", "triangles", "gen", "info",
+        "pagerank",
+        "sssp",
+        "bfs",
+        "cc",
+        "cd",
+        "triangles",
+        "gen",
+        "info",
+        "trace-diff",
     ];
     if !COMMANDS.contains(&opts.command.as_str()) {
         return Err(format!(
             "unknown command {}; try `cyclops help`",
             opts.command
         ));
+    }
+
+    // `trace-diff` compares two trace files and exits.
+    if opts.command == "trace-diff" {
+        let [a, b] = opts.positional.as_slice() else {
+            return Err("trace-diff needs two trace files: trace-diff A B [--values]".into());
+        };
+        let ta = cyclops_net::trace::read_jsonl(a).map_err(|e| e.to_string())?;
+        let tb = cyclops_net::trace::read_jsonl(b).map_err(|e| e.to_string())?;
+        let values = opts.values && ta.meta.values && tb.meta.values;
+        if opts.values && !values {
+            eprintln!("warning: --values requested but at least one trace lacks digests");
+        }
+        match cyclops_net::trace::diff::first_divergence(&ta, &tb, values) {
+            None => println!(
+                "traces agree: {} supersteps x {} workers",
+                ta.supersteps(),
+                ta.meta.workers
+            ),
+            Some(d) => {
+                println!(
+                    "first divergence at superstep {} worker {}: {} = {} vs {}",
+                    d.superstep, d.worker, d.counter, d.a, d.b
+                );
+                if let Some(v) = d.vertex {
+                    println!("first divergent vertex: {v}");
+                }
+            }
+        }
+        return Ok(());
     }
 
     // `gen` writes an edge list and exits.
@@ -254,17 +348,40 @@ fn run(opts: &Options) -> Result<(), String> {
 
     match opts.command.as_str() {
         "pagerank" => {
+            let mut sink = opts.trace.as_ref().map(|_| {
+                let engine = if use_hama { "bsp" } else { "cyclops" };
+                if opts.values {
+                    cyclops_net::trace::TraceSink::with_values(engine, &cluster)
+                } else {
+                    cyclops_net::trace::TraceSink::new(engine, &cluster)
+                }
+            });
             let (values, supersteps, messages, stats) = if use_hama {
-                let r = cyclops_algos::pagerank::run_bsp_pagerank(
-                    &g, &partition, &cluster, opts.epsilon, opts.max_supersteps,
+                let r = cyclops_algos::pagerank::run_bsp_pagerank_traced(
+                    &g,
+                    &partition,
+                    &cluster,
+                    opts.epsilon,
+                    opts.max_supersteps,
+                    sink.as_ref(),
                 );
                 (r.values, r.supersteps, r.counters.messages, r.stats)
             } else {
-                let r = cyclops_algos::pagerank::run_cyclops_pagerank(
-                    &g, &partition, &cluster, opts.epsilon, opts.max_supersteps,
+                let r = cyclops_algos::pagerank::run_cyclops_pagerank_traced(
+                    &g,
+                    &partition,
+                    &cluster,
+                    opts.epsilon,
+                    opts.max_supersteps,
+                    sink.as_ref(),
                 );
                 (r.values, r.supersteps, r.counters.messages, r.stats)
             };
+            if let (Some(path), Some(sink)) = (&opts.trace, sink.as_mut()) {
+                sink.write_jsonl(path)
+                    .map_err(|e| format!("writing trace {path}: {e}"))?;
+                println!("trace written to {path}");
+            }
             println!("pagerank: {supersteps} supersteps, {messages} messages");
             let mut ranked: Vec<(u32, f64)> = values
                 .iter()
@@ -285,12 +402,20 @@ fn run(opts: &Options) -> Result<(), String> {
         "sssp" => {
             let (values, supersteps) = if use_hama {
                 let r = cyclops_algos::sssp::run_bsp_sssp(
-                    &g, &partition, &cluster, opts.source, opts.max_supersteps,
+                    &g,
+                    &partition,
+                    &cluster,
+                    opts.source,
+                    opts.max_supersteps,
                 );
                 (r.values, r.supersteps)
             } else {
                 let r = cyclops_algos::sssp::run_cyclops_sssp(
-                    &g, &partition, &cluster, opts.source, opts.max_supersteps,
+                    &g,
+                    &partition,
+                    &cluster,
+                    opts.source,
+                    opts.max_supersteps,
                 );
                 (r.values, r.supersteps)
             };
@@ -354,7 +479,11 @@ fn run(opts: &Options) -> Result<(), String> {
             for &l in &values {
                 *sizes.entry(l).or_insert(0) += 1;
             }
-            println!("cd: {} communities after {} sweeps", sizes.len(), opts.sweeps);
+            println!(
+                "cd: {} communities after {} sweeps",
+                sizes.len(),
+                opts.sweeps
+            );
             let mut by_size: Vec<(u32, usize)> = sizes.into_iter().collect();
             by_size.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
             for (label, n) in by_size.iter().take(opts.top) {
@@ -384,7 +513,7 @@ const HELP: &str = "cyclops — distributed graph processing with distributed im
 usage: cyclops <command> [options]
 
 commands:
-  pagerank | sssp | bfs | cc | cd | triangles | gen | info | help
+  pagerank | sssp | bfs | cc | cd | triangles | gen | info | trace-diff | help
 
 input:       --input FILE | --dataset NAME [--scale F] [--seed N]
              datasets: Amazon GWeb LJournal Wiki SYN-GL DBLP RoadCA
@@ -392,12 +521,17 @@ execution:   --engine cyclops|hama  --machines M --workers W
              --threads T --receivers R  --partitioner hash|metis
 algorithm:   --epsilon F  --max-supersteps N  --source V  --sweeps N
 output:      --output FILE  --top N  --stats
+tracing:     --trace FILE (pagerank)  --values
+             trace-diff A B [--values]  reports the first divergent
+             superstep/worker/counter between two runs
 
 examples:
   cyclops pagerank --dataset GWeb --scale 0.2 --machines 3 --workers 2
   cyclops sssp --dataset RoadCA --source 5 --partitioner metis
   cyclops gen --dataset Wiki --scale 0.1 --output wiki.txt
   cyclops cc --input wiki.txt --engine hama
+  cyclops pagerank --dataset Amazon --trace run-a.jsonl --values
+  cyclops trace-diff run-a.jsonl run-b.jsonl --values
 ";
 
 fn main() -> ExitCode {
@@ -447,6 +581,17 @@ mod tests {
         assert!(parse_args(&args("pagerank --bogus")).is_err());
         assert!(parse_args(&args("pagerank --scale")).is_err());
         assert!(parse_args(&args("")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_flags_and_positionals() {
+        let o = parse_args(&args("pagerank --dataset GWeb --trace out.jsonl --values")).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("out.jsonl"));
+        assert!(o.values);
+        let o = parse_args(&args("trace-diff a.jsonl b.jsonl --values")).unwrap();
+        assert_eq!(o.command, "trace-diff");
+        assert_eq!(o.positional, vec!["a.jsonl", "b.jsonl"]);
+        assert!(o.values);
     }
 
     #[test]

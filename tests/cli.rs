@@ -95,7 +95,13 @@ fn gen_then_analyze_round_trip() {
 #[test]
 fn sssp_and_bfs_run_on_road() {
     let (ok, stdout, stderr) = cyclops(&[
-        "sssp", "--dataset", "RoadCA", "--scale", "0.05", "--source", "3",
+        "sssp",
+        "--dataset",
+        "RoadCA",
+        "--scale",
+        "0.05",
+        "--source",
+        "3",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("sssp from 3"));
@@ -120,7 +126,13 @@ fn cc_cd_triangles_summaries() {
     assert!(stdout.contains("components"));
 
     let (ok, stdout, _) = cyclops(&[
-        "cd", "--dataset", "DBLP", "--scale", "0.05", "--sweeps", "5",
+        "cd",
+        "--dataset",
+        "DBLP",
+        "--scale",
+        "0.05",
+        "--sweeps",
+        "5",
     ]);
     assert!(ok);
     assert!(stdout.contains("communities"));

@@ -116,10 +116,10 @@ fn als_engines_match_reference_on_syn_gl() {
     let p = HashPartitioner.partition(&g, 4);
     let cy = run_cyclops_als(&g, &p, &cluster, params, 2);
     let bsp = run_bsp_als(&g, &p, &cluster, params, 2);
-    for v in 0..g.num_vertices() {
-        for d in 0..params.dim {
-            assert!((cy.values[v][d] - expected[v][d]).abs() < 1e-9, "cyclops v{v}");
-            assert!((bsp.values[v][d] - expected[v][d]).abs() < 1e-8, "bsp v{v}");
+    for (v, exp) in expected.iter().enumerate() {
+        for (d, e) in exp.iter().enumerate() {
+            assert!((cy.values[v][d] - e).abs() < 1e-9, "cyclops v{v}");
+            assert!((bsp.values[v][d] - e).abs() < 1e-8, "bsp v{v}");
         }
     }
 }
@@ -135,7 +135,12 @@ fn cyclops_mt_configs_agree_with_flat() {
         ClusterSpec::mt(4, 2, 1),
         ClusterSpec::mt(4, 4, 2),
         ClusterSpec::mt(4, 4, 4),
-        ClusterSpec { machines: 2, workers_per_machine: 2, threads_per_worker: 3, receivers_per_worker: 2 },
+        ClusterSpec {
+            machines: 2,
+            workers_per_machine: 2,
+            threads_per_worker: 3,
+            receivers_per_worker: 2,
+        },
     ] {
         let r = run_cyclops_pagerank(&g, &p, &spec, 0.0, 20);
         assert_eq!(r.values, base.values, "config {spec}");
