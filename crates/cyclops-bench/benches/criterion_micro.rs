@@ -1,11 +1,13 @@
 //! Criterion micro-benchmarks of the substrate kernels the experiments rest
 //! on: codec throughput, inbox enqueue under the two disciplines, barrier
-//! latency, CSR neighbor iteration, and the ALS Cholesky solve.
+//! latency, CSR neighbor iteration, the ALS Cholesky solve, and the
+//! metrics hot path (histogram record vs the disabled Option check).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use cyclops_algos::linalg::cholesky_solve;
 use cyclops_graph::gen::{rmat, RmatConfig};
 use cyclops_net::codec::{decode_batch, encode_batch};
+use cyclops_net::metrics::{PhaseHists, PhaseTimes};
 use cyclops_net::{ClusterSpec, FlatBarrier, HierarchicalBarrier, InboxMode, Transport};
 
 fn bench_codec(c: &mut Criterion) {
@@ -142,12 +144,55 @@ fn bench_cholesky(c: &mut Criterion) {
     });
 }
 
+/// The per-superstep instrumentation cost at both ends of the dial: the
+/// disabled path (no registry installed — the engine's `Option` check and
+/// nothing else) and the enabled path (four log-linear histogram records).
+/// The acceptance bar is that the disabled path costs nothing measurable.
+fn bench_metrics(c: &mut Criterion) {
+    // Resolve BEFORE installing the global registry, exactly as an engine
+    // run without `--prom` would: the handle is `None` for the whole run.
+    let disabled = PhaseHists::resolve("bench-disabled");
+    assert!(disabled.is_none(), "no registry installed yet");
+    let times = PhaseTimes::default();
+
+    let mut group = c.benchmark_group("metrics_per_superstep");
+    group.bench_function("disabled_option_check", |b| {
+        b.iter(|| {
+            if let Some(ph) = std::hint::black_box(&disabled) {
+                ph.record(std::hint::black_box(&times));
+            }
+        })
+    });
+
+    cyclops_obs::install_global();
+    let enabled = PhaseHists::resolve("bench-enabled");
+    assert!(enabled.is_some(), "registry installed");
+    group.bench_function("enabled_4_hist_records", |b| {
+        b.iter(|| {
+            if let Some(ph) = std::hint::black_box(&enabled) {
+                ph.record(std::hint::black_box(&times));
+            }
+        })
+    });
+
+    let hist = cyclops_obs::install_global().histogram("bench_record_ns", &[]);
+    group.bench_function("single_hist_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(1_337);
+            hist.record(std::hint::black_box(v));
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_codec,
     bench_inbox,
     bench_barrier,
     bench_csr,
-    bench_cholesky
+    bench_cholesky,
+    bench_metrics
 );
 criterion_main!(benches);

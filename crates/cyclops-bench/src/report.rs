@@ -129,13 +129,67 @@ pub fn trace_table(trace: &RunTrace) -> Table {
     table
 }
 
-/// Prints a [`trace_table`] under a heading naming the traced engine.
+/// Builds the tail-latency table of a trace: one row per phase with count,
+/// mean, p50/p90/p99 and max over the per-worker phase latencies. The
+/// quantiles come from the same log-linear histograms the live metrics
+/// registry uses (≤ 12.5 % relative bucket error), so figure outputs and
+/// `cyclops metrics` agree. Per-record latencies are per *worker* — a
+/// superstep with 4 workers contributes 4 samples per phase.
+pub fn phase_quantile_table(trace: &RunTrace) -> Table {
+    use cyclops_obs::LogLinearHistogram;
+    let mut table = Table::new(&[
+        "phase", "records", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms",
+    ]);
+    type PhaseNs = fn(&TraceRecord) -> u64;
+    let phases: [(&str, PhaseNs); 4] = [
+        ("prs", |r| r.parse_ns),
+        ("cmp", |r| r.compute_ns),
+        ("snd", |r| r.send_ns),
+        ("syn", |r| r.sync_ns),
+    ];
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    for (name, get) in phases {
+        let h = LogLinearHistogram::new();
+        for r in &trace.records {
+            h.record(get(r));
+        }
+        let s = h.snapshot();
+        if s.is_empty() {
+            table.row(vec![
+                name.into(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        table.row(vec![
+            name.into(),
+            count(s.count as usize),
+            ms(s.mean() as u64),
+            ms(s.percentile(0.50)),
+            ms(s.percentile(0.90)),
+            ms(s.percentile(0.99)),
+            ms(s.max),
+        ]);
+    }
+    table
+}
+
+/// Prints a [`trace_table`] and its [`phase_quantile_table`] under a
+/// heading naming the traced engine.
 pub fn print_trace(trace: &RunTrace) {
     subheading(&format!(
         "superstep trace — {} on {} ({} workers)",
         trace.meta.engine, trace.meta.cluster, trace.meta.workers
     ));
     trace_table(trace).print();
+    println!();
+    println!("  phase tail latency (per worker-record):");
+    phase_quantile_table(trace).print();
 }
 
 #[cfg(test)]
@@ -206,5 +260,35 @@ mod tests {
         assert_eq!(t.rows[1][2], "7"); // computed, superstep 0
         assert_eq!(t.rows[1][5], "11"); // messages, superstep 0
         assert_eq!(t.rows[2][2], "3"); // computed, superstep 1
+    }
+
+    #[test]
+    fn phase_quantile_table_reports_tail_latency() {
+        let records = (0..100)
+            .map(|i| TraceRecord {
+                superstep: i,
+                compute_ns: 1_000_000, // 1 ms for every record...
+                send_ns: if i == 99 { 80_000_000 } else { 1_000_000 }, // ...one 80 ms outlier
+                ..Default::default()
+            })
+            .collect();
+        let trace = RunTrace {
+            meta: TraceMeta::default(),
+            records,
+        };
+        let t = phase_quantile_table(&trace);
+        assert_eq!(t.rows.len(), 5); // header + 4 phases
+        let cmp = &t.rows[2];
+        assert_eq!(cmp[0], "cmp");
+        assert_eq!(cmp[1], "100");
+        let p50: f64 = cmp[3].parse().unwrap();
+        assert!((p50 - 1.0).abs() / 1.0 <= 0.125, "cmp p50 {p50}");
+        let snd = &t.rows[3];
+        let p50: f64 = snd[3].parse().unwrap();
+        let p99: f64 = snd[4].parse().unwrap(); // p90 col
+        let max: f64 = snd[6].parse().unwrap();
+        assert!((p50 - 1.0).abs() / 1.0 <= 0.125, "snd p50 {p50}");
+        assert!(p99 < 10.0, "snd p90 should not see the outlier: {p99}");
+        assert!((max - 80.0).abs() / 80.0 <= 0.125, "snd max {max}");
     }
 }

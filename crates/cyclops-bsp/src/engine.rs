@@ -27,7 +27,9 @@ pub struct BspConfig {
     /// Simulated cluster topology. BSP workers are single-threaded, so only
     /// `machines × workers_per_machine` matters.
     pub cluster: ClusterSpec,
-    /// Hard cap on supersteps (the paper's PageRank also caps iterations).
+    /// Global hard cap on the superstep index (the paper's PageRank also
+    /// caps iterations). A checkpoint-resume continues toward the *same*
+    /// cap: resuming at or past it executes nothing.
     pub max_supersteps: usize,
     /// Apply the program's combiner before sending (Hama does; §4.1).
     pub use_combiner: bool,
@@ -39,6 +41,11 @@ pub struct BspConfig {
     pub checkpoint_every: Option<usize>,
     /// Cost model for cross-machine traffic (default: ideal / zero delay).
     pub network: cyclops_net::NetworkModel,
+    /// Inbox discipline for the transport. Hama's design is
+    /// [`InboxMode::GlobalQueue`] (one locked queue per worker, §4.1) and is
+    /// the default; [`InboxMode::Sharded`] swaps in Cyclops' contention-free
+    /// per-sender lanes for an apples-to-apples inbox ablation.
+    pub inbox: InboxMode,
 }
 
 impl Default for BspConfig {
@@ -50,6 +57,7 @@ impl Default for BspConfig {
             track_redundant: false,
             checkpoint_every: None,
             network: cyclops_net::NetworkModel::ideal(),
+            inbox: InboxMode::GlobalQueue,
         }
     }
 }
@@ -164,7 +172,7 @@ fn run_bsp_inner<P: BspProgram>(
     }
 
     let transport: Transport<(VertexId, P::Message)> =
-        Transport::with_network(config.cluster, InboxMode::GlobalQueue, config.network);
+        Transport::with_network(config.cluster, config.inbox, config.network);
     let barrier = FlatBarrier::new(num_workers);
 
     let start_superstep = match resume {
@@ -200,49 +208,58 @@ fn run_bsp_inner<P: BspProgram>(
     let current: Mutex<SuperstepStats> = Mutex::new(SuperstepStats::default());
     let checkpoints: Mutex<Vec<Checkpoint<P::Value, P::Message>>> = Mutex::new(Vec::new());
     let last_counters = Mutex::new(CounterSnapshot::default());
-    let supersteps_done = AtomicUsize::new(0);
+    let supersteps_done = AtomicUsize::new(start_superstep);
+
+    let phase_hists = cyclops_net::metrics::PhaseHists::resolve("bsp");
 
     let loop_start = Instant::now();
-    std::thread::scope(|scope| {
-        for (me, st) in states.iter_mut().enumerate() {
-            let transport = &transport;
-            let barrier = &barrier;
-            let stop = &stop;
-            let active_total = &active_total;
-            let aggregate_acc = &aggregate_acc;
-            let prev_aggregate = &prev_aggregate;
-            let history = &history;
-            let current = &current;
-            let checkpoints = &checkpoints;
-            let last_counters = &last_counters;
-            let supersteps_done = &supersteps_done;
-            let local_index = &local_index;
-            scope.spawn(move || {
-                worker_loop(
-                    me,
-                    trace,
-                    program,
-                    graph,
-                    partition,
-                    config,
-                    st,
-                    local_index,
-                    transport,
-                    barrier,
-                    stop,
-                    active_total,
-                    aggregate_acc,
-                    prev_aggregate,
-                    history,
-                    current,
-                    checkpoints,
-                    last_counters,
-                    supersteps_done,
-                    start_superstep,
-                );
-            });
-        }
-    });
+    // With the cap at or below the resume point there is no superstep left
+    // to run (max_supersteps is a global cap, not a budget from the resume).
+    let budget_left = start_superstep < config.max_supersteps;
+    if budget_left {
+        std::thread::scope(|scope| {
+            for (me, st) in states.iter_mut().enumerate() {
+                let transport = &transport;
+                let barrier = &barrier;
+                let stop = &stop;
+                let active_total = &active_total;
+                let aggregate_acc = &aggregate_acc;
+                let prev_aggregate = &prev_aggregate;
+                let history = &history;
+                let current = &current;
+                let checkpoints = &checkpoints;
+                let last_counters = &last_counters;
+                let supersteps_done = &supersteps_done;
+                let local_index = &local_index;
+                let phase_hists = phase_hists.as_ref();
+                scope.spawn(move || {
+                    worker_loop(
+                        me,
+                        trace,
+                        phase_hists,
+                        program,
+                        graph,
+                        partition,
+                        config,
+                        st,
+                        local_index,
+                        transport,
+                        barrier,
+                        stop,
+                        active_total,
+                        aggregate_acc,
+                        prev_aggregate,
+                        history,
+                        current,
+                        checkpoints,
+                        last_counters,
+                        supersteps_done,
+                        start_superstep,
+                    );
+                });
+            }
+        });
+    }
     let elapsed = loop_start.elapsed();
 
     // ---- Assemble global values. ----
@@ -284,6 +301,7 @@ fn fingerprint<M: cyclops_net::Codec>(msgs: &[(VertexId, M)]) -> u64 {
 fn worker_loop<P: BspProgram>(
     me: usize,
     trace: Option<&TraceSink>,
+    phase_hists: Option<&cyclops_net::metrics::PhaseHists>,
     program: &P,
     graph: &Graph,
     partition: &EdgeCutPartition,
@@ -409,7 +427,10 @@ fn worker_loop<P: BspProgram>(
                     combine_batch(program, &mut batch);
                 }
                 let sent = batch.len();
-                let wire = transport.send(me, dest_worker, batch, superstep);
+                // Sender lanes are global thread indices; a BSP worker's
+                // single compute thread owns lane `me * threads_per_worker`.
+                let lane = me * config.cluster.threads_per_worker;
+                let wire = transport.send(lane, dest_worker, batch, superstep);
                 if let Some(tr) = tracer {
                     tr.add_sent(sent as u64, wire as u64);
                 }
@@ -442,9 +463,10 @@ fn worker_loop<P: BspProgram>(
             history.lock().push(std::mem::take(&mut cur));
             *last = snap;
             supersteps_done.store(superstep + 1, Ordering::Release);
-            // Termination: nothing active and nothing in flight, or cap hit.
+            // Termination: nothing active and nothing in flight, or the
+            // global superstep cap is hit (a resume does not reset it).
             let halt = (total_active == 0 && transport.all_empty())
-                || superstep + 1 >= config.max_supersteps + start_superstep;
+                || superstep + 1 >= config.max_supersteps;
             stop.store(halt, Ordering::Release);
         }
         barrier.wait();
@@ -454,11 +476,17 @@ fn worker_loop<P: BspProgram>(
         // the Cyclops engine uses.
         let sync_elapsed = sync_start.elapsed();
         current.lock().phase_times.add(Phase::Sync, sync_elapsed);
-        // The trace record, in contrast, attributes this barrier wait to the
-        // superstep that just ran: the per-worker frontier for BSP is the
-        // active-vertex count entering compute.
+        // The trace record and the phase histograms, in contrast, attribute
+        // this barrier wait to the superstep that just ran: the per-worker
+        // frontier for BSP is the active-vertex count entering compute.
+        times.add(Phase::Sync, sync_elapsed);
+        if let Some(ph) = phase_hists {
+            ph.record(&times);
+            if me == 0 {
+                ph.set_supersteps(superstep + 1);
+            }
+        }
         if let Some(tr) = tracer {
-            times.add(Phase::Sync, sync_elapsed);
             tr.commit(superstep, me, local_active, &times, checkpointed);
         }
         if stop.load(Ordering::Acquire) {

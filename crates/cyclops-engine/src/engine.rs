@@ -28,6 +28,7 @@ use crate::plan::CyclopsPlan;
 use crate::program::{CyclopsContext, CyclopsProgram};
 use cyclops_graph::Graph;
 use cyclops_net::metrics::CounterSnapshot;
+use cyclops_net::metrics::PhaseHists;
 use cyclops_net::trace::{digest_bytes, TraceSink};
 use cyclops_net::{
     AggregateStats, ClusterSpec, Codec, DisjointSlots, HierarchicalBarrier, InboxMode, Phase,
@@ -69,7 +70,10 @@ pub enum Convergence {
 pub struct CyclopsConfig {
     /// Cluster topology; decides flat Cyclops vs CyclopsMT.
     pub cluster: ClusterSpec,
-    /// Hard cap on supersteps.
+    /// Global hard cap on the superstep index: no superstep with index
+    /// `>= max_supersteps` ever executes, and a checkpoint-resume continues
+    /// toward the *same* cap (it does not get a fresh budget from the
+    /// resume point). Resuming at or past the cap executes nothing.
     pub max_supersteps: usize,
     /// Convergence detection scheme.
     pub convergence: Convergence,
@@ -320,61 +324,70 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
     let supersteps_done = AtomicUsize::new(start_superstep);
     let total_vertices = graph.num_vertices();
 
+    let phase_hists = cyclops_net::metrics::PhaseHists::resolve("cyclops");
+
     let loop_start = Instant::now();
-    std::thread::scope(|scope| {
-        for w in 0..num_workers {
-            for t in 0..threads {
-                let shared = &shared;
-                let plan_ref = plan;
-                let transport = &transport;
-                let barrier = &barrier;
-                let stop = &stop;
-                let computed_total = &computed_total;
-                let next_active_total = &next_active_total;
-                let converged_delta = &converged_delta;
-                let converged_total = &converged_total;
-                let aggregate_acc = &aggregate_acc;
-                let error_acc = &error_acc;
-                let prev_aggregate = &prev_aggregate;
-                let history = &history;
-                let current = &current;
-                let checkpoints = &checkpoints;
-                let last_counters = &last_counters;
-                let supersteps_done = &supersteps_done;
-                scope.spawn(move || {
-                    thread_loop(ThreadEnv {
-                        w,
-                        t,
-                        trace,
-                        threads,
-                        receivers,
-                        program,
-                        graph,
-                        plan: plan_ref,
-                        config,
-                        shared,
-                        transport,
-                        barrier,
-                        stop,
-                        computed_total,
-                        next_active_total,
-                        converged_delta,
-                        converged_total,
-                        aggregate_acc,
-                        error_acc,
-                        prev_aggregate,
-                        history,
-                        current,
-                        checkpoints,
-                        last_counters,
-                        supersteps_done,
-                        total_vertices,
-                        start_superstep,
+    // With the cap at or below the resume point there is no superstep left
+    // to run (max_supersteps is a global cap, not a budget from the resume).
+    let budget_left = start_superstep < config.max_supersteps;
+    if budget_left {
+        std::thread::scope(|scope| {
+            for w in 0..num_workers {
+                for t in 0..threads {
+                    let shared = &shared;
+                    let plan_ref = plan;
+                    let transport = &transport;
+                    let barrier = &barrier;
+                    let stop = &stop;
+                    let computed_total = &computed_total;
+                    let next_active_total = &next_active_total;
+                    let converged_delta = &converged_delta;
+                    let converged_total = &converged_total;
+                    let aggregate_acc = &aggregate_acc;
+                    let error_acc = &error_acc;
+                    let prev_aggregate = &prev_aggregate;
+                    let history = &history;
+                    let current = &current;
+                    let checkpoints = &checkpoints;
+                    let last_counters = &last_counters;
+                    let supersteps_done = &supersteps_done;
+                    let phase_hists = phase_hists.as_ref();
+                    scope.spawn(move || {
+                        thread_loop(ThreadEnv {
+                            w,
+                            t,
+                            trace,
+                            phase_hists,
+                            threads,
+                            receivers,
+                            program,
+                            graph,
+                            plan: plan_ref,
+                            config,
+                            shared,
+                            transport,
+                            barrier,
+                            stop,
+                            computed_total,
+                            next_active_total,
+                            converged_delta,
+                            converged_total,
+                            aggregate_acc,
+                            error_acc,
+                            prev_aggregate,
+                            history,
+                            current,
+                            checkpoints,
+                            last_counters,
+                            supersteps_done,
+                            total_vertices,
+                            start_superstep,
+                        });
                     });
-                });
+                }
             }
-        }
-    });
+        });
+    }
     let elapsed = loop_start.elapsed();
 
     // ---- Assemble global outputs. ----
@@ -407,6 +420,7 @@ struct ThreadEnv<'a, P: CyclopsProgram> {
     w: usize,
     t: usize,
     trace: Option<&'a TraceSink>,
+    phase_hists: Option<&'a PhaseHists>,
     threads: usize,
     receivers: usize,
     program: &'a P,
@@ -717,7 +731,9 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                 }
             };
             let drained = total_next == 0 && env.transport.all_empty();
-            let capped = superstep + 1 >= env.config.max_supersteps + env.start_superstep;
+            // A *global* cap on the superstep index: resumed runs continue
+            // toward the same cap rather than getting a fresh budget.
+            let capped = superstep + 1 >= env.config.max_supersteps;
             env.stop
                 .store(drained || converged_enough || capped, Ordering::Release);
         }
@@ -725,11 +741,19 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         if env.t == 0 {
             let final_sync = sync_start.elapsed();
             env.current.lock().phase_times.add(Phase::Sync, final_sync);
+            times.add(Phase::Sync, final_sync);
+            // Worker leaders feed the phase-latency histograms (one Option
+            // check when no registry is installed).
+            if let Some(ph) = env.phase_hists {
+                ph.record(&times);
+                if env.w == 0 {
+                    ph.set_supersteps(superstep + 1);
+                }
+            }
             // Commit this worker's superstep record. Safe to read every
             // thread's accumulators: all of them published before the first
             // hierarchical barrier above.
             if let Some(tr) = tracer {
-                times.add(Phase::Sync, final_sync);
                 tr.commit(superstep, env.w, frontier_len, &times, checkpoint_now);
             }
         }

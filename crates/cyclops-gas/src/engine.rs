@@ -11,8 +11,8 @@
 use crate::program::GasProgram;
 use bytes::{Buf, BufMut, BytesMut};
 use cyclops_graph::{Graph, VertexId};
-use cyclops_net::metrics::CounterSnapshot;
-use cyclops_net::trace::TraceSink;
+use cyclops_net::metrics::{CounterSnapshot, PhaseHists};
+use cyclops_net::trace::{digest_bytes, TraceSink};
 use cyclops_net::{
     ClusterSpec, Codec, FlatBarrier, InboxMode, Phase, PhaseTimes, SuperstepStats, Transport,
 };
@@ -398,6 +398,8 @@ pub fn run_gas_traced<P: GasProgram>(
     let last_counters = Mutex::new(CounterSnapshot::default());
     let supersteps_done = AtomicUsize::new(0);
 
+    let phase_hists = PhaseHists::resolve("gas");
+
     let loop_start = Instant::now();
     std::thread::scope(|scope| {
         for (me, part) in parts.iter_mut().enumerate() {
@@ -409,10 +411,12 @@ pub fn run_gas_traced<P: GasProgram>(
             let current = &current;
             let last_counters = &last_counters;
             let supersteps_done = &supersteps_done;
+            let phase_hists = phase_hists.as_ref();
             scope.spawn(move || {
                 gas_worker(
                     me,
                     trace,
+                    phase_hists,
                     program,
                     graph,
                     partition,
@@ -454,6 +458,7 @@ pub fn run_gas_traced<P: GasProgram>(
 fn gas_worker<P: GasProgram>(
     me: usize,
     trace: Option<&TraceSink>,
+    phase_hists: Option<&PhaseHists>,
     program: &P,
     graph: &Graph,
     partition: &VertexCutPartition,
@@ -480,6 +485,7 @@ fn gas_worker<P: GasProgram>(
     let mut locally_activated: Vec<u32> = Vec::new();
 
     let tracer = trace.map(|s| s.worker(me));
+    let capture_values = trace.map(|s| s.captures_values()).unwrap_or(false);
 
     let flush = |outboxes: &mut Vec<Vec<GasMsg<P::Value, P::Gather>>>, epoch: usize| {
         for (dest, batch) in outboxes.iter_mut().enumerate() {
@@ -608,6 +614,16 @@ fn gas_worker<P: GasProgram>(
                 let acc = pending.remove(&li).unwrap();
                 let old = part.data[liu].clone();
                 let new = program.apply(graph, v, &old, acc);
+                // Digest the applied value exactly as it goes on the wire
+                // to mirrors (values mode only) so `trace-diff --values`
+                // can name the first divergent vertex across engines.
+                if capture_values {
+                    if let Some(tr) = tracer {
+                        let mut buf = BytesMut::with_capacity(new.encoded_len());
+                        new.encode(&mut buf);
+                        tr.record_publication(v, digest_bytes(&buf));
+                    }
+                }
                 part.data[liu] = new.clone();
                 old_values.insert(li, old);
                 part.active[liu] = false; // deactivate; scatter may re-activate
@@ -703,11 +719,17 @@ fn gas_worker<P: GasProgram>(
             supersteps_done.store(superstep + 1, Ordering::Release);
         }
         barrier.wait();
+        times.add(Phase::Sync, sync_start.elapsed());
+        if let Some(ph) = phase_hists {
+            ph.record(&times);
+            if me == 0 {
+                ph.set_supersteps(superstep + 1);
+            }
+        }
         if let Some(tr) = tracer {
             tr.add_drained(drained);
             tr.add_computed(computed as u64);
             tr.add_activated(locally_activated.len() as u64);
-            times.add(Phase::Sync, sync_start.elapsed());
             // GAS workers are single-threaded, so each worker is its own
             // leader; the frontier is the active set entering the superstep.
             tr.commit(superstep, me, my_active, &times, false);

@@ -8,8 +8,17 @@
 //! counting *barrier messages* — each non-leader participant contributes one
 //! message to its barrier — so experiments can report the reduction.
 
+use cyclops_obs::LogLinearHistogram;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Resolves the `cyclops_barrier_wait_ns{kind}` histogram from the global
+/// registry, when one is installed. Resolved once per barrier; the wait
+/// path pays a single `Option` check when no registry exists.
+fn wait_hist(kind: &str) -> Option<Arc<LogLinearHistogram>> {
+    cyclops_obs::global().map(|reg| reg.histogram("cyclops_barrier_wait_ns", &[("kind", kind)]))
+}
 
 /// A flat barrier over `participants` threads, counting protocol messages
 /// (each arrival except the coordinator's counts as one message, mirroring a
@@ -18,6 +27,7 @@ pub struct FlatBarrier {
     inner: Barrier,
     participants: usize,
     messages: AtomicUsize,
+    wait_ns: Option<Arc<LogLinearHistogram>>,
 }
 
 impl FlatBarrier {
@@ -27,6 +37,7 @@ impl FlatBarrier {
             inner: Barrier::new(participants),
             participants,
             messages: AtomicUsize::new(0),
+            wait_ns: wait_hist("flat"),
         }
     }
 
@@ -35,8 +46,13 @@ impl FlatBarrier {
     pub fn wait(&self) -> bool {
         self.messages
             .fetch_add(self.participants.saturating_sub(1), Ordering::Relaxed);
+        let start = self.wait_ns.as_ref().map(|_| Instant::now());
         // Every waiter adds the full round's messages; divide on read.
-        self.inner.wait().is_leader()
+        let leader = self.inner.wait().is_leader();
+        if let (Some(h), Some(start)) = (&self.wait_ns, start) {
+            h.record(start.elapsed().as_nanos() as u64);
+        }
+        leader
     }
 
     /// Total barrier protocol messages across all rounds so far.
@@ -61,6 +77,7 @@ pub struct HierarchicalBarrier {
     machines: usize,
     threads_per_machine: usize,
     rounds: AtomicUsize,
+    wait_ns: Option<Arc<LogLinearHistogram>>,
 }
 
 impl HierarchicalBarrier {
@@ -75,12 +92,14 @@ impl HierarchicalBarrier {
             machines,
             threads_per_machine,
             rounds: AtomicUsize::new(0),
+            wait_ns: wait_hist("hierarchical"),
         }
     }
 
     /// Blocks the calling thread (thread `thread` of machine `machine`)
     /// until all threads of all machines arrive.
     pub fn wait(&self, machine: usize, _thread: usize) {
+        let start = self.wait_ns.as_ref().map(|_| Instant::now());
         // Phase 1: gather locally; one leader per machine emerges.
         let leader = self.local[machine].wait().is_leader();
         // Phase 2: leaders run the global protocol.
@@ -89,6 +108,9 @@ impl HierarchicalBarrier {
         }
         // Phase 3: release the machine's threads.
         self.local[machine].wait();
+        if let (Some(h), Some(start)) = (&self.wait_ns, start) {
+            h.record(start.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Barrier protocol messages so far: per round, `threads - 1` local

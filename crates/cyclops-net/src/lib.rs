@@ -30,8 +30,16 @@
 //!   protection" write path that Cyclops' at-most-one-message-per-replica
 //!   guarantee makes safe (§3.4, Table 3),
 //! * [`trace`] — structured superstep-trace observability shared by every
-//!   engine (per-superstep × worker counter records, JSONL sinks, and
-//!   [`trace::diff`] for root-causing run divergence).
+//!   engine (per-superstep × worker counter records, buffered and
+//!   **streaming** JSONL sinks, and [`trace::diff`] for root-causing run
+//!   divergence).
+//!
+//! The transport and both barriers are additionally instrumented against
+//! the `cyclops-obs` metrics registry (message-size, lane-depth, and
+//! barrier-wait histograms; [`metrics::PhaseHists`] for the engines' phase
+//! latencies). Instrumentation resolves its handles once at construction
+//! from [`cyclops_obs::global`]; with no registry installed the hot paths
+//! pay a single `Option` check.
 
 pub mod barrier;
 pub mod cluster;
@@ -44,7 +52,7 @@ pub mod transport;
 pub use barrier::{FlatBarrier, HierarchicalBarrier};
 pub use cluster::ClusterSpec;
 pub use codec::Codec;
-pub use metrics::{AggregateStats, Phase, PhaseTimes, SuperstepStats};
+pub use metrics::{AggregateStats, Phase, PhaseHists, PhaseTimes, SuperstepStats};
 pub use slots::DisjointSlots;
-pub use trace::{RunTrace, TraceRecord, TraceSink, WorkerTracer};
+pub use trace::{RunTrace, StreamSummary, TraceRecord, TraceSink, WorkerTracer};
 pub use transport::{InboxMode, NetworkModel, Transport};

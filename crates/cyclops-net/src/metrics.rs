@@ -7,7 +7,9 @@
 //! and message counts per superstep; Table 2 reports memory behaviour. The
 //! types here collect all of that.
 
+use cyclops_obs::{Gauge, LogLinearHistogram};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A distributed aggregation over `f64` contributions: the engines gather
@@ -234,6 +236,59 @@ impl RunCounters {
             peak_queue_bytes: self.peak_queue_bytes.load(Ordering::Relaxed),
             peak_queue_messages: self.peak_queue_messages.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Pre-resolved registry handles for per-phase latency histograms plus the
+/// engine's superstep gauge.
+///
+/// Engines call [`PhaseHists::resolve`] **once** at run start; when no
+/// global [`cyclops_obs::MetricsRegistry`] is installed it returns `None`
+/// and the run pays exactly one `Option` check per superstep — the same
+/// discipline as the tracer. When present, each worker leader records its
+/// four phase durations per superstep:
+///
+/// - `cyclops_phase_ns{engine,phase}` histograms with `phase` one of
+///   `prs`, `cmp`, `snd`, `syn` (the paper's §3.5 decomposition),
+/// - `cyclops_run_supersteps{engine}` gauge, set by the global leader.
+pub struct PhaseHists {
+    parse: Arc<LogLinearHistogram>,
+    compute: Arc<LogLinearHistogram>,
+    send: Arc<LogLinearHistogram>,
+    sync: Arc<LogLinearHistogram>,
+    supersteps: Arc<Gauge>,
+}
+
+impl PhaseHists {
+    /// Resolves the handles from the global registry, or `None` when no
+    /// registry is installed.
+    pub fn resolve(engine: &str) -> Option<PhaseHists> {
+        let reg = cyclops_obs::global()?;
+        let hist = |phase: &str| {
+            reg.histogram("cyclops_phase_ns", &[("engine", engine), ("phase", phase)])
+        };
+        Some(PhaseHists {
+            parse: hist("prs"),
+            compute: hist("cmp"),
+            send: hist("snd"),
+            sync: hist("syn"),
+            supersteps: reg.gauge("cyclops_run_supersteps", &[("engine", engine)]),
+        })
+    }
+
+    /// Records one superstep's phase durations (worker-leader scope).
+    #[inline]
+    pub fn record(&self, times: &PhaseTimes) {
+        self.parse.record(times.parse.as_nanos() as u64);
+        self.compute.record(times.compute.as_nanos() as u64);
+        self.send.record(times.send.as_nanos() as u64);
+        self.sync.record(times.sync.as_nanos() as u64);
+    }
+
+    /// Sets the superstep gauge (global-leader scope).
+    #[inline]
+    pub fn set_supersteps(&self, completed: usize) {
+        self.supersteps.set(completed as i64);
     }
 }
 

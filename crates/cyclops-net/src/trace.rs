@@ -16,19 +16,43 @@
 //! captured ([`TraceSink::with_values`]), the first divergent vertex —
 //! which is how a nondeterministic run is root-caused to the superstep
 //! where it forked.
+//!
+//! Two sink flavours exist. The **buffered** sink ([`TraceSink::new`])
+//! keeps records in the rings and serializes after the run; rings overwrite
+//! their oldest entries past [`DEFAULT_RING_CAPACITY`] supersteps, so very
+//! long runs lose their head (reported via
+//! [`TraceSink::dropped_records`]). The **streaming** sink
+//! ([`TraceSink::streaming`]) instead hands each committed record to a
+//! dedicated writer thread over a bounded channel and appends JSONL
+//! incrementally, covering runs of any length with bounded memory. The hot
+//! path stays lock-free: a worker leader never blocks on I/O — when the
+//! channel is momentarily full the record parks in a leader-owned backlog
+//! (retried at the next commit, counted by
+//! [`TraceSink::records_deferred`]), and [`TraceSink::finish`] flushes
+//! everything, so no record is ever dropped. A live streaming file can be
+//! tailed mid-run (`cyclops top`); the writer flushes whenever it catches
+//! up with the channel.
 
 use crate::cluster::ClusterSpec;
 use crate::metrics::{AggregateStats, PhaseTimes};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
-use std::io::{BufRead, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufWriter, Write};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 
 /// Default per-worker ring capacity (records). A record is ~150 bytes
 /// without digests, so the default bounds a worker's trace memory at a few
 /// hundred KiB while holding far more supersteps than any workload here
 /// runs.
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Default bound of the streaming sink's record channel. Deep enough that
+/// the writer thread absorbs bursts from every worker committing at one
+/// barrier; when it still fills, records defer to the committing leader's
+/// backlog rather than blocking the barrier.
+pub const STREAM_CHANNEL_CAPACITY: usize = 1024;
 
 /// One superstep on one worker.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -127,15 +151,25 @@ pub struct WorkerTracer {
     /// mode that already pays for hashing every publication).
     pubs: Mutex<Vec<(u32, u64)>>,
     ring: UnsafeCell<Ring>,
+    /// Streaming mode: committed records go to the writer thread instead of
+    /// the ring.
+    stream: Option<SyncSender<TraceRecord>>,
+    /// Records the channel could not take immediately, retried oldest-first
+    /// at subsequent commits and flushed synchronously by
+    /// [`TraceSink::finish`]. Leader-owned, like the ring.
+    deferred: UnsafeCell<VecDeque<TraceRecord>>,
+    /// How many records were deferred at least once (backpressure events).
+    deferred_events: AtomicU64,
 }
 
-// SAFETY: the ring is written only by the worker-leader thread (commit) and
-// read only after the run's threads have joined (take_records on &mut
-// TraceSink) — the same single-writer discipline DisjointSlots relies on.
+// SAFETY: the ring and the deferred backlog are written only by the
+// worker-leader thread (commit) and read only after the run's threads have
+// joined (take_records / finish on an exclusive TraceSink) — the same
+// single-writer discipline DisjointSlots relies on.
 unsafe impl Sync for WorkerTracer {}
 
 impl WorkerTracer {
-    fn new(threads: usize, cap: usize) -> Self {
+    fn new(threads: usize, cap: usize, stream: Option<SyncSender<TraceRecord>>) -> Self {
         WorkerTracer {
             computed: AtomicU64::new(0),
             activated: AtomicU64::new(0),
@@ -148,6 +182,9 @@ impl WorkerTracer {
                 .collect(),
             pubs: Mutex::new(Vec::new()),
             ring: UnsafeCell::new(Ring::new(cap)),
+            stream,
+            deferred: UnsafeCell::new(VecDeque::new()),
+            deferred_events: AtomicU64::new(0),
         }
     }
 
@@ -232,6 +269,38 @@ impl WorkerTracer {
             agg: if agg.is_empty() { None } else { Some(agg) },
             pubs,
         };
+        if let Some(tx) = &self.stream {
+            // SAFETY: single committer per worker (see the Sync impl above).
+            let backlog = unsafe { &mut *self.deferred.get() };
+            // Retry deferred records oldest-first so the file stays close to
+            // superstep order even across backpressure episodes.
+            while let Some(r) = backlog.pop_front() {
+                match tx.try_send(r) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(r)) => {
+                        backlog.push_front(r);
+                        break;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        // Writer died on an I/O error; finish() surfaces it.
+                        backlog.clear();
+                        break;
+                    }
+                }
+            }
+            let record = if backlog.is_empty() {
+                match tx.try_send(record) {
+                    Ok(()) => return,
+                    Err(TrySendError::Full(r)) => r,
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            } else {
+                record
+            };
+            backlog.push_back(record);
+            self.deferred_events.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         // SAFETY: single committer per worker (see the Sync impl above).
         unsafe { (*self.ring.get()).push(record) };
     }
@@ -250,11 +319,29 @@ pub struct TraceMeta {
     pub values: bool,
 }
 
+/// Result of closing a streaming sink with [`TraceSink::finish`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Records the writer thread appended to the file.
+    pub records_written: u64,
+    /// Records that hit channel backpressure at commit and were parked in a
+    /// leader backlog before eventually being written. Always `<=`
+    /// `records_written`; nonzero means the writer briefly fell behind, not
+    /// that anything was lost.
+    pub records_deferred: u64,
+}
+
+/// Streaming machinery owned by a [`TraceSink`] in streaming mode.
+struct StreamState {
+    handle: std::thread::JoinHandle<std::io::Result<u64>>,
+}
+
 /// Shared trace collector for one engine run.
 pub struct TraceSink {
     meta: TraceMeta,
     capture_values: bool,
     workers: Vec<WorkerTracer>,
+    stream: Option<StreamState>,
 }
 
 impl TraceSink {
@@ -270,6 +357,33 @@ impl TraceSink {
         Self::build(engine, spec, true, DEFAULT_RING_CAPACITY)
     }
 
+    /// A streaming sink appending JSONL to `path` as the run progresses.
+    /// Ring capacity no longer caps coverage; close with
+    /// [`TraceSink::finish`] to flush and collect the [`StreamSummary`].
+    pub fn streaming(engine: &str, spec: &ClusterSpec, path: &str) -> std::io::Result<Self> {
+        Self::build_streaming(engine, spec, false, path, STREAM_CHANNEL_CAPACITY)
+    }
+
+    /// A streaming sink that also captures publication digests.
+    pub fn streaming_with_values(
+        engine: &str,
+        spec: &ClusterSpec,
+        path: &str,
+    ) -> std::io::Result<Self> {
+        Self::build_streaming(engine, spec, true, path, STREAM_CHANNEL_CAPACITY)
+    }
+
+    /// [`TraceSink::streaming`] with an explicit channel bound — exposed so
+    /// tests can force backpressure deterministically with a tiny bound.
+    pub fn streaming_with_channel_capacity(
+        engine: &str,
+        spec: &ClusterSpec,
+        path: &str,
+        channel_capacity: usize,
+    ) -> std::io::Result<Self> {
+        Self::build_streaming(engine, spec, false, path, channel_capacity)
+    }
+
     fn build(engine: &str, spec: &ClusterSpec, values: bool, cap: usize) -> Self {
         let workers = spec.num_workers();
         TraceSink {
@@ -281,9 +395,92 @@ impl TraceSink {
             },
             capture_values: values,
             workers: (0..workers)
-                .map(|_| WorkerTracer::new(spec.threads_per_worker, cap))
+                .map(|_| WorkerTracer::new(spec.threads_per_worker, cap, None))
                 .collect(),
+            stream: None,
         }
+    }
+
+    fn build_streaming(
+        engine: &str,
+        spec: &ClusterSpec,
+        values: bool,
+        path: &str,
+        channel_capacity: usize,
+    ) -> std::io::Result<Self> {
+        let workers = spec.num_workers();
+        let meta = TraceMeta {
+            engine: engine.to_string(),
+            cluster: spec.label(),
+            workers: workers as u64,
+            values,
+        };
+        let mut f = BufWriter::new(std::fs::File::create(path)?);
+        write_header(&mut f, &meta)?;
+        f.flush()?;
+        let (tx, rx) = sync_channel(channel_capacity.max(1));
+        let handle = std::thread::Builder::new()
+            .name("cyclops-trace-writer".to_string())
+            .spawn(move || stream_writer_loop(rx, f))?;
+        Ok(TraceSink {
+            capture_values: values,
+            workers: (0..workers)
+                // Streamed records bypass the ring; capacity 1 keeps the
+                // preallocation negligible.
+                .map(|_| WorkerTracer::new(spec.threads_per_worker, 1, Some(tx.clone())))
+                .collect(),
+            meta,
+            stream: Some(StreamState { handle }),
+        })
+    }
+
+    /// Whether this sink streams records to a file as they commit.
+    pub fn is_streaming(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Total backpressure deferrals across workers (streaming mode; 0
+    /// otherwise). See [`StreamSummary::records_deferred`].
+    pub fn records_deferred(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.deferred_events.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Closes a streaming sink: synchronously flushes every deferred
+    /// record, disconnects the channel, joins the writer thread, and
+    /// returns what was written. Call after the run's threads have joined.
+    ///
+    /// Panics on a buffered sink (use [`TraceSink::write_jsonl`] there).
+    pub fn finish(mut self) -> std::io::Result<StreamSummary> {
+        let state = self
+            .stream
+            .take()
+            .expect("finish() called on a buffered TraceSink; use write_jsonl");
+        let mut deferred = 0;
+        for w in &mut self.workers {
+            deferred += w.deferred_events.load(Ordering::Relaxed);
+            if let Some(tx) = w.stream.take() {
+                for r in w.deferred.get_mut().drain(..) {
+                    // A blocking send is fine here: the run is over and the
+                    // writer drains continuously until disconnect.
+                    if tx.send(r).is_err() {
+                        break;
+                    }
+                }
+                // `tx` drops here; once every worker's clone is gone the
+                // writer sees the disconnect and exits.
+            }
+        }
+        let written = state
+            .handle
+            .join()
+            .map_err(|_| std::io::Error::other("trace writer thread panicked"))??;
+        Ok(StreamSummary {
+            records_written: written,
+            records_deferred: deferred,
+        })
     }
 
     /// Whether publication digests should be recorded.
@@ -326,15 +523,19 @@ impl TraceSink {
     }
 
     /// Writes the trace as JSON lines: one metadata line, then one line per
-    /// record ordered by `(superstep, worker)`.
+    /// record ordered by `(superstep, worker)`. Buffered sinks only — a
+    /// streaming sink already wrote its file; close it with
+    /// [`TraceSink::finish`] instead.
     pub fn write_jsonl(&mut self, path: &str) -> std::io::Result<()> {
+        if self.is_streaming() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "write_jsonl on a streaming TraceSink; use finish()",
+            ));
+        }
         let records = self.take_records();
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        writeln!(
-            f,
-            "{{\"engine\":\"{}\",\"cluster\":\"{}\",\"workers\":{},\"values\":{}}}",
-            self.meta.engine, self.meta.cluster, self.meta.workers, self.meta.values
-        )?;
+        let mut f = BufWriter::new(std::fs::File::create(path)?);
+        write_header(&mut f, &self.meta)?;
         let mut line = String::with_capacity(256);
         for r in &records {
             line.clear();
@@ -343,6 +544,41 @@ impl TraceSink {
         }
         f.flush()
     }
+}
+
+fn write_header(f: &mut impl Write, meta: &TraceMeta) -> std::io::Result<()> {
+    writeln!(
+        f,
+        "{{\"engine\":\"{}\",\"cluster\":\"{}\",\"workers\":{},\"values\":{}}}",
+        meta.engine, meta.cluster, meta.workers, meta.values
+    )
+}
+
+/// Body of the streaming sink's writer thread: append each record as one
+/// JSONL line, flushing whenever the channel is momentarily drained so a
+/// live tail (`cyclops top`) sees records promptly without paying one
+/// syscall per record under load.
+fn stream_writer_loop(
+    rx: Receiver<TraceRecord>,
+    mut f: BufWriter<std::fs::File>,
+) -> std::io::Result<u64> {
+    let mut written = 0u64;
+    let mut line = String::with_capacity(256);
+    while let Ok(first) = rx.recv() {
+        line.clear();
+        first.to_json(&mut line);
+        writeln!(f, "{line}")?;
+        written += 1;
+        while let Ok(r) = rx.try_recv() {
+            line.clear();
+            r.to_json(&mut line);
+            writeln!(f, "{line}")?;
+            written += 1;
+        }
+        f.flush()?;
+    }
+    f.flush()?;
+    Ok(written)
 }
 
 impl TraceRecord {
@@ -447,6 +683,26 @@ fn string_field(line: &str, key: &str) -> Option<String> {
     Some(raw.trim_matches('"').to_string())
 }
 
+/// Parses the header (first) line of a JSONL trace. Returns `None` when
+/// the line is not a trace header.
+pub fn parse_meta_line(line: &str) -> Option<TraceMeta> {
+    Some(TraceMeta {
+        engine: string_field(line, "engine")?,
+        cluster: string_field(line, "cluster").unwrap_or_default(),
+        workers: num(line, "workers")?,
+        values: field(line, "values")
+            .map(|v| v.trim() == "true")
+            .unwrap_or(false),
+    })
+}
+
+/// Parses one record line of a JSONL trace (anything after the header).
+/// Exposed so incremental readers (`cyclops top`) can tail a live file
+/// without re-reading it from the start.
+pub fn parse_record_line(line: &str) -> Option<TraceRecord> {
+    parse_record(line)
+}
+
 fn parse_record(line: &str) -> Option<TraceRecord> {
     let mut r = TraceRecord {
         superstep: num(line, "superstep")?,
@@ -497,16 +753,8 @@ pub fn read_jsonl(path: &str) -> std::io::Result<RunTrace> {
     let header = lines
         .next()
         .ok_or_else(|| corrupt(format!("{path}: empty trace")))??;
-    let meta = TraceMeta {
-        engine: string_field(&header, "engine")
-            .ok_or_else(|| corrupt(format!("{path}: header missing engine")))?,
-        cluster: string_field(&header, "cluster").unwrap_or_default(),
-        workers: num(&header, "workers")
-            .ok_or_else(|| corrupt(format!("{path}: header missing workers")))?,
-        values: field(&header, "values")
-            .map(|v| v.trim() == "true")
-            .unwrap_or(false),
-    };
+    let meta =
+        parse_meta_line(&header).ok_or_else(|| corrupt(format!("{path}: bad trace header")))?;
     let mut records = Vec::new();
     for (i, line) in lines.enumerate() {
         let line = line?;
@@ -832,6 +1080,89 @@ mod tests {
         let d = diff::first_divergence(&a, &b, false).unwrap();
         assert_eq!(d.counter, "supersteps");
         assert_eq!((d.a.as_str(), d.b.as_str()), ("2", "1"));
+    }
+
+    #[test]
+    fn streaming_sink_appends_every_commit() {
+        let path = std::env::temp_dir().join("cyclops-trace-streaming-basic.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        let sink = TraceSink::streaming("cyclops", &spec(), &path).unwrap();
+        assert!(sink.is_streaming());
+        for s in 0..10 {
+            for w in 0..2 {
+                committed(&sink, w, s);
+            }
+        }
+        assert_eq!(sink.dropped_records(), 0);
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.records_written, 20);
+        let loaded = read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.meta.engine, "cyclops");
+        assert_eq!(loaded.records.len(), 20);
+        assert_eq!(loaded.supersteps(), 10);
+        // Streaming preserves the same record contents a buffered sink sees.
+        assert_eq!(loaded.records[3].computed, 11);
+    }
+
+    #[test]
+    fn streaming_backpressure_defers_but_never_drops() {
+        let path = std::env::temp_dir().join("cyclops-trace-streaming-bp.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        // A 1-slot channel makes commit bursts outpace the writer.
+        let sink = TraceSink::streaming_with_channel_capacity("bsp", &spec(), &path, 1).unwrap();
+        let n = 5000;
+        for s in 0..n {
+            for w in 0..2 {
+                committed(&sink, w, s);
+            }
+        }
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.records_written, 2 * n as u64);
+        let loaded = read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.records.len(), 2 * n);
+        // Every (superstep, worker) pair appears exactly once.
+        for (i, r) in loaded.records.iter().enumerate() {
+            assert_eq!(r.superstep as usize, i / 2);
+            assert_eq!(r.worker as usize, i % 2);
+        }
+    }
+
+    #[test]
+    fn write_jsonl_rejects_streaming_sinks() {
+        let path = std::env::temp_dir().join("cyclops-trace-streaming-guard.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        let mut sink = TraceSink::streaming("gas", &spec(), &path).unwrap();
+        let err = sink.write_jsonl(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        let _ = sink.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_helpers_read_sink_output_line_by_line() {
+        let mut line = String::new();
+        let r = TraceRecord {
+            superstep: 3,
+            worker: 1,
+            computed: 7,
+            pubs: vec![(4, 99)],
+            ..Default::default()
+        };
+        r.to_json(&mut line);
+        assert_eq!(parse_record_line(&line), Some(r));
+        assert_eq!(parse_record_line("not json"), None);
+        let mut header = Vec::new();
+        let meta = TraceMeta {
+            engine: "bsp".into(),
+            cluster: "1x2x1".into(),
+            workers: 2,
+            values: false,
+        };
+        write_header(&mut header, &meta).unwrap();
+        let parsed = parse_meta_line(std::str::from_utf8(&header).unwrap().trim()).unwrap();
+        assert_eq!(parsed, meta);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use crate::cluster::ClusterSpec;
 use crate::codec::{encode_batch, try_decode_batch, Codec};
 use crate::metrics::RunCounters;
+use cyclops_obs::{Counter, LogLinearHistogram};
 use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A simple cost model for the simulated wire. The default ([`ideal`]) adds
@@ -119,6 +121,46 @@ pub struct Transport<M> {
     dirty: [Vec<Mutex<Vec<u32>>>; 2],
     network: NetworkModel,
     counters: RunCounters,
+    /// Registry handles resolved once at construction; `None` (no global
+    /// registry installed) costs the hot path one `Option` check.
+    obs: Option<TransportObs>,
+}
+
+/// Distribution-shape metrics for the fabric: totals tell you *how much*
+/// crossed the wire, these tell you *in what shape* (message-size skew and
+/// queue-depth skew are what explain communication wins — cf. Pregel+).
+struct TransportObs {
+    /// `cyclops_messages_total{mode}`.
+    messages_total: Arc<Counter>,
+    /// `cyclops_wire_bytes_total{mode}`.
+    wire_bytes_total: Arc<Counter>,
+    /// `cyclops_wire_batch_bytes{mode}` — encoded size per cross-machine batch.
+    batch_bytes: Arc<LogLinearHistogram>,
+    /// `cyclops_message_bytes{mode}` — mean encoded size per message,
+    /// weighted by batch population.
+    message_bytes: Arc<LogLinearHistogram>,
+    /// `cyclops_inbox_lane_depth{mode}` — messages per lane at drain time.
+    lane_depth: Arc<LogLinearHistogram>,
+}
+
+impl TransportObs {
+    fn resolve(mode: InboxMode) -> Option<TransportObs> {
+        let reg = cyclops_obs::global()?;
+        let labels = [(
+            "mode",
+            match mode {
+                InboxMode::GlobalQueue => "global_queue",
+                InboxMode::Sharded => "sharded",
+            },
+        )];
+        Some(TransportObs {
+            messages_total: reg.counter("cyclops_messages_total", &labels),
+            wire_bytes_total: reg.counter("cyclops_wire_bytes_total", &labels),
+            batch_bytes: reg.histogram("cyclops_wire_batch_bytes", &labels),
+            message_bytes: reg.histogram("cyclops_message_bytes", &labels),
+            lane_depth: reg.histogram("cyclops_inbox_lane_depth", &labels),
+        })
+    }
 }
 
 impl<M: Codec + Send> Transport<M> {
@@ -161,6 +203,7 @@ impl<M: Codec + Send> Transport<M> {
             dirty: [make_dirty(), make_dirty()],
             network,
             counters: RunCounters::default(),
+            obs: TransportObs::resolve(mode),
         }
     }
 
@@ -188,7 +231,8 @@ impl<M: Codec + Send> Transport<M> {
             return 0;
         }
         let from_worker = from / self.lanes_per_worker;
-        self.counters.add_messages(msgs.len());
+        let count = msgs.len();
+        self.counters.add_messages(count);
         let (payload, bytes) = if self.spec.crosses_machines(from_worker, to) {
             let buf = encode_batch(&msgs);
             let bytes = buf.len();
@@ -210,6 +254,15 @@ impl<M: Codec + Send> Transport<M> {
         } else {
             (msgs, 0)
         };
+        if let Some(obs) = &self.obs {
+            obs.messages_total.inc(count as u64);
+            if bytes > 0 {
+                obs.wire_bytes_total.inc(bytes as u64);
+                obs.batch_bytes.record(bytes as u64);
+                obs.message_bytes
+                    .record_n((bytes / count) as u64, count as u64);
+            }
+        }
         let parity = (epoch + 1) & 1;
         let lane_idx = match self.mode {
             InboxMode::GlobalQueue => 0,
@@ -275,6 +328,9 @@ impl<M: Codec + Send> Transport<M> {
             out.append(&mut self.lanes[epoch & 1][to][idx as usize].lock());
         }
         self.counters.queue_leave(out.len());
+        if let Some(obs) = &self.obs {
+            obs.lane_depth.record(out.len() as u64);
+        }
         out
     }
 
@@ -319,6 +375,9 @@ impl<M: Codec + Send> Transport<M> {
                     None
                 } else {
                     self.counters.queue_leave(batch.len());
+                    if let Some(obs) = &self.obs {
+                        obs.lane_depth.record(batch.len() as u64);
+                    }
                     Some((sender as usize, batch))
                 }
             })

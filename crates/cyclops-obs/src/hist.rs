@@ -1,0 +1,320 @@
+//! Log-linear (HDR-style) histograms over `u64` values.
+//!
+//! The bucket layout is base-2 exponential with 4 linear sub-buckets per
+//! octave: values below 4 get exact unit buckets; a value `v >= 4` with
+//! highest set bit `e` lands in one of four sub-buckets of width `2^(e-2)`.
+//! Reporting the bucket *midpoint* therefore bounds the relative error of
+//! any reconstructed value (percentiles included) by half a bucket width
+//! over the bucket's lower edge: `(2^(e-2)/2) / 2^e = 1/8 = 12.5 %`.
+//!
+//! All mutation is relaxed atomics — recording from many worker threads is
+//! wait-free and never takes a lock, the same discipline as the superstep
+//! tracer. Reads (snapshots) are statistics, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per octave (power of two).
+const SUB_BUCKETS: usize = 4;
+/// log2(SUB_BUCKETS).
+const SUB_BUCKET_BITS: u32 = 2;
+/// Total buckets: 4 unit buckets for v < 4, then 4 sub-buckets for each of
+/// the 62 octaves `[2^2, 2^3) .. [2^63, 2^64)`.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS + 62 * SUB_BUCKETS;
+
+/// Bucket index for a value. Exact for `v < 4`; log-linear above.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    // Highest set bit position; v >= 4 so e >= 2.
+    let e = 63 - v.leading_zeros();
+    let sub = ((v >> (e - SUB_BUCKET_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (e as usize - 1) * SUB_BUCKETS + sub
+}
+
+/// Inclusive lower and exclusive upper bound of bucket `i` (the upper bound
+/// saturates at `u64::MAX` for the top bucket).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS, "bucket index out of range");
+    if i < SUB_BUCKETS {
+        return (i as u64, i as u64 + 1);
+    }
+    let e = (i / SUB_BUCKETS + 1) as u32;
+    let sub = (i % SUB_BUCKETS) as u64;
+    let width = 1u64 << (e - SUB_BUCKET_BITS);
+    let low = (SUB_BUCKETS as u64 + sub) << (e - SUB_BUCKET_BITS);
+    (low, low.saturating_add(width))
+}
+
+/// Midpoint of bucket `i` — the value reported for anything recorded there.
+pub fn bucket_mid(i: usize) -> u64 {
+    let (low, _) = bucket_bounds(i);
+    if i < SUB_BUCKETS {
+        return low;
+    }
+    let e = (i / SUB_BUCKETS + 1) as u32;
+    low + (1u64 << (e - SUB_BUCKET_BITS)) / 2
+}
+
+/// A concurrent log-linear histogram with atomic bucket counts plus exact
+/// count/sum/min/max side-channels.
+#[derive(Debug)]
+pub struct LogLinearHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogLinearHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogLinearHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogLinearHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `v`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` observations of `v` (one bucket update regardless of `n`).
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-number snapshot of a [`LogLinearHistogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_bounds`]).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`q` in `[0, 1]`) reported as a bucket midpoint,
+    /// clamped into `[min, max]`. Uses the nearest-rank convention
+    /// (`rank = ceil(q * count)`). Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Exact arithmetic mean of the recorded values (not bucket-quantised).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+            assert_eq!(bucket_mid(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_line() {
+        // Every bucket starts where the previous one ends.
+        for i in 1..NUM_BUCKETS {
+            let (_, prev_high) = bucket_bounds(i - 1);
+            let (low, high) = bucket_bounds(i);
+            assert_eq!(prev_high, low, "gap before bucket {i}");
+            assert!(high > low);
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn values_land_in_their_bucket() {
+        let probe = [
+            0u64,
+            1,
+            3,
+            4,
+            5,
+            7,
+            8,
+            9,
+            15,
+            16,
+            1000,
+            4096,
+            4097,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for &v in &probe {
+            let i = bucket_index(v);
+            let (low, high) = bucket_bounds(i);
+            assert!(low <= v, "v={v} below bucket {i} [{low},{high})");
+            assert!(
+                v < high || high == u64::MAX,
+                "v={v} above bucket {i} [{low},{high})"
+            );
+        }
+    }
+
+    #[test]
+    fn midpoint_relative_error_is_bounded() {
+        // For any v >= 1, |mid - v| / v <= 12.5 %.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for probe in [v, v + v / 3, v + v / 2] {
+                let mid = bucket_mid(bucket_index(probe));
+                let err = (mid as f64 - probe as f64).abs() / probe as f64;
+                assert!(err <= 0.125 + 1e-12, "v={probe} mid={mid} err={err}");
+            }
+            v = v.saturating_mul(2);
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let h = LogLinearHistogram::new();
+        assert!(h.snapshot().is_empty());
+        h.record(10);
+        h.record(20);
+        h.record_n(5, 3);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 45);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 20);
+        assert!((s.mean() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_match_exact_within_bucket_error() {
+        let h = LogLinearHistogram::new();
+        let mut values: Vec<u64> = (0..10_000u64).map(|i| (i * 7919) % 100_000 + 1).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let s = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let approx = s.percentile(q);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err <= 0.125,
+                "q={q} exact={exact} approx={approx} err={err}"
+            );
+        }
+        assert!(s.percentile(1.0) <= s.max);
+    }
+
+    #[test]
+    fn percentile_of_constant_is_exact_enough() {
+        let h = LogLinearHistogram::new();
+        h.record_n(1000, 100);
+        let s = h.snapshot();
+        // Clamped into [min, max] so a constant stream reports exactly.
+        assert_eq!(s.percentile(0.5), 1000);
+        assert_eq!(s.percentile(0.99), 1000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LogLinearHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 40_000);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 39_999);
+    }
+}

@@ -1,0 +1,259 @@
+//! Named-metric registry with a process-global instance.
+//!
+//! Instrumented code resolves its metric handles **once** (at engine or
+//! transport construction) via [`global`]; when no registry was installed
+//! the handle is `None` and the hot path pays exactly one `Option` check —
+//! the same two-`Option`-check discipline the superstep tracer uses. The
+//! registration path (`counter`/`gauge`/`histogram`) takes a mutex, but it
+//! runs O(metrics) times per run, never per message or per superstep.
+
+use crate::hist::LogLinearHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.v.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Fully qualified metric identity: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Metric name, e.g. `cyclops_phase_ns`.
+    pub name: String,
+    /// Label pairs, sorted by key for a deterministic identity.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders as `name` or `name{k="v",...}`.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, pairs.join(","))
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(Arc<Counter>),
+    /// Up/down gauge.
+    Gauge(Arc<Gauge>),
+    /// Log-linear histogram.
+    Histogram(Arc<LogLinearHistogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A get-or-create registry of named metrics.
+///
+/// Ordered deterministically (by name, then labels) so exposition output is
+/// stable — the golden-file test relies on that.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<MetricId, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter `name{labels}`, creating it on first use.
+    ///
+    /// Panics if the same identity was already registered as a different
+    /// metric kind (a programming error, not a runtime condition).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, || {
+            Metric::Counter(Arc::new(Counter::default()))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the gauge `name{labels}`, creating it on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the histogram `name{labels}`, creating it on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LogLinearHistogram> {
+        match self.get_or_insert(name, labels, || {
+            Metric::Histogram(Arc::new(LogLinearHistogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let id = MetricId::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap();
+        metrics.entry(id).or_insert_with(make).clone()
+    }
+
+    /// Visits every metric in deterministic order.
+    pub fn for_each(&self, mut f: impl FnMut(&MetricId, &Metric)) {
+        let metrics = self.metrics.lock().unwrap();
+        for (id, m) in metrics.iter() {
+            f(id, m);
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().unwrap().len()
+    }
+
+    /// Whether no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// Installs (or returns the already-installed) process-global registry.
+/// Idempotent; the registry lives for the rest of the process.
+pub fn install_global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// The process-global registry, or `None` when [`install_global`] was never
+/// called. Instrumented code checks this once at construction time; a
+/// `None` means the run pays no metric overhead beyond that check.
+pub fn global() -> Option<&'static MetricsRegistry> {
+    GLOBAL.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instance() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total", &[("engine", "bsp")]);
+        let b = r.counter("x_total", &[("engine", "bsp")]);
+        a.inc(3);
+        b.inc(4);
+        assert_eq!(a.get(), 7);
+        assert_eq!(r.len(), 1);
+        // Different labels → different metric.
+        let c = r.counter("x_total", &[("engine", "gas")]);
+        c.inc(1);
+        assert_eq!(c.get(), 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = MetricsRegistry::new();
+        let a = r.gauge("g", &[("a", "1"), ("b", "2")]);
+        let b = r.gauge("g", &[("b", "2"), ("a", "1")]);
+        a.set(9);
+        assert_eq!(b.get(), 9);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("m", &[]);
+        r.gauge("m", &[]);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::default();
+        g.set(10);
+        g.add(-25);
+        assert_eq!(g.get(), -15);
+    }
+
+    #[test]
+    fn metric_id_renders_prometheus_style() {
+        let id = MetricId::new("m_total", &[("b", "2"), ("a", "1")]);
+        assert_eq!(id.render(), "m_total{a=\"1\",b=\"2\"}");
+        assert_eq!(MetricId::new("bare", &[]).render(), "bare");
+    }
+}

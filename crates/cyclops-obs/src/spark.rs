@@ -1,0 +1,55 @@
+//! Unicode sparklines for terminal dashboards.
+
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a bar-per-value sparkline, scaled to the maximum.
+/// All-zero (or empty) input renders as the lowest bar per value.
+pub fn sparkline(values: &[u64]) -> String {
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                BARS[0]
+            } else {
+                // Scale into 0..=7; a nonzero value never renders as ▁-of-zero.
+                let level = ((v as u128 * 7).div_ceil(max as u128)) as usize;
+                BARS[level.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Like [`sparkline`] but keeps at most the last `width` values.
+pub fn sparkline_last(values: &[u64], width: usize) -> String {
+    let start = values.len().saturating_sub(width);
+    sparkline(&values[start..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_to_max() {
+        let s = sparkline(&[0, 1, 7, 14]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[3], '█');
+        assert!(('▁'..='█').contains(&chars[1]), "nonzero renders a bar");
+        assert_eq!(sparkline(&[5, 5, 5]), "███");
+    }
+
+    #[test]
+    fn zeros_and_empty_are_safe() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+    }
+
+    #[test]
+    fn last_window_truncates_front() {
+        assert_eq!(sparkline_last(&[9, 9, 1, 1], 2), "██");
+        assert_eq!(sparkline_last(&[1, 2], 10).chars().count(), 2);
+    }
+}

@@ -13,6 +13,8 @@
 //!   gen         generate a dataset stand-in as an edge list
 //!   info        graph statistics
 //!   trace-diff  compare two superstep traces: `trace-diff A B [--values]`
+//!   metrics     summarize a trace: per-phase p50/p90/p99 + sparklines
+//!   top         live dashboard tailing a streaming trace file
 //!
 //! input (choose one):
 //!   --input FILE          edge-list file ("src dst [weight]" per line)
@@ -26,6 +28,7 @@
 //!   --threads T           compute threads per worker (default 1)
 //!   --receivers R         receiver threads per worker (default 1)
 //!   --partitioner P       hash (default) | metis
+//!   --inbox MODE          hama inbox: global (default) | sharded
 //!
 //! algorithm:
 //!   --epsilon F           convergence threshold (pagerank; default 1e-9)
@@ -39,7 +42,11 @@
 //!   --seed N              generator seed (gen; default dataset seed)
 //!   --stats               print per-superstep statistics
 //!   --trace FILE          write a superstep trace (JSON lines; pagerank)
+//!   --stream              stream the trace to FILE mid-run (no ring cap)
 //!   --values              capture/compare per-publication value digests
+//!   --prom FILE           write Prometheus metrics exposition after the run
+//!   --once                top: render one frame and exit
+//!   --refresh-ms N        top: refresh interval (default 500)
 //! ```
 
 use cyclops::prelude::*;
@@ -69,7 +76,12 @@ struct Options {
     seed: Option<u64>,
     stats: bool,
     trace: Option<String>,
+    stream: bool,
     values: bool,
+    inbox: String,
+    prom: Option<String>,
+    once: bool,
+    refresh_ms: u64,
     /// Non-flag arguments after the command (trace-diff's two paths).
     positional: Vec<String>,
 }
@@ -96,7 +108,12 @@ impl Default for Options {
             seed: None,
             stats: false,
             trace: None,
+            stream: false,
             values: false,
+            inbox: "global".into(),
+            prom: None,
+            once: false,
+            refresh_ms: 500,
             positional: Vec::new(),
         }
     }
@@ -176,7 +193,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = Some(value("--trace")?),
+            "--stream" => opts.stream = true,
             "--values" => opts.values = true,
+            "--inbox" => opts.inbox = value("--inbox")?,
+            "--prom" => opts.prom = Some(value("--prom")?),
+            "--once" => opts.once = true,
+            "--refresh-ms" => {
+                opts.refresh_ms = value("--refresh-ms")?
+                    .parse()
+                    .map_err(|e| format!("--refresh-ms: {e}"))?
+            }
             other if !other.starts_with('-') => opts.positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -262,6 +288,8 @@ fn run(opts: &Options) -> Result<(), String> {
         "gen",
         "info",
         "trace-diff",
+        "metrics",
+        "top",
     ];
     if !COMMANDS.contains(&opts.command.as_str()) {
         return Err(format!(
@@ -298,6 +326,44 @@ fn run(opts: &Options) -> Result<(), String> {
             }
         }
         return Ok(());
+    }
+
+    // `metrics` summarizes a trace file and exits.
+    if opts.command == "metrics" {
+        let [path] = opts.positional.as_slice() else {
+            return Err("metrics needs one trace file: metrics TRACE.jsonl".into());
+        };
+        let trace = cyclops_net::trace::read_jsonl(path).map_err(|e| e.to_string())?;
+        print!("{}", cyclops::obs::metrics_report(&trace));
+        return Ok(());
+    }
+
+    // `top` tails a (possibly still growing) trace file.
+    if opts.command == "top" {
+        let [path] = opts.positional.as_slice() else {
+            return Err(
+                "top needs one trace file: top TRACE.jsonl [--once] [--refresh-ms N]".into(),
+            );
+        };
+        let mut follower = cyclops::obs::TraceFollower::new(path);
+        let mut stats = cyclops::obs::TraceStats::new();
+        loop {
+            for r in follower
+                .poll()
+                .map_err(|e| format!("tailing {path}: {e}"))?
+            {
+                stats.add(&r);
+            }
+            let frame = cyclops::obs::top_frame(follower.meta(), &stats, 64);
+            if opts.once {
+                print!("{frame}");
+                return Ok(());
+            }
+            // Clear the screen and redraw, like top(1).
+            print!("\x1b[2J\x1b[H{frame}");
+            std::io::stdout().flush().ok();
+            std::thread::sleep(std::time::Duration::from_millis(opts.refresh_ms.max(50)));
+        }
     }
 
     // `gen` writes an edge list and exits.
@@ -337,6 +403,16 @@ fn run(opts: &Options) -> Result<(), String> {
         "hama" | "bsp" => true,
         other => return Err(format!("unknown engine {other} (cyclops|hama)")),
     };
+    let inbox = match opts.inbox.as_str() {
+        "global" | "global_queue" => cyclops_net::InboxMode::GlobalQueue,
+        "sharded" => cyclops_net::InboxMode::Sharded,
+        other => return Err(format!("unknown inbox mode {other} (global|sharded)")),
+    };
+    // Install the global metrics registry *before* the engines construct
+    // their transports/barriers, so instrumentation handles resolve.
+    if opts.prom.is_some() {
+        cyclops::obs::install_global();
+    }
     if (opts.source as usize) >= g.num_vertices() && matches!(opts.command.as_str(), "sssp" | "bfs")
     {
         return Err(format!(
@@ -348,21 +424,39 @@ fn run(opts: &Options) -> Result<(), String> {
 
     match opts.command.as_str() {
         "pagerank" => {
-            let mut sink = opts.trace.as_ref().map(|_| {
-                let engine = if use_hama { "bsp" } else { "cyclops" };
-                if opts.values {
-                    cyclops_net::trace::TraceSink::with_values(engine, &cluster)
-                } else {
-                    cyclops_net::trace::TraceSink::new(engine, &cluster)
-                }
-            });
+            use cyclops_net::trace::TraceSink;
+            if opts.stream && opts.trace.is_none() {
+                return Err("--stream needs --trace FILE".into());
+            }
+            let engine = if use_hama { "bsp" } else { "cyclops" };
+            let mut sink = match &opts.trace {
+                Some(path) if opts.stream => Some(
+                    if opts.values {
+                        TraceSink::streaming_with_values(engine, &cluster, path)
+                    } else {
+                        TraceSink::streaming(engine, &cluster, path)
+                    }
+                    .map_err(|e| format!("opening trace {path}: {e}"))?,
+                ),
+                Some(_) if opts.values => Some(TraceSink::with_values(engine, &cluster)),
+                Some(_) => Some(TraceSink::new(engine, &cluster)),
+                None => None,
+            };
             let (values, supersteps, messages, stats) = if use_hama {
-                let r = cyclops_algos::pagerank::run_bsp_pagerank_traced(
+                let r = cyclops_bsp::run_bsp_traced(
+                    &cyclops_algos::pagerank::BspPageRank {
+                        epsilon: opts.epsilon,
+                    },
                     &g,
                     &partition,
-                    &cluster,
-                    opts.epsilon,
-                    opts.max_supersteps,
+                    &cyclops_bsp::BspConfig {
+                        cluster,
+                        max_supersteps: opts.max_supersteps,
+                        use_combiner: true,
+                        track_redundant: true,
+                        inbox,
+                        ..Default::default()
+                    },
                     sink.as_ref(),
                 );
                 (r.values, r.supersteps, r.counters.messages, r.stats)
@@ -377,10 +471,20 @@ fn run(opts: &Options) -> Result<(), String> {
                 );
                 (r.values, r.supersteps, r.counters.messages, r.stats)
             };
-            if let (Some(path), Some(sink)) = (&opts.trace, sink.as_mut()) {
-                sink.write_jsonl(path)
-                    .map_err(|e| format!("writing trace {path}: {e}"))?;
-                println!("trace written to {path}");
+            if let (Some(path), Some(mut sink)) = (&opts.trace, sink.take()) {
+                if sink.is_streaming() {
+                    let summary = sink
+                        .finish()
+                        .map_err(|e| format!("closing trace {path}: {e}"))?;
+                    println!(
+                        "trace streamed to {path}: {} records ({} deferred)",
+                        summary.records_written, summary.records_deferred
+                    );
+                } else {
+                    sink.write_jsonl(path)
+                        .map_err(|e| format!("writing trace {path}: {e}"))?;
+                    println!("trace written to {path}");
+                }
             }
             println!("pagerank: {supersteps} supersteps, {messages} messages");
             let mut ranked: Vec<(u32, f64)> = values
@@ -505,6 +609,12 @@ fn run(opts: &Options) -> Result<(), String> {
         }
         other => return Err(format!("unknown command {other}; try `cyclops help`")),
     }
+    if let Some(path) = &opts.prom {
+        let reg = cyclops::obs::global().expect("registry installed above");
+        std::fs::write(path, cyclops::obs::render_prometheus(reg))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics exposition written to {path}");
+    }
     Ok(())
 }
 
@@ -513,17 +623,22 @@ const HELP: &str = "cyclops — distributed graph processing with distributed im
 usage: cyclops <command> [options]
 
 commands:
-  pagerank | sssp | bfs | cc | cd | triangles | gen | info | trace-diff | help
+  pagerank | sssp | bfs | cc | cd | triangles | gen | info
+  trace-diff | metrics | top | help
 
 input:       --input FILE | --dataset NAME [--scale F] [--seed N]
              datasets: Amazon GWeb LJournal Wiki SYN-GL DBLP RoadCA
 execution:   --engine cyclops|hama  --machines M --workers W
              --threads T --receivers R  --partitioner hash|metis
+             --inbox global|sharded (hama)
 algorithm:   --epsilon F  --max-supersteps N  --source V  --sweeps N
 output:      --output FILE  --top N  --stats
-tracing:     --trace FILE (pagerank)  --values
+tracing:     --trace FILE (pagerank)  --stream  --values
+             --prom FILE  writes Prometheus metrics after the run
              trace-diff A B [--values]  reports the first divergent
              superstep/worker/counter between two runs
+             metrics TRACE.jsonl  per-phase p50/p90/p99 + sparklines
+             top TRACE.jsonl [--once] [--refresh-ms N]  live dashboard
 
 examples:
   cyclops pagerank --dataset GWeb --scale 0.2 --machines 3 --workers 2
@@ -532,6 +647,9 @@ examples:
   cyclops cc --input wiki.txt --engine hama
   cyclops pagerank --dataset Amazon --trace run-a.jsonl --values
   cyclops trace-diff run-a.jsonl run-b.jsonl --values
+  cyclops pagerank --dataset Amazon --trace run.jsonl --stream --prom run.prom
+  cyclops metrics run.jsonl
+  cyclops top run.jsonl --once
 ";
 
 fn main() -> ExitCode {
@@ -592,6 +710,26 @@ mod tests {
         assert_eq!(o.command, "trace-diff");
         assert_eq!(o.positional, vec!["a.jsonl", "b.jsonl"]);
         assert!(o.values);
+    }
+
+    #[test]
+    fn parses_metrics_flags() {
+        let o = parse_args(&args(
+            "pagerank --dataset GWeb --trace out.jsonl --stream --prom out.prom \
+             --engine hama --inbox sharded",
+        ))
+        .unwrap();
+        assert!(o.stream);
+        assert_eq!(o.prom.as_deref(), Some("out.prom"));
+        assert_eq!(o.inbox, "sharded");
+        let o = parse_args(&args("top run.jsonl --once --refresh-ms 100")).unwrap();
+        assert_eq!(o.command, "top");
+        assert_eq!(o.positional, vec!["run.jsonl"]);
+        assert!(o.once);
+        assert_eq!(o.refresh_ms, 100);
+        let o = parse_args(&args("metrics run.jsonl")).unwrap();
+        assert_eq!(o.command, "metrics");
+        assert_eq!(o.positional, vec!["run.jsonl"]);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   hierarchical CyclopsMT variant,
 //! * [`gas`] — a PowerGraph-style Gather-Apply-Scatter baseline engine,
 //! * [`algos`] — PageRank, ALS, community detection, and SSSP for all three
-//!   engines.
+//!   engines,
+//! * [`obs`] — the metrics/observability layer: log-linear latency
+//!   histograms, Prometheus/JSON exposition, trace summaries
+//!   (`cyclops metrics`), and live trace following (`cyclops top`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the substitution table mapping
 //! the paper's testbed onto this repository, and `EXPERIMENTS.md` for
@@ -47,6 +50,8 @@ pub use cyclops_gas as gas;
 pub use cyclops_graph as graph;
 pub use cyclops_net as net;
 pub use cyclops_partition as partition;
+
+pub mod obs;
 
 /// Convenience re-exports covering the common experiment workflow.
 pub mod prelude {

@@ -1,0 +1,400 @@
+//! Run-level observability: phase-latency summaries, sparkline tables, and
+//! a live trace follower.
+//!
+//! This module turns superstep traces (see [`cyclops_net::trace`]) into the
+//! human-facing reports behind `cyclops metrics` (post-hoc summary of a
+//! trace file) and `cyclops top` (live dashboard tailing a *streaming*
+//! trace while the run is still writing it). Latencies are accumulated into
+//! the same log-linear histograms the engines feed
+//! ([`cyclops_obs::LogLinearHistogram`], ≤ 12.5 % relative bucket error),
+//! so quantiles here and quantiles from the in-process registry agree.
+
+pub use cyclops_obs::{
+    global, install_global, render_json, render_prometheus, sparkline, sparkline_last, Counter,
+    Gauge, HistogramSnapshot, LogLinearHistogram, MetricsRegistry,
+};
+
+use cyclops_net::trace::{parse_meta_line, parse_record_line, RunTrace, TraceMeta, TraceRecord};
+use std::fmt::Write as _;
+use std::io::{Read, Seek, SeekFrom};
+
+/// The four phase names, in the paper's order (§3.5).
+pub const PHASES: [&str; 4] = ["prs", "cmp", "snd", "syn"];
+
+/// Streaming accumulator over trace records: per-phase latency histograms
+/// plus compact per-superstep aggregates for sparklines. Feed it records
+/// with [`TraceStats::add`] — out of order is fine — and render at any
+/// point; `cyclops top` keeps one alive across polls.
+#[derive(Default)]
+pub struct TraceStats {
+    /// Phase latency histograms, indexed like [`PHASES`].
+    hists: [LogLinearHistogram; 4],
+    /// Per-superstep totals, indexed by superstep (summed over workers).
+    supersteps: Vec<SuperstepAgg>,
+    /// Records absorbed so far.
+    records: u64,
+}
+
+/// Per-superstep aggregate over workers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SuperstepAgg {
+    /// Sum of all four phase latencies over all workers, nanoseconds.
+    pub total_ns: u64,
+    /// Vertices that ran compute, summed over workers.
+    pub computed: u64,
+    /// Messages sent, summed over workers.
+    pub messages: u64,
+    /// Workers that reported this superstep.
+    pub workers: u64,
+}
+
+impl TraceStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the accumulator from a fully loaded trace.
+    pub fn from_trace(trace: &RunTrace) -> Self {
+        let mut s = Self::new();
+        for r in &trace.records {
+            s.add(r);
+        }
+        s
+    }
+
+    /// Absorbs one record.
+    pub fn add(&mut self, r: &TraceRecord) {
+        self.records += 1;
+        for (h, ns) in self
+            .hists
+            .iter()
+            .zip([r.parse_ns, r.compute_ns, r.send_ns, r.sync_ns])
+        {
+            h.record(ns);
+        }
+        let s = r.superstep as usize;
+        if s >= self.supersteps.len() {
+            self.supersteps.resize(s + 1, SuperstepAgg::default());
+        }
+        let agg = &mut self.supersteps[s];
+        agg.total_ns += r.parse_ns + r.compute_ns + r.send_ns + r.sync_ns;
+        agg.computed += r.computed;
+        agg.messages += r.messages;
+        agg.workers += 1;
+    }
+
+    /// Records absorbed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Supersteps seen so far (highest superstep index + 1).
+    pub fn supersteps(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Snapshot of one phase's latency histogram (index into [`PHASES`]).
+    pub fn phase_snapshot(&self, phase: usize) -> HistogramSnapshot {
+        self.hists[phase].snapshot()
+    }
+
+    /// The per-phase quantile table: count, mean, p50/p90/p99, max.
+    pub fn phase_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<5} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "phase", "records", "mean", "p50", "p90", "p99", "max"
+        );
+        for (i, name) in PHASES.iter().enumerate() {
+            let s = self.hists[i].snapshot();
+            if s.is_empty() {
+                let _ = writeln!(out, "{name:<5} {:>9} {:>10}", 0, "-");
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<5} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                s.count,
+                fmt_ns(s.mean() as u64),
+                fmt_ns(s.percentile(0.50)),
+                fmt_ns(s.percentile(0.90)),
+                fmt_ns(s.percentile(0.99)),
+                fmt_ns(s.max),
+            );
+        }
+        out
+    }
+
+    /// Sparkline rows over the last `width` supersteps: wall time per
+    /// superstep, computed vertices, and messages sent.
+    pub fn sparkline_table(&self, width: usize) -> String {
+        let series: [(&str, Vec<u64>); 3] = [
+            ("time", self.supersteps.iter().map(|a| a.total_ns).collect()),
+            (
+                "computed",
+                self.supersteps.iter().map(|a| a.computed).collect(),
+            ),
+            (
+                "messages",
+                self.supersteps.iter().map(|a| a.messages).collect(),
+            ),
+        ];
+        let mut out = String::new();
+        let shown = self.supersteps.len().min(width);
+        let _ = writeln!(
+            out,
+            "last {shown} of {} supersteps (left = older):",
+            self.supersteps.len()
+        );
+        for (name, values) in series {
+            let _ = writeln!(out, "{:>9} {}", name, sparkline_last(&values, width));
+        }
+        out
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit (`ns`, `us`, `ms`, `s`).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        10_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// The full `cyclops metrics` report for a loaded trace: run header,
+/// per-phase quantile table, and superstep sparklines.
+pub fn metrics_report(trace: &RunTrace) -> String {
+    let stats = TraceStats::from_trace(trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "engine {} on {} ({} workers), {} records over {} supersteps",
+        trace.meta.engine,
+        trace.meta.cluster,
+        trace.meta.workers,
+        stats.records(),
+        stats.supersteps(),
+    );
+    out.push_str(&stats.phase_table());
+    out.push('\n');
+    out.push_str(&stats.sparkline_table(64));
+    out
+}
+
+/// One frame of the `cyclops top` dashboard.
+pub fn top_frame(meta: Option<&TraceMeta>, stats: &TraceStats, width: usize) -> String {
+    let mut out = String::new();
+    match meta {
+        Some(m) => {
+            let _ = writeln!(
+                out,
+                "cyclops top — engine {} on {} ({} workers)",
+                m.engine, m.cluster, m.workers
+            );
+        }
+        None => {
+            let _ = writeln!(out, "cyclops top — waiting for trace header...");
+        }
+    }
+    let complete = meta
+        .map(|m| m.workers > 0 && stats.records() == stats.supersteps() as u64 * m.workers)
+        .unwrap_or(false);
+    let _ = writeln!(
+        out,
+        "{} records, {} supersteps{}",
+        stats.records(),
+        stats.supersteps(),
+        if complete { "" } else { " (partial)" },
+    );
+    out.push('\n');
+    out.push_str(&stats.phase_table());
+    out.push('\n');
+    out.push_str(&stats.sparkline_table(width));
+    out
+}
+
+/// Tails a streaming trace file incrementally: each [`TraceFollower::poll`]
+/// reads only the bytes appended since the previous poll and yields the
+/// newly completed records. A partially written last line (the writer
+/// flushes whole lines, but a poll can still race the OS) is buffered until
+/// its newline arrives.
+pub struct TraceFollower {
+    path: String,
+    offset: u64,
+    partial: String,
+    meta: Option<TraceMeta>,
+}
+
+impl TraceFollower {
+    /// A follower for `path`, starting at the beginning of the file.
+    pub fn new(path: &str) -> Self {
+        TraceFollower {
+            path: path.to_string(),
+            offset: 0,
+            partial: String::new(),
+            meta: None,
+        }
+    }
+
+    /// The trace header, once a poll has seen it.
+    pub fn meta(&self) -> Option<&TraceMeta> {
+        self.meta.as_ref()
+    }
+
+    /// Reads newly appended bytes and parses the completed lines. Returns
+    /// the new records (the header line, when first seen, lands in
+    /// [`TraceFollower::meta`] instead).
+    pub fn poll(&mut self) -> std::io::Result<Vec<TraceRecord>> {
+        let mut f = std::fs::File::open(&self.path)?;
+        let len = f.metadata()?.len();
+        if len < self.offset {
+            // Truncated behind us (file replaced): start over.
+            self.offset = 0;
+            self.partial.clear();
+            self.meta = None;
+        }
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+        f.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = String::new();
+        f.take(len - self.offset).read_to_string(&mut buf)?;
+        self.offset = len;
+        self.partial.push_str(&buf);
+        let mut records = Vec::new();
+        while let Some(nl) = self.partial.find('\n') {
+            let line: String = self.partial.drain(..=nl).collect();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if self.meta.is_none() {
+                if let Some(meta) = parse_meta_line(line) {
+                    self.meta = Some(meta);
+                    continue;
+                }
+            }
+            if let Some(r) = parse_record_line(line) {
+                records.push(r);
+            }
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(superstep: u64, worker: u64, ns: u64) -> TraceRecord {
+        TraceRecord {
+            superstep,
+            worker,
+            parse_ns: ns,
+            compute_ns: 2 * ns,
+            send_ns: ns / 2,
+            sync_ns: ns,
+            computed: 10,
+            messages: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_per_phase_and_per_superstep() {
+        let mut s = TraceStats::new();
+        for step in 0..3 {
+            for w in 0..2 {
+                s.add(&record(step, w, 1000));
+            }
+        }
+        assert_eq!(s.records(), 6);
+        assert_eq!(s.supersteps(), 3);
+        let cmp = s.phase_snapshot(1);
+        assert_eq!(cmp.count, 6);
+        // 2000ns falls in a log-linear bucket; midpoint error ≤ 12.5 %.
+        let p50 = cmp.percentile(0.5) as f64;
+        assert!((p50 - 2000.0).abs() / 2000.0 <= 0.125, "p50 {p50}");
+        assert_eq!(s.supersteps[0].computed, 20);
+        assert_eq!(s.supersteps[0].total_ns, 2 * (1000 + 2000 + 500 + 1000));
+    }
+
+    #[test]
+    fn phase_table_lists_all_four_phases() {
+        let mut s = TraceStats::new();
+        s.add(&record(0, 0, 5000));
+        let t = s.phase_table();
+        for name in PHASES {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+        assert!(t.contains("p99"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(120), "120ns");
+        assert_eq!(fmt_ns(45_000), "45.0us");
+        assert_eq!(fmt_ns(12_000_000), "12.0ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.20s");
+    }
+
+    #[test]
+    fn follower_tails_a_growing_file_across_partial_lines() {
+        let dir = std::env::temp_dir().join(format!("cyclops-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("follow.jsonl");
+        let path_s = path.to_str().unwrap();
+
+        // Exactly the lines the streaming sink writes (header + records).
+        let header = r#"{"engine":"cyclops","cluster":"2x1","workers":2,"values":false}"#;
+        let line = |s: u64, w: u64| {
+            let mut out = String::new();
+            TraceRecord {
+                superstep: s,
+                worker: w,
+                parse_ns: 1,
+                compute_ns: 2,
+                send_ns: 3,
+                sync_ns: 4,
+                computed: 1,
+                ..Default::default()
+            }
+            .to_json(&mut out);
+            out
+        };
+
+        std::fs::write(&path, format!("{header}\n{}\n", line(0, 0))).unwrap();
+        let mut fo = TraceFollower::new(path_s);
+        let r = fo.poll().unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(fo.meta().is_some());
+        assert_eq!(fo.meta().unwrap().workers, 2);
+
+        // Append one full line plus the *front half* of another.
+        let l2 = line(0, 1);
+        let l3 = line(1, 0);
+        let (front, back) = l3.split_at(20);
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str(&format!("{l2}\n{front}"));
+        std::fs::write(&path, &content).unwrap();
+        let r = fo.poll().unwrap();
+        assert_eq!(r.len(), 1, "half-written line must not parse yet");
+        assert_eq!(r[0].worker, 1);
+
+        // Complete the line; the follower stitches it back together.
+        content.push_str(&format!("{back}\n"));
+        std::fs::write(&path, &content).unwrap();
+        let r = fo.poll().unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].superstep, 1);
+
+        // Nothing new -> empty poll.
+        assert!(fo.poll().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

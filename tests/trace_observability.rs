@@ -186,16 +186,15 @@ fn checkpoint_resume_is_deterministic_under_sharded_mt_cluster() {
     let full = run_cyclops(&program, &g, &p, &config);
     assert!(!full.checkpoints.is_empty(), "run captured no checkpoints");
     for cp in &full.checkpoints {
-        // max_supersteps is a budget from the resume point, not a global
-        // cap (see ROADMAP open items), so give the resumed run exactly the
-        // supersteps the crashed run had left.
+        // max_supersteps is a *global* cap on the superstep index, so the
+        // resumed run reuses the original cap unchanged and still stops at
+        // the same place the crashed run would have.
         let resumed = run_cyclops_from_checkpoint(
             &program,
             &g,
             &p,
             &CyclopsConfig {
                 checkpoint_every: None,
-                max_supersteps: config.max_supersteps - cp.superstep,
                 ..config
             },
             cp,
