@@ -8,7 +8,7 @@
 //! should be symmetrized (e.g. via [`symmetrize`]) for weak components.
 
 use cyclops_bsp::{run_bsp, BspConfig, BspContext, BspProgram, BspResult};
-use cyclops_engine::{run_cyclops, CyclopsConfig, CyclopsContext, CyclopsProgram, CyclopsResult};
+use cyclops_engine::{CyclopsConfig, CyclopsContext, CyclopsProgram, CyclopsResult};
 use cyclops_graph::{Graph, GraphBuilder, VertexId};
 use cyclops_net::ClusterSpec;
 use cyclops_partition::EdgeCutPartition;
@@ -86,15 +86,35 @@ pub fn run_cyclops_cc(
     partition: &EdgeCutPartition,
     cluster: &ClusterSpec,
 ) -> CyclopsResult<u32, u32> {
-    run_cyclops(
+    run_cyclops_cc_sched(
+        graph,
+        partition,
+        cluster,
+        cyclops_engine::Sched::default(),
+        None,
+    )
+}
+
+/// [`run_cyclops_cc`] with an explicit compute scheduler and an optional
+/// superstep-trace sink.
+pub fn run_cyclops_cc_sched(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    sched: cyclops_engine::Sched,
+    trace: Option<&cyclops_net::trace::TraceSink>,
+) -> CyclopsResult<u32, u32> {
+    cyclops_engine::run_cyclops_traced(
         &CyclopsComponents,
         graph,
         partition,
         &CyclopsConfig {
             cluster: *cluster,
             max_supersteps: 100_000,
+            sched,
             ..Default::default()
         },
+        trace,
     )
 }
 

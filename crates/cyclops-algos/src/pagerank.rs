@@ -189,6 +189,28 @@ pub fn run_cyclops_pagerank_traced(
     max_supersteps: usize,
     trace: Option<&TraceSink>,
 ) -> CyclopsResult<f64, f64> {
+    run_cyclops_pagerank_sched(
+        graph,
+        partition,
+        cluster,
+        epsilon,
+        max_supersteps,
+        cyclops_engine::Sched::default(),
+        trace,
+    )
+}
+
+/// [`run_cyclops_pagerank_traced`] with an explicit compute scheduler
+/// (static shards vs degree-weighted dynamic chunk claiming).
+pub fn run_cyclops_pagerank_sched(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    epsilon: f64,
+    max_supersteps: usize,
+    sched: cyclops_engine::Sched,
+    trace: Option<&TraceSink>,
+) -> CyclopsResult<f64, f64> {
     run_cyclops_traced(
         &CyclopsPageRank { epsilon },
         graph,
@@ -197,6 +219,7 @@ pub fn run_cyclops_pagerank_traced(
             cluster: *cluster,
             max_supersteps,
             convergence: Convergence::ActiveVertices,
+            sched,
             ..Default::default()
         },
         trace,

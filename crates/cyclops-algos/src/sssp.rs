@@ -6,7 +6,7 @@
 //! CyclopsMT on hierarchical locality.
 
 use cyclops_bsp::{run_bsp, BspConfig, BspContext, BspProgram, BspResult};
-use cyclops_engine::{run_cyclops, CyclopsConfig, CyclopsContext, CyclopsProgram, CyclopsResult};
+use cyclops_engine::{CyclopsConfig, CyclopsContext, CyclopsProgram, CyclopsResult};
 use cyclops_gas::{run_gas, GasConfig, GasProgram, GasResult};
 use cyclops_graph::{Graph, VertexId};
 use cyclops_net::ClusterSpec;
@@ -176,15 +176,39 @@ pub fn run_cyclops_sssp(
     source: VertexId,
     max_supersteps: usize,
 ) -> CyclopsResult<f64, f64> {
-    run_cyclops(
+    run_cyclops_sssp_sched(
+        graph,
+        partition,
+        cluster,
+        source,
+        max_supersteps,
+        cyclops_engine::Sched::default(),
+        None,
+    )
+}
+
+/// [`run_cyclops_sssp`] with an explicit compute scheduler and an optional
+/// superstep-trace sink.
+pub fn run_cyclops_sssp_sched(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    source: VertexId,
+    max_supersteps: usize,
+    sched: cyclops_engine::Sched,
+    trace: Option<&cyclops_net::trace::TraceSink>,
+) -> CyclopsResult<f64, f64> {
+    cyclops_engine::run_cyclops_traced(
         &CyclopsSssp { source },
         graph,
         partition,
         &CyclopsConfig {
             cluster: *cluster,
             max_supersteps,
+            sched,
             ..Default::default()
         },
+        trace,
     )
 }
 

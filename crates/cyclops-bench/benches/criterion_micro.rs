@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks of the substrate kernels the experiments rest
 //! on: codec throughput, inbox enqueue under the two disciplines, barrier
-//! latency, CSR neighbor iteration, the ALS Cholesky solve, and the
-//! metrics hot path (histogram record vs the disabled Option check).
+//! latency, CSR neighbor iteration, the ALS Cholesky solve, the metrics hot
+//! path (histogram record vs the disabled Option check), and the compute
+//! scheduler's frontier-dispatch strategies on a skewed R-MAT frontier.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use cyclops_algos::linalg::cholesky_solve;
@@ -186,6 +187,133 @@ fn bench_metrics(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR 3 scheduling dial, isolated from the engine: dispatch a skewed
+/// R-MAT frontier to T compute threads three ways and measure the aggregate
+/// CPU cost of the dispatch + per-vertex work.
+///
+/// * `static_full_scan` — the pre-PR engine loop: every thread walks the
+///   *entire* frontier and skips entries outside its vertex range, an
+///   O(frontier × threads) scan.
+/// * `static_shards` — owner-sharded sub-frontiers: each thread walks only
+///   its contiguous slice, O(frontier) total but chunk mass as skewed as
+///   the degree distribution.
+/// * `dynamic_mass_chunks` — equal out-degree-mass chunks claimed off an
+///   atomic cursor, O(frontier) total *and* balanced mass per claim.
+///
+/// Threads are simulated sequentially (single accumulated cost), so the
+/// numbers compare total work, not parallel wall-clock: the full-scan
+/// variant loses by the scan factor here, and on real multicore the
+/// static-shards variant additionally loses wall-clock to mass skew —
+/// visible in the `cyclops_compute_imbalance` histogram, not this bench.
+fn bench_scheduling(c: &mut Criterion) {
+    const THREADS: usize = 4;
+    let g = rmat(
+        RmatConfig {
+            scale: 13,
+            edges: 60_000,
+            ..Default::default()
+        },
+        7,
+    );
+    let n = g.num_vertices();
+    // Full frontier, in vertex order — what the sorted-flat drain produces.
+    let frontier: Vec<u32> = (0..n as u32).collect();
+    // Work mass per frontier entry = in-degree + 1, mirroring the engine's
+    // degree-weighted chunk cuts.
+    let mass: Vec<u64> = frontier
+        .iter()
+        .map(|&v| g.in_neighbors(v).len() as u64 + 1)
+        .collect();
+
+    // Per-vertex compute: fold the in-neighborhood, the same memory access
+    // pattern as a PageRank gather.
+    let work = |v: u32| -> u64 {
+        let mut acc = v as u64;
+        for &u in g.in_neighbors(v) {
+            acc = acc.wrapping_add(u as u64);
+        }
+        acc
+    };
+
+    // Equal-mass chunk boundaries by cross-multiplied prefix sums —
+    // mirrors cyclops-engine's build_mass_chunks.
+    let mass_chunk_ends = |chunks: usize| -> Vec<usize> {
+        let total: u64 = mass.iter().sum();
+        let mut ends = Vec::with_capacity(chunks);
+        let mut cum = 0u64;
+        let mut next = 1u64;
+        for (i, m) in mass.iter().enumerate() {
+            cum += m;
+            while next <= chunks as u64 && cum * chunks as u64 >= next * total {
+                ends.push(i + 1);
+                next += 1;
+            }
+        }
+        while ends.len() < chunks {
+            ends.push(frontier.len());
+        }
+        ends
+    };
+
+    let mut group = c.benchmark_group("scheduling_skewed_frontier");
+    group.throughput(Throughput::Elements(frontier.len() as u64));
+
+    group.bench_function("static_full_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in 0..THREADS {
+                // Ceil-based shard bounds on the *vertex id* space, as the
+                // old engine sharded masters.
+                let lo = (t * n).div_ceil(THREADS) as u32;
+                let hi = ((t + 1) * n).div_ceil(THREADS) as u32;
+                for &v in &frontier {
+                    if v < lo || v >= hi {
+                        continue; // the scan-and-skip tax
+                    }
+                    acc = acc.wrapping_add(work(v));
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    group.bench_function("static_shards", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in 0..THREADS {
+                let lo = (t * frontier.len()).div_ceil(THREADS);
+                let hi = ((t + 1) * frontier.len()).div_ceil(THREADS);
+                for &v in &frontier[lo..hi] {
+                    acc = acc.wrapping_add(work(v));
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    let ends = mass_chunk_ends(THREADS * 4);
+    group.bench_function("dynamic_mass_chunks", |b| {
+        b.iter(|| {
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let mut acc = 0u64;
+            for _t in 0..THREADS {
+                loop {
+                    let c = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if c >= ends.len() {
+                        break;
+                    }
+                    let lo = if c == 0 { 0 } else { ends[c - 1] };
+                    for &v in &frontier[lo..ends[c]] {
+                        acc = acc.wrapping_add(work(v));
+                    }
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_codec,
@@ -193,6 +321,7 @@ criterion_group!(
     bench_barrier,
     bench_csr,
     bench_cholesky,
-    bench_metrics
+    bench_metrics,
+    bench_scheduling
 );
 criterion_main!(benches);

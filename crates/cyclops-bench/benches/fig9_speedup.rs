@@ -6,9 +6,10 @@
 //!
 //! Set `CYCLOPS_FULL=1` to run the full scalability sweep; the default runs
 //! panel 1 plus a reduced sweep (6 and 24 workers) to stay fast on small
-//! machines.
+//! machines. Set `CYCLOPS_BENCH_JSON=<path>` to additionally write panel 1
+//! as a machine-readable JSON baseline (the committed `BENCH_fig9.json`).
 
-use cyclops_bench::report::{self, Table};
+use cyclops_bench::report::{self, JsonReport, Table};
 use cyclops_bench::workloads::{self, run_on_cyclops, run_on_hama};
 use cyclops_partition::{EdgeCutPartitioner, HashPartitioner};
 
@@ -27,6 +28,8 @@ fn main() {
         "Cyclops speedup",
         "CyclopsMT speedup",
     ]);
+    let mut json = JsonReport::new("fig9_speedup_panel1");
+    json.meta("scale", fraction).meta("workers", 48usize);
     for w in workloads::paper_workloads() {
         let g = workloads::gen_graph(w.dataset, fraction);
         let flat = workloads::paper_cluster(48);
@@ -44,11 +47,36 @@ fn main() {
             report::speedup(hama.elapsed.as_secs_f64() / cy.elapsed.as_secs_f64()),
             report::speedup(hama.elapsed.as_secs_f64() / mt.elapsed.as_secs_f64()),
         ]);
+        json.row(vec![
+            ("workload", format!("{} {}", w.algo, w.dataset).into()),
+            ("hama_s", hama.elapsed.as_secs_f64().into()),
+            ("cyclops_s", cy.elapsed.as_secs_f64().into()),
+            ("cyclops_mt_s", mt.elapsed.as_secs_f64().into()),
+            (
+                "cyclops_speedup",
+                (hama.elapsed.as_secs_f64() / cy.elapsed.as_secs_f64()).into(),
+            ),
+            (
+                "cyclops_mt_speedup",
+                (hama.elapsed.as_secs_f64() / mt.elapsed.as_secs_f64()).into(),
+            ),
+            ("hama_messages", hama.counters.messages.into()),
+            ("cyclops_messages", cy.counters.messages.into()),
+            ("hama_bytes", hama.counters.bytes.into()),
+            ("cyclops_bytes", cy.counters.bytes.into()),
+        ]);
     }
     table.print();
     println!(
         "  paper: Cyclops 1.33x-5.03x, CyclopsMT 2.06x-8.69x; largest on Wiki, smallest on SSSP"
     );
+    if let Ok(path) = std::env::var("CYCLOPS_BENCH_JSON") {
+        let path = std::path::PathBuf::from(path);
+        match json.write(&path) {
+            Ok(()) => println!("  wrote JSON baseline to {}", path.display()),
+            Err(e) => eprintln!("  failed to write {}: {e}", path.display()),
+        }
+    }
 
     // ---- Panel 2: scalability. ----
     let worker_counts: Vec<usize> = if full {

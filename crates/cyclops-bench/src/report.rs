@@ -86,6 +86,147 @@ impl Table {
     }
 }
 
+/// A JSON scalar for [`JsonReport`] rows. Hand-rolled (no serde in the
+/// dependency closure): benches only need flat records of strings and
+/// numbers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A string, escaped on output.
+    Str(String),
+    /// A float, printed with enough digits to round-trip.
+    Num(f64),
+    /// An unsigned integer, printed exactly.
+    Int(u64),
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Num(x)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Int(n)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Int(n as u64)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonValue {
+    fn render(&self) -> String {
+        match self {
+            JsonValue::Str(s) => format!("\"{}\"", json_escape(s)),
+            JsonValue::Num(x) if x.is_finite() => {
+                // Shortest representation that round-trips through f64.
+                let short = format!("{x}");
+                if short.parse::<f64>() == Ok(*x) {
+                    short
+                } else {
+                    format!("{x:e}")
+                }
+            }
+            // JSON has no NaN/Infinity; null is the conventional stand-in.
+            JsonValue::Num(_) => "null".to_string(),
+            JsonValue::Int(n) => n.to_string(),
+        }
+    }
+}
+
+/// A machine-readable benchmark baseline: named metadata plus a list of
+/// flat records, serialized as pretty-printed JSON. Committed baselines
+/// (e.g. `BENCH_fig9.json`) let later PRs diff quick-mode numbers without
+/// re-parsing the text tables.
+pub struct JsonReport {
+    name: String,
+    meta: Vec<(String, JsonValue)>,
+    rows: Vec<Vec<(String, JsonValue)>>,
+}
+
+impl JsonReport {
+    /// Starts a report labeled `name` (stored under the `"bench"` key).
+    pub fn new(name: &str) -> Self {
+        JsonReport {
+            name: name.to_string(),
+            meta: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attaches a top-level metadata field (scale, date, config, ...).
+    pub fn meta(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        self.meta.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Appends one flat record.
+    pub fn row(&mut self, fields: Vec<(&str, JsonValue)>) -> &mut Self {
+        self.rows.push(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+        self
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&self.name)));
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  \"{}\": {},\n", json_escape(k), v.render()));
+        }
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let fields: Vec<String> = row
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {}", json_escape(k), v.render()))
+                .collect();
+            out.push_str(&format!(
+                "    {{{}}}{}\n",
+                fields.join(", "),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
 /// Builds a per-superstep table from an engine trace, summing worker records
 /// and converting phase durations to milliseconds. This supersedes hand-built
 /// tables over `SuperstepStats`: any engine with a [`TraceSink`] attached
@@ -214,6 +355,34 @@ mod tests {
     fn table_checks_columns() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_report_renders_and_parses_shapes() {
+        let mut r = JsonReport::new("fig9");
+        r.meta("scale", 0.1).meta("workers", 48usize);
+        r.row(vec![
+            ("workload", "PR \"quoted\"".into()),
+            ("speedup", 1.5.into()),
+            ("messages", 1234usize.into()),
+        ]);
+        r.row(vec![("workload", "SSSP".into()), ("speedup", 2.0.into())]);
+        let s = r.render();
+        assert!(s.starts_with("{\n  \"bench\": \"fig9\""));
+        assert!(s.contains("\"scale\": 0.1"));
+        assert!(s.contains("\"workload\": \"PR \\\"quoted\\\"\""));
+        assert!(s.contains("\"messages\": 1234"));
+        assert!(s.trim_end().ends_with('}'));
+        // Balanced braces/brackets — cheap structural sanity without a parser.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn json_value_handles_non_finite_floats() {
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Num(0.1).render(), "0.1");
+        assert_eq!(JsonValue::Int(u64::MAX).render(), u64::MAX.to_string());
     }
 
     #[test]

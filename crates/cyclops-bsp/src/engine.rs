@@ -211,6 +211,12 @@ fn run_bsp_inner<P: BspProgram>(
     let supersteps_done = AtomicUsize::new(start_superstep);
 
     let phase_hists = cyclops_net::metrics::PhaseHists::resolve("bsp");
+    let sched_obs = cyclops_net::metrics::SchedObs::resolve("bsp");
+    // Per-worker CMP nanoseconds for the imbalance histogram (BSP has one
+    // compute thread per worker, so skew shows up *across* workers).
+    let cmp_ns: Vec<std::sync::atomic::AtomicU64> = (0..num_workers)
+        .map(|_| std::sync::atomic::AtomicU64::new(0))
+        .collect();
 
     let loop_start = Instant::now();
     // With the cap at or below the resume point there is no superstep left
@@ -232,11 +238,15 @@ fn run_bsp_inner<P: BspProgram>(
                 let supersteps_done = &supersteps_done;
                 let local_index = &local_index;
                 let phase_hists = phase_hists.as_ref();
+                let sched_obs = sched_obs.as_ref();
+                let cmp_ns = &cmp_ns;
                 scope.spawn(move || {
                     worker_loop(
                         me,
                         trace,
                         phase_hists,
+                        sched_obs,
+                        cmp_ns,
                         program,
                         graph,
                         partition,
@@ -281,12 +291,12 @@ fn run_bsp_inner<P: BspProgram>(
 
 /// FNV-1a over encoded message bytes; used to detect a vertex re-sending the
 /// same messages as last superstep.
-fn fingerprint<M: cyclops_net::Codec>(msgs: &[(VertexId, M)]) -> u64 {
+fn fingerprint<M: cyclops_net::Codec>(buf: &mut bytes::BytesMut, msgs: &[(VertexId, M)]) -> u64 {
     use cyclops_net::Codec as _;
-    let mut buf = bytes::BytesMut::new();
+    buf.clear();
     for (d, m) in msgs {
-        d.encode(&mut buf);
-        m.encode(&mut buf);
+        d.encode(buf);
+        m.encode(buf);
     }
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in buf.iter() {
@@ -302,6 +312,8 @@ fn worker_loop<P: BspProgram>(
     me: usize,
     trace: Option<&TraceSink>,
     phase_hists: Option<&cyclops_net::metrics::PhaseHists>,
+    sched_obs: Option<&cyclops_net::metrics::SchedObs>,
+    cmp_ns: &[std::sync::atomic::AtomicU64],
     program: &P,
     graph: &Graph,
     partition: &EdgeCutPartition,
@@ -326,6 +338,9 @@ fn worker_loop<P: BspProgram>(
     let mut outboxes: Vec<Vec<(VertexId, P::Message)>> =
         (0..num_workers).map(|_| Vec::new()).collect();
     let mut vertex_outbox: Vec<(VertexId, P::Message)> = Vec::new();
+    // Reused across vertices and supersteps: the redundant-message
+    // fingerprint used to allocate a fresh encode buffer per vertex.
+    let mut fp_buf = bytes::BytesMut::new();
     let tracer = trace.map(|s| s.worker(me));
 
     loop {
@@ -392,7 +407,7 @@ fn worker_loop<P: BspProgram>(
                     local_activated += 1;
                 }
                 if config.track_redundant && !vertex_outbox.is_empty() {
-                    let fp = fingerprint(&vertex_outbox);
+                    let fp = fingerprint(&mut fp_buf, &vertex_outbox);
                     if fp == st.last_sent[li] {
                         redundant += vertex_outbox.len();
                     }
@@ -404,6 +419,7 @@ fn worker_loop<P: BspProgram>(
             }
         });
         active_total.fetch_add(local_active, Ordering::Relaxed);
+        cmp_ns[me].store(times.compute.as_nanos() as u64, Ordering::Relaxed);
         if !local_agg.is_empty() {
             aggregate_acc.lock().merge(&local_agg);
         }
@@ -449,6 +465,9 @@ fn worker_loop<P: BspProgram>(
         let leader = barrier.wait();
         if leader {
             let total_active = active_total.swap(0, Ordering::Relaxed);
+            if let Some(so) = sched_obs {
+                so.record_threads(cmp_ns.iter().map(|a| a.load(Ordering::Relaxed)));
+            }
             // Publish the aggregate for the next superstep.
             let mut acc = aggregate_acc.lock();
             *prev_aggregate.lock() = if acc.is_empty() { None } else { Some(*acc) };

@@ -24,6 +24,7 @@
 //!    superstep; the global leader evaluates convergence.
 
 use crate::checkpoint::CyclopsCheckpoint;
+use crate::frontier::ShardedFrontier;
 use crate::plan::CyclopsPlan;
 use crate::program::{CyclopsContext, CyclopsProgram};
 use cyclops_graph::Graph;
@@ -32,13 +33,18 @@ use cyclops_net::metrics::PhaseHists;
 use cyclops_net::trace::{digest_bytes, TraceSink};
 use cyclops_net::{
     AggregateStats, ClusterSpec, Codec, DisjointSlots, HierarchicalBarrier, InboxMode, Phase,
-    PhaseTimes, SuperstepStats, Transport,
+    PhaseTimes, SchedObs, SuperstepStats, Transport,
 };
 use cyclops_partition::EdgeCutPartition;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
+
+/// How many work-mass chunks the dynamic scheduler cuts per compute thread.
+/// More chunks → finer rebalancing but more claim/reduce overhead; 4 keeps
+/// the straggler window at ~25 % of a thread's share.
+const CHUNKS_PER_THREAD: usize = 4;
 
 /// Convergence detection scheme (§4.4).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -65,11 +71,31 @@ pub enum Convergence {
     },
 }
 
+/// Compute-phase scheduling policy (the CLI's `--sched` dial).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Sched {
+    /// Each compute thread processes exactly its own frontier shard —
+    /// no scan-and-skip, but degree skew can leave one thread the
+    /// straggler. Kept as the ablation baseline.
+    Static,
+    /// The frontier is cut into [`CHUNKS_PER_THREAD`]`×T` spans of roughly
+    /// equal *work mass* (in-edges + activation fan-out + mirrors,
+    /// prefix-summed once at plan build) and threads claim spans through an
+    /// atomic cursor, so a skewed span cannot serialize the superstep
+    /// behind one thread. Per-chunk float partials are reduced in
+    /// chunk-index order, keeping results bitwise deterministic regardless
+    /// of claim order. The default.
+    #[default]
+    Dynamic,
+}
+
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct CyclopsConfig {
     /// Cluster topology; decides flat Cyclops vs CyclopsMT.
     pub cluster: ClusterSpec,
+    /// Compute-phase scheduling policy.
+    pub sched: Sched,
     /// Global hard cap on the superstep index: no superstep with index
     /// `>= max_supersteps` ever executes, and a checkpoint-resume continues
     /// toward the *same* cap (it does not get a fresh budget from the
@@ -81,16 +107,22 @@ pub struct CyclopsConfig {
     pub checkpoint_every: Option<usize>,
     /// Cost model for cross-machine traffic (default: ideal / zero delay).
     pub network: cyclops_net::NetworkModel,
+    /// Reuse per-lane encode buffers for cross-machine batches (default
+    /// true). Off only in the ablation bench, which quantifies the
+    /// allocation cost the pool removes (Table 2).
+    pub pooled: bool,
 }
 
 impl Default for CyclopsConfig {
     fn default() -> Self {
         CyclopsConfig {
             cluster: ClusterSpec::flat(2, 2),
+            sched: Sched::Dynamic,
             max_supersteps: 10_000,
             convergence: Convergence::ActiveVertices,
             checkpoint_every: None,
             network: cyclops_net::NetworkModel::ideal(),
+            pooled: true,
         }
     }
 }
@@ -121,6 +153,25 @@ pub struct CyclopsResult<V, M> {
     pub barrier_protocol_messages: usize,
 }
 
+/// Float accumulators of one compute chunk (or, reduced, of one worker's
+/// superstep). Integer counters stay in racing atomics — addition order
+/// cannot change them — but float sums are reduced in a fixed order so the
+/// dynamic scheduler's claim order never shows in the results.
+#[derive(Clone, Copy, Default)]
+struct ChunkPartial {
+    agg: AggregateStats,
+    err_sum: f64,
+    err_count: usize,
+}
+
+impl ChunkPartial {
+    fn merge(&mut self, other: &ChunkPartial) {
+        self.agg.merge(&other.agg);
+        self.err_sum += other.err_sum;
+        self.err_count += other.err_count;
+    }
+}
+
 /// Per-worker state shared by that worker's threads.
 struct WorkerShared<V, M> {
     values: DisjointSlots<V>,
@@ -130,30 +181,35 @@ struct WorkerShared<V, M> {
     msg_next: DisjointSlots<Option<M>>,
     /// Replica publications (updated by receiver threads).
     rep_msg: DisjointSlots<Option<M>>,
-    /// Activation bits, indexed by superstep parity. Paired with
-    /// `active_list` so per-superstep work is O(frontier), not O(masters):
-    /// the bit deduplicates, the list enumerates.
-    active: [Vec<AtomicBool>; 2],
-    /// Activated master indices per parity (deduplicated via `active`).
-    active_list: [Mutex<Vec<u32>>; 2],
-    /// This superstep's frontier, snapshotted from `active_list` by the
-    /// worker leader between the apply and compute phases.
-    frontier: parking_lot::RwLock<Vec<u32>>,
+    /// Owner-sharded double-buffered activation frontier: activations route
+    /// to the owning thread's shard list, so snapshotting is O(frontier)
+    /// with no scan-and-skip and no single contended list.
+    frontier: ShardedFrontier,
+    /// This superstep's snapshot: the globally sorted flat frontier...
+    flat: parking_lot::RwLock<Vec<u32>>,
+    /// ...and its chunk end offsets — shard ends under [`Sched::Static`],
+    /// equal-work-mass ends under [`Sched::Dynamic`]. Chunk `c` is
+    /// `flat[ends[c-1]..ends[c]]`.
+    ends: parking_lot::RwLock<Vec<u32>>,
+    /// Next unclaimed chunk index (dynamic scheduling).
+    cursor: AtomicUsize,
+    /// Per-chunk float partials, written by whichever thread computed the
+    /// chunk and reduced in chunk-index order by the worker leader.
+    partials: Vec<Mutex<ChunkPartial>>,
+    /// Per-thread CMP nanoseconds this superstep — the worker leader feeds
+    /// the `cyclops_compute_imbalance` histogram from these.
+    cmp_ns: Vec<AtomicU64>,
+    /// Shared outboxes `[dest][thread]`: threads deposit their per-
+    /// destination publications at the end of CMP; flush threads merge the
+    /// thread slots in thread order and send **one batch per destination**
+    /// per superstep, so the batch count (and its wire framing) stays
+    /// deterministic under dynamic chunk claiming.
+    #[allow(clippy::type_complexity)]
+    outboxes: Vec<Vec<Mutex<Vec<(u32, M, bool)>>>>,
     /// Per-master converged flags (Proportion mode).
     converged: Vec<AtomicBool>,
     /// Intra-worker phase barrier (T participants).
     local: Barrier,
-}
-
-impl<V, M> WorkerShared<V, M> {
-    /// Marks master `li` active for the given parity; first activation per
-    /// parity-epoch enqueues it (lock-free test, short lock on the list).
-    #[inline]
-    fn mark_active(&self, parity: usize, li: usize) {
-        if !self.active[parity][li].swap(true, Ordering::Relaxed) {
-            self.active_list[parity].lock().push(li as u32);
-        }
-    }
 }
 
 /// Runs `program` over `graph` cut by `partition` on the simulated cluster,
@@ -238,28 +294,32 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
         let n = wp.num_masters();
         let mut values: Vec<P::Value> = Vec::with_capacity(n);
         let mut msgs: Vec<Option<P::Message>> = Vec::with_capacity(n);
-        let mut active0: Vec<AtomicBool> = Vec::with_capacity(n);
-        for &v in &wp.masters {
+        let frontier = ShardedFrontier::new(n, threads);
+        for (li, &v) in wp.masters.iter().enumerate() {
             let value = program.init(v, graph);
             let msg = program.init_message(v, graph, &value);
             values.push(value);
             msgs.push(msg);
-            active0.push(AtomicBool::new(program.initially_active(v, graph)));
+            if program.initially_active(v, graph) {
+                frontier.mark(0, li);
+            }
         }
-        let list0: Vec<u32> = active0
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.load(Ordering::Relaxed))
-            .map(|(i, _)| i as u32)
-            .collect();
         shared.push(WorkerShared {
             values: DisjointSlots::new(values),
             msg_cur: DisjointSlots::new(msgs.clone()),
             msg_next: DisjointSlots::new(msgs),
             rep_msg: DisjointSlots::new(Vec::new()), // filled below
-            active: [active0, (0..n).map(|_| AtomicBool::new(false)).collect()],
-            active_list: [Mutex::new(list0), Mutex::new(Vec::new())],
-            frontier: parking_lot::RwLock::new(Vec::new()),
+            frontier,
+            flat: parking_lot::RwLock::new(Vec::new()),
+            ends: parking_lot::RwLock::new(Vec::new()),
+            cursor: AtomicUsize::new(0),
+            partials: (0..threads * CHUNKS_PER_THREAD)
+                .map(|_| Mutex::new(ChunkPartial::default()))
+                .collect(),
+            cmp_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            outboxes: (0..num_workers)
+                .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
             converged: (0..n).map(|_| AtomicBool::new(false)).collect(),
             local: Barrier::new(threads),
         });
@@ -267,12 +327,7 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
     // Apply a resume checkpoint to master state before seeding replicas.
     if let Some(cp) = resume {
         for ws in shared.iter_mut() {
-            for parity in 0..2 {
-                ws.active_list[parity].lock().clear();
-                for a in &ws.active[parity] {
-                    a.store(false, Ordering::Relaxed);
-                }
-            }
+            ws.frontier.reset();
         }
         for (v, value, publication, active) in &cp.vertices {
             let w = plan.owner[*v as usize] as usize;
@@ -281,7 +336,7 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
             shared[w].msg_cur.as_mut_slice()[li] = publication.clone();
             shared[w].msg_next.as_mut_slice()[li] = publication.clone();
             if *active {
-                shared[w].mark_active(cp.superstep & 1, li);
+                shared[w].frontier.mark(cp.superstep & 1, li);
             }
         }
     }
@@ -303,7 +358,7 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
     ingress.init = init_start.elapsed();
 
     let transport: Transport<(u32, P::Message, bool)> =
-        Transport::with_network(spec, InboxMode::Sharded, config.network);
+        Transport::with_pooling(spec, InboxMode::Sharded, config.network, config.pooled);
     let barrier = HierarchicalBarrier::new(num_workers, threads);
 
     // ---- Shared coordination state. ----
@@ -313,8 +368,12 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
     let next_active_total = AtomicUsize::new(0);
     let converged_delta = AtomicIsize::new(0);
     let converged_total = AtomicIsize::new(0);
-    let aggregate_acc: Mutex<AggregateStats> = Mutex::new(AggregateStats::default());
-    let error_acc = Mutex::new((0.0f64, 0usize));
+    // One float-partial slot per worker, overwritten each superstep by that
+    // worker's leader (chunk-ordered reduction) and read in worker order by
+    // the global leader — a fully deterministic two-level reduction tree.
+    let worker_partials: Vec<Mutex<ChunkPartial>> = (0..num_workers)
+        .map(|_| Mutex::new(ChunkPartial::default()))
+        .collect();
     let prev_aggregate: Mutex<Option<AggregateStats>> =
         Mutex::new(resume.and_then(|cp| cp.aggregate));
     let history: Mutex<Vec<SuperstepStats>> = Mutex::new(Vec::new());
@@ -325,6 +384,7 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
     let total_vertices = graph.num_vertices();
 
     let phase_hists = cyclops_net::metrics::PhaseHists::resolve("cyclops");
+    let sched_obs = SchedObs::resolve("cyclops");
 
     let loop_start = Instant::now();
     // With the cap at or below the resume point there is no superstep left
@@ -343,8 +403,7 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
                     let next_active_total = &next_active_total;
                     let converged_delta = &converged_delta;
                     let converged_total = &converged_total;
-                    let aggregate_acc = &aggregate_acc;
-                    let error_acc = &error_acc;
+                    let worker_partials = &worker_partials;
                     let prev_aggregate = &prev_aggregate;
                     let history = &history;
                     let current = &current;
@@ -352,12 +411,14 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
                     let last_counters = &last_counters;
                     let supersteps_done = &supersteps_done;
                     let phase_hists = phase_hists.as_ref();
+                    let sched_obs = sched_obs.as_ref();
                     scope.spawn(move || {
                         thread_loop(ThreadEnv {
                             w,
                             t,
                             trace,
                             phase_hists,
+                            sched_obs,
                             threads,
                             receivers,
                             program,
@@ -372,8 +433,7 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
                             next_active_total,
                             converged_delta,
                             converged_total,
-                            aggregate_acc,
-                            error_acc,
+                            worker_partials,
                             prev_aggregate,
                             history,
                             current,
@@ -421,6 +481,7 @@ struct ThreadEnv<'a, P: CyclopsProgram> {
     t: usize,
     trace: Option<&'a TraceSink>,
     phase_hists: Option<&'a PhaseHists>,
+    sched_obs: Option<&'a SchedObs>,
     threads: usize,
     receivers: usize,
     program: &'a P,
@@ -435,8 +496,7 @@ struct ThreadEnv<'a, P: CyclopsProgram> {
     next_active_total: &'a AtomicUsize,
     converged_delta: &'a AtomicIsize,
     converged_total: &'a AtomicIsize,
-    aggregate_acc: &'a Mutex<AggregateStats>,
-    error_acc: &'a Mutex<(f64, usize)>,
+    worker_partials: &'a [Mutex<ChunkPartial>],
     prev_aggregate: &'a Mutex<Option<AggregateStats>>,
     history: &'a Mutex<Vec<SuperstepStats>>,
     current: &'a Mutex<SuperstepStats>,
@@ -450,17 +510,26 @@ struct ThreadEnv<'a, P: CyclopsProgram> {
 fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
     let ws = &env.shared[env.w];
     let wp = &env.plan.workers[env.w];
-    let n = wp.num_masters();
-    // This thread's chunk of the worker's masters.
-    let chunk_start = env.t * n / env.threads;
-    let chunk_end = (env.t + 1) * n / env.threads;
     let lane = env.w * env.threads + env.t;
     let num_workers = env.plan.workers.len();
+    let sched = env.config.sched;
+    // Number of compute chunks per superstep: the thread shards themselves
+    // (static) or finer equal-work-mass spans claimed via the cursor
+    // (dynamic). Fixed per run, so every partial slot in `0..chunks` is
+    // written every superstep — no stale-slot hazard.
+    let chunks = match sched {
+        Sched::Static => env.threads,
+        Sched::Dynamic => env.threads * CHUNKS_PER_THREAD,
+    };
 
     let mut superstep = env.start_superstep;
     let mut outboxes: Vec<Vec<(u32, P::Message, bool)>> =
         (0..num_workers).map(|_| Vec::new()).collect();
     let mut updated: Vec<u32> = Vec::new();
+    // Scratch buffer for values-mode publication digests, reused across
+    // publications and supersteps (this used to be a fresh `BytesMut` per
+    // message — the allocation Table 2 flags).
+    let mut digest_buf = bytes::BytesMut::new();
     let tracer = env.trace.map(|s| s.worker(env.w));
     let capture_values = env.trace.map(|s| s.captures_values()).unwrap_or(false);
 
@@ -504,7 +573,7 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                     unsafe { ws.rep_msg.write(rep_idx as usize, Some(m)) };
                     if activate {
                         for &lo in wp.rep_out(rep_idx as usize) {
-                            ws.mark_active(cur_parity, lo as usize);
+                            ws.frontier.mark(cur_parity, lo as usize);
                         }
                     }
                 }
@@ -534,13 +603,22 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         times.add(Phase::Sync, wait_start.elapsed());
         // Snapshot the frontier: everything activated for this superstep by
         // last superstep's local activations plus this superstep's replica
-        // messages. O(frontier), not O(masters).
+        // messages. The shard lists drain in shard order, each sorted, so
+        // `flat` is globally sorted — compute walks the CSR in index order
+        // and chunk contents (hence float reduction groups) are independent
+        // of activation interleaving. O(frontier log(frontier/T)), no
+        // scan-and-skip.
         if env.t == 0 {
             let snap_start = Instant::now();
-            let mut frontier = ws.frontier.write();
-            frontier.clear();
-            frontier.append(&mut ws.active_list[cur_parity].lock());
-            frontier_len = frontier.len();
+            let mut flat = ws.flat.write();
+            let mut ends = ws.ends.write();
+            ws.frontier.drain_sorted(cur_parity, &mut flat, &mut ends);
+            frontier_len = flat.len();
+            if sched == Sched::Dynamic {
+                // Replace the shard ends with equal-work-mass chunk ends.
+                build_mass_chunks(&flat, &mut ends, &wp.work_mass, chunks);
+            }
+            ws.cursor.store(0, Ordering::Relaxed);
             times.add(Phase::Parse, snap_start.elapsed());
         }
         let wait_start = Instant::now();
@@ -550,79 +628,121 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         // ---- Compute phase (CMP). ----
         let compute_start = Instant::now();
         let mut computed = 0usize;
-        let mut local_agg = AggregateStats::default();
-        let mut local_err = (0.0f64, 0usize);
         let mut conv_delta = 0isize;
         updated.clear();
-        let frontier = ws.frontier.read();
-        for &li in frontier.iter() {
-            let li = li as usize;
-            if li < chunk_start || li >= chunk_end {
-                continue;
-            }
-            // Consume the activation so the parity slot can be reused two
-            // supersteps from now.
-            ws.active[cur_parity][li].store(false, Ordering::Relaxed);
-            computed += 1;
-            let mut publish: Option<P::Message> = None;
-            let mut reported: Option<f64> = None;
-            {
-                // SAFETY: each master belongs to exactly one thread's chunk
-                // and is computed at most once per superstep.
-                let value = unsafe { ws.values.get_mut(li) };
-                let mut ctx = CyclopsContext {
-                    vertex: wp.masters[li],
-                    local: li,
-                    superstep,
-                    graph: env.graph,
-                    plan: wp,
-                    value,
-                    msg_cur: &ws.msg_cur,
-                    rep_msg: &ws.rep_msg,
-                    publish: &mut publish,
-                    reported_error: &mut reported,
-                    aggregate: &mut local_agg,
-                    prev_aggregate: agg_in,
+        {
+            let flat = ws.flat.read();
+            let ends = ws.ends.read();
+            let mut static_done = false;
+            loop {
+                // Claim the next chunk: statically this thread's own shard,
+                // dynamically whatever the cursor hands out.
+                let c = match sched {
+                    Sched::Static => {
+                        if static_done {
+                            break;
+                        }
+                        static_done = true;
+                        env.t
+                    }
+                    Sched::Dynamic => {
+                        let c = ws.cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks {
+                            break;
+                        }
+                        c
+                    }
                 };
-                env.program.compute(&mut ctx);
-            }
-            if let Some(err) = reported {
-                local_err.0 += err;
-                local_err.1 += 1;
-                if let Convergence::Proportion { epsilon, .. } = env.config.convergence {
-                    let now = err <= epsilon;
-                    let was = ws.converged[li].swap(now, Ordering::Relaxed);
-                    conv_delta += now as isize - was as isize;
-                }
-            }
-            if let Some(m) = publish {
-                // Digest the publication exactly as it would go on the wire
-                // (values mode only — this is the diagnostic path that lets
-                // trace-diff name the first divergent vertex).
-                if capture_values {
-                    if let Some(tr) = tracer {
-                        let mut buf = bytes::BytesMut::with_capacity(m.encoded_len());
-                        m.encode(&mut buf);
-                        tr.record_publication(wp.masters[li], digest_bytes(&buf));
+                let lo = if c == 0 { 0 } else { ends[c - 1] as usize };
+                let hi = ends[c] as usize;
+                let mut part = ChunkPartial::default();
+                for &li in &flat[lo..hi] {
+                    let li = li as usize;
+                    // Consume the activation so the parity slot can be
+                    // reused two supersteps from now.
+                    ws.frontier.consume(cur_parity, li);
+                    computed += 1;
+                    let mut publish: Option<P::Message> = None;
+                    let mut reported: Option<f64> = None;
+                    {
+                        // SAFETY: chunks partition the frontier and the
+                        // frontier is duplicate-free, so each master is
+                        // computed at most once per superstep.
+                        let value = unsafe { ws.values.get_mut(li) };
+                        let mut ctx = CyclopsContext {
+                            vertex: wp.masters[li],
+                            local: li,
+                            superstep,
+                            graph: env.graph,
+                            plan: wp,
+                            value,
+                            msg_cur: &ws.msg_cur,
+                            rep_msg: &ws.rep_msg,
+                            publish: &mut publish,
+                            reported_error: &mut reported,
+                            aggregate: &mut part.agg,
+                            prev_aggregate: agg_in,
+                        };
+                        env.program.compute(&mut ctx);
+                    }
+                    if let Some(err) = reported {
+                        part.err_sum += err;
+                        part.err_count += 1;
+                        if let Convergence::Proportion { epsilon, .. } = env.config.convergence {
+                            let now = err <= epsilon;
+                            let was = ws.converged[li].swap(now, Ordering::Relaxed);
+                            conv_delta += now as isize - was as isize;
+                        }
+                    }
+                    if let Some(m) = publish {
+                        // Digest the publication exactly as it would go on
+                        // the wire (values mode only — this is the
+                        // diagnostic path that lets trace-diff name the
+                        // first divergent vertex).
+                        if capture_values {
+                            if let Some(tr) = tracer {
+                                digest_buf.clear();
+                                m.encode(&mut digest_buf);
+                                tr.record_publication(wp.masters[li], digest_bytes(&digest_buf));
+                            }
+                        }
+                        // Publish for local readers (visible next
+                        // superstep)... SAFETY: one write per master per
+                        // superstep.
+                        unsafe { ws.msg_next.write(li, Some(m.clone())) };
+                        updated.push(li as u32);
+                        // ...activate same-worker neighbors (lock-free bit
+                        // test, §5)...
+                        for &lo in wp.local_out(li) {
+                            ws.frontier.mark(next_parity, lo as usize);
+                        }
+                        // ...and send exactly one sync+activation message
+                        // per mirror.
+                        for &(mw, rep_idx) in wp.mirrors(li) {
+                            outboxes[mw as usize].push((rep_idx, m.clone(), true));
+                        }
                     }
                 }
-                // Publish for local readers (visible next superstep)...
-                // SAFETY: one write per master per superstep.
-                unsafe { ws.msg_next.write(li, Some(m.clone())) };
-                updated.push(li as u32);
-                // ...activate same-worker neighbors (lock-free bit test,
-                // §5)...
-                for &lo in wp.local_out(li) {
-                    ws.mark_active(next_parity, lo as usize);
-                }
-                // ...and send exactly one sync+activation message per mirror.
-                for &(mw, rep_idx) in wp.mirrors(li) {
-                    outboxes[mw as usize].push((rep_idx, m.clone(), true));
-                }
+                // Publish the chunk's float partial into its slot; the
+                // worker leader reduces slots in chunk-index order, so claim
+                // order never affects the float results.
+                *ws.partials[c].lock() = part;
             }
         }
-        drop(frontier);
-        times.add(Phase::Compute, compute_start.elapsed());
+        let cmp_elapsed = compute_start.elapsed();
+        ws.cmp_ns[env.t].store(cmp_elapsed.as_nanos() as u64, Ordering::Relaxed);
+        times.add(Phase::Compute, cmp_elapsed);
+        // Deposit this thread's outboxes into the worker-shared per-
+        // destination slots (Vec swaps — the slot left empty by last
+        // superstep's flush trades places with the filled local vec, so
+        // capacities recycle). Flush threads merge them after the barrier.
+        let deposit_start = Instant::now();
+        for (dest, batch) in outboxes.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                std::mem::swap(&mut *ws.outboxes[dest][env.t].lock(), batch);
+            }
+        }
+        times.add(Phase::Send, deposit_start.elapsed());
         let wait_start = Instant::now();
         ws.local.wait();
         times.add(Phase::Sync, wait_start.elapsed());
@@ -636,20 +756,33 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             let m = ws.msg_next.read(li).clone();
             unsafe { ws.msg_cur.write(li, m) };
         }
-        // All compute-phase local activations are in; the list length is the
-        // worker's locally-known next frontier (remote activations are still
-        // in flight and covered by the transport-empty termination check).
+        // All compute-phase local activations are in; the frontier length is
+        // the worker's locally-known next frontier (remote activations are
+        // still in flight and covered by the transport-empty termination
+        // check).
         let next_active = if env.t == 0 {
-            ws.active_list[next_parity].lock().len()
+            ws.frontier.len(next_parity)
         } else {
             0
         };
-        for (dest, batch) in outboxes.iter_mut().enumerate() {
-            if !batch.is_empty() {
-                let sent = batch.len();
+        // Flush the worker-shared outboxes: destination `dest` is flushed by
+        // thread `dest % threads`, merging every compute thread's deposit in
+        // thread order. Exactly one batch goes out per non-empty destination
+        // per superstep, so the batch *count* (and hence the per-batch
+        // 4-byte length-prefix overhead on the wire) is deterministic even
+        // though dynamic chunk claiming shuffles which thread produced which
+        // message.
+        let mut flush: Vec<(u32, P::Message, bool)> = Vec::new();
+        for dest in (env.t..num_workers).step_by(env.threads) {
+            flush.clear();
+            for slot in &ws.outboxes[dest] {
+                flush.append(&mut slot.lock());
+            }
+            if !flush.is_empty() {
+                let sent = flush.len();
                 let wire = env
                     .transport
-                    .send(lane, dest, std::mem::take(batch), superstep);
+                    .send(lane, dest, std::mem::take(&mut flush), superstep);
                 if let Some(tr) = tracer {
                     tr.add_sent(sent as u64, wire as u64);
                 }
@@ -664,23 +797,33 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         if conv_delta != 0 {
             env.converged_delta.fetch_add(conv_delta, Ordering::Relaxed);
         }
-        if !local_agg.is_empty() {
-            env.aggregate_acc.lock().merge(&local_agg);
-        }
-        if local_err.1 > 0 {
-            let mut acc = env.error_acc.lock();
-            acc.0 += local_err.0;
-            acc.1 += local_err.1;
-        }
         if let Some(tr) = tracer {
             tr.add_computed(computed as u64);
             tr.add_converged_delta(conv_delta as i64);
-            if !local_agg.is_empty() {
-                tr.set_thread_agg(env.t, local_agg);
-            }
             if env.t == 0 {
                 tr.add_activated(next_active as u64);
             }
+        }
+        if env.t == 0 {
+            // Worker-leader reduction: fold the chunk partials in chunk-index
+            // order — a fixed order regardless of which thread computed which
+            // chunk — so floating-point aggregation stays bitwise
+            // deterministic under dynamic claiming.
+            let mut reduced = ChunkPartial::default();
+            for slot in &ws.partials[..chunks] {
+                reduced.merge(&slot.lock());
+            }
+            if let Some(tr) = tracer {
+                if !reduced.agg.is_empty() {
+                    // Slot 0 carries the whole worker's reduction; commit()
+                    // already reset every thread slot last superstep.
+                    tr.set_thread_agg(0, reduced.agg);
+                }
+            }
+            if let Some(so) = env.sched_obs {
+                so.record_threads(ws.cmp_ns.iter().map(|a| a.load(Ordering::Relaxed)));
+            }
+            *env.worker_partials[env.w].lock() = reduced;
         }
         if env.t == 0 {
             let mut cur = env.current.lock();
@@ -699,16 +842,25 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             let total_next = env.next_active_total.swap(0, Ordering::Relaxed);
             let delta = env.converged_delta.swap(0, Ordering::Relaxed);
             let conv_total = env.converged_total.fetch_add(delta, Ordering::Relaxed) + delta;
-            let mut agg = env.aggregate_acc.lock();
-            *env.prev_aggregate.lock() = if agg.is_empty() { None } else { Some(*agg) };
-            *agg = AggregateStats::default();
-            let mut err = env.error_acc.lock();
+            // Global reduction: merge the per-worker partials in worker
+            // order (each worker's leader wrote its slot before the first
+            // hierarchical barrier above). Two fixed-order levels — chunks
+            // within a worker, workers here — make the float results
+            // independent of thread scheduling.
+            let mut agg = AggregateStats::default();
+            let mut err = (0.0f64, 0usize);
+            for slot in env.worker_partials.iter() {
+                let part = slot.lock();
+                agg.merge(&part.agg);
+                err.0 += part.err_sum;
+                err.1 += part.err_count;
+            }
+            *env.prev_aggregate.lock() = if agg.is_empty() { None } else { Some(agg) };
             let mean_err = if err.1 > 0 {
                 Some(err.0 / err.1 as f64)
             } else {
                 None
             };
-            *err = (0.0, 0);
 
             let snap = env.transport.counters().snapshot();
             let mut last = env.last_counters.lock();
@@ -764,6 +916,28 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
     }
 }
 
+/// Re-cuts a sorted frontier into `chunks` contiguous ranges of roughly
+/// equal *work mass* (the plan's per-vertex degree-derived cost estimate).
+/// Chunk `c` is `flat[ends[c-1]..ends[c]]`; the cut points satisfy
+/// `cum·chunks ≥ c·total` (cross-multiplied to stay in integers), and short
+/// frontiers simply leave trailing chunks empty.
+fn build_mass_chunks(flat: &[u32], ends: &mut Vec<u32>, mass: &[u32], chunks: usize) {
+    ends.clear();
+    let total: u64 = flat.iter().map(|&li| mass[li as usize] as u64).sum();
+    let mut cum = 0u64;
+    let mut next = 1usize;
+    for (pos, &li) in flat.iter().enumerate() {
+        cum += mass[li as usize] as u64;
+        while next < chunks && cum * chunks as u64 >= next as u64 * total {
+            ends.push(pos as u32 + 1);
+            next += 1;
+        }
+    }
+    while ends.len() < chunks {
+        ends.push(flat.len() as u32);
+    }
+}
+
 /// Captures a value-only checkpoint of one worker's masters (cooperative:
 /// the first worker to arrive creates the superstep's entry).
 fn capture_checkpoint<V: Clone, M: Clone>(
@@ -788,7 +962,7 @@ fn capture_checkpoint<V: Clone, M: Clone>(
             v,
             ws.values.read(li).clone(),
             ws.msg_cur.read(li).clone(),
-            ws.active[cur_parity][li].load(Ordering::Relaxed),
+            ws.frontier.is_marked(cur_parity, li),
         ));
     }
 }

@@ -38,6 +38,7 @@
 
 pub mod checkpoint;
 pub mod engine;
+pub mod frontier;
 pub mod mutation;
 pub mod plan;
 pub mod program;
@@ -45,8 +46,9 @@ pub mod program;
 pub use checkpoint::CyclopsCheckpoint;
 pub use engine::{
     run_cyclops, run_cyclops_from_checkpoint, run_cyclops_traced, run_cyclops_with_plan,
-    run_cyclops_with_plan_traced, Convergence, CyclopsConfig, CyclopsResult,
+    run_cyclops_with_plan_traced, Convergence, CyclopsConfig, CyclopsResult, Sched,
 };
+pub use frontier::ShardedFrontier;
 pub use mutation::{
     apply_mutations, run_cyclops_evolving, EvolvingResult, MutationBatch, WarmStart,
 };

@@ -56,6 +56,15 @@ pub struct WorkerPlan {
     pub rep_out_offsets: Vec<u32>,
     /// Local master indices activated by each replica.
     pub rep_out: Vec<u32>,
+
+    /// Per-master compute cost estimate for degree-weighted scheduling:
+    /// in-degree + local activation fan-out + mirror count + 1 (the
+    /// publication itself). Derived from the CSRs above once at plan build.
+    pub work_mass: Vec<u32>,
+    /// Prefix sums over `work_mass` (`num_masters + 1` entries) so a
+    /// frontier's total mass and equal-mass chunk boundaries come from
+    /// O(1) subtractions / binary searches.
+    pub work_mass_prefix: Vec<u64>,
 }
 
 impl WorkerPlan {
@@ -106,6 +115,30 @@ impl WorkerPlan {
     #[inline]
     pub fn rep_out(&self, rep: usize) -> &[u32] {
         &self.rep_out[self.rep_out_offsets[rep] as usize..self.rep_out_offsets[rep + 1] as usize]
+    }
+
+    /// Total work mass across all masters on this worker.
+    #[inline]
+    pub fn total_work_mass(&self) -> u64 {
+        self.work_mass_prefix.last().copied().unwrap_or(0)
+    }
+
+    /// Fills `work_mass` / `work_mass_prefix` from the already-built CSRs.
+    /// Shared by both builders so the serial and parallel plans stay
+    /// field-identical by construction.
+    fn compute_work_mass(&mut self) {
+        let n = self.num_masters();
+        let mut mass = Vec::with_capacity(n);
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0u64);
+        for li in 0..n {
+            let (s, e) = self.in_ref_range(li);
+            let m = (e - s) + self.local_out(li).len() + self.mirrors(li).len() + 1;
+            mass.push(m as u32);
+            prefix.push(prefix[li] + m as u64);
+        }
+        self.work_mass = mass;
+        self.work_mass_prefix = prefix;
     }
 }
 
@@ -288,6 +321,7 @@ impl CyclopsPlan {
                     }
                     wp.rep_out_offsets = ro_off;
                     wp.rep_out = ro;
+                    wp.compute_work_mass();
                 });
             }
         });
@@ -445,6 +479,9 @@ impl CyclopsPlan {
             worker.replicas = replicas;
             worker.rep_out_offsets = ro_off;
             worker.rep_out = ro;
+        }
+        for worker in workers.iter_mut() {
+            worker.compute_work_mass();
         }
         let replicate = rep_start.elapsed();
 
@@ -654,8 +691,36 @@ mod tests {
                 assert_eq!(a.mirrors, b.mirrors);
                 assert_eq!(a.rep_out_offsets, b.rep_out_offsets);
                 assert_eq!(a.rep_out, b.rep_out);
+                assert_eq!(a.work_mass, b.work_mass);
+                assert_eq!(a.work_mass_prefix, b.work_mass_prefix);
             }
         }
+    }
+
+    #[test]
+    fn work_mass_counts_in_edges_fanout_and_mirrors() {
+        let (g, p) = figure6();
+        let plan = CyclopsPlan::build(&g, &p);
+        for wp in &plan.workers {
+            assert_eq!(wp.work_mass.len(), wp.num_masters());
+            assert_eq!(wp.work_mass_prefix.len(), wp.num_masters() + 1);
+            for li in 0..wp.num_masters() {
+                let (s, e) = wp.in_ref_range(li);
+                let expect = (e - s) + wp.local_out(li).len() + wp.mirrors(li).len() + 1;
+                assert_eq!(wp.work_mass[li] as usize, expect);
+                assert_eq!(
+                    wp.work_mass_prefix[li + 1] - wp.work_mass_prefix[li],
+                    wp.work_mass[li] as u64
+                );
+            }
+            assert_eq!(
+                wp.total_work_mass(),
+                wp.work_mass.iter().map(|&m| m as u64).sum::<u64>()
+            );
+        }
+        // Vertex 0 (worker 0, local 0): in-edge from 1, local out {1},
+        // mirror on worker 1, plus itself = 4.
+        assert_eq!(plan.workers[0].work_mass[0], 4);
     }
 
     #[test]

@@ -399,6 +399,12 @@ pub fn run_gas_traced<P: GasProgram>(
     let supersteps_done = AtomicUsize::new(0);
 
     let phase_hists = PhaseHists::resolve("gas");
+    let sched_obs = cyclops_net::metrics::SchedObs::resolve("gas");
+    // Per-worker CMP nanoseconds for the imbalance histogram (like BSP,
+    // PowerGraph-style workers are single-threaded — skew is cross-worker).
+    let cmp_ns: Vec<std::sync::atomic::AtomicU64> = (0..partition.num_parts)
+        .map(|_| std::sync::atomic::AtomicU64::new(0))
+        .collect();
 
     let loop_start = Instant::now();
     std::thread::scope(|scope| {
@@ -412,11 +418,15 @@ pub fn run_gas_traced<P: GasProgram>(
             let last_counters = &last_counters;
             let supersteps_done = &supersteps_done;
             let phase_hists = phase_hists.as_ref();
+            let sched_obs = sched_obs.as_ref();
+            let cmp_ns = &cmp_ns;
             scope.spawn(move || {
                 gas_worker(
                     me,
                     trace,
                     phase_hists,
+                    sched_obs,
+                    cmp_ns,
                     program,
                     graph,
                     partition,
@@ -459,6 +469,8 @@ fn gas_worker<P: GasProgram>(
     me: usize,
     trace: Option<&TraceSink>,
     phase_hists: Option<&PhaseHists>,
+    sched_obs: Option<&cyclops_net::metrics::SchedObs>,
+    cmp_ns: &[std::sync::atomic::AtomicU64],
     program: &P,
     graph: &Graph,
     partition: &VertexCutPartition,
@@ -483,6 +495,9 @@ fn gas_worker<P: GasProgram>(
     let mut old_values: HashMap<u32, P::Value> = HashMap::new();
     // Which local vertices were activated by local scatter this superstep.
     let mut locally_activated: Vec<u32> = Vec::new();
+    // Reused across publications and supersteps: the values-mode trace
+    // digest used to allocate a fresh encode buffer per applied vertex.
+    let mut digest_buf = BytesMut::new();
 
     let tracer = trace.map(|s| s.worker(me));
     let capture_values = trace.map(|s| s.captures_values()).unwrap_or(false);
@@ -619,9 +634,9 @@ fn gas_worker<P: GasProgram>(
                 // can name the first divergent vertex across engines.
                 if capture_values {
                     if let Some(tr) = tracer {
-                        let mut buf = BytesMut::with_capacity(new.encoded_len());
-                        new.encode(&mut buf);
-                        tr.record_publication(v, digest_bytes(&buf));
+                        digest_buf.clear();
+                        new.encode(&mut digest_buf);
+                        tr.record_publication(v, digest_bytes(&digest_buf));
                     }
                 }
                 part.data[liu] = new.clone();
@@ -705,8 +720,12 @@ fn gas_worker<P: GasProgram>(
             cur.active_vertices += computed;
             cur.phase_times = cur.phase_times.merge(&times);
         }
+        cmp_ns[me].store(times.compute.as_nanos() as u64, Ordering::Relaxed);
         let sync_start = Instant::now();
         if barrier.wait() {
+            if let Some(so) = sched_obs {
+                so.record_threads(cmp_ns.iter().map(|a| a.load(Ordering::Relaxed)));
+            }
             let snap = transport.counters().snapshot();
             let mut last = last_counters.lock();
             let mut cur = current.lock();

@@ -181,6 +181,25 @@ pub fn encode_batch<M: Codec>(msgs: &[M]) -> BytesMut {
     buf
 }
 
+/// Encodes a batch into a reusable (pooled) buffer instead of a fresh
+/// allocation. The buffer is cleared first; returns the number of bytes its
+/// capacity had to *grow*, which is 0 once the pool is warm — that delta is
+/// what the transport's allocation accounting charges, turning per-message
+/// allocation into O(destinations) amortized.
+pub fn encode_batch_into<M: Codec>(buf: &mut BytesMut, msgs: &[M]) -> usize {
+    let total: usize = 4 + msgs.iter().map(Codec::encoded_len).sum::<usize>();
+    buf.clear();
+    let before = buf.capacity();
+    buf.reserve(total);
+    let grown = buf.capacity().saturating_sub(before);
+    (msgs.len() as u32).encode(buf);
+    for m in msgs {
+        m.encode(buf);
+    }
+    debug_assert_eq!(buf.len(), total);
+    grown
+}
+
 /// Decodes a batch previously produced by [`encode_batch`]. Panics on a
 /// truncated buffer; the wire path uses [`try_decode_batch`].
 pub fn decode_batch<M: Codec>(buf: &mut impl Buf) -> Vec<M> {
@@ -244,6 +263,25 @@ mod tests {
         let out: Vec<(u32, f64)> = decode_batch(&mut read);
         assert_eq!(out, msgs);
         assert!(!read.has_remaining());
+    }
+
+    #[test]
+    fn encode_batch_into_matches_fresh_and_stops_growing() {
+        let msgs: Vec<(u32, f64)> = (0..100).map(|i| (i, i as f64 * 0.5)).collect();
+        let fresh = encode_batch(&msgs);
+        let mut pooled = BytesMut::new();
+        let grown = encode_batch_into(&mut pooled, &msgs);
+        assert!(grown > 0, "cold buffer must grow");
+        assert_eq!(&pooled[..], &fresh[..], "pooled bytes identical to fresh");
+        // A warm buffer re-encoding a batch no larger than before grows 0.
+        for len in [100, 50, 100, 1] {
+            let grown = encode_batch_into(&mut pooled, &msgs[..len]);
+            assert_eq!(grown, 0, "warm re-encode of {len} msgs must not grow");
+        }
+        // Decoding from a slice cursor leaves the pooled buffer reusable.
+        let out: Vec<(u32, f64)> = try_decode_batch(&mut &pooled[..]).unwrap();
+        assert_eq!(out, msgs[..1].to_vec());
+        assert!(!pooled.is_empty());
     }
 
     #[test]

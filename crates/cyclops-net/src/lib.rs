@@ -52,7 +52,7 @@ pub mod transport;
 pub use barrier::{FlatBarrier, HierarchicalBarrier};
 pub use cluster::ClusterSpec;
 pub use codec::Codec;
-pub use metrics::{AggregateStats, Phase, PhaseHists, PhaseTimes, SuperstepStats};
+pub use metrics::{AggregateStats, Phase, PhaseHists, PhaseTimes, SchedObs, SuperstepStats};
 pub use slots::DisjointSlots;
 pub use trace::{RunTrace, StreamSummary, TraceRecord, TraceSink, WorkerTracer};
 pub use transport::{InboxMode, NetworkModel, Transport};

@@ -188,10 +188,20 @@ impl RunCounters {
         self.messages.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Adds to the byte counters (wire bytes + allocation accounting).
+    /// Adds to the wire-byte counter. Wire traffic and buffer allocation
+    /// are accounted separately: with pooled send buffers a batch can cross
+    /// the wire without allocating at all, which is exactly the Table 2
+    /// story — call [`Self::add_alloc`] only when capacity actually grew.
     #[inline]
     pub fn add_bytes(&self, n: usize) {
         self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the message-buffer allocation accounting (Table 2). Pooled
+    /// send paths charge only the capacity-growth delta of the reused
+    /// buffer; unpooled paths charge the full fresh allocation.
+    #[inline]
+    pub fn add_alloc(&self, n: usize) {
         self.message_bytes_allocated
             .fetch_add(n as u64, Ordering::Relaxed);
     }
@@ -292,6 +302,46 @@ impl PhaseHists {
     }
 }
 
+/// Pre-resolved handle for the compute-imbalance histogram
+/// `cyclops_compute_imbalance{engine}`.
+///
+/// Records, once per superstep per worker leader, the ratio of the slowest
+/// compute thread to the mean compute thread in **permille** (1000 = all
+/// threads finished together; 2000 = the straggler took twice the mean).
+/// This is the skew the degree-weighted dynamic scheduler exists to
+/// flatten; same resolve-once `Option` discipline as [`PhaseHists`].
+pub struct SchedObs {
+    imbalance: Arc<LogLinearHistogram>,
+}
+
+impl SchedObs {
+    /// Resolves the handle from the global registry, or `None` when no
+    /// registry is installed.
+    pub fn resolve(engine: &str) -> Option<SchedObs> {
+        let reg = cyclops_obs::global()?;
+        Some(SchedObs {
+            imbalance: reg.histogram("cyclops_compute_imbalance", &[("engine", engine)]),
+        })
+    }
+
+    /// Records one superstep's max/mean thread-CMP-time ratio from the
+    /// per-thread compute durations in nanoseconds. Empty or all-zero
+    /// supersteps record nothing.
+    pub fn record_threads(&self, cmp_ns: impl IntoIterator<Item = u64>) {
+        let (mut max, mut sum, mut n) = (0u64, 0u64, 0u64);
+        for ns in cmp_ns {
+            max = max.max(ns);
+            sum += ns;
+            n += 1;
+        }
+        if sum == 0 {
+            return;
+        }
+        let mean = sum / n;
+        self.imbalance.record(max * 1000 / mean.max(1));
+    }
+}
+
 /// Plain-number snapshot of [`RunCounters`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CounterSnapshot {
@@ -385,6 +435,7 @@ mod tests {
                     for _ in 0..1000 {
                         c.add_messages(1);
                         c.add_bytes(8);
+                        c.add_alloc(2);
                     }
                 });
             }
@@ -392,7 +443,28 @@ mod tests {
         let snap = c.snapshot();
         assert_eq!(snap.messages, 4000);
         assert_eq!(snap.bytes, 32_000);
-        assert_eq!(snap.message_bytes_allocated, 32_000);
+        // Allocation accounting is independent of wire bytes: a pooled
+        // sender moves bytes without allocating.
+        assert_eq!(snap.message_bytes_allocated, 8_000);
+    }
+
+    #[test]
+    fn sched_obs_records_max_over_mean_permille() {
+        let reg = cyclops_obs::install_global();
+        let obs = SchedObs::resolve("sched-test").expect("registry installed");
+        // Threads at 100/100/100/500 ns: mean 200, max 500 → 2500‰.
+        obs.record_threads([100, 100, 100, 500]);
+        // All-idle supersteps record nothing.
+        obs.record_threads([0, 0]);
+        obs.record_threads(std::iter::empty());
+        let h = reg.histogram("cyclops_compute_imbalance", &[("engine", "sched-test")]);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        let p50 = s.percentile(0.50) as f64;
+        assert!(
+            (p50 - 2500.0).abs() / 2500.0 <= 0.125,
+            "imbalance p50 {p50} should be ~2500‰"
+        );
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! with memory references (§6.10).
 
 use crate::cluster::ClusterSpec;
-use crate::codec::{encode_batch, try_decode_batch, Codec};
+use crate::codec::{encode_batch, encode_batch_into, try_decode_batch, Codec};
 use crate::metrics::RunCounters;
+use bytes::BytesMut;
 use cyclops_obs::{Counter, LogLinearHistogram};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -119,6 +120,16 @@ pub struct Transport<M> {
     /// Entries may be stale or duplicated (senders record them after
     /// releasing the lane lock); drains tolerate both.
     dirty: [Vec<Mutex<Vec<u32>>>; 2],
+    /// Per-sender-lane reusable encode buffers: cross-machine batches are
+    /// serialized into the sender's pooled buffer instead of a fresh
+    /// `BytesMut` per batch, so a warm superstep allocates nothing and the
+    /// Table 2 allocation accounting drops to O(destinations), not
+    /// O(messages). Each lane has exactly one sending thread, so the lock
+    /// is uncontended.
+    pool: Vec<Mutex<BytesMut>>,
+    /// Whether sends use the buffer pool (the ablation dial; `true`
+    /// everywhere outside the ablation bench).
+    pooled: bool,
     network: NetworkModel,
     counters: RunCounters,
     /// Registry handles resolved once at construction; `None` (no global
@@ -141,6 +152,11 @@ struct TransportObs {
     message_bytes: Arc<LogLinearHistogram>,
     /// `cyclops_inbox_lane_depth{mode}` — messages per lane at drain time.
     lane_depth: Arc<LogLinearHistogram>,
+    /// `cyclops_send_alloc_bytes{mode}` — bytes *allocated* per
+    /// cross-machine batch (capacity growth of the pooled buffer, or the
+    /// full fresh allocation when pooling is off). A healthy pooled run
+    /// records almost all zeros.
+    send_alloc_bytes: Arc<LogLinearHistogram>,
 }
 
 impl TransportObs {
@@ -159,6 +175,7 @@ impl TransportObs {
             batch_bytes: reg.histogram("cyclops_wire_batch_bytes", &labels),
             message_bytes: reg.histogram("cyclops_message_bytes", &labels),
             lane_depth: reg.histogram("cyclops_inbox_lane_depth", &labels),
+            send_alloc_bytes: reg.histogram("cyclops_send_alloc_bytes", &labels),
         })
     }
 }
@@ -175,6 +192,18 @@ impl<M: Codec + Send> Transport<M> {
     /// cross-machine batch: the sending thread sleeps for the modeled
     /// transmission time, exactly like a sender blocked on a saturated NIC.
     pub fn with_network(spec: ClusterSpec, mode: InboxMode, network: NetworkModel) -> Self {
+        Self::with_pooling(spec, mode, network, true)
+    }
+
+    /// Like [`Self::with_network`] with explicit control over send-buffer
+    /// pooling. Pooling is on everywhere except the ablation bench, which
+    /// turns it off to quantify the allocation cost it removes.
+    pub fn with_pooling(
+        spec: ClusterSpec,
+        mode: InboxMode,
+        network: NetworkModel,
+        pooled: bool,
+    ) -> Self {
         let w = spec.num_workers();
         let lanes_per_receiver = match mode {
             InboxMode::GlobalQueue => 1,
@@ -195,12 +224,17 @@ impl<M: Codec + Send> Transport<M> {
                 .collect()
         };
         let make_dirty = || (0..w).map(|_| Mutex::new(Vec::new())).collect();
+        let pool = (0..w * spec.threads_per_worker)
+            .map(|_| Mutex::new(BytesMut::new()))
+            .collect();
         Transport {
             spec,
             mode,
             lanes_per_worker: spec.threads_per_worker,
             lanes: [make(), make()],
             dirty: [make_dirty(), make_dirty()],
+            pool,
+            pooled,
             network,
             counters: RunCounters::default(),
             obs: TransportObs::resolve(mode),
@@ -215,6 +249,17 @@ impl<M: Codec + Send> Transport<M> {
     /// The shared statistics counters.
     pub fn counters(&self) -> &RunCounters {
         &self.counters
+    }
+
+    /// Blocks the sender for the modeled transmission time of one
+    /// cross-machine batch, like a thread waiting on a saturated NIC queue.
+    fn wire_delay(&self, messages: usize, bytes: usize) {
+        if !self.network.is_ideal() {
+            let delay = self.network.delay(messages, bytes);
+            if delay >= Duration::from_micros(1) {
+                std::thread::sleep(delay);
+            }
+        }
     }
 
     /// Sends a batch of messages from sender lane `from` to worker `to`
@@ -233,26 +278,40 @@ impl<M: Codec + Send> Transport<M> {
         let from_worker = from / self.lanes_per_worker;
         let count = msgs.len();
         self.counters.add_messages(count);
-        let (payload, bytes) = if self.spec.crosses_machines(from_worker, to) {
-            let buf = encode_batch(&msgs);
-            let bytes = buf.len();
+        let (payload, bytes, alloc) = if self.spec.crosses_machines(from_worker, to) {
+            let (decoded, bytes, alloc) = if self.pooled {
+                // Serialize into this sender lane's pooled buffer: only
+                // capacity *growth* is a real allocation, and a warm buffer
+                // never grows again. Decoding runs over a borrowed slice so
+                // the pooled allocation survives for the next batch.
+                let mut buf = self.pool[from].lock();
+                let grown = encode_batch_into(&mut buf, &msgs);
+                let bytes = buf.len();
+                self.wire_delay(msgs.len(), bytes);
+                drop(msgs);
+                // The checked decoder turns a framing bug into a diagnosable
+                // panic instead of an out-of-bounds read deep in the codec.
+                let decoded = try_decode_batch(&mut &buf[..])
+                    .expect("simulated wire corrupted: batch truncated mid-message");
+                (decoded, bytes, grown)
+            } else {
+                // Unpooled (ablation baseline): every batch is a fresh
+                // allocation, charged in full.
+                let buf = encode_batch(&msgs);
+                let bytes = buf.len();
+                self.wire_delay(msgs.len(), bytes);
+                drop(msgs);
+                let decoded = try_decode_batch(&mut buf.freeze())
+                    .expect("simulated wire corrupted: batch truncated mid-message");
+                (decoded, bytes, bytes)
+            };
             self.counters.add_bytes(bytes);
-            if !self.network.is_ideal() {
-                // The sender blocks for the modeled transmission time, like
-                // a thread waiting on a saturated NIC queue.
-                let delay = self.network.delay(msgs.len(), bytes);
-                if delay >= Duration::from_micros(1) {
-                    std::thread::sleep(delay);
-                }
+            if alloc > 0 {
+                self.counters.add_alloc(alloc);
             }
-            drop(msgs);
-            // The checked decoder turns a framing bug into a diagnosable
-            // panic instead of an out-of-bounds read deep in the codec.
-            let decoded = try_decode_batch(&mut buf.freeze())
-                .expect("simulated wire corrupted: batch truncated mid-message");
-            (decoded, bytes)
+            (decoded, bytes, alloc)
         } else {
-            (msgs, 0)
+            (msgs, 0, 0)
         };
         if let Some(obs) = &self.obs {
             obs.messages_total.inc(count as u64);
@@ -261,6 +320,7 @@ impl<M: Codec + Send> Transport<M> {
                 obs.batch_bytes.record(bytes as u64);
                 obs.message_bytes
                     .record_n((bytes / count) as u64, count as u64);
+                obs.send_alloc_bytes.record(alloc as u64);
             }
         }
         let parity = (epoch + 1) & 1;
@@ -427,6 +487,43 @@ mod tests {
         assert_eq!(bytes, 4 + 2 * 12); // batch length prefix + 2 * (u32+f64)
         assert_eq!(t.drain(2, 1), vec![(5, 1.5), (6, 2.5)]);
         assert_eq!(t.counters().snapshot().bytes, bytes);
+    }
+
+    #[test]
+    fn pooled_sends_allocate_once_per_lane() {
+        let t: Transport<(u32, f64)> = Transport::new(spec(), InboxMode::Sharded);
+        let batch: Vec<(u32, f64)> = (0..64).map(|i| (i, i as f64)).collect();
+        for epoch in 0..10 {
+            t.send(0, 2, batch.clone(), epoch);
+            let got = t.drain(2, epoch + 1);
+            assert_eq!(got, batch, "epoch {epoch} round trip");
+        }
+        let snap = t.counters().snapshot();
+        let one_batch = 4 + 64 * 12;
+        assert_eq!(snap.bytes, 10 * one_batch, "wire bytes scale with sends");
+        assert!(
+            snap.message_bytes_allocated as usize <= 2 * one_batch,
+            "warm pooled lane must stop allocating: allocated {} vs wire {}",
+            snap.message_bytes_allocated,
+            snap.bytes
+        );
+        assert!(snap.message_bytes_allocated > 0, "cold buffer did allocate");
+    }
+
+    #[test]
+    fn unpooled_sends_allocate_every_batch() {
+        let t: Transport<(u32, f64)> =
+            Transport::with_pooling(spec(), InboxMode::Sharded, NetworkModel::ideal(), false);
+        let batch: Vec<(u32, f64)> = (0..64).map(|i| (i, i as f64)).collect();
+        for epoch in 0..10 {
+            t.send(0, 2, batch.clone(), epoch);
+            t.drain(2, epoch + 1);
+        }
+        let snap = t.counters().snapshot();
+        assert_eq!(
+            snap.message_bytes_allocated as usize, snap.bytes,
+            "unpooled path allocates exactly its wire bytes"
+        );
     }
 
     #[test]

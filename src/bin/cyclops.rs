@@ -29,6 +29,8 @@
 //!   --receivers R         receiver threads per worker (default 1)
 //!   --partitioner P       hash (default) | metis
 //!   --inbox MODE          hama inbox: global (default) | sharded
+//!   --sched S             cyclops compute scheduler: static |
+//!                         dynamic (default, degree-weighted chunk claiming)
 //!
 //! algorithm:
 //!   --epsilon F           convergence threshold (pagerank; default 1e-9)
@@ -79,6 +81,7 @@ struct Options {
     stream: bool,
     values: bool,
     inbox: String,
+    sched: String,
     prom: Option<String>,
     once: bool,
     refresh_ms: u64,
@@ -111,6 +114,7 @@ impl Default for Options {
             stream: false,
             values: false,
             inbox: "global".into(),
+            sched: "dynamic".into(),
             prom: None,
             once: false,
             refresh_ms: 500,
@@ -196,6 +200,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--stream" => opts.stream = true,
             "--values" => opts.values = true,
             "--inbox" => opts.inbox = value("--inbox")?,
+            "--sched" => opts.sched = value("--sched")?,
             "--prom" => opts.prom = Some(value("--prom")?),
             "--once" => opts.once = true,
             "--refresh-ms" => {
@@ -408,6 +413,11 @@ fn run(opts: &Options) -> Result<(), String> {
         "sharded" => cyclops_net::InboxMode::Sharded,
         other => return Err(format!("unknown inbox mode {other} (global|sharded)")),
     };
+    let sched = match opts.sched.as_str() {
+        "static" => cyclops_engine::Sched::Static,
+        "dynamic" => cyclops_engine::Sched::Dynamic,
+        other => return Err(format!("unknown scheduler {other} (static|dynamic)")),
+    };
     // Install the global metrics registry *before* the engines construct
     // their transports/barriers, so instrumentation handles resolve.
     if opts.prom.is_some() {
@@ -461,12 +471,13 @@ fn run(opts: &Options) -> Result<(), String> {
                 );
                 (r.values, r.supersteps, r.counters.messages, r.stats)
             } else {
-                let r = cyclops_algos::pagerank::run_cyclops_pagerank_traced(
+                let r = cyclops_algos::pagerank::run_cyclops_pagerank_sched(
                     &g,
                     &partition,
                     &cluster,
                     opts.epsilon,
                     opts.max_supersteps,
+                    sched,
                     sink.as_ref(),
                 );
                 (r.values, r.supersteps, r.counters.messages, r.stats)
@@ -514,12 +525,14 @@ fn run(opts: &Options) -> Result<(), String> {
                 );
                 (r.values, r.supersteps)
             } else {
-                let r = cyclops_algos::sssp::run_cyclops_sssp(
+                let r = cyclops_algos::sssp::run_cyclops_sssp_sched(
                     &g,
                     &partition,
                     &cluster,
                     opts.source,
                     opts.max_supersteps,
+                    sched,
+                    None,
                 );
                 (r.values, r.supersteps)
             };
@@ -563,7 +576,8 @@ fn run(opts: &Options) -> Result<(), String> {
             let values = if use_hama {
                 cyclops_algos::cc::run_bsp_cc(&sym, &partition, &cluster).values
             } else {
-                cyclops_algos::cc::run_cyclops_cc(&sym, &partition, &cluster).values
+                cyclops_algos::cc::run_cyclops_cc_sched(&sym, &partition, &cluster, sched, None)
+                    .values
             };
             let mut labels = values.clone();
             labels.sort_unstable();
@@ -631,6 +645,8 @@ input:       --input FILE | --dataset NAME [--scale F] [--seed N]
 execution:   --engine cyclops|hama  --machines M --workers W
              --threads T --receivers R  --partitioner hash|metis
              --inbox global|sharded (hama)
+             --sched static|dynamic (cyclops; dynamic = degree-weighted
+             chunk claiming, bitwise-identical results to static)
 algorithm:   --epsilon F  --max-supersteps N  --source V  --sweeps N
 output:      --output FILE  --top N  --stats
 tracing:     --trace FILE (pagerank)  --stream  --values
@@ -722,6 +738,10 @@ mod tests {
         assert!(o.stream);
         assert_eq!(o.prom.as_deref(), Some("out.prom"));
         assert_eq!(o.inbox, "sharded");
+        let o = parse_args(&args("pagerank --dataset GWeb --sched static")).unwrap();
+        assert_eq!(o.sched, "static");
+        let o = parse_args(&args("pagerank --dataset GWeb")).unwrap();
+        assert_eq!(o.sched, "dynamic");
         let o = parse_args(&args("top run.jsonl --once --refresh-ms 100")).unwrap();
         assert_eq!(o.command, "top");
         assert_eq!(o.positional, vec!["run.jsonl"]);

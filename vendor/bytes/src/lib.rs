@@ -123,6 +123,24 @@ impl BytesMut {
             pos: self.pos,
         }
     }
+
+    /// Discards all bytes (read and unread) but keeps the allocation, so a
+    /// pooled buffer can be refilled without reallocating.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    /// Bytes the buffer can hold beyond its read cursor without
+    /// reallocating.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity() - self.pos
+    }
+
+    /// Ensures space for at least `additional` more writable bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
 }
 
 impl Deref for BytesMut {
@@ -204,6 +222,22 @@ impl Buf for Bytes {
     }
 }
 
+/// Read cursor over a borrowed slice: advancing shrinks the slice from the
+/// front, so decoding can run over `&pooled_buf[..]` without consuming the
+/// pooled allocation.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +263,32 @@ mod tests {
     fn underflow_panics() {
         let mut r = Bytes::copy_from_slice(&[1, 2]);
         let _ = r.get_u32_le();
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u64_le(1);
+        b.advance(4);
+        assert!(b.capacity() < 64);
+        b.clear();
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.capacity(), 64);
+        b.put_u64_le(2);
+        assert_eq!(b.capacity(), 64);
+    }
+
+    #[test]
+    fn slice_cursor_reads_without_consuming_owner() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(11);
+        b.put_u32_le(22);
+        let mut cur: &[u8] = &b[..];
+        assert_eq!(cur.get_u32_le(), 11);
+        assert_eq!(cur.get_u32_le(), 22);
+        assert!(!cur.has_remaining());
+        // The owning buffer is untouched.
+        assert_eq!(b.len(), 8);
     }
 
     #[test]

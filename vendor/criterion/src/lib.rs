@@ -2,13 +2,59 @@
 //!
 //! Runs each benchmark for real — short warmup, then a timed loop with an
 //! auto-scaled iteration count — and prints mean ns/iter (plus
-//! elements/s when a throughput is set). No statistical analysis, HTML
-//! reports, or CLI filtering; good enough for coarse regression checks.
+//! elements/s when a throughput is set). No statistical analysis or HTML
+//! reports; good enough for coarse regression checks. Supports the two
+//! CLI knobs CI smoke runs need: `--measurement-time <secs>` and a
+//! positional substring filter on benchmark ids (cargo's `--bench <name>`
+//! pair is ignored, like real criterion).
 
 use std::time::{Duration, Instant};
 
 const WARMUP: Duration = Duration::from_millis(300);
 const MEASURE: Duration = Duration::from_millis(1500);
+
+/// Runtime knobs parsed from the command line.
+#[derive(Clone, Debug)]
+struct Config {
+    warmup: Duration,
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Config {
+    fn from_args<I: Iterator<Item = String>>(mut args: I) -> Self {
+        let mut cfg = Config {
+            warmup: WARMUP,
+            measure: MEASURE,
+            filter: None,
+        };
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        cfg.measure = Duration::from_secs_f64(secs.max(0.01));
+                        cfg.warmup = cfg.warmup.min(cfg.measure);
+                    }
+                }
+                "--warm-up-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        cfg.warmup = Duration::from_secs_f64(secs.max(0.0));
+                    }
+                }
+                // Cargo passes `--bench` through to the harness; real
+                // criterion ignores it and so do we.
+                "--bench" => {}
+                other if !other.starts_with('-') => cfg.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        cfg
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
 
 /// Declared throughput of a benchmark, used to derive a rate.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +80,8 @@ pub enum BatchSize {
 pub struct Bencher {
     total: Duration,
     iters: u64,
+    warmup: Duration,
+    measure: Duration,
 }
 
 impl Bencher {
@@ -54,14 +102,14 @@ impl Bencher {
         }
         // Warmup.
         let warm_start = Instant::now();
-        while warm_start.elapsed() < WARMUP {
+        while warm_start.elapsed() < self.warmup {
             for _ in 0..batch {
                 std::hint::black_box(routine());
             }
         }
         // Measure.
         let measure_start = Instant::now();
-        while measure_start.elapsed() < MEASURE {
+        while measure_start.elapsed() < self.measure {
             let start = Instant::now();
             for _ in 0..batch {
                 std::hint::black_box(routine());
@@ -80,11 +128,11 @@ impl Bencher {
         _size: BatchSize,
     ) {
         let warm_start = Instant::now();
-        while warm_start.elapsed() < WARMUP {
+        while warm_start.elapsed() < self.warmup {
             std::hint::black_box(routine(setup()));
         }
         let measure_start = Instant::now();
-        while measure_start.elapsed() < MEASURE {
+        while measure_start.elapsed() < self.measure {
             let input = setup();
             let start = Instant::now();
             std::hint::black_box(routine(input));
@@ -114,37 +162,56 @@ impl Bencher {
 }
 
 /// Top-level benchmark driver.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config::from_args(std::env::args().skip(1)),
+        }
+    }
+}
 
 impl Criterion {
-    /// Runs a standalone benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, f: &mut F, throughput: Option<Throughput>) {
+        if !self.config.matches(id) {
+            return;
+        }
         let mut b = Bencher {
             total: Duration::ZERO,
             iters: 0,
+            warmup: self.config.warmup,
+            measure: self.config.measure,
         };
         f(&mut b);
-        b.report(id, None);
+        b.report(id, throughput);
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f, None);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        println!("group {name}");
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name: name.to_string(),
             throughput: None,
+            announced: false,
         }
     }
 }
 
 /// A group of related benchmarks sharing a throughput setting.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
+    announced: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -156,12 +223,14 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher {
-            total: Duration::ZERO,
-            iters: 0,
-        };
-        f(&mut b);
-        b.report(&format!("{}/{id}", self.name), self.throughput);
+        let full = format!("{}/{id}", self.name);
+        if self.criterion.config.matches(&full) && !self.announced {
+            // Announce lazily so a filtered-out group prints nothing.
+            println!("group {}", self.name);
+            self.announced = true;
+        }
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, &mut f, throughput);
         self
     }
 
@@ -199,6 +268,8 @@ mod tests {
         let mut b = Bencher {
             total: Duration::ZERO,
             iters: 0,
+            warmup: Duration::from_millis(20),
+            measure: Duration::from_millis(50),
         };
         let mut x = 0u64;
         b.iter(|| {
@@ -207,5 +278,32 @@ mod tests {
         });
         assert!(b.iters > 0);
         assert!(b.total > Duration::ZERO);
+    }
+
+    fn cfg(args: &[&str]) -> Config {
+        Config::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn config_parses_measurement_time_and_filter() {
+        let c = cfg(&["--bench", "--measurement-time", "1", "scheduling"]);
+        assert_eq!(c.measure, Duration::from_secs(1));
+        assert_eq!(c.filter.as_deref(), Some("scheduling"));
+        assert!(c.matches("scheduling_skewed_frontier/dynamic"));
+        assert!(!c.matches("codec/encode_batch_4096"));
+    }
+
+    #[test]
+    fn config_defaults_match_everything() {
+        let c = cfg(&[]);
+        assert_eq!(c.measure, MEASURE);
+        assert!(c.matches("anything/at_all"));
+    }
+
+    #[test]
+    fn tiny_measurement_time_caps_warmup() {
+        let c = cfg(&["--measurement-time", "0.05"]);
+        assert_eq!(c.measure, Duration::from_millis(50));
+        assert!(c.warmup <= c.measure);
     }
 }
