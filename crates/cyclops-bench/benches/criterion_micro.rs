@@ -1,8 +1,10 @@
 //! Criterion micro-benchmarks of the substrate kernels the experiments rest
 //! on: codec throughput, inbox enqueue under the two disciplines, barrier
 //! latency, CSR neighbor iteration, the ALS Cholesky solve, the metrics hot
-//! path (histogram record vs the disabled Option check), and the compute
-//! scheduler's frontier-dispatch strategies on a skewed R-MAT frontier.
+//! path (histogram record vs the disabled Option check), hot-vertex top-K
+//! capture (Space-Saving record vs the disabled Option check), and the
+//! compute scheduler's frontier-dispatch strategies on a skewed R-MAT
+//! frontier.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use cyclops_algos::linalg::cholesky_solve;
@@ -187,6 +189,42 @@ fn bench_metrics(c: &mut Criterion) {
     group.finish();
 }
 
+/// The per-vertex cost of hot-vertex capture at both ends of the dial: the
+/// disabled path (`hot_k == 0` — one resolved-`Option` check per vertex,
+/// exactly what every untraced run pays) and the enabled path (a
+/// Space-Saving `record` against a k=16 sketch). The acceptance bar is
+/// that the disabled check is free.
+fn bench_hot_vertex(c: &mut Criterion) {
+    use cyclops_obs::SpaceSaving;
+    let mut group = c.benchmark_group("hot_vertex_per_vertex");
+
+    // Disabled: the engine holds `None` and pays one Option check.
+    let mut disabled: Option<SpaceSaving> = None;
+    group.bench_function("disabled_option_check", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = v.wrapping_add(7);
+            if let Some(hs) = std::hint::black_box(&mut disabled) {
+                hs.record(v, 1);
+            }
+        })
+    });
+
+    // Enabled: k=16 sketch over a skewed stream (most records miss the
+    // sketch and hit the evict-min path — the worst case).
+    let mut enabled = Some(SpaceSaving::new(16));
+    group.bench_function("enabled_k16_record", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = v.wrapping_add(7);
+            if let Some(hs) = std::hint::black_box(&mut enabled) {
+                hs.record(v & 0x3ff, 1 + (v & 7) as u64);
+            }
+        })
+    });
+    group.finish();
+}
+
 /// The PR 3 scheduling dial, isolated from the engine: dispatch a skewed
 /// R-MAT frontier to T compute threads three ways and measure the aggregate
 /// CPU cost of the dispatch + per-vertex work.
@@ -322,6 +360,7 @@ criterion_group!(
     bench_csr,
     bench_cholesky,
     bench_metrics,
+    bench_hot_vertex,
     bench_scheduling
 );
 criterion_main!(benches);

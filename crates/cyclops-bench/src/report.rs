@@ -247,12 +247,25 @@ pub fn trace_table(trace: &RunTrace) -> Table {
         "cmp_ms",
         "snd_ms",
         "syn_ms",
+        "cp_ms",
+        "straggler",
+        "wait_ms",
     ]);
+    let cp = critical_path(trace);
     let supersteps = trace.supersteps();
     let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
     for s in 0..supersteps {
         let rows: Vec<&TraceRecord> = trace.records.iter().filter(|r| r.superstep == s).collect();
         let sum = |f: &dyn Fn(&TraceRecord) -> u64| rows.iter().map(|r| f(r)).sum::<u64>();
+        let path = cp.supersteps.iter().find(|p| p.superstep == s);
+        let (cp_ms, straggler, wait_ms) = match path {
+            Some(p) => (
+                ms(p.span_ns),
+                format!("w{} {}", p.straggler, p.straggler_phase.label()),
+                ms(p.caused_wait_ns),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
         table.row(vec![
             s.to_string(),
             count(sum(&|r| r.frontier) as usize),
@@ -265,9 +278,58 @@ pub fn trace_table(trace: &RunTrace) -> Table {
             ms(sum(&|r| r.compute_ns)),
             ms(sum(&|r| r.send_ns)),
             ms(sum(&|r| r.sync_ns)),
+            cp_ms,
+            straggler,
+            wait_ms,
         ]);
     }
     table
+}
+
+/// Reconstructs the [`CriticalPath`] of a trace by grouping per-worker
+/// records by superstep, in superstep order.
+///
+/// [`CriticalPath`]: cyclops_obs::CriticalPath
+pub fn critical_path(trace: &RunTrace) -> cyclops_obs::CriticalPath {
+    use std::collections::BTreeMap;
+    let mut steps: BTreeMap<u64, Vec<cyclops_obs::PhaseSample>> = BTreeMap::new();
+    for r in &trace.records {
+        steps
+            .entry(r.superstep)
+            .or_default()
+            .push(cyclops_obs::PhaseSample {
+                worker: r.worker,
+                parse_ns: r.parse_ns,
+                compute_ns: r.compute_ns,
+                send_ns: r.send_ns,
+                sync_ns: r.sync_ns,
+            });
+    }
+    cyclops_obs::CriticalPath::analyze(steps)
+}
+
+/// One-line straggler attribution: which worker/phase caused the largest
+/// share of barrier wait across the run, and how big that share is
+/// relative to the aggregate worker time.
+pub fn critical_path_summary(trace: &RunTrace) -> String {
+    let cp = critical_path(trace);
+    let ranking = cp.straggler_ranking();
+    let pool = cp.total_work_ns + cp.total_wait_ns + cp.total_residual_ns;
+    match ranking.first() {
+        Some(top) if pool > 0 => format!(
+            "critical path {:.2} ms; top straggler: worker {} {} caused {:.2} ms barrier wait ({:.1}% of aggregate worker time, {} supersteps)",
+            cp.total_span_ns as f64 / 1e6,
+            top.worker,
+            top.phase.label(),
+            top.caused_wait_ns as f64 / 1e6,
+            100.0 * top.caused_wait_ns as f64 / pool as f64,
+            top.supersteps,
+        ),
+        _ => format!(
+            "critical path {:.2} ms; no straggler attribution (no barrier wait recorded)",
+            cp.total_span_ns as f64 / 1e6
+        ),
+    }
 }
 
 /// Builds the tail-latency table of a trace: one row per phase with count,
@@ -328,6 +390,8 @@ pub fn print_trace(trace: &RunTrace) {
         trace.meta.engine, trace.meta.cluster, trace.meta.workers
     ));
     trace_table(trace).print();
+    println!();
+    println!("  {}", critical_path_summary(trace));
     println!();
     println!("  phase tail latency (per worker-record):");
     phase_quantile_table(trace).print();
@@ -429,6 +493,56 @@ mod tests {
         assert_eq!(t.rows[1][2], "7"); // computed, superstep 0
         assert_eq!(t.rows[1][5], "11"); // messages, superstep 0
         assert_eq!(t.rows[2][2], "3"); // computed, superstep 1
+    }
+
+    fn skewed_trace() -> RunTrace {
+        let rec = |superstep, worker, compute_ns, sync_ns| TraceRecord {
+            superstep,
+            worker,
+            compute_ns,
+            sync_ns,
+            ..Default::default()
+        };
+        RunTrace {
+            meta: TraceMeta {
+                engine: "cyclops".into(),
+                cluster: "1x2x1".into(),
+                workers: 2,
+                values: false,
+            },
+            records: vec![
+                // Worker 0's 9 ms CMP holds worker 1 at the barrier for 8 ms.
+                rec(0, 0, 9_000_000, 0),
+                rec(0, 1, 1_000_000, 8_000_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_table_attributes_the_straggler() {
+        let t = trace_table(&skewed_trace());
+        let header = &t.rows[0];
+        assert_eq!(header[11], "cp_ms");
+        assert_eq!(header[12], "straggler");
+        assert_eq!(header[13], "wait_ms");
+        let row = &t.rows[1];
+        assert_eq!(row[11], "9.00"); // span of worker 0's chain
+        assert_eq!(row[12], "w0 CMP");
+        assert_eq!(row[13], "8.00"); // worker 1's barrier wait
+    }
+
+    #[test]
+    fn critical_path_summary_names_the_top_straggler() {
+        let s = critical_path_summary(&skewed_trace());
+        assert!(s.contains("critical path 9.00 ms"), "{s}");
+        assert!(s.contains("worker 0 CMP"), "{s}");
+        assert!(s.contains("8.00 ms barrier wait"), "{s}");
+        // Empty trace degrades gracefully.
+        let empty = RunTrace {
+            meta: TraceMeta::default(),
+            records: vec![],
+        };
+        assert!(critical_path_summary(&empty).contains("no straggler attribution"));
     }
 
     #[test]

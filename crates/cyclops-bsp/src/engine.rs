@@ -342,6 +342,11 @@ fn worker_loop<P: BspProgram>(
     // fingerprint used to allocate a fresh encode buffer per vertex.
     let mut fp_buf = bytes::BytesMut::new();
     let tracer = trace.map(|s| s.worker(me));
+    // Hot-vertex capture, resolved once; disabled it costs one Option check
+    // per computed vertex. BSP has no degree plan, so the cost proxy is the
+    // message volume through the vertex: 1 + inbox + outbox.
+    let hot_k = trace.map(|s| s.hot_k()).unwrap_or(0);
+    let mut hot_local = (hot_k > 0).then(|| cyclops_net::trace::SpaceSaving::new(hot_k));
 
     loop {
         let mut times = PhaseTimes::default();
@@ -387,6 +392,7 @@ fn worker_loop<P: BspProgram>(
                 local_active += 1;
                 let vertex = st.locals[li];
                 vertex_outbox.clear();
+                let inbox_len = st.mailbox[li].len();
                 let mut halted = false;
                 {
                     let mut ctx = BspContext {
@@ -405,6 +411,9 @@ fn worker_loop<P: BspProgram>(
                 st.halted[li] = halted;
                 if !halted {
                     local_activated += 1;
+                }
+                if let Some(hs) = hot_local.as_mut() {
+                    hs.record(vertex, 1 + inbox_len as u64 + vertex_outbox.len() as u64);
                 }
                 if config.track_redundant && !vertex_outbox.is_empty() {
                     let fp = fingerprint(&mut fp_buf, &vertex_outbox);
@@ -429,6 +438,10 @@ fn worker_loop<P: BspProgram>(
             tr.add_activated(local_activated as u64);
             if !local_agg.is_empty() {
                 tr.set_thread_agg(0, local_agg);
+            }
+            if let Some(hs) = hot_local.as_mut() {
+                tr.set_thread_hot(0, hs);
+                hs.clear();
             }
         }
 

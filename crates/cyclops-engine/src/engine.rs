@@ -532,6 +532,11 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
     let mut digest_buf = bytes::BytesMut::new();
     let tracer = env.trace.map(|s| s.worker(env.w));
     let capture_values = env.trace.map(|s| s.captures_values()).unwrap_or(false);
+    // Hot-vertex capture, resolved once: a per-thread Space-Saving sketch of
+    // per-vertex work mass, folded into the tracer each superstep. Disabled
+    // (`hot_k == 0`) the compute loop pays one Option check per vertex.
+    let hot_k = env.trace.map(|s| s.hot_k()).unwrap_or(0);
+    let mut hot_local = (hot_k > 0).then(|| cyclops_net::trace::SpaceSaving::new(hot_k));
 
     loop {
         let mut times = PhaseTimes::default();
@@ -662,6 +667,12 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                     // reused two supersteps from now.
                     ws.frontier.consume(cur_parity, li);
                     computed += 1;
+                    if let Some(hs) = hot_local.as_mut() {
+                        // Degree-derived work mass is the per-vertex cost
+                        // proxy — the same estimate the dynamic scheduler
+                        // balances on.
+                        hs.record(wp.masters[li], wp.work_mass[li].max(1) as u64);
+                    }
                     let mut publish: Option<P::Message> = None;
                     let mut reported: Option<f64> = None;
                     {
@@ -802,6 +813,12 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             tr.add_converged_delta(conv_delta as i64);
             if env.t == 0 {
                 tr.add_activated(next_active as u64);
+            }
+            if let Some(hs) = hot_local.as_mut() {
+                // Fold this thread's sketch before the barrier; the leader
+                // merges the slots in thread order at commit.
+                tr.set_thread_hot(env.t, hs);
+                hs.clear();
             }
         }
         if env.t == 0 {

@@ -501,6 +501,11 @@ fn gas_worker<P: GasProgram>(
 
     let tracer = trace.map(|s| s.worker(me));
     let capture_values = trace.map(|s| s.captures_values()).unwrap_or(false);
+    // Hot-vertex capture, resolved once; disabled it costs one Option check
+    // per applied vertex. The GAS cost proxy is the replication factor:
+    // 1 + mirror fan-out, the traffic an apply broadcast generates.
+    let hot_k = trace.map(|s| s.hot_k()).unwrap_or(0);
+    let mut hot_local = (hot_k > 0).then(|| cyclops_net::trace::SpaceSaving::new(hot_k));
 
     let flush = |outboxes: &mut Vec<Vec<GasMsg<P::Value, P::Gather>>>, epoch: usize| {
         for (dest, batch) in outboxes.iter_mut().enumerate() {
@@ -642,6 +647,9 @@ fn gas_worker<P: GasProgram>(
                 part.data[liu] = new.clone();
                 old_values.insert(li, old);
                 part.active[liu] = false; // deactivate; scatter may re-activate
+                if let Some(hs) = hot_local.as_mut() {
+                    hs.record(v, 1 + part.mirrors_of(liu).len() as u64);
+                }
                 for &mp in part.mirrors_of(liu) {
                     outboxes[mp as usize].push(GasMsg::Apply {
                         local: v,
@@ -749,6 +757,10 @@ fn gas_worker<P: GasProgram>(
             tr.add_drained(drained);
             tr.add_computed(computed as u64);
             tr.add_activated(locally_activated.len() as u64);
+            if let Some(hs) = hot_local.as_mut() {
+                tr.set_thread_hot(0, hs);
+                hs.clear();
+            }
             // GAS workers are single-threaded, so each worker is its own
             // leader; the frontier is the active set entering the superstep.
             tr.commit(superstep, me, my_active, &times, false);

@@ -342,6 +342,63 @@ impl SchedObs {
     }
 }
 
+/// Pre-resolved gauges for the per-worker hot-vertex top-K:
+/// `cyclops_hot_vertex_cost{engine,worker,rank}` and
+/// `cyclops_hot_vertex_id{engine,worker,rank}`.
+///
+/// One instance per worker, resolved once at sink construction (same
+/// `Option` discipline as [`PhaseHists`]); [`HotObs::record`] publishes the
+/// merged Space-Saving top-K at superstep commit, so a scrape mid-run sees
+/// the heavy vertices of the most recent superstep.
+pub struct HotObs {
+    ranks: Vec<(Arc<Gauge>, Arc<Gauge>)>,
+}
+
+impl HotObs {
+    /// Resolves `k` rank slots for `worker` from the global registry, or
+    /// `None` when no registry is installed or `k` is zero.
+    pub fn resolve(engine: &str, worker: usize, k: usize) -> Option<HotObs> {
+        if k == 0 {
+            return None;
+        }
+        let reg = cyclops_obs::global()?;
+        let worker = worker.to_string();
+        let ranks = (0..k)
+            .map(|r| {
+                let rank = r.to_string();
+                let labels = [
+                    ("engine", engine),
+                    ("worker", worker.as_str()),
+                    ("rank", rank.as_str()),
+                ];
+                (
+                    reg.gauge("cyclops_hot_vertex_cost", &labels),
+                    reg.gauge("cyclops_hot_vertex_id", &labels),
+                )
+            })
+            .collect();
+        Some(HotObs { ranks })
+    }
+
+    /// Publishes the merged top-K (weight-descending). Ranks beyond
+    /// `top.len()` are zeroed so stale values from a hotter superstep don't
+    /// linger.
+    pub fn record(&self, top: &[(u32, u64)]) {
+        for (r, (cost, id)) in self.ranks.iter().enumerate() {
+            match top.get(r) {
+                Some(&(v, w)) => {
+                    cost.set(w.min(i64::MAX as u64) as i64);
+                    id.set(v as i64);
+                }
+                None => {
+                    cost.set(0);
+                    id.set(0);
+                }
+            }
+        }
+    }
+}
+
 /// Plain-number snapshot of [`RunCounters`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CounterSnapshot {
@@ -465,6 +522,30 @@ mod tests {
             (p50 - 2500.0).abs() / 2500.0 <= 0.125,
             "imbalance p50 {p50} should be ~2500‰"
         );
+    }
+
+    #[test]
+    fn hot_obs_publishes_ranked_gauges_and_zeroes_stale_ranks() {
+        let reg = cyclops_obs::install_global();
+        let obs = HotObs::resolve("hot-test", 2, 3).expect("registry installed");
+        obs.record(&[(42, 900), (7, 100), (3, 10)]);
+        let g = |name: &str, rank: &str| {
+            reg.gauge(
+                name,
+                &[("engine", "hot-test"), ("worker", "2"), ("rank", rank)],
+            )
+            .get()
+        };
+        assert_eq!(g("cyclops_hot_vertex_id", "0"), 42);
+        assert_eq!(g("cyclops_hot_vertex_cost", "0"), 900);
+        assert_eq!(g("cyclops_hot_vertex_id", "2"), 3);
+        // A cooler superstep zeroes the unused tail ranks.
+        obs.record(&[(5, 77)]);
+        assert_eq!(g("cyclops_hot_vertex_id", "0"), 5);
+        assert_eq!(g("cyclops_hot_vertex_cost", "1"), 0);
+        assert_eq!(g("cyclops_hot_vertex_id", "2"), 0);
+        // k == 0 disables resolution outright.
+        assert!(HotObs::resolve("hot-test", 2, 0).is_none());
     }
 
     #[test]

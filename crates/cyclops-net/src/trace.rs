@@ -34,7 +34,8 @@
 //! up with the channel.
 
 use crate::cluster::ClusterSpec;
-use crate::metrics::{AggregateStats, PhaseTimes};
+use crate::metrics::{AggregateStats, HotObs, PhaseTimes};
+pub use cyclops_obs::SpaceSaving;
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
@@ -92,6 +93,12 @@ pub struct TraceRecord {
     /// `(vertex, digest)` publication digests, present only when the sink
     /// was created with [`TraceSink::with_values`]. Sorted by vertex.
     pub pubs: Vec<(u32, u64)>,
+    /// `(vertex, cost)` hot-vertex top-K from the merged per-thread
+    /// Space-Saving sketches, weight-descending; present only when the sink
+    /// was created with [`TraceSink::with_hot_k`]. Diagnostic, not part of
+    /// the determinism contract: under dynamic scheduling the sketch
+    /// contents can depend on thread timing.
+    pub hot: Vec<(u32, u64)>,
 }
 
 /// Fixed-capacity ring of records; overwrites the oldest when full.
@@ -150,6 +157,15 @@ pub struct WorkerTracer {
     /// a short lock per publishing thread, acceptable for a diagnostic
     /// mode that already pays for hashing every publication).
     pubs: Mutex<Vec<(u32, u64)>>,
+    /// Per-thread hot-vertex sketches for the current superstep, merged in
+    /// thread order at commit (deterministic merge order, like
+    /// `thread_aggs`). Empty unless [`TraceSink::with_hot_k`] enabled it.
+    thread_hot: Vec<Mutex<SpaceSaving>>,
+    /// Sketch capacity; 0 disables hot-vertex capture.
+    hot_k: usize,
+    /// Resolved gauges for live hot-vertex exposition (None without a
+    /// global registry).
+    hot_obs: Option<HotObs>,
     ring: UnsafeCell<Ring>,
     /// Streaming mode: committed records go to the writer thread instead of
     /// the ring.
@@ -181,6 +197,9 @@ impl WorkerTracer {
                 .map(|_| Mutex::new(AggregateStats::default()))
                 .collect(),
             pubs: Mutex::new(Vec::new()),
+            thread_hot: Vec::new(),
+            hot_k: 0,
+            hot_obs: None,
             ring: UnsafeCell::new(Ring::new(cap)),
             stream,
             deferred: UnsafeCell::new(VecDeque::new()),
@@ -231,6 +250,16 @@ impl WorkerTracer {
         self.pubs.lock().push((vertex, digest));
     }
 
+    /// Folds thread `t`'s hot-vertex sketch for this superstep into its
+    /// slot. No-op unless the sink was built with
+    /// [`TraceSink::with_hot_k`]. Call once per thread per superstep,
+    /// before the worker leader commits.
+    pub fn set_thread_hot(&self, t: usize, sketch: &SpaceSaving) {
+        if let Some(slot) = self.thread_hot.get(t) {
+            slot.lock().merge(sketch);
+        }
+    }
+
     /// Commits the accumulated superstep into the ring and resets the
     /// accumulators. Must be called by exactly one thread per worker (the
     /// worker leader), after this worker's threads have published their
@@ -251,6 +280,24 @@ impl WorkerTracer {
         }
         let mut pubs = std::mem::take(&mut *self.pubs.lock());
         pubs.sort_unstable();
+        let hot = if self.hot_k > 0 {
+            // Merge the per-thread sketches in thread order (deterministic
+            // for a deterministic schedule) and reset them for the next
+            // superstep.
+            let mut merged = SpaceSaving::new(self.hot_k);
+            for slot in &self.thread_hot {
+                let mut s = slot.lock();
+                merged.merge(&s);
+                s.clear();
+            }
+            let top = merged.top();
+            if let Some(obs) = &self.hot_obs {
+                obs.record(&top);
+            }
+            top
+        } else {
+            Vec::new()
+        };
         let record = TraceRecord {
             superstep: superstep as u64,
             worker: worker as u64,
@@ -268,6 +315,7 @@ impl WorkerTracer {
             checkpoint,
             agg: if agg.is_empty() { None } else { Some(agg) },
             pubs,
+            hot,
         };
         if let Some(tx) = &self.stream {
             // SAFETY: single committer per worker (see the Sync impl above).
@@ -340,6 +388,7 @@ struct StreamState {
 pub struct TraceSink {
     meta: TraceMeta,
     capture_values: bool,
+    hot_k: usize,
     workers: Vec<WorkerTracer>,
     stream: Option<StreamState>,
 }
@@ -394,6 +443,7 @@ impl TraceSink {
                 values,
             },
             capture_values: values,
+            hot_k: 0,
             workers: (0..workers)
                 .map(|_| WorkerTracer::new(spec.threads_per_worker, cap, None))
                 .collect(),
@@ -424,6 +474,7 @@ impl TraceSink {
             .spawn(move || stream_writer_loop(rx, f))?;
         Ok(TraceSink {
             capture_values: values,
+            hot_k: 0,
             workers: (0..workers)
                 // Streamed records bypass the ring; capacity 1 keeps the
                 // preallocation negligible.
@@ -432,6 +483,32 @@ impl TraceSink {
             meta,
             stream: Some(StreamState { handle }),
         })
+    }
+
+    /// Enables hot-vertex capture: every compute thread keeps a
+    /// [`SpaceSaving`] sketch of per-vertex cost, folded into per-thread
+    /// slots via [`WorkerTracer::set_thread_hot`] and merged (thread
+    /// order) into [`TraceRecord::hot`] at commit. When a global metrics
+    /// registry is installed, the merged top-K is also published as
+    /// `cyclops_hot_vertex_{cost,id}{engine,worker,rank}` gauges.
+    /// `k == 0` leaves capture disabled.
+    pub fn with_hot_k(mut self, k: usize) -> Self {
+        self.hot_k = k;
+        for (w, tracer) in self.workers.iter_mut().enumerate() {
+            tracer.hot_k = k;
+            tracer.thread_hot = (0..tracer.thread_aggs.len())
+                .map(|_| Mutex::new(SpaceSaving::new(k)))
+                .collect();
+            tracer.hot_obs = HotObs::resolve(&self.meta.engine, w, k);
+        }
+        self
+    }
+
+    /// The hot-vertex sketch capacity (0 = capture disabled). Engines read
+    /// this once at run start to size their per-thread sketches.
+    #[inline]
+    pub fn hot_k(&self) -> usize {
+        self.hot_k
     }
 
     /// Whether this sink streams records to a file as they commit.
@@ -623,6 +700,16 @@ impl TraceRecord {
             }
             out.push(']');
         }
+        if !self.hot.is_empty() {
+            out.push_str(",\"hot\":[");
+            for (i, (v, w)) in self.hot.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{v},{w}]");
+            }
+            out.push(']');
+        }
         out.push('}');
     }
 }
@@ -721,6 +808,7 @@ fn parse_record(line: &str) -> Option<TraceRecord> {
         checkpoint: field(line, "checkpoint")?.trim() == "true",
         agg: None,
         pubs: Vec::new(),
+        hot: Vec::new(),
     };
     if let Some(agg) = field(line, "agg") {
         r.agg = Some(AggregateStats {
@@ -731,18 +819,27 @@ fn parse_record(line: &str) -> Option<TraceRecord> {
         });
     }
     if let Some(pubs) = field(line, "pubs") {
-        let inner = pubs.trim().trim_start_matches('[').trim_end_matches(']');
-        for pair in inner.split("],[") {
-            let pair = pair.trim_matches(|c| c == '[' || c == ']');
-            if pair.is_empty() {
-                continue;
-            }
-            let (v, d) = pair.split_once(',')?;
-            r.pubs
-                .push((v.trim().parse().ok()?, d.trim().parse().ok()?));
-        }
+        r.pubs = parse_pairs(pubs)?;
+    }
+    if let Some(hot) = field(line, "hot") {
+        r.hot = parse_pairs(hot)?;
     }
     Some(r)
+}
+
+/// Parses a `[[a,b],[c,d],...]` pair list (the `pubs`/`hot` encoding).
+fn parse_pairs(raw: &str) -> Option<Vec<(u32, u64)>> {
+    let inner = raw.trim().trim_start_matches('[').trim_end_matches(']');
+    let mut out = Vec::new();
+    for pair in inner.split("],[") {
+        let pair = pair.trim_matches(|c| c == '[' || c == ']');
+        if pair.is_empty() {
+            continue;
+        }
+        let (v, d) = pair.split_once(',')?;
+        out.push((v.trim().parse().ok()?, d.trim().parse().ok()?));
+    }
+    Some(out)
 }
 
 /// Loads a trace written by [`TraceSink::write_jsonl`].
@@ -1163,6 +1260,48 @@ mod tests {
         write_header(&mut header, &meta).unwrap();
         let parsed = parse_meta_line(std::str::from_utf8(&header).unwrap().trim()).unwrap();
         assert_eq!(parsed, meta);
+    }
+
+    #[test]
+    fn hot_sketches_merge_in_thread_order_and_round_trip() {
+        let spec = ClusterSpec::mt(1, 2, 1);
+        let sink = TraceSink::new("cyclops", &spec).with_hot_k(3);
+        assert_eq!(sink.hot_k(), 3);
+        let mut t0 = SpaceSaving::new(3);
+        t0.record(10, 100);
+        t0.record(11, 5);
+        let mut t1 = SpaceSaving::new(3);
+        t1.record(20, 70);
+        t1.record(10, 30);
+        sink.worker(0).set_thread_hot(0, &t0);
+        sink.worker(0).set_thread_hot(1, &t1);
+        sink.worker(0)
+            .commit(0, 0, 0, &PhaseTimes::default(), false);
+        // Slots reset between supersteps.
+        sink.worker(0)
+            .commit(1, 0, 0, &PhaseTimes::default(), false);
+        let mut sink = sink;
+        let records = sink.take_records();
+        assert_eq!(records[0].hot, vec![(10, 130), (20, 70), (11, 5)]);
+        assert!(records[1].hot.is_empty());
+        // JSONL round-trip preserves the hot list.
+        let mut line = String::new();
+        records[0].to_json(&mut line);
+        assert_eq!(parse_record_line(&line).unwrap(), records[0]);
+    }
+
+    #[test]
+    fn hot_capture_disabled_by_default() {
+        let sink = TraceSink::new("bsp", &spec());
+        assert_eq!(sink.hot_k(), 0);
+        let mut s = SpaceSaving::new(4);
+        s.record(1, 1);
+        // set_thread_hot without with_hot_k is a no-op, not a panic.
+        sink.worker(0).set_thread_hot(0, &s);
+        sink.worker(0)
+            .commit(0, 0, 0, &PhaseTimes::default(), false);
+        let mut sink = sink;
+        assert!(sink.take_records()[0].hot.is_empty());
     }
 
     #[test]

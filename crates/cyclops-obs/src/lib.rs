@@ -21,6 +21,11 @@
 //!   exposition for scraping or golden-file testing.
 //! - [`sparkline`]: terminal-dashboard rendering used by `cyclops metrics`
 //!   and `cyclops top`.
+//! - [`CriticalPath`]: barrier-structured critical-path extraction with
+//!   exact straggler attribution (`cyclops why-slow`'s analysis core).
+//! - [`SpaceSaving`]: bounded heavy-hitter sketch for hot-vertex top-K.
+//! - [`MetricsServer`]: std-only HTTP listener serving `GET /metrics`
+//!   (live Prometheus exposition) and `/healthz`.
 //!
 //! The crate is deliberately std-only and sits *below* `cyclops-net` in the
 //! dependency order, so the transport and barrier layers can be
@@ -28,14 +33,22 @@
 
 #![warn(missing_docs)]
 
+mod critpath;
 mod expo;
 mod hist;
 mod registry;
+mod serve;
 mod spark;
+mod topk;
 
+pub use critpath::{
+    CpPhase, CriticalPath, PhaseSample, StragglerShare, SuperstepPath, WorkerAttribution,
+};
 pub use expo::{render_json, render_prometheus};
 pub use hist::{
     bucket_bounds, bucket_index, bucket_mid, HistogramSnapshot, LogLinearHistogram, NUM_BUCKETS,
 };
 pub use registry::{global, install_global, Counter, Gauge, Metric, MetricId, MetricsRegistry};
+pub use serve::MetricsServer;
 pub use spark::{sparkline, sparkline_last};
+pub use topk::SpaceSaving;

@@ -1,0 +1,203 @@
+//! Std-only HTTP scrape endpoint for the metrics registry.
+//!
+//! `MetricsServer::start` binds a `std::net::TcpListener` and serves
+//! `GET /metrics` (the live [`render_prometheus`](crate::render_prometheus)
+//! exposition of the registry at request time) and `GET /healthz` from one
+//! background thread. No HTTP library: the vendored-deps-only constraint
+//! rules out hyper/tiny_http, and a Prometheus scraper needs nothing beyond
+//! a status line, `Content-Type`, `Content-Length`, and
+//! `Connection: close`.
+//!
+//! Shutdown is cooperative: [`MetricsServer::shutdown`] sets a flag and
+//! self-connects to unblock `accept()`, then joins the thread. Dropping the
+//! server shuts it down too.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::expo::render_prometheus;
+use crate::registry::MetricsRegistry;
+
+/// A background HTTP server exposing one registry at `/metrics`.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free port)
+    /// and starts serving `registry` on a background thread.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        registry: &'static MetricsRegistry,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cyclops-metrics-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Scrapes are rare and tiny; serving inline keeps the
+                    // server single-threaded and allocation-light.
+                    let _ = serve_one(stream, registry);
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock accept(); a failed connect means the listener is
+            // already gone, which is fine.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    // Read until the end of the request head; request bodies are ignored
+    // (GET has none). Cap the head at 8 KiB — a scraper's is ~100 bytes.
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            render_prometheus(registry),
+        ),
+        ("GET", "/healthz") => ("200 OK", "text/plain; version=0.0.4", "ok\n".to_string()),
+        ("GET", _) => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn static_registry() -> &'static MetricsRegistry {
+        Box::leak(Box::new(MetricsRegistry::new()))
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_live_exposition() {
+        let reg = static_registry();
+        let counter = reg.counter("test_requests", &[("path", "/metrics")]);
+        let mut server = MetricsServer::start("127.0.0.1:0", reg).expect("start");
+        counter.inc(3);
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "head: {head}");
+        assert_eq!(body, render_prometheus(reg));
+        assert!(body.contains("test_requests{path=\"/metrics\"} 3"));
+        // A second scrape sees updated values: the exposition is live.
+        counter.inc(1);
+        let (_, body2) = get(server.addr(), "/metrics");
+        assert!(body2.contains("test_requests{path=\"/metrics\"} 4"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_and_unknown_paths() {
+        let mut server = MetricsServer::start("127.0.0.1:0", static_registry()).expect("start");
+        let (head, body) = get(server.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, "ok\n");
+        let (head, _) = get(server.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let reg = static_registry();
+        reg.gauge("test_gauge", &[]).set(42);
+        let mut server = MetricsServer::start("127.0.0.1:0", reg).expect("start");
+        let (head, body) = get(server.addr(), "/metrics");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length header")
+            .parse()
+            .expect("numeric length");
+        assert_eq!(len, body.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut server = MetricsServer::start("127.0.0.1:0", static_registry()).expect("start");
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+        // The port is released: a fresh bind on the same addr succeeds.
+        let relisten = TcpListener::bind(addr);
+        assert!(relisten.is_ok(), "port should be free after shutdown");
+    }
+}

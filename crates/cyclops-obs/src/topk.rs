@@ -1,0 +1,180 @@
+//! Space-Saving heavy-hitter sketch for hot-vertex attribution.
+//!
+//! Metwally, Agrawal, El Abbadi, "Efficient Computation of Frequent and
+//! Top-k Elements in Data Streams" (ICDT 2005). The sketch keeps at most
+//! `k` counters; a new key evicts the current minimum and inherits its
+//! count (the classic over-estimate bound: every reported count is at most
+//! `min_count` above the true weight). That bound is exactly what a skew
+//! diagnosis needs — power-law hot vertices dominate their superstep by
+//! orders of magnitude, far beyond the error term.
+//!
+//! The engines keep one sketch per compute thread (no sharing on the hot
+//! path) and merge them in thread order at superstep end, so the merged
+//! result is deterministic for a deterministic schedule. Merge folds every
+//! entry of `other` into `self` with the same evict-min rule, which keeps
+//! the merged sketch a valid Space-Saving summary of the concatenated
+//! streams.
+
+/// A bounded top-K heavy-hitter sketch over `(vertex, weight)` updates.
+#[derive(Clone, Debug)]
+pub struct SpaceSaving {
+    k: usize,
+    // Small k (8–64): linear scans beat a heap through cache locality.
+    entries: Vec<(u32, u64)>,
+}
+
+impl SpaceSaving {
+    /// Creates a sketch that tracks at most `k` keys. `k == 0` is allowed
+    /// and makes every operation a no-op (the disabled path).
+    pub fn new(k: usize) -> SpaceSaving {
+        SpaceSaving {
+            k,
+            entries: Vec::with_capacity(k),
+        }
+    }
+
+    /// Maximum number of tracked keys.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of currently tracked keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no key is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `weight` to `key`, evicting the minimum-count key when full.
+    pub fn record(&mut self, key: u32, weight: u64) {
+        if self.k == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
+            e.1 = e.1.saturating_add(weight);
+            return;
+        }
+        if self.entries.len() < self.k {
+            self.entries.push((key, weight));
+            return;
+        }
+        // Evict the minimum (ties → lowest key, deterministically) and let
+        // the newcomer inherit its count: the Space-Saving over-estimate.
+        let (mi, _) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+            .expect("sketch is full, k > 0");
+        let inherited = self.entries[mi].1;
+        self.entries[mi] = (key, inherited.saturating_add(weight));
+    }
+
+    /// Folds `other` into `self` with the same evict-min rule. Merging the
+    /// per-thread sketches in thread order keeps the result deterministic.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        for &(key, weight) in &other.entries {
+            self.record(key, weight);
+        }
+    }
+
+    /// The tracked keys sorted by weight descending (ties → lowest key),
+    /// the stable order every exposition path uses.
+    pub fn top(&self) -> Vec<(u32, u64)> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Resets the sketch for the next superstep, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = SpaceSaving::new(4);
+        s.record(7, 10);
+        s.record(3, 5);
+        s.record(7, 2);
+        assert_eq!(s.top(), vec![(7, 12), (3, 5)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn eviction_inherits_minimum_count() {
+        let mut s = SpaceSaving::new(2);
+        s.record(1, 10);
+        s.record(2, 3);
+        s.record(3, 1); // evicts key 2 (min=3), inherits: 3 + 1 = 4
+        let top = s.top();
+        assert_eq!(top, vec![(1, 10), (3, 4)]);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_noise() {
+        let mut s = SpaceSaving::new(4);
+        for i in 0..1000u32 {
+            s.record(100 + (i % 97), 1); // noise
+            s.record(7, 50); // heavy hitter
+        }
+        let top = s.top();
+        assert_eq!(top[0].0, 7);
+        assert!(top[0].1 >= 50_000);
+    }
+
+    #[test]
+    fn merge_in_fixed_order_is_deterministic() {
+        let mut a1 = SpaceSaving::new(3);
+        let mut b1 = SpaceSaving::new(3);
+        for (k, w) in [(1u32, 5u64), (2, 9), (3, 2), (4, 7)] {
+            a1.record(k, w);
+        }
+        for (k, w) in [(2u32, 4u64), (5, 6), (6, 1)] {
+            b1.record(k, w);
+        }
+        let mut m1 = SpaceSaving::new(3);
+        m1.merge(&a1);
+        m1.merge(&b1);
+        let mut m2 = SpaceSaving::new(3);
+        m2.merge(&a1);
+        m2.merge(&b1);
+        assert_eq!(m1.top(), m2.top());
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut s = SpaceSaving::new(0);
+        s.record(1, 100);
+        assert!(s.is_empty());
+        assert_eq!(s.top(), vec![]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = SpaceSaving::new(2);
+        s.record(1, 1);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 2);
+        s.record(9, 9);
+        assert_eq!(s.top(), vec![(9, 9)]);
+    }
+
+    #[test]
+    fn ties_sort_by_lowest_key() {
+        let mut s = SpaceSaving::new(4);
+        s.record(9, 5);
+        s.record(2, 5);
+        s.record(4, 5);
+        assert_eq!(s.top(), vec![(2, 5), (4, 5), (9, 5)]);
+    }
+}

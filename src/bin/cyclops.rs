@@ -15,6 +15,8 @@
 //!   trace-diff  compare two superstep traces: `trace-diff A B [--values]`
 //!   metrics     summarize a trace: per-phase p50/p90/p99 + sparklines
 //!   top         live dashboard tailing a streaming trace file
+//!   why-slow    critical-path profile of a trace: straggler attribution,
+//!               hot-vertex table, per-superstep spans (`--json` for machines)
 //!
 //! input (choose one):
 //!   --input FILE          edge-list file ("src dst [weight]" per line)
@@ -47,6 +49,9 @@
 //!   --stream              stream the trace to FILE mid-run (no ring cap)
 //!   --values              capture/compare per-publication value digests
 //!   --prom FILE           write Prometheus metrics exposition after the run
+//!   --listen ADDR         serve GET /metrics + /healthz live during the run
+//!   --hot K               per-worker hot-vertex top-K sketch in the trace
+//!   --json                why-slow: emit the report as JSON
 //!   --once                top: render one frame and exit
 //!   --refresh-ms N        top: refresh interval (default 500)
 //! ```
@@ -83,6 +88,9 @@ struct Options {
     inbox: String,
     sched: String,
     prom: Option<String>,
+    listen: Option<String>,
+    hot: usize,
+    json: bool,
     once: bool,
     refresh_ms: u64,
     /// Non-flag arguments after the command (trace-diff's two paths).
@@ -116,6 +124,9 @@ impl Default for Options {
             inbox: "global".into(),
             sched: "dynamic".into(),
             prom: None,
+            listen: None,
+            hot: 0,
+            json: false,
             once: false,
             refresh_ms: 500,
             positional: Vec::new(),
@@ -202,6 +213,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--inbox" => opts.inbox = value("--inbox")?,
             "--sched" => opts.sched = value("--sched")?,
             "--prom" => opts.prom = Some(value("--prom")?),
+            "--listen" => opts.listen = Some(value("--listen")?),
+            "--hot" => opts.hot = value("--hot")?.parse().map_err(|e| format!("--hot: {e}"))?,
+            "--json" => opts.json = true,
             "--once" => opts.once = true,
             "--refresh-ms" => {
                 opts.refresh_ms = value("--refresh-ms")?
@@ -256,6 +270,26 @@ fn build_partition(opts: &Options, g: &Graph, k: usize) -> Result<EdgeCutPartiti
     }
 }
 
+/// Renders a trace I/O error consistently across every trace-reading
+/// command (`metrics`, `top`, `trace-diff`, `why-slow`): always prefixed
+/// `trace <path>:`, so scripts can match one shape for missing, truncated,
+/// and malformed files alike.
+fn trace_error(path: &str, e: std::io::Error) -> String {
+    match e.kind() {
+        std::io::ErrorKind::NotFound => format!("trace {path}: file not found"),
+        // read_jsonl's InvalidData messages already lead with the path
+        // ("<path>: empty trace" / "bad trace header" / "bad record on
+        // line N").
+        std::io::ErrorKind::InvalidData => format!("trace {e}"),
+        _ => format!("trace {path}: {e}"),
+    }
+}
+
+/// The one loader every trace-reading command goes through.
+fn load_trace(path: &str) -> Result<cyclops_net::trace::RunTrace, String> {
+    cyclops_net::trace::read_jsonl(path).map_err(|e| trace_error(path, e))
+}
+
 /// Writes `vertex value` lines to `path`.
 fn write_output<T: std::fmt::Display>(path: &str, values: &[T]) -> Result<(), String> {
     let mut f = std::io::BufWriter::new(
@@ -295,6 +329,7 @@ fn run(opts: &Options) -> Result<(), String> {
         "trace-diff",
         "metrics",
         "top",
+        "why-slow",
     ];
     if !COMMANDS.contains(&opts.command.as_str()) {
         return Err(format!(
@@ -308,8 +343,8 @@ fn run(opts: &Options) -> Result<(), String> {
         let [a, b] = opts.positional.as_slice() else {
             return Err("trace-diff needs two trace files: trace-diff A B [--values]".into());
         };
-        let ta = cyclops_net::trace::read_jsonl(a).map_err(|e| e.to_string())?;
-        let tb = cyclops_net::trace::read_jsonl(b).map_err(|e| e.to_string())?;
+        let ta = load_trace(a)?;
+        let tb = load_trace(b)?;
         let values = opts.values && ta.meta.values && tb.meta.values;
         if opts.values && !values {
             eprintln!("warning: --values requested but at least one trace lacks digests");
@@ -338,8 +373,22 @@ fn run(opts: &Options) -> Result<(), String> {
         let [path] = opts.positional.as_slice() else {
             return Err("metrics needs one trace file: metrics TRACE.jsonl".into());
         };
-        let trace = cyclops_net::trace::read_jsonl(path).map_err(|e| e.to_string())?;
+        let trace = load_trace(path)?;
         print!("{}", cyclops::obs::metrics_report(&trace));
+        return Ok(());
+    }
+
+    // `why-slow` runs the critical-path profile and exits.
+    if opts.command == "why-slow" {
+        let [path] = opts.positional.as_slice() else {
+            return Err("why-slow needs one trace file: why-slow TRACE.jsonl [--json]".into());
+        };
+        let trace = load_trace(path)?;
+        if opts.json {
+            print!("{}", cyclops::obs::why_slow_json(&trace));
+        } else {
+            print!("{}", cyclops::obs::why_slow_report(&trace));
+        }
         return Ok(());
     }
 
@@ -350,20 +399,26 @@ fn run(opts: &Options) -> Result<(), String> {
                 "top needs one trace file: top TRACE.jsonl [--once] [--refresh-ms N]".into(),
             );
         };
+        // One-shot mode reads a complete trace: validate it through the
+        // shared loader so a missing/empty/corrupt file fails exactly like
+        // `metrics` or `why-slow` would. Live mode keeps the tolerant
+        // follower — an empty or mid-write file just means "no data yet".
+        if opts.once {
+            let trace = load_trace(path)?;
+            let mut stats = cyclops::obs::TraceStats::new();
+            for r in &trace.records {
+                stats.add(r);
+            }
+            print!("{}", cyclops::obs::top_frame(Some(&trace.meta), &stats, 64));
+            return Ok(());
+        }
         let mut follower = cyclops::obs::TraceFollower::new(path);
         let mut stats = cyclops::obs::TraceStats::new();
         loop {
-            for r in follower
-                .poll()
-                .map_err(|e| format!("tailing {path}: {e}"))?
-            {
+            for r in follower.poll().map_err(|e| trace_error(path, e))? {
                 stats.add(&r);
             }
             let frame = cyclops::obs::top_frame(follower.meta(), &stats, 64);
-            if opts.once {
-                print!("{frame}");
-                return Ok(());
-            }
             // Clear the screen and redraw, like top(1).
             print!("\x1b[2J\x1b[H{frame}");
             std::io::stdout().flush().ok();
@@ -420,9 +475,21 @@ fn run(opts: &Options) -> Result<(), String> {
     };
     // Install the global metrics registry *before* the engines construct
     // their transports/barriers, so instrumentation handles resolve.
-    if opts.prom.is_some() {
+    if opts.prom.is_some() || opts.listen.is_some() {
         cyclops::obs::install_global();
     }
+    // The scrape endpoint serves the live registry for the whole run; the
+    // server thread shuts down when `server` drops at the end of `run`.
+    let server = match &opts.listen {
+        Some(addr) => {
+            let reg = cyclops::obs::global().expect("registry installed above");
+            let srv = cyclops::obs::MetricsServer::start(addr.as_str(), reg)
+                .map_err(|e| format!("listening on {addr}: {e}"))?;
+            println!("metrics listening on http://{}/metrics", srv.addr());
+            Some(srv)
+        }
+        None => None,
+    };
     if (opts.source as usize) >= g.num_vertices() && matches!(opts.command.as_str(), "sssp" | "bfs")
     {
         return Err(format!(
@@ -438,6 +505,11 @@ fn run(opts: &Options) -> Result<(), String> {
             if opts.stream && opts.trace.is_none() {
                 return Err("--stream needs --trace FILE".into());
             }
+            if opts.hot > 0 && opts.trace.is_none() {
+                // Hot-vertex sketches ride on the trace sink; without one
+                // they would be silently dropped.
+                return Err("--hot needs --trace FILE".into());
+            }
             let engine = if use_hama { "bsp" } else { "cyclops" };
             let mut sink = match &opts.trace {
                 Some(path) if opts.stream => Some(
@@ -452,6 +524,11 @@ fn run(opts: &Options) -> Result<(), String> {
                 Some(_) => Some(TraceSink::new(engine, &cluster)),
                 None => None,
             };
+            if opts.hot > 0 {
+                // After install_global above, so the per-worker hot-vertex
+                // gauges resolve too.
+                sink = sink.map(|s| s.with_hot_k(opts.hot));
+            }
             let (values, supersteps, messages, stats) = if use_hama {
                 let r = cyclops_bsp::run_bsp_traced(
                     &cyclops_algos::pagerank::BspPageRank {
@@ -629,6 +706,7 @@ fn run(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("metrics exposition written to {path}");
     }
+    drop(server); // stop the scrape endpoint after the final exposition
     Ok(())
 }
 
@@ -638,7 +716,7 @@ usage: cyclops <command> [options]
 
 commands:
   pagerank | sssp | bfs | cc | cd | triangles | gen | info
-  trace-diff | metrics | top | help
+  trace-diff | metrics | top | why-slow | help
 
 input:       --input FILE | --dataset NAME [--scale F] [--seed N]
              datasets: Amazon GWeb LJournal Wiki SYN-GL DBLP RoadCA
@@ -650,11 +728,16 @@ execution:   --engine cyclops|hama  --machines M --workers W
 algorithm:   --epsilon F  --max-supersteps N  --source V  --sweeps N
 output:      --output FILE  --top N  --stats
 tracing:     --trace FILE (pagerank)  --stream  --values
+             --hot K  per-worker hot-vertex top-K sketch in the trace
              --prom FILE  writes Prometheus metrics after the run
+             --listen ADDR  serves GET /metrics + /healthz live during
+             the run (e.g. --listen 127.0.0.1:9184)
              trace-diff A B [--values]  reports the first divergent
              superstep/worker/counter between two runs
              metrics TRACE.jsonl  per-phase p50/p90/p99 + sparklines
              top TRACE.jsonl [--once] [--refresh-ms N]  live dashboard
+             why-slow TRACE.jsonl [--json]  critical-path profile:
+             straggler attribution + hot-vertex table
 
 examples:
   cyclops pagerank --dataset GWeb --scale 0.2 --machines 3 --workers 2
@@ -664,8 +747,10 @@ examples:
   cyclops pagerank --dataset Amazon --trace run-a.jsonl --values
   cyclops trace-diff run-a.jsonl run-b.jsonl --values
   cyclops pagerank --dataset Amazon --trace run.jsonl --stream --prom run.prom
+  cyclops pagerank --dataset GWeb --trace run.jsonl --hot 8 --listen 127.0.0.1:9184
   cyclops metrics run.jsonl
   cyclops top run.jsonl --once
+  cyclops why-slow run.jsonl --json
 ";
 
 fn main() -> ExitCode {
@@ -750,6 +835,25 @@ mod tests {
         let o = parse_args(&args("metrics run.jsonl")).unwrap();
         assert_eq!(o.command, "metrics");
         assert_eq!(o.positional, vec!["run.jsonl"]);
+    }
+
+    #[test]
+    fn parses_profiler_flags() {
+        let o = parse_args(&args(
+            "pagerank --dataset GWeb --trace run.jsonl --hot 8 --listen 127.0.0.1:9184",
+        ))
+        .unwrap();
+        assert_eq!(o.hot, 8);
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:9184"));
+        let o = parse_args(&args("why-slow run.jsonl --json")).unwrap();
+        assert_eq!(o.command, "why-slow");
+        assert_eq!(o.positional, vec!["run.jsonl"]);
+        assert!(o.json);
+        let o = parse_args(&args("why-slow run.jsonl")).unwrap();
+        assert!(!o.json);
+        assert_eq!(o.hot, 0);
+        assert!(parse_args(&args("pagerank --hot nope")).is_err());
+        assert!(parse_args(&args("pagerank --listen")).is_err());
     }
 
     #[test]

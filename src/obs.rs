@@ -11,7 +11,8 @@
 
 pub use cyclops_obs::{
     global, install_global, render_json, render_prometheus, sparkline, sparkline_last, Counter,
-    Gauge, HistogramSnapshot, LogLinearHistogram, MetricsRegistry,
+    CpPhase, CriticalPath, Gauge, HistogramSnapshot, LogLinearHistogram, MetricsRegistry,
+    MetricsServer, PhaseSample, SpaceSaving,
 };
 
 use cyclops_net::trace::{parse_meta_line, parse_record_line, RunTrace, TraceMeta, TraceRecord};
@@ -218,6 +219,211 @@ pub fn top_frame(meta: Option<&TraceMeta>, stats: &TraceStats, width: usize) -> 
     out
 }
 
+/// Projects a loaded trace onto the engine-agnostic critical-path model:
+/// records grouped by superstep, each worker's phase nanoseconds becoming
+/// one [`PhaseSample`].
+pub fn critical_path(trace: &RunTrace) -> CriticalPath {
+    let mut grouped: std::collections::BTreeMap<u64, Vec<PhaseSample>> =
+        std::collections::BTreeMap::new();
+    for r in &trace.records {
+        grouped.entry(r.superstep).or_default().push(PhaseSample {
+            worker: r.worker,
+            parse_ns: r.parse_ns,
+            compute_ns: r.compute_ns,
+            send_ns: r.send_ns,
+            sync_ns: r.sync_ns,
+        });
+    }
+    CriticalPath::analyze(grouped)
+}
+
+/// The run-level hot-vertex table: per-superstep sketch outputs summed per
+/// vertex over the whole trace, top `k` by total cost (ties → lowest
+/// vertex). Empty when the trace was recorded without `--hot`.
+pub fn hot_vertices(trace: &RunTrace, k: usize) -> Vec<(u32, u64)> {
+    let mut totals: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for r in &trace.records {
+        for &(v, w) in &r.hot {
+            *totals.entry(v).or_default() += w;
+        }
+    }
+    let mut out: Vec<(u32, u64)> = totals.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.truncate(k);
+    out
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// The human `cyclops why-slow` report: run summary, wall-time
+/// decomposition, straggler ranking, per-superstep critical path,
+/// hot-vertex table, and sparkline timelines. Deterministic for a fixed
+/// trace file.
+pub fn why_slow_report(trace: &RunTrace) -> String {
+    let cp = critical_path(trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "why-slow: engine {} on {} ({} workers), {} records over {} supersteps",
+        trace.meta.engine,
+        trace.meta.cluster,
+        trace.meta.workers,
+        trace.records.len(),
+        trace.supersteps(),
+    );
+    let _ = writeln!(
+        out,
+        "critical path {} (chain of per-superstep maxima)",
+        fmt_ns(cp.total_span_ns)
+    );
+    // The attribution pool: every worker's exact span decomposition, summed.
+    let pool = cp.total_work_ns + cp.total_wait_ns + cp.total_residual_ns;
+    let _ = writeln!(
+        out,
+        "aggregate worker time: work {:.1}%  barrier-wait {:.1}%  residual {:.1}%",
+        pct(cp.total_work_ns, pool),
+        pct(cp.total_wait_ns, pool),
+        pct(cp.total_residual_ns, pool),
+    );
+    out.push('\n');
+
+    let ranking = cp.straggler_ranking();
+    if ranking.is_empty() {
+        out.push_str("no supersteps recorded\n");
+        return out;
+    }
+    out.push_str("straggler ranking (barrier wait each worker's phase caused in others):\n");
+    for share in ranking.iter().take(8) {
+        let _ = writeln!(
+            out,
+            "  worker {} {}  {:>10}  {:>5.1}% of aggregate time  ({} supersteps)",
+            share.worker,
+            share.phase.label(),
+            fmt_ns(share.caused_wait_ns),
+            pct(share.caused_wait_ns, pool),
+            share.supersteps,
+        );
+    }
+    out.push('\n');
+
+    out.push_str("per-superstep critical path (last 16):\n");
+    let _ = writeln!(
+        out,
+        "  {:>5} {:>10} {:>9} {:>6} {:>10} {:>12}",
+        "step", "span", "straggler", "phase", "work", "caused-wait"
+    );
+    let tail = cp.supersteps.len().saturating_sub(16);
+    for s in &cp.supersteps[tail..] {
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>10} {:>9} {:>6} {:>10} {:>12}",
+            s.superstep,
+            fmt_ns(s.span_ns),
+            s.straggler,
+            s.straggler_phase.label(),
+            fmt_ns(s.straggler_work_ns),
+            fmt_ns(s.caused_wait_ns),
+        );
+    }
+    out.push('\n');
+
+    let hot = hot_vertices(trace, 10);
+    if hot.is_empty() {
+        out.push_str("hot vertices: none recorded (run with --hot K to capture)\n");
+    } else {
+        let total: u64 = hot.iter().map(|&(_, w)| w).sum();
+        out.push_str("hot vertices (sketch cost summed over supersteps):\n");
+        let _ = writeln!(out, "  {:>10} {:>12} {:>7}", "vertex", "cost", "share");
+        for &(v, w) in &hot {
+            let _ = writeln!(out, "  {:>10} {:>12} {:>6.1}%", v, w, pct(w, total));
+        }
+    }
+    out.push('\n');
+
+    let spans: Vec<u64> = cp.supersteps.iter().map(|s| s.span_ns).collect();
+    let waits: Vec<u64> = cp.supersteps.iter().map(|s| s.caused_wait_ns).collect();
+    let _ = writeln!(
+        out,
+        "timelines over {} supersteps (left = older):",
+        cp.supersteps.len()
+    );
+    let _ = writeln!(out, "{:>12} {}", "span", sparkline_last(&spans, 64));
+    let _ = writeln!(out, "{:>12} {}", "caused-wait", sparkline_last(&waits, 64));
+    out
+}
+
+/// The `cyclops why-slow --json` report: the same analysis as
+/// [`why_slow_report`] as one deterministic JSON object (stable key order,
+/// integers only), suitable for golden-file testing and scripting.
+pub fn why_slow_json(trace: &RunTrace) -> String {
+    let cp = critical_path(trace);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"engine\": \"{}\",\n  \"cluster\": \"{}\",\n  \"workers\": {},\n  \
+         \"records\": {},\n  \"supersteps\": {},\n  \"critical_path_ns\": {},\n  \
+         \"work_ns\": {},\n  \"wait_ns\": {},\n  \"residual_ns\": {},\n",
+        trace.meta.engine,
+        trace.meta.cluster,
+        trace.meta.workers,
+        trace.records.len(),
+        trace.supersteps(),
+        cp.total_span_ns,
+        cp.total_work_ns,
+        cp.total_wait_ns,
+        cp.total_residual_ns,
+    );
+    out.push_str("  \"stragglers\": [");
+    for (i, s) in cp.straggler_ranking().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"worker\": {}, \"phase\": \"{}\", \"caused_wait_ns\": {}, \"supersteps\": {}}}",
+            s.worker,
+            s.phase.name(),
+            s.caused_wait_ns,
+            s.supersteps,
+        );
+    }
+    out.push_str("\n  ],\n  \"superstep_paths\": [");
+    for (i, s) in cp.supersteps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"superstep\": {}, \"span_ns\": {}, \"critical_worker\": {}, \
+             \"straggler\": {}, \"phase\": \"{}\", \"straggler_work_ns\": {}, \
+             \"caused_wait_ns\": {}, \"barrier_ns\": {}}}",
+            s.superstep,
+            s.span_ns,
+            s.critical_worker,
+            s.straggler,
+            s.straggler_phase.name(),
+            s.straggler_work_ns,
+            s.caused_wait_ns,
+            s.barrier_ns,
+        );
+    }
+    out.push_str("\n  ],\n  \"hot_vertices\": [");
+    for (i, (v, w)) in hot_vertices(trace, 10).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {{\"vertex\": {v}, \"cost\": {w}}}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 /// Tails a streaming trace file incrementally: each [`TraceFollower::poll`]
 /// reads only the bytes appended since the previous poll and yields the
 /// newly completed records. A partially written last line (the writer
@@ -244,6 +450,12 @@ impl TraceFollower {
     /// The trace header, once a poll has seen it.
     pub fn meta(&self) -> Option<&TraceMeta> {
         self.meta.as_ref()
+    }
+
+    /// The byte offset the next poll resumes from — everything before it
+    /// has already been read and will not be read again.
+    pub fn offset(&self) -> u64 {
+        self.offset
     }
 
     /// Reads newly appended bytes and parses the completed lines. Returns
@@ -396,5 +608,122 @@ mod tests {
         // Nothing new -> empty poll.
         assert!(fo.poll().unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn follower_polls_incrementally_from_the_last_byte_offset() {
+        // Regression pin for the incremental contract: a poll reads only
+        // appended bytes. Proven by corrupting the already-consumed head
+        // in-place (same length, so no truncation reset) — if poll re-read
+        // from byte 0 it would now fail to parse; instead the appended
+        // record comes back cleanly.
+        let dir = std::env::temp_dir().join(format!("cyclops-obs-inc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("incremental.jsonl");
+        let path_s = path.to_str().unwrap();
+
+        let header = r#"{"engine":"bsp","cluster":"1x2","workers":2,"values":false}"#;
+        let line = |s: u64, w: u64| {
+            let mut out = String::new();
+            TraceRecord {
+                superstep: s,
+                worker: w,
+                compute_ns: 10,
+                ..Default::default()
+            }
+            .to_json(&mut out);
+            out
+        };
+        std::fs::write(&path, format!("{header}\n{}\n", line(0, 0))).unwrap();
+        let mut fo = TraceFollower::new(path_s);
+        assert_eq!(fo.offset(), 0);
+        assert_eq!(fo.poll().unwrap().len(), 1);
+        let consumed = fo.offset();
+        assert_eq!(consumed, std::fs::metadata(&path).unwrap().len());
+
+        // Overwrite every consumed byte with garbage of identical length,
+        // then append one more record.
+        let garbage = "x".repeat(consumed as usize);
+        std::fs::write(&path, format!("{garbage}{}\n", line(0, 1))).unwrap();
+        let r = fo.poll().unwrap();
+        assert_eq!(r.len(), 1, "appended record parses without re-reading");
+        assert_eq!(r[0].worker, 1);
+        assert!(fo.offset() > consumed, "offset only moves forward");
+
+        // Truncation below the offset resets the follower to byte 0.
+        std::fs::write(&path, format!("{header}\n{}\n", line(5, 0))).unwrap();
+        let r = fo.poll().unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].superstep, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn phase_record(s: u64, w: u64, prs: u64, cmp: u64, snd: u64, syn: u64) -> TraceRecord {
+        TraceRecord {
+            superstep: s,
+            worker: w,
+            parse_ns: prs,
+            compute_ns: cmp,
+            send_ns: snd,
+            sync_ns: syn,
+            ..Default::default()
+        }
+    }
+
+    fn skewed_trace() -> RunTrace {
+        RunTrace {
+            meta: TraceMeta {
+                engine: "cyclops".into(),
+                cluster: "1x2x1".into(),
+                workers: 2,
+                values: false,
+            },
+            records: vec![
+                phase_record(0, 0, 10, 900, 40, 50),
+                phase_record(0, 1, 10, 100, 40, 850),
+                phase_record(1, 0, 10, 80, 10, 0),
+                phase_record(1, 1, 60, 20, 20, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn critical_path_bridge_groups_records_by_superstep() {
+        let cp = critical_path(&skewed_trace());
+        assert_eq!(cp.supersteps.len(), 2);
+        assert_eq!(cp.supersteps[0].straggler, 0);
+        assert_eq!(cp.supersteps[0].straggler_phase, CpPhase::Compute);
+        assert_eq!(cp.supersteps[0].caused_wait_ns, 850);
+        assert_eq!(cp.total_span_ns, 1000 + 100);
+    }
+
+    #[test]
+    fn hot_vertices_sum_across_supersteps() {
+        let mut trace = skewed_trace();
+        trace.records[0].hot = vec![(7, 100), (3, 40)];
+        trace.records[2].hot = vec![(7, 60), (9, 50)];
+        assert_eq!(hot_vertices(&trace, 10), vec![(7, 160), (9, 50), (3, 40)]);
+        assert_eq!(hot_vertices(&trace, 1), vec![(7, 160)]);
+        assert!(hot_vertices(&skewed_trace(), 10).is_empty());
+    }
+
+    #[test]
+    fn why_slow_report_names_the_straggler() {
+        let report = why_slow_report(&skewed_trace());
+        assert!(report.contains("critical path"), "{report}");
+        assert!(report.contains("worker 0 CMP"), "{report}");
+        assert!(report.contains("straggler ranking"), "{report}");
+        assert!(report.contains("--hot K"), "{report}");
+        // Deterministic for a fixed trace.
+        assert_eq!(report, why_slow_report(&skewed_trace()));
+    }
+
+    #[test]
+    fn why_slow_json_is_deterministic_and_exact() {
+        let j = why_slow_json(&skewed_trace());
+        assert!(j.contains("\"critical_path_ns\": 1100"), "{j}");
+        assert!(j.contains("\"phase\": \"cmp\""), "{j}");
+        assert!(j.contains("\"caused_wait_ns\": 850"), "{j}");
+        assert_eq!(j, why_slow_json(&skewed_trace()));
     }
 }

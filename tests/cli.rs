@@ -158,6 +158,97 @@ fn out_of_range_source_is_rejected() {
 }
 
 #[test]
+fn why_slow_json_matches_the_golden_report() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/why_slow.jsonl");
+    let golden = include_str!("golden/why_slow.json");
+    let (ok, stdout, stderr) = cyclops(&["why-slow", fixture, "--json"]);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(
+        stdout, golden,
+        "why-slow --json drifted from tests/golden/why_slow.json; \
+         if the change is intentional, regenerate the golden file"
+    );
+    // Byte-identical on a second run: the report is a pure function of
+    // the trace.
+    let (_, again, _) = cyclops(&["why-slow", fixture, "--json"]);
+    assert_eq!(stdout, again);
+}
+
+#[test]
+fn why_slow_report_names_straggler_and_hot_vertices() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/why_slow.jsonl");
+    let (ok, stdout, stderr) = cyclops(&["why-slow", fixture]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("worker 0 CMP"), "{stdout}");
+    assert!(stdout.contains("critical path 1100ns"), "{stdout}");
+    assert!(stdout.contains("hot vertices"), "{stdout}");
+
+    let (ok, _, stderr) = cyclops(&["why-slow"]);
+    assert!(!ok);
+    assert!(stderr.contains("why-slow needs one trace file"), "{stderr}");
+
+    // --hot without a trace sink would silently capture nothing.
+    let (ok, _, stderr) = cyclops(&[
+        "pagerank",
+        "--dataset",
+        "Amazon",
+        "--scale",
+        "0.03",
+        "--hot",
+        "4",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--hot needs --trace"), "{stderr}");
+}
+
+/// Every trace-consuming command goes through the same loader, so a
+/// missing, empty, or malformed trace must produce the same diagnostic
+/// shape — `trace <path>: <cause>` — and a non-zero exit, regardless of
+/// which command hit it.
+#[test]
+fn trace_commands_share_consistent_error_messages() {
+    let missing = temp_path("nope.jsonl");
+    let missing = missing.to_str().unwrap();
+    let empty = temp_path("empty.jsonl");
+    std::fs::write(&empty, "").unwrap();
+    let empty = empty.to_str().unwrap();
+    let bad_header = temp_path("bad-header.jsonl");
+    std::fs::write(&bad_header, "not json\n").unwrap();
+    let bad_header = bad_header.to_str().unwrap();
+    let truncated = temp_path("truncated.jsonl");
+    std::fs::write(
+        &truncated,
+        "{\"engine\":\"cyclops\",\"cluster\":\"1x1x1\",\"workers\":1,\"values\":false}\n\
+         {\"superstep\":0,\"worker\"\n",
+    )
+    .unwrap();
+    let truncated = truncated.to_str().unwrap();
+
+    let commands = ["metrics", "top", "why-slow", "trace-diff"];
+    for command in commands {
+        for (path, cause) in [
+            (missing, "file not found"),
+            (empty, "empty trace"),
+            (bad_header, "bad trace header"),
+            (truncated, "bad record on line 2"),
+        ] {
+            let args = match command {
+                "top" => vec![command, path, "--once"],
+                "trace-diff" => vec![command, path, path],
+                _ => vec![command, path],
+            };
+            let (ok, _, stderr) = cyclops(&args);
+            assert!(!ok, "{args:?} must fail");
+            let expected = format!("error: trace {path}: {cause}");
+            assert!(
+                stderr.contains(&expected),
+                "{args:?}: expected {expected:?} in {stderr:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn engines_agree_via_cli_output_files() {
     let graph_file = temp_path("agree.txt");
     cyclops(&[

@@ -247,3 +247,50 @@ fn resume_inject_preserves_lane_disjointness_under_sharded() {
         "messages left behind after partitioned drain"
     );
 }
+
+#[test]
+fn hot_vertex_capture_works_across_all_three_engines() {
+    // Every engine feeds its per-thread Space-Saving sketches through the
+    // same tracer plumbing; with --hot k enabled each record must carry at
+    // most k entries, weight-descending, naming real vertices — and with
+    // it disabled (the default) the hot lists must stay empty.
+    let g = Dataset::Amazon.generate_scaled(0.05, 3);
+    let cluster = ClusterSpec::flat(2, 2);
+    let edge_cut = HashPartitioner.partition(&g, 4);
+    let vertex_cut = RandomVertexCut::default().partition(&g, 4);
+    let supersteps = 6;
+    let k = 4usize;
+
+    let cy_sink = TraceSink::new("cyclops", &cluster).with_hot_k(k);
+    run_cyclops_pagerank_traced(&g, &edge_cut, &cluster, 0.0, supersteps, Some(&cy_sink));
+    let bsp_sink = TraceSink::new("bsp", &cluster).with_hot_k(k);
+    run_bsp_pagerank_traced(&g, &edge_cut, &cluster, 0.0, supersteps, Some(&bsp_sink));
+    let gas_sink = TraceSink::new("gas", &cluster).with_hot_k(k);
+    run_gas_pagerank_traced(&g, &vertex_cut, &cluster, 0.0, supersteps, Some(&gas_sink));
+
+    for (name, trace) in [
+        ("cyclops", finish(cy_sink)),
+        ("bsp", finish(bsp_sink)),
+        ("gas", finish(gas_sink)),
+    ] {
+        let mut non_empty = 0usize;
+        for r in &trace.records {
+            assert!(r.hot.len() <= k, "{name}: {} entries > k", r.hot.len());
+            for w in r.hot.windows(2) {
+                assert!(w[0].1 >= w[1].1, "{name}: hot not weight-descending");
+            }
+            for &(v, cost) in &r.hot {
+                assert!((v as usize) < g.num_vertices(), "{name}: bogus vertex {v}");
+                assert!(cost > 0, "{name}: zero-cost hot entry");
+            }
+            non_empty += usize::from(!r.hot.is_empty());
+        }
+        assert!(non_empty > 0, "{name}: no hot vertices captured at all");
+    }
+
+    // Disabled path: no sketches, no hot content in any record.
+    let off_sink = TraceSink::new("cyclops", &cluster);
+    run_cyclops_pagerank_traced(&g, &edge_cut, &cluster, 0.0, supersteps, Some(&off_sink));
+    let off = finish(off_sink);
+    assert!(off.records.iter().all(|r| r.hot.is_empty()));
+}
