@@ -104,6 +104,26 @@ pub fn run_cyclops_cc_sched(
     sched: cyclops_engine::Sched,
     trace: Option<&cyclops_net::trace::TraceSink>,
 ) -> CyclopsResult<u32, u32> {
+    run_cyclops_cc_tuned(
+        graph,
+        partition,
+        cluster,
+        sched,
+        CyclopsConfig::default().sparse_cutoff,
+        trace,
+    )
+}
+
+/// [`run_cyclops_cc_sched`] with an explicit sparse-superstep cutoff
+/// (fraction of local masters; `0.0` disables the fast path).
+pub fn run_cyclops_cc_tuned(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    sched: cyclops_engine::Sched,
+    sparse_cutoff: f64,
+    trace: Option<&cyclops_net::trace::TraceSink>,
+) -> CyclopsResult<u32, u32> {
     cyclops_engine::run_cyclops_traced(
         &CyclopsComponents,
         graph,
@@ -112,6 +132,7 @@ pub fn run_cyclops_cc_sched(
             cluster: *cluster,
             max_supersteps: 100_000,
             sched,
+            sparse_cutoff,
             ..Default::default()
         },
         trace,

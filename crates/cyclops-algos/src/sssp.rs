@@ -198,6 +198,31 @@ pub fn run_cyclops_sssp_sched(
     sched: cyclops_engine::Sched,
     trace: Option<&cyclops_net::trace::TraceSink>,
 ) -> CyclopsResult<f64, f64> {
+    run_cyclops_sssp_tuned(
+        graph,
+        partition,
+        cluster,
+        source,
+        max_supersteps,
+        sched,
+        CyclopsConfig::default().sparse_cutoff,
+        trace,
+    )
+}
+
+/// [`run_cyclops_sssp_sched`] with an explicit sparse-superstep cutoff
+/// (fraction of local masters; `0.0` disables the fast path).
+#[allow(clippy::too_many_arguments)]
+pub fn run_cyclops_sssp_tuned(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    source: VertexId,
+    max_supersteps: usize,
+    sched: cyclops_engine::Sched,
+    sparse_cutoff: f64,
+    trace: Option<&cyclops_net::trace::TraceSink>,
+) -> CyclopsResult<f64, f64> {
     cyclops_engine::run_cyclops_traced(
         &CyclopsSssp { source },
         graph,
@@ -206,6 +231,7 @@ pub fn run_cyclops_sssp_sched(
             cluster: *cluster,
             max_supersteps,
             sched,
+            sparse_cutoff,
             ..Default::default()
         },
         trace,

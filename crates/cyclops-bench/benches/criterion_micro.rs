@@ -1,17 +1,21 @@
 //! Criterion micro-benchmarks of the substrate kernels the experiments rest
-//! on: codec throughput, inbox enqueue under the two disciplines, barrier
-//! latency, CSR neighbor iteration, the ALS Cholesky solve, the metrics hot
-//! path (histogram record vs the disabled Option check), hot-vertex top-K
-//! capture (Space-Saving record vs the disabled Option check), and the
-//! compute scheduler's frontier-dispatch strategies on a skewed R-MAT
-//! frontier.
+//! on: codec throughput, the adaptive replica-update wire format vs the
+//! legacy framing across batch densities, inbox enqueue under the two
+//! disciplines, barrier latency, CSR neighbor iteration, the ALS Cholesky
+//! solve, the metrics hot path (histogram record vs the disabled Option
+//! check), hot-vertex top-K capture (Space-Saving record vs the disabled
+//! Option check), and the compute scheduler's frontier-dispatch strategies
+//! on a skewed R-MAT frontier.
 
+use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use cyclops_algos::linalg::cholesky_solve;
 use cyclops_graph::gen::{rmat, RmatConfig};
-use cyclops_net::codec::{decode_batch, encode_batch};
+use cyclops_net::codec::{decode_batch, encode_batch, encode_batch_into};
 use cyclops_net::metrics::{PhaseHists, PhaseTimes};
-use cyclops_net::{ClusterSpec, FlatBarrier, HierarchicalBarrier, InboxMode, Transport};
+use cyclops_net::{
+    ClusterSpec, FlatBarrier, HierarchicalBarrier, InboxMode, ReplicaUpdate, Transport, WireFormat,
+};
 
 fn bench_codec(c: &mut Criterion) {
     let msgs: Vec<(u32, f64)> = (0..4096).map(|i| (i, i as f64 * 0.5)).collect();
@@ -29,6 +33,75 @@ fn bench_codec(c: &mut Criterion) {
         })
     });
     group.finish();
+}
+
+/// The adaptive `ReplicaBatch` wire format vs the legacy tuple framing at
+/// three batch densities over a 4096-slot replica range. At 1% the adaptive
+/// encoder self-selects sparse (delta-varint ids), at 90% dense (presence
+/// bitmap + packed payloads); 10% sits near the break-even. Throughput is
+/// per update, so the numbers read as ns/vertex; the encoded byte sizes —
+/// the half of the story criterion cannot time — are printed alongside.
+fn bench_wire_encoding(c: &mut Criterion) {
+    const SPAN: u32 = 4096;
+    for (label, density) in [("1pct", 0.01), ("10pct", 0.10), ("90pct", 0.90)] {
+        let count = (SPAN as f64 * density) as u32;
+        // Evenly spread unique ids: strictly increasing because the stride
+        // 1/density > 1, deterministic so runs are comparable.
+        let mut updates: Vec<ReplicaUpdate<f64>> = (0..count)
+            .map(|k| ReplicaUpdate {
+                replica: (k as f64 / density) as u32,
+                payload: k as f64 * 0.5,
+                activate: k % 3 == 0,
+            })
+            .collect();
+        let legacy: Vec<(u32, f64, bool)> = updates
+            .iter()
+            .map(|u| (u.replica, u.payload, u.activate))
+            .collect();
+
+        let mut adaptive_buf = BytesMut::new();
+        let stats = ReplicaUpdate::wire_encode_batch_into(&mut adaptive_buf, &mut updates);
+        let mut legacy_buf = BytesMut::new();
+        encode_batch_into(&mut legacy_buf, &legacy);
+        println!(
+            "wire_encoding/{label}: {count} updates, adaptive {} B ({}), legacy {} B ({:.1}% saved)",
+            adaptive_buf.len(),
+            stats.mode.label(),
+            legacy_buf.len(),
+            100.0 * (1.0 - adaptive_buf.len() as f64 / legacy_buf.len() as f64),
+        );
+
+        let mut group = c.benchmark_group(&format!("wire_encoding_{label}"));
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_function(&format!("encode_{}", stats.mode.label()), |b| {
+            let mut buf = BytesMut::new();
+            b.iter(|| {
+                let stats = ReplicaUpdate::wire_encode_batch_into(
+                    std::hint::black_box(&mut buf),
+                    std::hint::black_box(&mut updates),
+                );
+                std::hint::black_box(stats.mode)
+            })
+        });
+        group.bench_function("encode_legacy", |b| {
+            let mut buf = BytesMut::new();
+            b.iter(|| {
+                std::hint::black_box(encode_batch_into(
+                    std::hint::black_box(&mut buf),
+                    std::hint::black_box(&legacy),
+                ))
+            })
+        });
+        group.bench_function(&format!("decode_{}", stats.mode.label()), |b| {
+            b.iter(|| {
+                let mut buf = adaptive_buf.clone().freeze();
+                let out: Vec<ReplicaUpdate<f64>> =
+                    ReplicaUpdate::wire_try_decode_batch(&mut buf).unwrap();
+                std::hint::black_box(out)
+            })
+        });
+        group.finish();
+    }
 }
 
 fn bench_inbox(c: &mut Criterion) {
@@ -355,6 +428,7 @@ fn bench_scheduling(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_codec,
+    bench_wire_encoding,
     bench_inbox,
     bench_barrier,
     bench_csr,

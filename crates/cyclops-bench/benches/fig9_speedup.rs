@@ -8,6 +8,8 @@
 //! panel 1 plus a reduced sweep (6 and 24 workers) to stay fast on small
 //! machines. Set `CYCLOPS_BENCH_JSON=<path>` to additionally write panel 1
 //! as a machine-readable JSON baseline (the committed `BENCH_fig9.json`).
+//! Panel 1b diffs the fresh Cyclops bytes/time per workload against the
+//! committed baseline (override its path with `CYCLOPS_BENCH_BASELINE`).
 
 use cyclops_bench::report::{self, JsonReport, Table};
 use cyclops_bench::workloads::{self, run_on_cyclops, run_on_hama};
@@ -30,6 +32,7 @@ fn main() {
     ]);
     let mut json = JsonReport::new("fig9_speedup_panel1");
     json.meta("scale", fraction).meta("workers", 48usize);
+    let mut current: Vec<(String, f64, usize)> = Vec::new();
     for w in workloads::paper_workloads() {
         let g = workloads::gen_graph(w.dataset, fraction);
         let flat = workloads::paper_cluster(48);
@@ -65,17 +68,79 @@ fn main() {
             ("hama_bytes", hama.counters.bytes.into()),
             ("cyclops_bytes", cy.counters.bytes.into()),
         ]);
+        current.push((
+            format!("{} {}", w.algo, w.dataset),
+            cy.elapsed.as_secs_f64(),
+            cy.counters.bytes,
+        ));
     }
     table.print();
     println!(
         "  paper: Cyclops 1.33x-5.03x, CyclopsMT 2.06x-8.69x; largest on Wiki, smallest on SSSP"
     );
+    // Read the committed baseline BEFORE `CYCLOPS_BENCH_JSON` may overwrite
+    // it, so the delta panel diffs against what was committed.
+    let baseline =
+        std::env::var("CYCLOPS_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_fig9.json".into());
+    let baseline_text = std::fs::read_to_string(&baseline);
     if let Ok(path) = std::env::var("CYCLOPS_BENCH_JSON") {
         let path = std::path::PathBuf::from(path);
         match json.write(&path) {
             Ok(()) => println!("  wrote JSON baseline to {}", path.display()),
             Err(e) => eprintln!("  failed to write {}: {e}", path.display()),
         }
+    }
+
+    // ---- Panel 1b: per-workload delta vs the committed baseline. ----
+    match baseline_text {
+        Ok(text) => {
+            report::subheading(&format!("Fig 9(1b): delta vs committed {baseline}"));
+            let base = report::parse_json_rows(&text);
+            let mut table = Table::new(&[
+                "workload",
+                "bytes (base)",
+                "bytes (now)",
+                "bytes delta",
+                "time base (s)",
+                "time now (s)",
+                "time delta",
+            ]);
+            let pct = |old: f64, new: f64| {
+                if old > 0.0 {
+                    format!("{:+.1}%", 100.0 * (new - old) / old)
+                } else {
+                    "-".into()
+                }
+            };
+            for (name, now_s, now_bytes) in &current {
+                let Some(row) = base
+                    .iter()
+                    .find(|r| r.get("workload").map(String::as_str) == Some(name))
+                else {
+                    continue;
+                };
+                let parse = |key: &str| row.get(key).and_then(|v| v.parse::<f64>().ok());
+                let (Some(base_bytes), Some(base_s)) = (parse("cyclops_bytes"), parse("cyclops_s"))
+                else {
+                    continue;
+                };
+                table.row(vec![
+                    name.clone(),
+                    report::count(base_bytes as usize),
+                    report::count(*now_bytes),
+                    pct(base_bytes, *now_bytes as f64),
+                    format!("{base_s:.3}"),
+                    format!("{now_s:.3}"),
+                    pct(base_s, *now_s),
+                ]);
+            }
+            table.print();
+            println!(
+                "  (byte deltas are deterministic wire-format effects; time deltas\n\
+                 \x20 are quick-mode wall clock and correspondingly noisy)"
+            );
+        }
+        Err(_) => println!("  (no committed baseline at {baseline}; skipping delta table)"),
     }
 
     // ---- Panel 2: scalability. ----

@@ -227,6 +227,53 @@ impl JsonReport {
     }
 }
 
+/// Parses the flat `"rows"` records of a committed [`JsonReport`] baseline
+/// back into key → raw-value maps, so benches can diff fresh numbers against
+/// the committed file without a JSON dependency. The inverse of
+/// [`JsonReport::render`]'s row format only: one `{...}` object per line,
+/// string values unescaped of `\"` and `\\`, numbers kept as their source
+/// text (parse at the use site).
+pub fn parse_json_rows(text: &str) -> Vec<std::collections::BTreeMap<String, String>> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(body) = line.strip_prefix('{').and_then(|l| l.strip_suffix('}')) else {
+            continue;
+        };
+        // Split on top-level commas, respecting string quoting.
+        let mut fields = Vec::new();
+        let (mut start, mut in_str, mut escaped) = (0usize, false, false);
+        for (i, c) in body.char_indices() {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' if in_str => escaped = true,
+                '"' => in_str = !in_str,
+                ',' if !in_str => {
+                    fields.push(&body[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        fields.push(&body[start..]);
+        let mut row = std::collections::BTreeMap::new();
+        for f in fields {
+            let Some((k, v)) = f.split_once(':') else {
+                continue;
+            };
+            let key = k.trim().trim_matches('"').to_string();
+            let v = v.trim();
+            let value = match v.strip_prefix('"').and_then(|v| v.strip_suffix('"')) {
+                Some(s) => s.replace("\\\"", "\"").replace("\\\\", "\\"),
+                None => v.to_string(),
+            };
+            row.insert(key, value);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
 /// Builds a per-superstep table from an engine trace, summing worker records
 /// and converting phase durations to milliseconds. This supersedes hand-built
 /// tables over `SuperstepStats`: any engine with a [`TraceSink`] attached
@@ -440,6 +487,24 @@ mod tests {
         // Balanced braces/brackets — cheap structural sanity without a parser.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn parse_json_rows_round_trips_a_report() {
+        let mut r = JsonReport::new("fig9");
+        r.meta("scale", 0.1);
+        r.row(vec![
+            ("workload", "PR \"quoted\", yes".into()),
+            ("speedup", 1.5.into()),
+            ("messages", 1234usize.into()),
+        ]);
+        r.row(vec![("workload", "SSSP".into()), ("speedup", 2.0.into())]);
+        let rows = parse_json_rows(&r.render());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["workload"], "PR \"quoted\", yes");
+        assert_eq!(rows[0]["speedup"].parse::<f64>().unwrap(), 1.5);
+        assert_eq!(rows[0]["messages"].parse::<u64>().unwrap(), 1234);
+        assert_eq!(rows[1]["workload"], "SSSP");
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct BspConfig {
     /// the default; [`InboxMode::Sharded`] swaps in Cyclops' contention-free
     /// per-sender lanes for an apples-to-apples inbox ablation.
     pub inbox: InboxMode,
+    /// Sparse-superstep fast path: when the fraction of un-halted local
+    /// vertices drops below this cutoff, the worker walks its sorted awake
+    /// list instead of scanning every local for the halted flag. Same
+    /// vertices in the same ascending order — results, message counts and
+    /// bytes are bitwise identical to the dense scan. `0.0` disables.
+    pub sparse_cutoff: f64,
 }
 
 impl Default for BspConfig {
@@ -58,6 +64,7 @@ impl Default for BspConfig {
             checkpoint_every: None,
             network: cyclops_net::NetworkModel::ideal(),
             inbox: InboxMode::GlobalQueue,
+            sparse_cutoff: 0.015,
         }
     }
 }
@@ -347,6 +354,15 @@ fn worker_loop<P: BspProgram>(
     // message volume through the vertex: 1 + inbox + outbox.
     let hot_k = trace.map(|s| s.hot_k()).unwrap_or(0);
     let mut hot_local = (hot_k > 0).then(|| cyclops_net::trace::SpaceSaving::new(hot_k));
+    // Sorted local indices of un-halted vertices, maintained incrementally:
+    // rebuilt from the ascending compute walk each superstep, extended by
+    // message reactivations in PRS. Seeded from the halted flags so a
+    // checkpoint resume starts from the right set.
+    let mut awake: Vec<u32> = (0..st.locals.len())
+        .filter(|&li| !st.halted[li])
+        .map(|li| li as u32)
+        .collect();
+    let mut next_awake: Vec<u32> = Vec::new();
 
     loop {
         let mut times = PhaseTimes::default();
@@ -360,9 +376,16 @@ fn worker_loop<P: BspProgram>(
                 let li = local_index[dest as usize] as usize;
                 debug_assert_eq!(partition.part_of(dest) as usize, me);
                 // A message reactivates a halted vertex (Pregel semantics).
-                st.halted[li] = false;
+                // Only the halted->awake transition joins the awake list, so
+                // entries stay unique.
+                if st.halted[li] {
+                    st.halted[li] = false;
+                    awake.push(li as u32);
+                }
                 st.mailbox[li].push(msg);
             }
+            // Reactivations arrive in message order; restore ascending order.
+            awake.sort_unstable();
             count
         });
 
@@ -380,14 +403,21 @@ fn worker_loop<P: BspProgram>(
         }
 
         // ---- CMP: run compute on active vertices. ----
+        // Below the sparse cutoff, walk the awake list instead of scanning
+        // every local for the halted flag. Both walks visit the same
+        // vertices in the same ascending order, so results and traffic are
+        // bitwise identical; only the O(|locals|) scan is saved.
+        let fast = config.sparse_cutoff > 0.0
+            && (awake.len() as f64) < config.sparse_cutoff * st.locals.len() as f64;
         let mut local_active = 0usize;
         let mut local_activated = 0usize;
         let mut local_agg = AggregateStats::default();
         let mut redundant = 0usize;
         times.time(Phase::Compute, || {
-            for li in 0..st.locals.len() {
+            next_awake.clear();
+            let mut body = |li: usize| {
                 if st.halted[li] {
-                    continue;
+                    return;
                 }
                 local_active += 1;
                 let vertex = st.locals[li];
@@ -411,6 +441,7 @@ fn worker_loop<P: BspProgram>(
                 st.halted[li] = halted;
                 if !halted {
                     local_activated += 1;
+                    next_awake.push(li as u32);
                 }
                 if let Some(hs) = hot_local.as_mut() {
                     hs.record(vertex, 1 + inbox_len as u64 + vertex_outbox.len() as u64);
@@ -425,14 +456,28 @@ fn worker_loop<P: BspProgram>(
                 for (dest, msg) in vertex_outbox.drain(..) {
                     outboxes[partition.part_of(dest) as usize].push((dest, msg));
                 }
+            };
+            if fast {
+                for &li in &awake {
+                    body(li as usize);
+                }
+            } else {
+                for li in 0..st.locals.len() {
+                    body(li);
+                }
             }
         });
+        // The ascending compute walk rebuilt the un-halted set in order.
+        std::mem::swap(&mut awake, &mut next_awake);
         active_total.fetch_add(local_active, Ordering::Relaxed);
         cmp_ns[me].store(times.compute.as_nanos() as u64, Ordering::Relaxed);
         if !local_agg.is_empty() {
             aggregate_acc.lock().merge(&local_agg);
         }
         if let Some(tr) = tracer {
+            if fast {
+                tr.mark_sparse_fast_path();
+            }
             tr.add_drained(received as u64);
             tr.add_computed(local_active as u64);
             tr.add_activated(local_activated as u64);
@@ -459,9 +504,9 @@ fn worker_loop<P: BspProgram>(
                 // Sender lanes are global thread indices; a BSP worker's
                 // single compute thread owns lane `me * threads_per_worker`.
                 let lane = me * config.cluster.threads_per_worker;
-                let wire = transport.send(lane, dest_worker, batch, superstep);
+                let receipt = transport.send(lane, dest_worker, batch, superstep);
                 if let Some(tr) = tracer {
-                    tr.add_sent(sent as u64, wire as u64);
+                    tr.add_sent(sent as u64, receipt.bytes as u64);
                 }
             }
         });
@@ -704,6 +749,61 @@ mod tests {
             cp,
         );
         assert_eq!(resumed.values, full.values);
+    }
+
+    #[test]
+    fn sparse_fast_path_is_result_and_counter_invariant() {
+        // MaxFlood on a ring has a 1-2 vertex frontier after superstep 0, so
+        // a generous cutoff keeps the awake-list walk engaged for nearly the
+        // whole run. Everything observable must match the dense scan.
+        let g = ring(96);
+        let p = HashPartitioner.partition(&g, 4);
+        let run = |cutoff: f64| {
+            run_bsp(
+                &MaxFlood,
+                &g,
+                &p,
+                &BspConfig {
+                    cluster: ClusterSpec::flat(4, 1),
+                    sparse_cutoff: cutoff,
+                    ..Default::default()
+                },
+            )
+        };
+        let dense = run(0.0);
+        let sparse = run(2.0);
+        assert_eq!(dense.values, sparse.values);
+        assert_eq!(dense.supersteps, sparse.supersteps);
+        assert_eq!(dense.counters.messages, sparse.counters.messages);
+        assert_eq!(dense.counters.bytes, sparse.counters.bytes);
+        assert!(dense.counters.bytes > 0);
+        for (a, b) in dense.stats.iter().zip(&sparse.stats) {
+            assert_eq!(a.active_vertices, b.active_vertices);
+            assert_eq!(a.messages_sent, b.messages_sent);
+        }
+    }
+
+    #[test]
+    fn fast_path_supersteps_are_flagged_in_traces() {
+        let g = ring(64);
+        let cluster = ClusterSpec::flat(2, 1);
+        let p = HashPartitioner.partition(&g, 2);
+        let mut sink = cyclops_net::trace::TraceSink::new("bsp", &cluster);
+        let r = run_bsp_traced(
+            &MaxFlood,
+            &g,
+            &p,
+            &BspConfig {
+                cluster,
+                sparse_cutoff: 2.0,
+                ..Default::default()
+            },
+            Some(&sink),
+        );
+        assert!(r.supersteps > 2);
+        let records = sink.take_records();
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|rec| rec.sparse_fast_path));
     }
 
     #[test]

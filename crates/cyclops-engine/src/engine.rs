@@ -33,7 +33,7 @@ use cyclops_net::metrics::PhaseHists;
 use cyclops_net::trace::{digest_bytes, TraceSink};
 use cyclops_net::{
     AggregateStats, ClusterSpec, Codec, DisjointSlots, HierarchicalBarrier, InboxMode, Phase,
-    PhaseTimes, SchedObs, SuperstepStats, Transport,
+    PhaseTimes, ReplicaUpdate, SchedObs, SendReceipt, SuperstepStats, Transport, WireMode,
 };
 use cyclops_partition::EdgeCutPartition;
 use parking_lot::Mutex;
@@ -111,6 +111,15 @@ pub struct CyclopsConfig {
     /// true). Off only in the ablation bench, which quantifies the
     /// allocation cost the pool removes (Table 2).
     pub pooled: bool,
+    /// Sparse-superstep fast path threshold, as a fraction of a worker's
+    /// local masters: when a worker's frontier falls below
+    /// `sparse_cutoff × num_masters`, the superstep runs on a single
+    /// compute thread with direct lane sends — skipping chunk claiming and
+    /// the per-thread outbox fan-out whose fixed cost dominates sparse
+    /// high-diameter workloads (SSSP on road networks). `0.0` disables the
+    /// fast path. Results are identical either way; only the schedule
+    /// changes.
+    pub sparse_cutoff: f64,
 }
 
 impl Default for CyclopsConfig {
@@ -123,6 +132,7 @@ impl Default for CyclopsConfig {
             checkpoint_every: None,
             network: cyclops_net::NetworkModel::ideal(),
             pooled: true,
+            sparse_cutoff: 0.015,
         }
     }
 }
@@ -205,7 +215,11 @@ struct WorkerShared<V, M> {
     /// per superstep, so the batch count (and its wire framing) stays
     /// deterministic under dynamic chunk claiming.
     #[allow(clippy::type_complexity)]
-    outboxes: Vec<Vec<Mutex<Vec<(u32, M, bool)>>>>,
+    outboxes: Vec<Vec<Mutex<Vec<ReplicaUpdate<M>>>>>,
+    /// Whether this superstep runs on the sparse fast path (decided by the
+    /// worker leader at frontier snapshot, read by every thread after the
+    /// post-snapshot barrier).
+    fast_path: AtomicBool,
     /// Per-master converged flags (Proportion mode).
     converged: Vec<AtomicBool>,
     /// Intra-worker phase barrier (T participants).
@@ -320,6 +334,7 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
             outboxes: (0..num_workers)
                 .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
                 .collect(),
+            fast_path: AtomicBool::new(false),
             converged: (0..n).map(|_| AtomicBool::new(false)).collect(),
             local: Barrier::new(threads),
         });
@@ -357,7 +372,7 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
     let mut ingress = plan.ingress;
     ingress.init = init_start.elapsed();
 
-    let transport: Transport<(u32, P::Message, bool)> =
+    let transport: Transport<ReplicaUpdate<P::Message>> =
         Transport::with_pooling(spec, InboxMode::Sharded, config.network, config.pooled);
     let barrier = HierarchicalBarrier::new(num_workers, threads);
 
@@ -489,7 +504,7 @@ struct ThreadEnv<'a, P: CyclopsProgram> {
     plan: &'a CyclopsPlan,
     config: &'a CyclopsConfig,
     shared: &'a [WorkerShared<P::Value, P::Message>],
-    transport: &'a Transport<(u32, P::Message, bool)>,
+    transport: &'a Transport<ReplicaUpdate<P::Message>>,
     barrier: &'a HierarchicalBarrier,
     stop: &'a AtomicBool,
     computed_total: &'a AtomicUsize,
@@ -523,7 +538,7 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
     };
 
     let mut superstep = env.start_superstep;
-    let mut outboxes: Vec<Vec<(u32, P::Message, bool)>> =
+    let mut outboxes: Vec<Vec<ReplicaUpdate<P::Message>>> =
         (0..num_workers).map(|_| Vec::new()).collect();
     let mut updated: Vec<u32> = Vec::new();
     // Scratch buffer for values-mode publication digests, reused across
@@ -571,13 +586,13 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                     .drain_lanes_partitioned(env.w, superstep, env.t, env.receivers)
             {
                 drained += batch.len() as u64;
-                for (rep_idx, m, activate) in batch {
+                for upd in batch {
                     // SAFETY: each replica receives at most one message per
                     // superstep (one master, one sync), and lanes touching
                     // the same replica are handled by one receiver.
-                    unsafe { ws.rep_msg.write(rep_idx as usize, Some(m)) };
-                    if activate {
-                        for &lo in wp.rep_out(rep_idx as usize) {
+                    unsafe { ws.rep_msg.write(upd.replica as usize, Some(upd.payload)) };
+                    if upd.activate {
+                        for &lo in wp.rep_out(upd.replica as usize) {
                             ws.frontier.mark(cur_parity, lo as usize);
                         }
                     }
@@ -624,6 +639,13 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                 build_mass_chunks(&flat, &mut ends, &wp.work_mass, chunks);
             }
             ws.cursor.store(0, Ordering::Relaxed);
+            // Sparse fast path: below the cutoff the whole frontier runs on
+            // this thread, walking the same chunk boundaries in chunk order
+            // (identical float-reduction grouping), while the other threads
+            // sit out the claim loop and the outbox fan-out is bypassed.
+            let fast = env.config.sparse_cutoff > 0.0
+                && (frontier_len as f64) < env.config.sparse_cutoff * wp.num_masters() as f64;
+            ws.fast_path.store(fast, Ordering::Relaxed);
             times.add(Phase::Parse, snap_start.elapsed());
         }
         let wait_start = Instant::now();
@@ -631,6 +653,7 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         times.add(Phase::Sync, wait_start.elapsed());
 
         // ---- Compute phase (CMP). ----
+        let fast = ws.fast_path.load(Ordering::Relaxed);
         let compute_start = Instant::now();
         let mut computed = 0usize;
         let mut conv_delta = 0isize;
@@ -639,23 +662,35 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             let flat = ws.flat.read();
             let ends = ws.ends.read();
             let mut static_done = false;
+            let mut fast_next = 0usize;
             loop {
                 // Claim the next chunk: statically this thread's own shard,
-                // dynamically whatever the cursor hands out.
-                let c = match sched {
-                    Sched::Static => {
-                        if static_done {
-                            break;
-                        }
-                        static_done = true;
-                        env.t
+                // dynamically whatever the cursor hands out — or, on the
+                // fast path, every chunk in index order on the leader alone
+                // (same chunk grouping, so the chunk-ordered float
+                // reduction is bitwise identical to the parallel schedule).
+                let c = if fast {
+                    if env.t != 0 || fast_next >= chunks {
+                        break;
                     }
-                    Sched::Dynamic => {
-                        let c = ws.cursor.fetch_add(1, Ordering::Relaxed);
-                        if c >= chunks {
-                            break;
+                    fast_next += 1;
+                    fast_next - 1
+                } else {
+                    match sched {
+                        Sched::Static => {
+                            if static_done {
+                                break;
+                            }
+                            static_done = true;
+                            env.t
                         }
-                        c
+                        Sched::Dynamic => {
+                            let c = ws.cursor.fetch_add(1, Ordering::Relaxed);
+                            if c >= chunks {
+                                break;
+                            }
+                            c
+                        }
                     }
                 };
                 let lo = if c == 0 { 0 } else { ends[c - 1] as usize };
@@ -730,7 +765,11 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                         // ...and send exactly one sync+activation message
                         // per mirror.
                         for &(mw, rep_idx) in wp.mirrors(li) {
-                            outboxes[mw as usize].push((rep_idx, m.clone(), true));
+                            outboxes[mw as usize].push(ReplicaUpdate::new(
+                                rep_idx,
+                                m.clone(),
+                                true,
+                            ));
                         }
                     }
                 }
@@ -747,13 +786,17 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         // destination slots (Vec swaps — the slot left empty by last
         // superstep's flush trades places with the filled local vec, so
         // capacities recycle). Flush threads merge them after the barrier.
-        let deposit_start = Instant::now();
-        for (dest, batch) in outboxes.iter_mut().enumerate() {
-            if !batch.is_empty() {
-                std::mem::swap(&mut *ws.outboxes[dest][env.t].lock(), batch);
+        // The fast path skips the fan-out entirely: the leader holds every
+        // message already and sends directly after the barrier.
+        if !fast {
+            let deposit_start = Instant::now();
+            for (dest, batch) in outboxes.iter_mut().enumerate() {
+                if !batch.is_empty() {
+                    std::mem::swap(&mut *ws.outboxes[dest][env.t].lock(), batch);
+                }
             }
+            times.add(Phase::Send, deposit_start.elapsed());
         }
-        times.add(Phase::Send, deposit_start.elapsed());
         let wait_start = Instant::now();
         ws.local.wait();
         times.add(Phase::Sync, wait_start.elapsed());
@@ -779,23 +822,43 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         // Flush the worker-shared outboxes: destination `dest` is flushed by
         // thread `dest % threads`, merging every compute thread's deposit in
         // thread order. Exactly one batch goes out per non-empty destination
-        // per superstep, so the batch *count* (and hence the per-batch
-        // 4-byte length-prefix overhead on the wire) is deterministic even
+        // per superstep, so the batch *count* stays deterministic even
         // though dynamic chunk claiming shuffles which thread produced which
-        // message.
-        let mut flush: Vec<(u32, P::Message, bool)> = Vec::new();
-        for dest in (env.t..num_workers).step_by(env.threads) {
-            flush.clear();
-            for slot in &ws.outboxes[dest] {
-                flush.append(&mut slot.lock());
+        // message (and the adaptive wire format canonicalizes each batch by
+        // replica id, so the *bytes* are order-independent too). On the
+        // fast path the leader sends its local outboxes directly on its own
+        // lane — same one-batch-per-destination framing, no merge.
+        if fast {
+            if env.t == 0 {
+                for (dest, batch) in outboxes.iter_mut().enumerate() {
+                    if !batch.is_empty() {
+                        let sent = batch.len();
+                        let receipt =
+                            env.transport
+                                .send(lane, dest, std::mem::take(batch), superstep);
+                        if let Some(tr) = tracer {
+                            tr.add_sent(sent as u64, receipt.bytes as u64);
+                            record_wire_mode(tr, receipt);
+                        }
+                    }
+                }
             }
-            if !flush.is_empty() {
-                let sent = flush.len();
-                let wire = env
-                    .transport
-                    .send(lane, dest, std::mem::take(&mut flush), superstep);
-                if let Some(tr) = tracer {
-                    tr.add_sent(sent as u64, wire as u64);
+        } else {
+            let mut flush: Vec<ReplicaUpdate<P::Message>> = Vec::new();
+            for dest in (env.t..num_workers).step_by(env.threads) {
+                flush.clear();
+                for slot in &ws.outboxes[dest] {
+                    flush.append(&mut slot.lock());
+                }
+                if !flush.is_empty() {
+                    let sent = flush.len();
+                    let receipt =
+                        env.transport
+                            .send(lane, dest, std::mem::take(&mut flush), superstep);
+                    if let Some(tr) = tracer {
+                        tr.add_sent(sent as u64, receipt.bytes as u64);
+                        record_wire_mode(tr, receipt);
+                    }
                 }
             }
         }
@@ -813,6 +876,9 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             tr.add_converged_delta(conv_delta as i64);
             if env.t == 0 {
                 tr.add_activated(next_active as u64);
+                if fast {
+                    tr.mark_sparse_fast_path();
+                }
             }
             if let Some(hs) = hot_local.as_mut() {
                 // Fold this thread's sketch before the barrier; the leader
@@ -838,7 +904,11 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                 }
             }
             if let Some(so) = env.sched_obs {
-                so.record_threads(ws.cmp_ns.iter().map(|a| a.load(Ordering::Relaxed)));
+                // Fast-path supersteps are single-threaded by design; their
+                // max/mean ratio is not scheduler skew, so don't record it.
+                if !fast {
+                    so.record_threads(ws.cmp_ns.iter().map(|a| a.load(Ordering::Relaxed)));
+                }
             }
             *env.worker_partials[env.w].lock() = reduced;
         }
@@ -930,6 +1000,17 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             return;
         }
         superstep += 1;
+    }
+}
+
+/// Folds one send receipt's wire mode into the tracer's per-superstep
+/// dense/sparse batch counts (legacy and intra-machine sends count as
+/// neither).
+fn record_wire_mode(tr: &cyclops_net::WorkerTracer, receipt: SendReceipt) {
+    match receipt.wire_mode {
+        Some(WireMode::Dense) => tr.add_wire_batches(1, 0),
+        Some(WireMode::Sparse) => tr.add_wire_batches(0, 1),
+        _ => {}
     }
 }
 
@@ -1234,6 +1315,66 @@ mod tests {
             "global-error {} vs full {}",
             ge.supersteps,
             full.supersteps
+        );
+    }
+
+    #[test]
+    fn sparse_fast_path_is_result_and_counter_invariant() {
+        // Force the fast path on every superstep (cutoff 2.0 > any
+        // frontier fraction) and compare against a run with it disabled:
+        // values, superstep count, message count, and wire bytes must all
+        // be bitwise identical — the fast path is a schedule change only.
+        let g = ring(48);
+        let run = |cutoff: f64, cluster: ClusterSpec| {
+            let p = HashPartitioner.partition(&g, cluster.num_workers());
+            run_cyclops(
+                &MaxPull,
+                &g,
+                &p,
+                &CyclopsConfig {
+                    cluster,
+                    sparse_cutoff: cutoff,
+                    ..Default::default()
+                },
+            )
+        };
+        for cluster in [ClusterSpec::flat(4, 1), ClusterSpec::mt(2, 3, 2)] {
+            let slow = run(0.0, cluster);
+            let fast = run(2.0, cluster);
+            assert_eq!(slow.values, fast.values);
+            assert_eq!(slow.supersteps, fast.supersteps);
+            assert_eq!(slow.counters.messages, fast.counters.messages);
+            assert_eq!(slow.counters.bytes, fast.counters.bytes);
+            assert!(fast.counters.bytes > 0, "cross-machine traffic expected");
+        }
+    }
+
+    #[test]
+    fn fast_path_supersteps_are_flagged_in_traces() {
+        let g = ring(48);
+        let cluster = ClusterSpec::flat(2, 2);
+        let p = HashPartitioner.partition(&g, cluster.num_workers());
+        let mut sink = TraceSink::new("cyclops", &cluster);
+        run_cyclops_traced(
+            &MaxPull,
+            &g,
+            &p,
+            &CyclopsConfig {
+                cluster,
+                sparse_cutoff: 2.0,
+                ..Default::default()
+            },
+            Some(&sink),
+        );
+        let records = sink.take_records();
+        assert!(!records.is_empty());
+        assert!(
+            records.iter().all(|r| r.sparse_fast_path),
+            "cutoff 2.0 must put every superstep on the fast path"
+        );
+        assert!(
+            records.iter().any(|r| r.wire_dense + r.wire_sparse > 0),
+            "cross-machine batches should be counted by wire mode"
         );
     }
 

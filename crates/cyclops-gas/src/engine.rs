@@ -31,6 +31,12 @@ pub struct GasConfig {
     pub max_supersteps: usize,
     /// Cost model for cross-machine traffic (default: ideal / zero delay).
     pub network: cyclops_net::NetworkModel,
+    /// Sparse-superstep fast path: when the fraction of active local masters
+    /// drops below this cutoff, the worker walks its sorted active list
+    /// instead of scanning every replica's active flag. Same vertices in the
+    /// same ascending order — results and traffic are bitwise identical to
+    /// the dense scan. `0.0` disables.
+    pub sparse_cutoff: f64,
 }
 
 impl Default for GasConfig {
@@ -39,6 +45,7 @@ impl Default for GasConfig {
             cluster: ClusterSpec::flat(2, 2),
             max_supersteps: 10_000,
             network: cyclops_net::NetworkModel::ideal(),
+            sparse_cutoff: 0.015,
         }
     }
 }
@@ -511,13 +518,25 @@ fn gas_worker<P: GasProgram>(
         for (dest, batch) in outboxes.iter_mut().enumerate() {
             if !batch.is_empty() {
                 let sent = batch.len();
-                let wire = transport.send(me, dest, std::mem::take(batch), epoch);
+                let receipt = transport.send(me, dest, std::mem::take(batch), epoch);
                 if let Some(tr) = tracer {
-                    tr.add_sent(sent as u64, wire as u64);
+                    tr.add_sent(sent as u64, receipt.bytes as u64);
                 }
             }
         }
     };
+
+    // Sorted local indices of active masters, maintained incrementally at
+    // every `part.active` mutation site so the sparse fast path can skip the
+    // O(|replicas|) flag scans.
+    let mut active_list: Vec<u32> = part
+        .active
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| a)
+        .map(|(li, _)| li as u32)
+        .collect();
+    let num_masters = part.is_master.iter().filter(|&&m| m).count();
 
     loop {
         let mut times = PhaseTimes::default();
@@ -534,15 +553,28 @@ fn gas_worker<P: GasProgram>(
                         for v in vertices {
                             let li = part.local_index(v) as usize;
                             debug_assert!(part.is_master[li]);
-                            part.active[li] = true;
+                            // Only the inactive->active transition joins the
+                            // list, so entries stay unique.
+                            if !part.active[li] {
+                                part.active[li] = true;
+                                active_list.push(li as u32);
+                            }
                         }
                     }
                     GasMsg::ScatterResp { .. } => {} // ack only
                     _ => unreachable!("unexpected message in activation phase"),
                 }
             }
+            // Activations arrive in message order; restore ascending order.
+            active_list.sort_unstable();
         });
-        let my_active = part.active.iter().filter(|&&a| a).count();
+        let my_active = active_list.len();
+        debug_assert_eq!(my_active, part.active.iter().filter(|&&a| a).count());
+        // Below the sparse cutoff, walk the active list instead of scanning
+        // every replica's flag. Same masters in the same ascending order —
+        // results and traffic are bitwise identical to the dense scan.
+        let fast = config.sparse_cutoff > 0.0
+            && (active_list.len() as f64) < config.sparse_cutoff * num_masters as f64;
         active_total.fetch_add(my_active, Ordering::Relaxed);
         let sync_start = Instant::now();
         if barrier.wait() {
@@ -565,9 +597,9 @@ fn gas_worker<P: GasProgram>(
         // ---- Phase 0 (send): gather requests to mirrors. ----
         pending.clear();
         times.time(Phase::Send, || {
-            for li in 0..part.local_vertices.len() {
+            let mut request_for = |li: usize| {
                 if !part.active[li] {
-                    continue;
+                    return;
                 }
                 pending.insert(li as u32, None);
                 for &mp in part.mirrors_of(li) {
@@ -581,6 +613,15 @@ fn gas_worker<P: GasProgram>(
                     {
                         *local = v;
                     }
+                }
+            };
+            if fast {
+                for &li in &active_list {
+                    request_for(li as usize);
+                }
+            } else {
+                for li in 0..part.local_vertices.len() {
+                    request_for(li);
                 }
             }
             flush(&mut outboxes, base);
@@ -658,6 +699,9 @@ fn gas_worker<P: GasProgram>(
                     outboxes[mp as usize].push(GasMsg::ScatterReq { local: v });
                 }
             }
+            // Every applied master was deactivated above; drop them from the
+            // list (phase 3 scatter may re-add some).
+            active_list.retain(|&li| part.active[li as usize]);
         });
         times.time(Phase::Send, || flush(&mut outboxes, base + 2));
         barrier.wait();
@@ -710,7 +754,10 @@ fn gas_worker<P: GasProgram>(
                 let v = part.local_vertices[li as usize];
                 let master = partition.masters[v as usize] as usize;
                 if master == me {
-                    part.active[li as usize] = true;
+                    if !part.active[li as usize] {
+                        part.active[li as usize] = true;
+                        active_list.push(li);
+                    }
                 } else {
                     digests[master].push(v);
                 }
@@ -754,6 +801,9 @@ fn gas_worker<P: GasProgram>(
             }
         }
         if let Some(tr) = tracer {
+            if fast {
+                tr.mark_sparse_fast_path();
+            }
             tr.add_drained(drained);
             tr.add_computed(computed as u64);
             tr.add_activated(locally_activated.len() as u64);
@@ -996,6 +1046,60 @@ mod tests {
         );
         assert_eq!(r.stats[0].active_vertices, 1);
         assert!(r.values.iter().all(|&v| v == 100));
+    }
+
+    #[test]
+    fn sparse_fast_path_is_result_and_counter_invariant() {
+        // MaxGas on a ring keeps a small moving frontier, so a generous
+        // cutoff engages the active-list walk for nearly the whole run.
+        let g = ring(96);
+        let p = RandomVertexCut::default().partition(&g, 4);
+        let run = |cutoff: f64| {
+            run_gas(
+                &MaxGas,
+                &g,
+                &p,
+                &GasConfig {
+                    cluster: ClusterSpec::flat(4, 1),
+                    sparse_cutoff: cutoff,
+                    ..Default::default()
+                },
+            )
+        };
+        let dense = run(0.0);
+        let sparse = run(2.0);
+        assert_eq!(dense.values, sparse.values);
+        assert_eq!(dense.supersteps, sparse.supersteps);
+        assert_eq!(dense.counters.messages, sparse.counters.messages);
+        assert_eq!(dense.counters.bytes, sparse.counters.bytes);
+        assert!(dense.counters.bytes > 0);
+        for (a, b) in dense.stats.iter().zip(&sparse.stats) {
+            assert_eq!(a.active_vertices, b.active_vertices);
+            assert_eq!(a.messages_sent, b.messages_sent);
+        }
+    }
+
+    #[test]
+    fn fast_path_supersteps_are_flagged_in_traces() {
+        let g = ring(64);
+        let cluster = ClusterSpec::flat(2, 1);
+        let p = RandomVertexCut::default().partition(&g, 2);
+        let mut sink = cyclops_net::trace::TraceSink::new("gas", &cluster);
+        let r = run_gas_traced(
+            &MaxGas,
+            &g,
+            &p,
+            &GasConfig {
+                cluster,
+                sparse_cutoff: 2.0,
+                ..Default::default()
+            },
+            Some(&sink),
+        );
+        assert!(r.supersteps > 2);
+        let records = sink.take_records();
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|rec| rec.sparse_fast_path));
     }
 
     #[test]

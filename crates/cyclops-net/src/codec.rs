@@ -218,6 +218,378 @@ pub fn try_decode_batch<M: Codec>(buf: &mut impl Buf) -> Option<Vec<M>> {
     Some(out)
 }
 
+// ---- Varint / zigzag / delta layer. ----
+//
+// LEB128 base-128 varints, least-significant group first, continuation bit
+// 0x80 — the standard protobuf wire integer. Replica-update batches use
+// them for counts, base ids, and delta-encoded vertex ids, where typical
+// values fit in 1–2 bytes instead of a fixed 4.
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn encode_varint(buf: &mut BytesMut, mut v: u64) {
+    while v >= 0x80 {
+        buf.put_u8((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.put_u8(v as u8);
+}
+
+/// Number of bytes [`encode_varint`] appends for `v`.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    ((64 - (v | 1).leading_zeros()) as usize).div_ceil(7)
+}
+
+/// Reads one LEB128 varint; `None` on truncation or an encoding longer
+/// than 10 bytes (which cannot arise from [`encode_varint`]).
+pub fn try_decode_varint(buf: &mut impl Buf) -> Option<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let b = buf.get_u8();
+        out |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(out);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed value so small magnitudes get small varints
+/// (`0, -1, 1, -2, ... -> 0, 1, 2, 3, ...`).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `count` bits packed LSB-first into `count.div_ceil(8)` bytes.
+fn put_bitmap(buf: &mut BytesMut, bits: impl Iterator<Item = bool>) {
+    let mut cur = 0u8;
+    let mut n = 0usize;
+    for b in bits {
+        if b {
+            cur |= 1 << (n % 8);
+        }
+        n += 1;
+        if n.is_multiple_of(8) {
+            buf.put_u8(cur);
+            cur = 0;
+        }
+    }
+    if !n.is_multiple_of(8) {
+        buf.put_u8(cur);
+    }
+}
+
+/// Reads `bits.div_ceil(8)` bitmap bytes; `None` on truncation.
+fn try_read_bitmap(buf: &mut impl Buf, bits: usize) -> Option<Vec<u8>> {
+    let bytes = bits.div_ceil(8);
+    if buf.remaining() < bytes {
+        return None;
+    }
+    let mut out = vec![0u8; bytes];
+    buf.copy_to_slice(&mut out);
+    Some(out)
+}
+
+#[inline]
+fn bitmap_get(bitmap: &[u8], i: usize) -> bool {
+    bitmap[i / 8] & (1 << (i % 8)) != 0
+}
+
+// ---- Adaptive wire formats. ----
+
+/// Which encoding a wire batch chose. `Legacy` is the fixed-width
+/// count-prefixed framing every [`Codec`] message type gets by default;
+/// `Sparse`/`Dense` are the two self-selecting [`ReplicaUpdate`] modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMode {
+    /// Fixed-width `u32` count prefix + fixed-width messages.
+    Legacy,
+    /// Delta-varint replica ids + packed values (small frontiers).
+    Sparse,
+    /// Base id + presence/activation bitmaps + packed values (a dense
+    /// slice of a contiguous replica range).
+    Dense,
+}
+
+impl WireMode {
+    /// Stable lowercase label, used by metrics and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireMode::Legacy => "legacy",
+            WireMode::Sparse => "sparse",
+            WireMode::Dense => "dense",
+        }
+    }
+}
+
+/// What one wire-batch encode did, for allocation and bytes accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireStats {
+    /// Bytes the pooled buffer's capacity had to grow (0 once warm — the
+    /// zero-allocation send-path contract).
+    pub grown: usize,
+    /// The encoding the batch selected.
+    pub mode: WireMode,
+    /// What the legacy fixed-width framing would have used for the same
+    /// batch, for bytes-saved accounting.
+    pub legacy_len: usize,
+}
+
+/// A batch-level wire encoding. The transport serializes cross-machine
+/// sends through this trait; every [`Codec`] message type gets the legacy
+/// fixed-width framing via a blanket impl, while [`ReplicaUpdate`] plugs in
+/// the adaptive dense/sparse `ReplicaBatch` format.
+///
+/// `wire_encode_batch_into` may reorder `msgs` (canonicalization): callers
+/// must not depend on batch order across the wire beyond set equality.
+pub trait WireFormat: Sized {
+    /// Encodes `msgs` as one batch into a pooled buffer (cleared first),
+    /// reserving exactly the encoded size so a warm buffer never grows.
+    fn wire_encode_batch_into(buf: &mut BytesMut, msgs: &mut [Self]) -> WireStats;
+    /// Decodes one batch produced by [`Self::wire_encode_batch_into`];
+    /// `None` on truncation or corruption, never a panic.
+    fn wire_try_decode_batch(buf: &mut impl Buf) -> Option<Vec<Self>>;
+}
+
+impl<M: Codec> WireFormat for M {
+    fn wire_encode_batch_into(buf: &mut BytesMut, msgs: &mut [Self]) -> WireStats {
+        let grown = encode_batch_into(buf, msgs);
+        WireStats {
+            grown,
+            mode: WireMode::Legacy,
+            legacy_len: buf.len(),
+        }
+    }
+    fn wire_try_decode_batch(buf: &mut impl Buf) -> Option<Vec<Self>> {
+        try_decode_batch(buf)
+    }
+}
+
+/// One replica update: the master's new publication for one mirror, plus
+/// the piggybacked activation bit — the paper's single
+/// sync-message-per-mirror-per-superstep, as a named struct so it can carry
+/// the adaptive `ReplicaBatch` [`WireFormat`] (deliberately *not* a
+/// [`Codec`] impl: the blanket legacy path must not apply to it).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReplicaUpdate<M> {
+    /// Destination-machine replica index (dense, per-machine).
+    pub replica: u32,
+    /// The master's published value.
+    pub payload: M,
+    /// Whether the replica's out-neighbors activate next superstep.
+    pub activate: bool,
+}
+
+/// Mode bytes of the `ReplicaBatch` framing.
+const REPLICA_BATCH_SPARSE: u8 = 0;
+const REPLICA_BATCH_DENSE: u8 = 1;
+
+impl<M> ReplicaUpdate<M> {
+    /// Builds an update.
+    pub fn new(replica: u32, payload: M, activate: bool) -> Self {
+        ReplicaUpdate {
+            replica,
+            payload,
+            activate,
+        }
+    }
+}
+
+/// The adaptive `ReplicaBatch` format.
+///
+/// ```text
+/// sparse: 0x00 · varint count · activation bitmap ⌈count/8⌉
+///         · per update (ascending replica id): varint id-delta · payload
+/// dense:  0x01 · varint count · varint base · varint span
+///         · presence bitmap ⌈span/8⌉ · activation bitmap ⌈count/8⌉
+///         · payloads in ascending replica order
+/// ```
+///
+/// The encoder first sorts the batch by replica id (stable), making the
+/// bytes — and therefore the mode choice and every byte counter downstream
+/// — a pure function of the batch *set*, independent of the outbox merge
+/// order a multi-threaded sender produced. It then computes both encoded
+/// sizes exactly and picks the smaller (ties favor sparse); dense wins
+/// once the updating fraction of the `[min, max]` replica range crosses
+/// the bitmap break-even density (~1 bit vs ~1–2 varint bytes per id).
+/// Duplicate replica ids (which the engines never produce, but arbitrary
+/// inputs may) force sparse: a presence bitmap cannot express them.
+impl<M: Codec> WireFormat for ReplicaUpdate<M> {
+    fn wire_encode_batch_into(buf: &mut BytesMut, msgs: &mut [Self]) -> WireStats {
+        msgs.sort_by_key(|m| m.replica);
+        let count = msgs.len();
+        let payload_len: usize = msgs.iter().map(|m| m.payload.encoded_len()).sum();
+        // Legacy framing: u32 count + (u32 id + payload + bool) each.
+        let legacy_len = 4 + payload_len + 5 * count;
+        let act_bytes = count.div_ceil(8);
+
+        let mut ids_len = 0usize;
+        let mut unique = true;
+        let mut prev = 0u32;
+        for (i, m) in msgs.iter().enumerate() {
+            let delta = if i == 0 {
+                m.replica as u64
+            } else {
+                if m.replica == prev {
+                    unique = false;
+                }
+                (m.replica - prev) as u64
+            };
+            ids_len += varint_len(delta);
+            prev = m.replica;
+        }
+        let sparse_len = 1 + varint_len(count as u64) + act_bytes + ids_len + payload_len;
+        let dense_len = if count > 0 && unique {
+            let base = msgs[0].replica as u64;
+            let span = msgs[count - 1].replica as u64 - base + 1;
+            Some(
+                1 + varint_len(count as u64)
+                    + varint_len(base)
+                    + varint_len(span)
+                    + (span as usize).div_ceil(8)
+                    + act_bytes
+                    + payload_len,
+            )
+        } else {
+            None
+        };
+
+        let (mode, total) = match dense_len {
+            Some(d) if d < sparse_len => (WireMode::Dense, d),
+            _ => (WireMode::Sparse, sparse_len),
+        };
+        buf.clear();
+        let before = buf.capacity();
+        buf.reserve(total);
+        let grown = buf.capacity().saturating_sub(before);
+        match mode {
+            WireMode::Sparse => {
+                buf.put_u8(REPLICA_BATCH_SPARSE);
+                encode_varint(buf, count as u64);
+                put_bitmap(buf, msgs.iter().map(|m| m.activate));
+                let mut prev = 0u32;
+                for (i, m) in msgs.iter().enumerate() {
+                    let delta = if i == 0 {
+                        m.replica as u64
+                    } else {
+                        (m.replica - prev) as u64
+                    };
+                    encode_varint(buf, delta);
+                    m.payload.encode(buf);
+                    prev = m.replica;
+                }
+            }
+            WireMode::Dense => {
+                buf.put_u8(REPLICA_BATCH_DENSE);
+                encode_varint(buf, count as u64);
+                let base = msgs[0].replica;
+                let span = msgs[count - 1].replica as u64 - base as u64 + 1;
+                encode_varint(buf, base as u64);
+                encode_varint(buf, span);
+                // Presence bitmap, streamed in ascending-offset order.
+                let span_bytes = (span as usize).div_ceil(8);
+                let mut byte_idx = 0usize;
+                let mut cur = 0u8;
+                for m in msgs.iter() {
+                    let off = (m.replica - base) as usize;
+                    while byte_idx < off / 8 {
+                        buf.put_u8(cur);
+                        cur = 0;
+                        byte_idx += 1;
+                    }
+                    cur |= 1 << (off % 8);
+                }
+                while byte_idx < span_bytes {
+                    buf.put_u8(cur);
+                    cur = 0;
+                    byte_idx += 1;
+                }
+                put_bitmap(buf, msgs.iter().map(|m| m.activate));
+                for m in msgs.iter() {
+                    m.payload.encode(buf);
+                }
+            }
+            WireMode::Legacy => unreachable!(),
+        }
+        debug_assert_eq!(buf.len(), total, "ReplicaBatch size arithmetic drifted");
+        WireStats {
+            grown,
+            mode,
+            legacy_len,
+        }
+    }
+
+    fn wire_try_decode_batch(buf: &mut impl Buf) -> Option<Vec<Self>> {
+        if !buf.has_remaining() {
+            return None;
+        }
+        match buf.get_u8() {
+            REPLICA_BATCH_SPARSE => {
+                let count = try_decode_varint(buf)? as usize;
+                let act = try_read_bitmap(buf, count)?;
+                let mut out = Vec::with_capacity(count.min(buf.remaining()));
+                let mut id = 0u64;
+                for i in 0..count {
+                    let delta = try_decode_varint(buf)?;
+                    id = if i == 0 {
+                        delta
+                    } else {
+                        id.checked_add(delta)?
+                    };
+                    if id > u32::MAX as u64 {
+                        return None;
+                    }
+                    let payload = M::try_decode(buf)?;
+                    out.push(ReplicaUpdate::new(id as u32, payload, bitmap_get(&act, i)));
+                }
+                Some(out)
+            }
+            REPLICA_BATCH_DENSE => {
+                let count = try_decode_varint(buf)? as usize;
+                let base = try_decode_varint(buf)?;
+                let span = try_decode_varint(buf)?;
+                if count == 0
+                    || span < count as u64
+                    || base + span - 1 > u32::MAX as u64
+                    || span > buf.remaining() as u64 * 8
+                {
+                    return None;
+                }
+                let presence = try_read_bitmap(buf, span as usize)?;
+                let act = try_read_bitmap(buf, count)?;
+                let mut out = Vec::with_capacity(count);
+                for off in 0..span as usize {
+                    if bitmap_get(&presence, off) {
+                        if out.len() == count {
+                            return None; // more presence bits than count
+                        }
+                        let payload = M::try_decode(buf)?;
+                        let i = out.len();
+                        out.push(ReplicaUpdate::new(
+                            base as u32 + off as u32,
+                            payload,
+                            bitmap_get(&act, i),
+                        ));
+                    }
+                }
+                (out.len() == count).then_some(out)
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,5 +699,204 @@ mod tests {
         f64::NAN.encode(&mut buf);
         let v = f64::decode(&mut buf.freeze());
         assert!(v.is_nan());
+    }
+
+    // ---- Varint / wire-format tests. ----
+
+    #[test]
+    fn varints_round_trip_and_size_exactly() {
+        for v in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            encode_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "varint_len({v})");
+            assert_eq!(try_decode_varint(&mut buf.freeze()), Some(v));
+        }
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(u64::MAX), 10);
+        // Truncated varint fails cleanly.
+        let mut buf = BytesMut::new();
+        encode_varint(&mut buf, u64::MAX);
+        let mut cut = BytesMut::new();
+        cut.put_slice(&buf[..5]);
+        assert_eq!(try_decode_varint(&mut cut.freeze()), None);
+        assert_eq!(try_decode_varint(&mut &[][..]), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, -1, 1, -2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    fn updates(ids: &[u32]) -> Vec<ReplicaUpdate<f64>> {
+        ids.iter()
+            .map(|&id| ReplicaUpdate::new(id, id as f64 * 0.5, id % 3 == 0))
+            .collect()
+    }
+
+    fn wire_round_trip(ids: &[u32]) -> (WireStats, Vec<ReplicaUpdate<f64>>) {
+        let mut msgs = updates(ids);
+        let mut buf = BytesMut::new();
+        let stats = ReplicaUpdate::wire_encode_batch_into(&mut buf, &mut msgs);
+        assert_eq!(stats.legacy_len, 4 + 13 * ids.len());
+        let out = ReplicaUpdate::<f64>::wire_try_decode_batch(&mut &buf[..])
+            .expect("well-formed batch must decode");
+        let mut sorted = updates(ids);
+        sorted.sort_by_key(|m| m.replica);
+        assert_eq!(out, sorted, "decode must return the sorted batch");
+        (stats, out)
+    }
+
+    #[test]
+    fn replica_batch_picks_dense_for_contiguous_ranges() {
+        let ids: Vec<u32> = (100..200).collect();
+        let (stats, _) = wire_round_trip(&ids);
+        assert_eq!(stats.mode, WireMode::Dense);
+        // mode + count(1) + base(1) + span(1) + presence(13) + act(13) + 800.
+        let mut msgs = updates(&ids);
+        let mut buf = BytesMut::new();
+        ReplicaUpdate::wire_encode_batch_into(&mut buf, &mut msgs);
+        assert_eq!(buf.len(), 1 + 1 + 1 + 1 + 13 + 13 + 800);
+        // >= 25% under the 1304-byte legacy framing.
+        assert!(buf.len() * 4 <= stats.legacy_len * 3);
+    }
+
+    #[test]
+    fn replica_batch_picks_sparse_for_scattered_ids() {
+        let ids: Vec<u32> = (0..20).map(|i| i * 10_000).collect();
+        let (stats, _) = wire_round_trip(&ids);
+        assert_eq!(stats.mode, WireMode::Sparse);
+        let (stats, _) = wire_round_trip(&[4_000_000_000]);
+        assert_eq!(stats.mode, WireMode::Sparse);
+    }
+
+    #[test]
+    fn replica_batch_is_order_independent() {
+        let mut shuffled: Vec<u32> = (0..50).map(|i| (i * 37) % 101).collect();
+        let mut a = updates(&shuffled);
+        shuffled.reverse();
+        let mut b = updates(&shuffled);
+        let mut ba = BytesMut::new();
+        let mut bb = BytesMut::new();
+        let sa = ReplicaUpdate::wire_encode_batch_into(&mut ba, &mut a);
+        let sb = ReplicaUpdate::wire_encode_batch_into(&mut bb, &mut b);
+        assert_eq!(&ba[..], &bb[..], "same set must encode identically");
+        assert_eq!(sa.mode, sb.mode);
+    }
+
+    #[test]
+    fn replica_batch_duplicates_force_sparse() {
+        let (stats, out) = {
+            let mut msgs = updates(&[5, 5, 6, 7, 8, 9, 10, 11]);
+            let mut buf = BytesMut::new();
+            let stats = ReplicaUpdate::wire_encode_batch_into(&mut buf, &mut msgs);
+            let out = ReplicaUpdate::<f64>::wire_try_decode_batch(&mut &buf[..]).unwrap();
+            (stats, out)
+        };
+        assert_eq!(stats.mode, WireMode::Sparse);
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[0].replica, 5);
+        assert_eq!(out[1].replica, 5);
+    }
+
+    #[test]
+    fn replica_batch_empty_and_single() {
+        let (stats, out) = wire_round_trip(&[]);
+        assert_eq!(stats.mode, WireMode::Sparse);
+        assert!(out.is_empty());
+        let (stats, out) = wire_round_trip(&[7]);
+        assert!(out[0].payload == 3.5 && !out[0].activate);
+        assert!(stats.legacy_len >= 17);
+    }
+
+    #[test]
+    fn replica_batch_pooled_reencode_stops_growing() {
+        let ids: Vec<u32> = (0..128).collect();
+        let mut buf = BytesMut::new();
+        let mut msgs = updates(&ids);
+        let stats = ReplicaUpdate::wire_encode_batch_into(&mut buf, &mut msgs);
+        assert!(stats.grown > 0, "cold buffer must grow");
+        // Warm re-encodes — dense, sparse, tiny — must never grow.
+        for ids in [
+            (0..128u32).collect::<Vec<_>>(),
+            (0..10).map(|i| i * 999).collect(),
+            vec![3],
+        ] {
+            let mut msgs = updates(&ids);
+            let stats = ReplicaUpdate::wire_encode_batch_into(&mut buf, &mut msgs);
+            assert_eq!(stats.grown, 0, "warm re-encode of {} msgs grew", ids.len());
+        }
+    }
+
+    #[test]
+    fn replica_batch_rejects_truncation_at_every_offset() {
+        // One dense-leaning and one sparse-leaning batch.
+        for ids in [
+            (0..40u32).collect::<Vec<_>>(),
+            (0..12).map(|i| i * 5_000 + 17).collect(),
+        ] {
+            let mut msgs = updates(&ids);
+            let mut full = BytesMut::new();
+            ReplicaUpdate::wire_encode_batch_into(&mut full, &mut msgs);
+            for cut in 0..full.len() {
+                assert_eq!(
+                    ReplicaUpdate::<f64>::wire_try_decode_batch(&mut &full[..cut]),
+                    None,
+                    "a {cut}-byte prefix of {} decoded",
+                    full.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replica_batch_rejects_corrupt_headers() {
+        let mut msgs = updates(&[1, 2, 3]);
+        let mut buf = BytesMut::new();
+        ReplicaUpdate::wire_encode_batch_into(&mut buf, &mut msgs);
+        // Unknown mode byte.
+        let mut bytes = buf.to_vec();
+        bytes[0] = 7;
+        assert_eq!(
+            ReplicaUpdate::<f64>::wire_try_decode_batch(&mut &bytes[..]),
+            None
+        );
+        // Dense header claiming span < count.
+        let mut dense = BytesMut::new();
+        dense.put_u8(REPLICA_BATCH_DENSE);
+        encode_varint(&mut dense, 4); // count
+        encode_varint(&mut dense, 0); // base
+        encode_varint(&mut dense, 2); // span < count
+        assert_eq!(
+            ReplicaUpdate::<f64>::wire_try_decode_batch(&mut &dense[..]),
+            None
+        );
+    }
+
+    #[test]
+    fn legacy_wire_format_matches_encode_batch() {
+        let mut msgs: Vec<(u32, f64)> = (0..50).map(|i| (i, i as f64)).collect();
+        let fresh = encode_batch(&msgs);
+        let mut buf = BytesMut::new();
+        let stats = <(u32, f64)>::wire_encode_batch_into(&mut buf, &mut msgs);
+        assert_eq!(stats.mode, WireMode::Legacy);
+        assert_eq!(stats.legacy_len, buf.len());
+        assert_eq!(&buf[..], &fresh[..]);
+        let out = <(u32, f64)>::wire_try_decode_batch(&mut &buf[..]).unwrap();
+        assert_eq!(out, msgs);
     }
 }

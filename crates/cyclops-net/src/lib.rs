@@ -51,8 +51,8 @@ pub mod transport;
 
 pub use barrier::{FlatBarrier, HierarchicalBarrier};
 pub use cluster::ClusterSpec;
-pub use codec::Codec;
+pub use codec::{Codec, ReplicaUpdate, WireFormat, WireMode, WireStats};
 pub use metrics::{AggregateStats, Phase, PhaseHists, PhaseTimes, SchedObs, SuperstepStats};
 pub use slots::DisjointSlots;
 pub use trace::{RunTrace, StreamSummary, TraceRecord, TraceSink, WorkerTracer};
-pub use transport::{InboxMode, NetworkModel, Transport};
+pub use transport::{InboxMode, NetworkModel, SendReceipt, Transport};

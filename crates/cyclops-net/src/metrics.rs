@@ -7,6 +7,7 @@
 //! and message counts per superstep; Table 2 reports memory behaviour. The
 //! types here collect all of that.
 
+use crate::codec::WireMode;
 use cyclops_obs::{Gauge, LogLinearHistogram};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -179,6 +180,15 @@ pub struct RunCounters {
     pub inflight_messages: AtomicU64,
     /// Peak of `inflight_messages` over the run.
     pub peak_queue_messages: AtomicU64,
+    /// Cross-machine batches encoded in the dense (bitmap) wire mode.
+    pub wire_dense_batches: AtomicUsize,
+    /// Cross-machine batches encoded in the sparse (delta-varint) wire mode.
+    pub wire_sparse_batches: AtomicUsize,
+    /// Cross-machine batches encoded with the legacy fixed-width framing.
+    pub wire_legacy_batches: AtomicUsize,
+    /// Bytes the adaptive encoding saved versus the legacy fixed-width
+    /// framing of the same batches (legacy size minus actual wire size).
+    pub wire_saved_bytes: AtomicUsize,
 }
 
 impl RunCounters {
@@ -227,6 +237,21 @@ impl RunCounters {
         self.peak_queue_messages.fetch_max(now, Ordering::Relaxed);
     }
 
+    /// Records one cross-machine batch encoded in `mode`, saving `saved`
+    /// bytes versus the legacy fixed-width framing of the same messages.
+    #[inline]
+    pub fn add_wire_batch(&self, mode: WireMode, saved: usize) {
+        let counter = match mode {
+            WireMode::Dense => &self.wire_dense_batches,
+            WireMode::Sparse => &self.wire_sparse_batches,
+            WireMode::Legacy => &self.wire_legacy_batches,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if saved > 0 {
+            self.wire_saved_bytes.fetch_add(saved, Ordering::Relaxed);
+        }
+    }
+
     /// Records `n` messages leaving queues.
     #[inline]
     pub fn queue_leave(&self, n: usize) {
@@ -245,6 +270,10 @@ impl RunCounters {
             message_bytes_allocated: self.message_bytes_allocated.load(Ordering::Relaxed),
             peak_queue_bytes: self.peak_queue_bytes.load(Ordering::Relaxed),
             peak_queue_messages: self.peak_queue_messages.load(Ordering::Relaxed),
+            wire_dense_batches: self.wire_dense_batches.load(Ordering::Relaxed),
+            wire_sparse_batches: self.wire_sparse_batches.load(Ordering::Relaxed),
+            wire_legacy_batches: self.wire_legacy_batches.load(Ordering::Relaxed),
+            wire_saved_bytes: self.wire_saved_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -414,6 +443,14 @@ pub struct CounterSnapshot {
     pub peak_queue_bytes: u64,
     /// Peak number of messages in in-flight queues.
     pub peak_queue_messages: u64,
+    /// Cross-machine batches encoded dense.
+    pub wire_dense_batches: usize,
+    /// Cross-machine batches encoded sparse.
+    pub wire_sparse_batches: usize,
+    /// Cross-machine batches with legacy fixed-width framing.
+    pub wire_legacy_batches: usize,
+    /// Bytes saved versus legacy framing over the run.
+    pub wire_saved_bytes: usize,
 }
 
 #[cfg(test)]

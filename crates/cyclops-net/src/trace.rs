@@ -87,6 +87,17 @@ pub struct TraceRecord {
     pub bytes: u64,
     /// Whether a checkpoint was captured this superstep.
     pub checkpoint: bool,
+    /// Whether this worker ran the superstep on the sparse fast path
+    /// (single compute thread, direct lane sends). Diagnostic: deliberately
+    /// excluded from [`diff`]'s counter comparison, because the fast path
+    /// changes the schedule, never the results.
+    pub sparse_fast_path: bool,
+    /// Cross-machine batches this worker sent in the dense wire mode.
+    /// Deterministic for a deterministic schedule, but excluded from
+    /// [`diff`] so adaptive-encoding runs stay comparable with legacy runs.
+    pub wire_dense: u64,
+    /// Cross-machine batches this worker sent in the sparse wire mode.
+    pub wire_sparse: u64,
     /// This worker's aggregate contribution, reduced over its threads in
     /// thread order (deterministic, unlike the engines' global merge).
     pub agg: Option<AggregateStats>,
@@ -149,6 +160,13 @@ pub struct WorkerTracer {
     drained: AtomicU64,
     messages: AtomicU64,
     bytes: AtomicU64,
+    /// Set when this superstep ran on the sparse fast path (swapped to
+    /// `false` at commit, like the counters).
+    fast_path: std::sync::atomic::AtomicBool,
+    /// Cross-machine batches sent in the dense / sparse wire modes this
+    /// superstep.
+    wire_dense: AtomicU64,
+    wire_sparse: AtomicU64,
     /// Per-thread aggregate partials, reduced in thread order at commit so
     /// the recorded aggregate is deterministic regardless of which thread
     /// finishes first. One slot per thread: no cross-thread contention.
@@ -193,6 +211,9 @@ impl WorkerTracer {
             drained: AtomicU64::new(0),
             messages: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            fast_path: std::sync::atomic::AtomicBool::new(false),
+            wire_dense: AtomicU64::new(0),
+            wire_sparse: AtomicU64::new(0),
             thread_aggs: (0..threads.max(1))
                 .map(|_| Mutex::new(AggregateStats::default()))
                 .collect(),
@@ -238,6 +259,24 @@ impl WorkerTracer {
     pub fn add_sent(&self, messages: u64, bytes: u64) {
         self.messages.fetch_add(messages, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Marks this superstep as having run on the sparse fast path.
+    #[inline]
+    pub fn mark_sparse_fast_path(&self) {
+        self.fast_path.store(true, Ordering::Relaxed);
+    }
+
+    /// Adds cross-machine batches sent in the dense / sparse wire modes by
+    /// the calling thread.
+    #[inline]
+    pub fn add_wire_batches(&self, dense: u64, sparse: u64) {
+        if dense > 0 {
+            self.wire_dense.fetch_add(dense, Ordering::Relaxed);
+        }
+        if sparse > 0 {
+            self.wire_sparse.fetch_add(sparse, Ordering::Relaxed);
+        }
     }
 
     /// Stores thread `t`'s aggregate partial for this superstep.
@@ -313,6 +352,9 @@ impl WorkerTracer {
             messages: self.messages.swap(0, Ordering::Relaxed),
             bytes: self.bytes.swap(0, Ordering::Relaxed),
             checkpoint,
+            sparse_fast_path: self.fast_path.swap(false, Ordering::Relaxed),
+            wire_dense: self.wire_dense.swap(0, Ordering::Relaxed),
+            wire_sparse: self.wire_sparse.swap(0, Ordering::Relaxed),
             agg: if agg.is_empty() { None } else { Some(agg) },
             pubs,
             hot,
@@ -683,6 +725,17 @@ impl TraceRecord {
             self.bytes,
             self.checkpoint
         );
+        // New-in-PR-5 fields are written only when set, so older readers
+        // (and older traces fed to trace-diff) keep working unchanged.
+        if self.sparse_fast_path {
+            out.push_str(",\"sparse_fast_path\":true");
+        }
+        if self.wire_dense > 0 {
+            let _ = write!(out, ",\"wire_dense\":{}", self.wire_dense);
+        }
+        if self.wire_sparse > 0 {
+            let _ = write!(out, ",\"wire_sparse\":{}", self.wire_sparse);
+        }
         if let Some(a) = &self.agg {
             let _ = write!(
                 out,
@@ -806,6 +859,11 @@ fn parse_record(line: &str) -> Option<TraceRecord> {
         messages: num(line, "messages")?,
         bytes: num(line, "bytes")?,
         checkpoint: field(line, "checkpoint")?.trim() == "true",
+        sparse_fast_path: field(line, "sparse_fast_path")
+            .map(|v| v.trim() == "true")
+            .unwrap_or(false),
+        wire_dense: num(line, "wire_dense").unwrap_or(0),
+        wire_sparse: num(line, "wire_sparse").unwrap_or(0),
         agg: None,
         pubs: Vec::new(),
         hot: Vec::new(),
@@ -1302,6 +1360,53 @@ mod tests {
             .commit(0, 0, 0, &PhaseTimes::default(), false);
         let mut sink = sink;
         assert!(sink.take_records()[0].hot.is_empty());
+    }
+
+    #[test]
+    fn fast_path_and_wire_mode_fields_round_trip_but_never_diff() {
+        let sink = TraceSink::new("cyclops", &spec());
+        sink.worker(0).mark_sparse_fast_path();
+        sink.worker(0).add_wire_batches(3, 2);
+        sink.worker(0)
+            .commit(0, 0, 4, &PhaseTimes::default(), false);
+        // Flags reset at commit, like the counters.
+        sink.worker(0)
+            .commit(1, 0, 0, &PhaseTimes::default(), false);
+        let mut sink = sink;
+        let records = sink.take_records();
+        assert!(records[0].sparse_fast_path);
+        assert_eq!(records[0].wire_dense, 3);
+        assert_eq!(records[0].wire_sparse, 2);
+        assert!(!records[1].sparse_fast_path);
+        assert_eq!(records[1].wire_dense, 0);
+        let mut line = String::new();
+        records[0].to_json(&mut line);
+        assert!(line.contains("\"sparse_fast_path\":true"));
+        assert_eq!(parse_record_line(&line), Some(records[0].clone()));
+        // A record without the new fields omits them entirely (old readers
+        // keep working) and parses back with defaults.
+        let mut plain = String::new();
+        records[1].to_json(&mut plain);
+        assert!(!plain.contains("sparse_fast_path"));
+        assert!(!plain.contains("wire_"));
+        assert_eq!(parse_record_line(&plain), Some(records[1].clone()));
+        // diff must treat fast-path and legacy-path runs of the same
+        // workload as identical: the fields are schedule, not results.
+        let mk = |fast: bool, dense: u64| RunTrace {
+            meta: TraceMeta::default(),
+            records: vec![TraceRecord {
+                superstep: 0,
+                worker: 0,
+                computed: 5,
+                sparse_fast_path: fast,
+                wire_dense: dense,
+                ..Default::default()
+            }],
+        };
+        assert_eq!(
+            diff::first_divergence(&mk(true, 7), &mk(false, 0), true),
+            None
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! with memory references (§6.10).
 
 use crate::cluster::ClusterSpec;
-use crate::codec::{encode_batch, encode_batch_into, try_decode_batch, Codec};
+use crate::codec::{WireFormat, WireMode};
 use crate::metrics::RunCounters;
 use bytes::BytesMut;
 use cyclops_obs::{Counter, LogLinearHistogram};
@@ -157,6 +157,21 @@ struct TransportObs {
     /// full fresh allocation when pooling is off). A healthy pooled run
     /// records almost all zeros.
     send_alloc_bytes: Arc<LogLinearHistogram>,
+    /// `cyclops_wire_mode_batches{mode,wire_mode}` — cross-machine batches
+    /// per adaptive encoding mode (`legacy` / `sparse` / `dense`), indexed
+    /// here by [`WireMode`] discriminant order.
+    wire_mode_batches: [Arc<Counter>; 3],
+    /// `cyclops_wire_bytes_saved{mode}` — bytes the adaptive encoding saved
+    /// versus legacy fixed-width framing of the same batches.
+    wire_bytes_saved: Arc<Counter>,
+}
+
+fn wire_mode_index(mode: WireMode) -> usize {
+    match mode {
+        WireMode::Legacy => 0,
+        WireMode::Sparse => 1,
+        WireMode::Dense => 2,
+    }
 }
 
 impl TransportObs {
@@ -169,6 +184,12 @@ impl TransportObs {
                 InboxMode::Sharded => "sharded",
             },
         )];
+        let wire_mode_batches = [WireMode::Legacy, WireMode::Sparse, WireMode::Dense].map(|wm| {
+            reg.counter(
+                "cyclops_wire_mode_batches",
+                &[labels[0], ("wire_mode", wm.label())],
+            )
+        });
         Some(TransportObs {
             messages_total: reg.counter("cyclops_messages_total", &labels),
             wire_bytes_total: reg.counter("cyclops_wire_bytes_total", &labels),
@@ -176,11 +197,24 @@ impl TransportObs {
             message_bytes: reg.histogram("cyclops_message_bytes", &labels),
             lane_depth: reg.histogram("cyclops_inbox_lane_depth", &labels),
             send_alloc_bytes: reg.histogram("cyclops_send_alloc_bytes", &labels),
+            wire_mode_batches,
+            wire_bytes_saved: reg.counter("cyclops_wire_bytes_saved", &labels),
         })
     }
 }
 
-impl<M: Codec + Send> Transport<M> {
+/// What one [`Transport::send`] did on the wire: the encoded byte count
+/// (0 for intra-machine by-value moves) and, for cross-machine batches, the
+/// adaptive encoding mode the [`WireFormat`] chose.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SendReceipt {
+    /// Cross-machine wire bytes of this batch (0 intra-machine).
+    pub bytes: usize,
+    /// Encoding mode of a cross-machine batch; `None` intra-machine.
+    pub wire_mode: Option<WireMode>,
+}
+
+impl<M: WireFormat + Send> Transport<M> {
     /// Creates a transport for `spec.num_workers()` workers with
     /// `spec.threads_per_worker` private sender lanes per worker and an
     /// ideal (zero-delay) network. See [`Self::with_network`].
@@ -270,49 +304,60 @@ impl<M: Codec + Send> Transport<M> {
     ///
     /// Cross-machine batches are serialized into a byte buffer and decoded
     /// on arrival (both real work); intra-machine batches move by value.
-    /// Returns the number of wire bytes (0 for intra-machine sends).
-    pub fn send(&self, from: usize, to: usize, msgs: Vec<M>, epoch: usize) -> usize {
+    /// Returns a [`SendReceipt`] with the wire bytes (0 for intra-machine
+    /// sends) and the adaptive encoding mode the message type's
+    /// [`WireFormat`] chose for the batch.
+    pub fn send(&self, from: usize, to: usize, msgs: Vec<M>, epoch: usize) -> SendReceipt {
         if msgs.is_empty() {
-            return 0;
+            return SendReceipt::default();
         }
         let from_worker = from / self.lanes_per_worker;
         let count = msgs.len();
         self.counters.add_messages(count);
-        let (payload, bytes, alloc) = if self.spec.crosses_machines(from_worker, to) {
-            let (decoded, bytes, alloc) = if self.pooled {
+        let (payload, receipt, alloc, saved) = if self.spec.crosses_machines(from_worker, to) {
+            let mut msgs = msgs;
+            let (decoded, stats, bytes, alloc) = if self.pooled {
                 // Serialize into this sender lane's pooled buffer: only
                 // capacity *growth* is a real allocation, and a warm buffer
                 // never grows again. Decoding runs over a borrowed slice so
                 // the pooled allocation survives for the next batch.
                 let mut buf = self.pool[from].lock();
-                let grown = encode_batch_into(&mut buf, &msgs);
+                let stats = M::wire_encode_batch_into(&mut buf, &mut msgs);
                 let bytes = buf.len();
                 self.wire_delay(msgs.len(), bytes);
                 drop(msgs);
                 // The checked decoder turns a framing bug into a diagnosable
                 // panic instead of an out-of-bounds read deep in the codec.
-                let decoded = try_decode_batch(&mut &buf[..])
+                let decoded = M::wire_try_decode_batch(&mut &buf[..])
                     .expect("simulated wire corrupted: batch truncated mid-message");
-                (decoded, bytes, grown)
+                (decoded, stats, bytes, stats.grown)
             } else {
                 // Unpooled (ablation baseline): every batch is a fresh
                 // allocation, charged in full.
-                let buf = encode_batch(&msgs);
+                let mut buf = BytesMut::new();
+                let stats = M::wire_encode_batch_into(&mut buf, &mut msgs);
                 let bytes = buf.len();
                 self.wire_delay(msgs.len(), bytes);
                 drop(msgs);
-                let decoded = try_decode_batch(&mut buf.freeze())
+                let decoded = M::wire_try_decode_batch(&mut &buf[..])
                     .expect("simulated wire corrupted: batch truncated mid-message");
-                (decoded, bytes, bytes)
+                (decoded, stats, bytes, bytes)
             };
             self.counters.add_bytes(bytes);
             if alloc > 0 {
                 self.counters.add_alloc(alloc);
             }
-            (decoded, bytes, alloc)
+            let saved = stats.legacy_len.saturating_sub(bytes);
+            self.counters.add_wire_batch(stats.mode, saved);
+            let receipt = SendReceipt {
+                bytes,
+                wire_mode: Some(stats.mode),
+            };
+            (decoded, receipt, alloc, saved)
         } else {
-            (msgs, 0, 0)
+            (msgs, SendReceipt::default(), 0, 0)
         };
+        let bytes = receipt.bytes;
         if let Some(obs) = &self.obs {
             obs.messages_total.inc(count as u64);
             if bytes > 0 {
@@ -321,6 +366,12 @@ impl<M: Codec + Send> Transport<M> {
                 obs.message_bytes
                     .record_n((bytes / count) as u64, count as u64);
                 obs.send_alloc_bytes.record(alloc as u64);
+            }
+            if let Some(mode) = receipt.wire_mode {
+                obs.wire_mode_batches[wire_mode_index(mode)].inc(1);
+                if saved > 0 {
+                    obs.wire_bytes_saved.inc(saved as u64);
+                }
             }
         }
         let parity = (epoch + 1) & 1;
@@ -351,7 +402,7 @@ impl<M: Codec + Send> Transport<M> {
             // racing drain may leave this entry stale, which drains tolerate.
             self.dirty[parity][to].lock().push(lane_idx as u32);
         }
-        bytes
+        receipt
     }
 
     /// Enqueues messages for delivery at exactly epoch `deliver_epoch`,
@@ -474,8 +525,8 @@ mod tests {
     #[test]
     fn intra_machine_send_is_byte_free() {
         let t: Transport<(u32, f64)> = Transport::new(spec(), InboxMode::Sharded);
-        let bytes = t.send(0, 1, vec![(5, 1.5)], 0);
-        assert_eq!(bytes, 0);
+        let receipt = t.send(0, 1, vec![(5, 1.5)], 0);
+        assert_eq!(receipt, SendReceipt::default());
         assert_eq!(t.counters().snapshot().bytes, 0);
         assert_eq!(t.drain(1, 1), vec![(5, 1.5)]);
     }
@@ -483,10 +534,44 @@ mod tests {
     #[test]
     fn cross_machine_send_serializes() {
         let t: Transport<(u32, f64)> = Transport::new(spec(), InboxMode::Sharded);
-        let bytes = t.send(0, 2, vec![(5, 1.5), (6, 2.5)], 0);
-        assert_eq!(bytes, 4 + 2 * 12); // batch length prefix + 2 * (u32+f64)
+        let receipt = t.send(0, 2, vec![(5, 1.5), (6, 2.5)], 0);
+        assert_eq!(receipt.bytes, 4 + 2 * 12); // batch length prefix + 2 * (u32+f64)
+        assert_eq!(receipt.wire_mode, Some(WireMode::Legacy)); // tuples have no adaptive format
         assert_eq!(t.drain(2, 1), vec![(5, 1.5), (6, 2.5)]);
-        assert_eq!(t.counters().snapshot().bytes, bytes);
+        let snap = t.counters().snapshot();
+        assert_eq!(snap.bytes, receipt.bytes);
+        assert_eq!(snap.wire_legacy_batches, 1);
+        assert_eq!(snap.wire_saved_bytes, 0, "legacy framing saves nothing");
+    }
+
+    #[test]
+    fn adaptive_replica_batches_report_their_mode_and_savings() {
+        use crate::codec::ReplicaUpdate;
+        let t: Transport<ReplicaUpdate<f64>> = Transport::new(spec(), InboxMode::Sharded);
+        // Contiguous ids → dense bitmap mode; scattered ids → sparse varints.
+        let dense: Vec<_> = (0..100)
+            .map(|i| ReplicaUpdate::new(i, i as f64, i % 2 == 0))
+            .collect();
+        let sparse: Vec<_> = (0..8)
+            .map(|i| ReplicaUpdate::new(i * 1_000_003, i as f64, true))
+            .collect();
+        let rd = t.send(0, 2, dense.clone(), 0);
+        let rs = t.send(0, 2, sparse.clone(), 0);
+        assert_eq!(rd.wire_mode, Some(WireMode::Dense));
+        assert_eq!(rs.wire_mode, Some(WireMode::Sparse));
+        let snap = t.counters().snapshot();
+        assert_eq!(snap.wire_dense_batches, 1);
+        assert_eq!(snap.wire_sparse_batches, 1);
+        let legacy = (4 + 13 * dense.len()) + (4 + 13 * sparse.len());
+        assert_eq!(snap.wire_saved_bytes, legacy - snap.bytes);
+        assert!(snap.wire_saved_bytes > 0, "adaptive modes must beat legacy");
+        // Delivery is unchanged: the decoded batch is the id-sorted input.
+        let mut got = t.drain(2, 1);
+        got.sort_by_key(|m| m.replica);
+        let mut want = dense;
+        want.extend(sparse);
+        want.sort_by_key(|m| m.replica);
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -529,7 +614,7 @@ mod tests {
     #[test]
     fn empty_send_is_free() {
         let t: Transport<u32> = Transport::new(spec(), InboxMode::GlobalQueue);
-        assert_eq!(t.send(0, 1, vec![], 0), 0);
+        assert_eq!(t.send(0, 1, vec![], 0), SendReceipt::default());
         assert_eq!(t.counters().snapshot().messages, 0);
     }
 

@@ -3,8 +3,11 @@
 //! correct epoch isolation.
 
 use bytes::{Buf, BufMut};
-use cyclops_net::codec::{decode_batch, encode_batch, try_decode_batch};
-use cyclops_net::{ClusterSpec, Codec, InboxMode, Transport};
+use cyclops_net::codec::{
+    decode_batch, encode_batch, encode_varint, try_decode_batch, try_decode_varint, unzigzag,
+    varint_len, zigzag,
+};
+use cyclops_net::{ClusterSpec, Codec, InboxMode, ReplicaUpdate, Transport, WireFormat};
 use proptest::prelude::*;
 
 proptest! {
@@ -95,6 +98,80 @@ proptest! {
         prop_assert!(t.all_empty());
         let sent: usize = sends.iter().map(|(_, _, _, m)| m.len()).sum();
         prop_assert_eq!(t.counters().snapshot().messages, sent);
+    }
+
+    /// Varints round-trip any u64 and report their length exactly; zigzag
+    /// round-trips any i64 (the delta layer's primitives).
+    #[test]
+    fn varint_and_zigzag_round_trip(vals in prop::collection::vec(any::<u64>(), 0..64), signed in prop::collection::vec(any::<i64>(), 0..64)) {
+        let mut buf = bytes::BytesMut::new();
+        let mut want_len = 0;
+        for &v in &vals {
+            encode_varint(&mut buf, v);
+            want_len += varint_len(v);
+        }
+        prop_assert_eq!(buf.len(), want_len);
+        let mut read = buf.freeze();
+        for &v in &vals {
+            prop_assert_eq!(try_decode_varint(&mut read), Some(v));
+        }
+        prop_assert!(!read.has_remaining());
+        for &s in &signed {
+            prop_assert_eq!(unzigzag(zigzag(s)), s);
+        }
+    }
+
+    /// The adaptive ReplicaBatch round-trips arbitrary id sequences
+    /// (duplicates included) as the id-sorted batch, and its encoding is a
+    /// pure function of the batch *set*: any permutation encodes to
+    /// byte-identical output, so byte counters stay deterministic under
+    /// multi-threaded outbox merge order.
+    #[test]
+    fn replica_batch_round_trips_and_is_permutation_invariant(
+        ids in prop::collection::vec(any::<u32>(), 0..120),
+        rot in any::<usize>(),
+    ) {
+        let mk = |ids: &[u32]| -> Vec<ReplicaUpdate<f64>> {
+            ids.iter().map(|&id| ReplicaUpdate::new(id, id as f64 * 1.5 - 3.0, id % 2 == 0)).collect()
+        };
+        let mut msgs = mk(&ids);
+        let mut buf = bytes::BytesMut::new();
+        let stats = ReplicaUpdate::wire_encode_batch_into(&mut buf, &mut msgs);
+        prop_assert_eq!(stats.legacy_len, 4 + 13 * ids.len());
+        prop_assert!(buf.len() <= stats.legacy_len, "adaptive must never exceed legacy");
+        // Round-trip: the decoded batch is the input sorted by replica id.
+        let out = ReplicaUpdate::<f64>::wire_try_decode_batch(&mut &buf[..]).unwrap();
+        let mut want = mk(&ids);
+        want.sort_by_key(|m| m.replica);
+        prop_assert_eq!(out, want);
+        // Permutation invariance (mode-choice determinism).
+        let mut rotated = ids.clone();
+        if !ids.is_empty() { rotated.rotate_left(rot % ids.len()); }
+        let mut msgs2 = mk(&rotated);
+        let mut buf2 = bytes::BytesMut::new();
+        let stats2 = ReplicaUpdate::wire_encode_batch_into(&mut buf2, &mut msgs2);
+        prop_assert_eq!(&buf[..], &buf2[..]);
+        prop_assert_eq!(stats.mode, stats2.mode);
+    }
+
+    /// Truncating an adaptive batch at any byte offset fails cleanly —
+    /// the ReplicaBatch mirror of `truncated_batches_fail_cleanly_at_every_offset`.
+    #[test]
+    fn truncated_replica_batches_fail_cleanly_at_every_offset(
+        ids in prop::collection::vec(any::<u32>(), 1..40),
+        dense_bias in any::<bool>(),
+    ) {
+        // Half the cases compress ids into a near-contiguous range so both
+        // wire modes get exercised.
+        let ids: Vec<u32> = if dense_bias { ids.iter().map(|&v| v % 64).collect() } else { ids };
+        let mut msgs: Vec<ReplicaUpdate<f64>> =
+            ids.iter().map(|&id| ReplicaUpdate::new(id, id as f64, id % 2 == 1)).collect();
+        let mut full = bytes::BytesMut::new();
+        ReplicaUpdate::wire_encode_batch_into(&mut full, &mut msgs);
+        for cut in 0..full.len() {
+            let got = ReplicaUpdate::<f64>::wire_try_decode_batch(&mut &full[..cut]);
+            prop_assert_eq!(got, None, "a {}-byte prefix of {} decoded", cut, full.len());
+        }
     }
 
     /// Lane-partitioned drains are a partition of the full drain.

@@ -33,6 +33,9 @@
 //!   --inbox MODE          hama inbox: global (default) | sharded
 //!   --sched S             cyclops compute scheduler: static |
 //!                         dynamic (default, degree-weighted chunk claiming)
+//!   --sparse-cutoff F     sparse-superstep fast path: engage when the
+//!                         frontier is below F of local masters
+//!                         (default 0.015; 0 disables; results identical)
 //!
 //! algorithm:
 //!   --epsilon F           convergence threshold (pagerank; default 1e-9)
@@ -45,7 +48,8 @@
 //!   --top N               print the N best-ranked vertices (default 10)
 //!   --seed N              generator seed (gen; default dataset seed)
 //!   --stats               print per-superstep statistics
-//!   --trace FILE          write a superstep trace (JSON lines; pagerank)
+//!   --trace FILE          write a superstep trace (JSON lines;
+//!                         pagerank, and sssp/cc on the cyclops engine)
 //!   --stream              stream the trace to FILE mid-run (no ring cap)
 //!   --values              capture/compare per-publication value digests
 //!   --prom FILE           write Prometheus metrics exposition after the run
@@ -87,6 +91,7 @@ struct Options {
     values: bool,
     inbox: String,
     sched: String,
+    sparse_cutoff: f64,
     prom: Option<String>,
     listen: Option<String>,
     hot: usize,
@@ -123,6 +128,8 @@ impl Default for Options {
             values: false,
             inbox: "global".into(),
             sched: "dynamic".into(),
+            // Matches the engines' config defaults.
+            sparse_cutoff: 0.015,
             prom: None,
             listen: None,
             hot: 0,
@@ -212,6 +219,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--values" => opts.values = true,
             "--inbox" => opts.inbox = value("--inbox")?,
             "--sched" => opts.sched = value("--sched")?,
+            "--sparse-cutoff" => {
+                opts.sparse_cutoff = value("--sparse-cutoff")?
+                    .parse()
+                    .map_err(|e| format!("--sparse-cutoff: {e}"))?
+            }
             "--prom" => opts.prom = Some(value("--prom")?),
             "--listen" => opts.listen = Some(value("--listen")?),
             "--hot" => opts.hot = value("--hot")?.parse().map_err(|e| format!("--hot: {e}"))?,
@@ -228,6 +240,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.machines == 0 || opts.workers == 0 || opts.threads == 0 || opts.receivers == 0 {
         return Err("cluster dimensions must be positive".into());
+    }
+    if !opts.sparse_cutoff.is_finite() || opts.sparse_cutoff < 0.0 {
+        return Err("--sparse-cutoff must be a finite fraction >= 0".into());
     }
     Ok(opts)
 }
@@ -297,6 +312,63 @@ fn write_output<T: std::fmt::Display>(path: &str, values: &[T]) -> Result<(), St
     );
     for (v, x) in values.iter().enumerate() {
         writeln!(f, "{v} {x}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Builds the optional superstep-trace sink for a run command, honoring
+/// `--stream`, `--values` and `--hot`. Call after `install_global` so the
+/// hot-vertex gauges resolve.
+fn build_sink(
+    opts: &Options,
+    engine: &str,
+    cluster: &ClusterSpec,
+) -> Result<Option<cyclops_net::trace::TraceSink>, String> {
+    use cyclops_net::trace::TraceSink;
+    if opts.stream && opts.trace.is_none() {
+        return Err("--stream needs --trace FILE".into());
+    }
+    if opts.hot > 0 && opts.trace.is_none() {
+        // Hot-vertex sketches ride on the trace sink; without one they
+        // would be silently dropped.
+        return Err("--hot needs --trace FILE".into());
+    }
+    let mut sink = match &opts.trace {
+        Some(path) if opts.stream => Some(
+            if opts.values {
+                TraceSink::streaming_with_values(engine, cluster, path)
+            } else {
+                TraceSink::streaming(engine, cluster, path)
+            }
+            .map_err(|e| format!("opening trace {path}: {e}"))?,
+        ),
+        Some(_) if opts.values => Some(TraceSink::with_values(engine, cluster)),
+        Some(_) => Some(TraceSink::new(engine, cluster)),
+        None => None,
+    };
+    if opts.hot > 0 {
+        sink = sink.map(|s| s.with_hot_k(opts.hot));
+    }
+    Ok(sink)
+}
+
+/// Writes (buffered) or closes (streaming) the trace after the run.
+fn finish_sink(opts: &Options, sink: Option<cyclops_net::trace::TraceSink>) -> Result<(), String> {
+    let (Some(path), Some(mut sink)) = (&opts.trace, sink) else {
+        return Ok(());
+    };
+    if sink.is_streaming() {
+        let summary = sink
+            .finish()
+            .map_err(|e| format!("closing trace {path}: {e}"))?;
+        println!(
+            "trace streamed to {path}: {} records ({} deferred)",
+            summary.records_written, summary.records_deferred
+        );
+    } else {
+        sink.write_jsonl(path)
+            .map_err(|e| format!("writing trace {path}: {e}"))?;
+        println!("trace written to {path}");
     }
     Ok(())
 }
@@ -501,34 +573,8 @@ fn run(opts: &Options) -> Result<(), String> {
 
     match opts.command.as_str() {
         "pagerank" => {
-            use cyclops_net::trace::TraceSink;
-            if opts.stream && opts.trace.is_none() {
-                return Err("--stream needs --trace FILE".into());
-            }
-            if opts.hot > 0 && opts.trace.is_none() {
-                // Hot-vertex sketches ride on the trace sink; without one
-                // they would be silently dropped.
-                return Err("--hot needs --trace FILE".into());
-            }
             let engine = if use_hama { "bsp" } else { "cyclops" };
-            let mut sink = match &opts.trace {
-                Some(path) if opts.stream => Some(
-                    if opts.values {
-                        TraceSink::streaming_with_values(engine, &cluster, path)
-                    } else {
-                        TraceSink::streaming(engine, &cluster, path)
-                    }
-                    .map_err(|e| format!("opening trace {path}: {e}"))?,
-                ),
-                Some(_) if opts.values => Some(TraceSink::with_values(engine, &cluster)),
-                Some(_) => Some(TraceSink::new(engine, &cluster)),
-                None => None,
-            };
-            if opts.hot > 0 {
-                // After install_global above, so the per-worker hot-vertex
-                // gauges resolve too.
-                sink = sink.map(|s| s.with_hot_k(opts.hot));
-            }
+            let sink = build_sink(opts, engine, &cluster)?;
             let (values, supersteps, messages, stats) = if use_hama {
                 let r = cyclops_bsp::run_bsp_traced(
                     &cyclops_algos::pagerank::BspPageRank {
@@ -542,38 +588,26 @@ fn run(opts: &Options) -> Result<(), String> {
                         use_combiner: true,
                         track_redundant: true,
                         inbox,
+                        sparse_cutoff: opts.sparse_cutoff,
                         ..Default::default()
                     },
                     sink.as_ref(),
                 );
                 (r.values, r.supersteps, r.counters.messages, r.stats)
             } else {
-                let r = cyclops_algos::pagerank::run_cyclops_pagerank_sched(
+                let r = cyclops_algos::pagerank::run_cyclops_pagerank_tuned(
                     &g,
                     &partition,
                     &cluster,
                     opts.epsilon,
                     opts.max_supersteps,
                     sched,
+                    opts.sparse_cutoff,
                     sink.as_ref(),
                 );
                 (r.values, r.supersteps, r.counters.messages, r.stats)
             };
-            if let (Some(path), Some(mut sink)) = (&opts.trace, sink.take()) {
-                if sink.is_streaming() {
-                    let summary = sink
-                        .finish()
-                        .map_err(|e| format!("closing trace {path}: {e}"))?;
-                    println!(
-                        "trace streamed to {path}: {} records ({} deferred)",
-                        summary.records_written, summary.records_deferred
-                    );
-                } else {
-                    sink.write_jsonl(path)
-                        .map_err(|e| format!("writing trace {path}: {e}"))?;
-                    println!("trace written to {path}");
-                }
-            }
+            finish_sink(opts, sink)?;
             println!("pagerank: {supersteps} supersteps, {messages} messages");
             let mut ranked: Vec<(u32, f64)> = values
                 .iter()
@@ -592,6 +626,14 @@ fn run(opts: &Options) -> Result<(), String> {
             }
         }
         "sssp" => {
+            if opts.trace.is_some() && use_hama {
+                return Err("--trace with sssp needs --engine cyclops".into());
+            }
+            let sink = if use_hama {
+                None
+            } else {
+                build_sink(opts, "cyclops", &cluster)?
+            };
             let (values, supersteps) = if use_hama {
                 let r = cyclops_algos::sssp::run_bsp_sssp(
                     &g,
@@ -602,17 +644,19 @@ fn run(opts: &Options) -> Result<(), String> {
                 );
                 (r.values, r.supersteps)
             } else {
-                let r = cyclops_algos::sssp::run_cyclops_sssp_sched(
+                let r = cyclops_algos::sssp::run_cyclops_sssp_tuned(
                     &g,
                     &partition,
                     &cluster,
                     opts.source,
                     opts.max_supersteps,
                     sched,
-                    None,
+                    opts.sparse_cutoff,
+                    sink.as_ref(),
                 );
                 (r.values, r.supersteps)
             };
+            finish_sink(opts, sink)?;
             let reachable = values.iter().filter(|d| d.is_finite()).count();
             println!(
                 "sssp from {}: {supersteps} supersteps, {reachable}/{} reachable",
@@ -648,14 +692,30 @@ fn run(opts: &Options) -> Result<(), String> {
             }
         }
         "cc" => {
+            if opts.trace.is_some() && use_hama {
+                return Err("--trace with cc needs --engine cyclops".into());
+            }
             let sym = cyclops_algos::cc::symmetrize(&g);
             let partition = build_partition(opts, &sym, cluster.num_workers())?;
+            let sink = if use_hama {
+                None
+            } else {
+                build_sink(opts, "cyclops", &cluster)?
+            };
             let values = if use_hama {
                 cyclops_algos::cc::run_bsp_cc(&sym, &partition, &cluster).values
             } else {
-                cyclops_algos::cc::run_cyclops_cc_sched(&sym, &partition, &cluster, sched, None)
-                    .values
+                cyclops_algos::cc::run_cyclops_cc_tuned(
+                    &sym,
+                    &partition,
+                    &cluster,
+                    sched,
+                    opts.sparse_cutoff,
+                    sink.as_ref(),
+                )
+                .values
             };
+            finish_sink(opts, sink)?;
             let mut labels = values.clone();
             labels.sort_unstable();
             labels.dedup();
@@ -725,9 +785,12 @@ execution:   --engine cyclops|hama  --machines M --workers W
              --inbox global|sharded (hama)
              --sched static|dynamic (cyclops; dynamic = degree-weighted
              chunk claiming, bitwise-identical results to static)
+             --sparse-cutoff F  sparse-superstep fast path when the
+             frontier is below F of local masters (default 0.015;
+             0 disables; results bitwise identical either way)
 algorithm:   --epsilon F  --max-supersteps N  --source V  --sweeps N
 output:      --output FILE  --top N  --stats
-tracing:     --trace FILE (pagerank)  --stream  --values
+tracing:     --trace FILE (pagerank; sssp/cc on cyclops)  --stream  --values
              --hot K  per-worker hot-vertex top-K sketch in the trace
              --prom FILE  writes Prometheus metrics after the run
              --listen ADDR  serves GET /metrics + /healthz live during
@@ -827,6 +890,13 @@ mod tests {
         assert_eq!(o.sched, "static");
         let o = parse_args(&args("pagerank --dataset GWeb")).unwrap();
         assert_eq!(o.sched, "dynamic");
+        assert_eq!(o.sparse_cutoff, 0.015);
+        let o = parse_args(&args("sssp --dataset RoadCA --sparse-cutoff 0.05")).unwrap();
+        assert_eq!(o.sparse_cutoff, 0.05);
+        let o = parse_args(&args("sssp --dataset RoadCA --sparse-cutoff 0")).unwrap();
+        assert_eq!(o.sparse_cutoff, 0.0);
+        assert!(parse_args(&args("sssp --sparse-cutoff -1")).is_err());
+        assert!(parse_args(&args("sssp --sparse-cutoff nope")).is_err());
         let o = parse_args(&args("top run.jsonl --once --refresh-ms 100")).unwrap();
         assert_eq!(o.command, "top");
         assert_eq!(o.positional, vec!["run.jsonl"]);

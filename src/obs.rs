@@ -253,6 +253,38 @@ pub fn hot_vertices(trace: &RunTrace, k: usize) -> Vec<(u32, u64)> {
     out
 }
 
+/// Per-superstep adaptive wire-encoding mix, summed over workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireMixRow {
+    /// Superstep index.
+    pub superstep: u64,
+    /// Cross-machine batches that self-selected the dense bitmap encoding.
+    pub dense: u64,
+    /// Cross-machine batches that self-selected the sparse delta encoding.
+    pub sparse: u64,
+    /// Workers that ran this superstep on the sparse fast path.
+    pub fast_workers: u64,
+}
+
+/// The per-superstep wire-encoding mix of a trace: dense/sparse batch counts
+/// and fast-path worker counts, summed over workers. Supersteps with neither
+/// adaptive batches nor fast-path workers are omitted, so a legacy trace
+/// yields an empty vec.
+pub fn wire_mix(trace: &RunTrace) -> Vec<WireMixRow> {
+    let mut rows: std::collections::BTreeMap<u64, WireMixRow> = std::collections::BTreeMap::new();
+    for r in &trace.records {
+        if r.wire_dense == 0 && r.wire_sparse == 0 && !r.sparse_fast_path {
+            continue;
+        }
+        let row = rows.entry(r.superstep).or_default();
+        row.superstep = r.superstep;
+        row.dense += r.wire_dense;
+        row.sparse += r.wire_sparse;
+        row.fast_workers += r.sparse_fast_path as u64;
+    }
+    rows.into_values().collect()
+}
+
 fn pct(part: u64, whole: u64) -> f64 {
     if whole == 0 {
         0.0
@@ -346,6 +378,35 @@ pub fn why_slow_report(trace: &RunTrace) -> String {
     }
     out.push('\n');
 
+    let mix = wire_mix(trace);
+    if mix.is_empty() {
+        out.push_str("wire encoding: no adaptive batches recorded (legacy codec path)\n");
+    } else {
+        let dense: u64 = mix.iter().map(|m| m.dense).sum();
+        let sparse: u64 = mix.iter().map(|m| m.sparse).sum();
+        let fast_steps = mix.iter().filter(|m| m.fast_workers > 0).count();
+        let _ = writeln!(
+            out,
+            "wire encoding: {dense} dense / {sparse} sparse batches, \
+             {fast_steps} of {} supersteps on the sparse fast path",
+            trace.supersteps(),
+        );
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>7} {:>7} {:>12}",
+            "step", "dense", "sparse", "fast-workers"
+        );
+        let tail = mix.len().saturating_sub(16);
+        for m in &mix[tail..] {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>7} {:>7} {:>12}",
+                m.superstep, m.dense, m.sparse, m.fast_workers
+            );
+        }
+    }
+    out.push('\n');
+
     let spans: Vec<u64> = cp.supersteps.iter().map(|s| s.span_ns).collect();
     let waits: Vec<u64> = cp.supersteps.iter().map(|s| s.caused_wait_ns).collect();
     let _ = writeln!(
@@ -419,6 +480,17 @@ pub fn why_slow_json(trace: &RunTrace) -> String {
             out.push(',');
         }
         let _ = write!(out, "\n    {{\"vertex\": {v}, \"cost\": {w}}}");
+    }
+    out.push_str("\n  ],\n  \"wire_mix\": [");
+    for (i, m) in wire_mix(trace).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"superstep\": {}, \"dense\": {}, \"sparse\": {}, \"fast_path_workers\": {}}}",
+            m.superstep, m.dense, m.sparse, m.fast_workers
+        );
     }
     out.push_str("\n  ]\n}\n");
     out
@@ -716,6 +788,45 @@ mod tests {
         assert!(report.contains("--hot K"), "{report}");
         // Deterministic for a fixed trace.
         assert_eq!(report, why_slow_report(&skewed_trace()));
+    }
+
+    #[test]
+    fn wire_mix_aggregates_and_surfaces_in_reports() {
+        let mut trace = skewed_trace();
+        trace.records[0].wire_dense = 3;
+        trace.records[1].wire_sparse = 2;
+        trace.records[2].sparse_fast_path = true;
+        trace.records[2].wire_sparse = 1;
+        let mix = wire_mix(&trace);
+        assert_eq!(
+            mix,
+            vec![
+                WireMixRow {
+                    superstep: 0,
+                    dense: 3,
+                    sparse: 2,
+                    fast_workers: 0
+                },
+                WireMixRow {
+                    superstep: 1,
+                    dense: 0,
+                    sparse: 1,
+                    fast_workers: 1
+                },
+            ]
+        );
+        let report = why_slow_report(&trace);
+        assert!(report.contains("3 dense / 3 sparse batches"), "{report}");
+        assert!(
+            report.contains("1 of 2 supersteps on the sparse fast path"),
+            "{report}"
+        );
+        let j = why_slow_json(&trace);
+        assert!(j.contains("\"wire_mix\": ["), "{j}");
+        assert!(j.contains("\"fast_path_workers\": 1"), "{j}");
+        // Legacy traces degrade to an explicit absence line / empty array.
+        assert!(why_slow_report(&skewed_trace()).contains("no adaptive batches"));
+        assert!(why_slow_json(&skewed_trace()).contains("\"wire_mix\": [\n  ]"));
     }
 
     #[test]
