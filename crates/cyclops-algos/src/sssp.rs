@@ -50,6 +50,13 @@ impl BspProgram for BspSssp {
     fn combine(&self, a: &f64, b: &f64) -> Option<f64> {
         Some(a.min(*b))
     }
+
+    fn priority(&self, msg: &f64) -> Option<f64> {
+        // The message is the candidate distance at the receiver — with
+        // non-negative weights, a lower bound on anything reachable through
+        // it, which is exactly the delta-stepping bucket priority.
+        Some(*msg)
+    }
 }
 
 /// Cyclops SSSP: the source publishes distance 0 and activates its
@@ -95,6 +102,13 @@ impl CyclopsProgram for CyclopsSssp {
             ctx.set_value(best);
             ctx.activate_neighbors(best);
         }
+    }
+
+    fn priority(&self, msg: &f64) -> Option<f64> {
+        // The publication is the activator's tentative distance — a lower
+        // bound on the activated vertex's distance through it (weights are
+        // non-negative), which is the delta-stepping bucket priority.
+        Some(*msg)
     }
 }
 
@@ -238,6 +252,95 @@ pub fn run_cyclops_sssp_tuned(
     )
 }
 
+/// Picks a bucket width for delta-stepping SSSP on `graph`: ~8x the mean
+/// edge weight. Wider buckets admit more vertices per superstep (fewer
+/// barriers — the win on high-diameter road networks) at the cost of some
+/// extra idempotent re-relaxation inside a bucket; 8x the mean keeps a
+/// road-network bucket a few hops deep. Unweighted graphs (weight 1.0
+/// everywhere) get width 8.0; an edgeless graph falls back to 1.0.
+pub fn auto_bucket_width(graph: &Graph) -> f64 {
+    let mut sum = 0.0f64;
+    let mut n = 0u64;
+    for (_, _, w) in graph.edges() {
+        sum += w;
+        n += 1;
+    }
+    if n == 0 || !(sum / n as f64).is_finite() || sum <= 0.0 {
+        1.0
+    } else {
+        8.0 * (sum / n as f64)
+    }
+}
+
+/// Runs Cyclops SSSP with the bucketed (delta-stepping) scheduler: each
+/// superstep drains one priority bucket of width `bucket_width` behind a
+/// single barrier pair, instead of one relaxation hop per barrier. Pass
+/// `bucket_width <= 0.0` to auto-tune via [`auto_bucket_width`]. Distances
+/// are bitwise identical to the unbucketed run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cyclops_sssp_bucketed(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    source: VertexId,
+    max_supersteps: usize,
+    bucket_width: f64,
+    bucket_mode: cyclops_net::BucketMode,
+    trace: Option<&cyclops_net::trace::TraceSink>,
+) -> CyclopsResult<f64, f64> {
+    let width = if bucket_width > 0.0 {
+        bucket_width
+    } else {
+        auto_bucket_width(graph)
+    };
+    cyclops_engine::run_cyclops_traced(
+        &CyclopsSssp { source },
+        graph,
+        partition,
+        &CyclopsConfig {
+            cluster: *cluster,
+            max_supersteps,
+            bucket_width: width,
+            bucket_mode,
+            ..Default::default()
+        },
+        trace,
+    )
+}
+
+/// Runs BSP SSSP with the bucketed (delta-stepping) scheduler — the BSP
+/// counterpart of [`run_cyclops_sssp_bucketed`], mostly useful for
+/// cross-engine equivalence checks (the Figure 9 Hama baseline stays
+/// unbucketed). Pass `bucket_width <= 0.0` to auto-tune.
+pub fn run_bsp_sssp_bucketed(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    source: VertexId,
+    max_supersteps: usize,
+    bucket_width: f64,
+    bucket_mode: cyclops_net::BucketMode,
+) -> BspResult<f64, f64> {
+    let width = if bucket_width > 0.0 {
+        bucket_width
+    } else {
+        auto_bucket_width(graph)
+    };
+    run_bsp(
+        &BspSssp { source },
+        graph,
+        partition,
+        &BspConfig {
+            cluster: *cluster,
+            max_supersteps,
+            use_combiner: true,
+            bucket_width: width,
+            bucket_mode,
+            ..Default::default()
+        },
+    )
+}
+
 /// Runs GAS (PowerGraph) SSSP from `source`.
 pub fn run_gas_sssp(
     graph: &Graph,
@@ -320,6 +423,75 @@ mod tests {
         assert!(r.values[2].is_infinite());
         assert!(r.values[3].is_infinite());
         assert_eq!(r.values[1], 1.0);
+    }
+
+    #[test]
+    fn bucketed_cyclops_matches_unbucketed_with_fewer_supersteps() {
+        let g = road_lattice(12, 12, 0.9, 0.1, 3);
+        let p = HashPartitioner.partition(&g, 4);
+        let cluster = ClusterSpec::flat(2, 2);
+        let flat = run_cyclops_sssp(&g, &p, &cluster, 0, 10_000);
+        for mode in [cyclops_net::BucketMode::Det, cyclops_net::BucketMode::Fast] {
+            let bucketed = run_cyclops_sssp_bucketed(&g, &p, &cluster, 0, 10_000, 0.0, mode, None);
+            assert_eq!(flat.values, bucketed.values, "mode {mode:?}");
+            assert!(
+                bucketed.supersteps < flat.supersteps,
+                "mode {mode:?}: {} vs {}",
+                bucketed.supersteps,
+                flat.supersteps
+            );
+            assert_distances_match(&bucketed.values, &reference::sssp(&g, 0));
+        }
+    }
+
+    #[test]
+    fn bucketed_bsp_matches_unbucketed_with_fewer_supersteps() {
+        let g = road_lattice(12, 12, 0.9, 0.1, 3);
+        let p = HashPartitioner.partition(&g, 4);
+        let cluster = ClusterSpec::flat(2, 2);
+        let flat = run_bsp_sssp(&g, &p, &cluster, 0, 10_000);
+        let bucketed = run_bsp_sssp_bucketed(&g, &p, &cluster, 0, 10_000, 0.0, Default::default());
+        assert_eq!(flat.values, bucketed.values);
+        assert!(
+            bucketed.supersteps < flat.supersteps,
+            "{} vs {}",
+            bucketed.supersteps,
+            flat.supersteps
+        );
+        assert_distances_match(&bucketed.values, &reference::sssp(&g, 0));
+    }
+
+    #[test]
+    fn bucketed_cyclops_mt_matches_dijkstra() {
+        let g = road_lattice(12, 12, 1.0, 0.0, 7);
+        let p = HashPartitioner.partition(&g, 3);
+        let r = run_cyclops_sssp_bucketed(
+            &g,
+            &p,
+            &ClusterSpec::mt(3, 4, 2),
+            0,
+            10_000,
+            0.0,
+            cyclops_net::BucketMode::Det,
+            None,
+        );
+        assert_distances_match(&r.values, &reference::sssp(&g, 0));
+    }
+
+    #[test]
+    fn auto_bucket_width_tracks_mean_weight() {
+        let g = road_lattice(12, 12, 0.9, 0.1, 3);
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for (_, _, w) in g.edges() {
+            sum += w;
+            n += 1;
+        }
+        let mean = sum / n as f64;
+        assert!((auto_bucket_width(&g) - 8.0 * mean).abs() < 1e-12);
+        // Edgeless graph: sane fallback, not NaN.
+        let empty = cyclops_graph::GraphBuilder::new(3).build();
+        assert_eq!(auto_bucket_width(&empty), 1.0);
     }
 
     #[test]

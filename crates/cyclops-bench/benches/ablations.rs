@@ -394,4 +394,52 @@ fn main() {
          \x20 one run reports both; PageRank mixes dense early supersteps with a\n\
          \x20 sparse convergence tail, the SSSP wavefront stays sparse throughout)"
     );
+
+    // ---- 10. Bucketed delta-stepping vs barrier-per-hop SSSP. ----
+    report::subheading("bucketed execution: delta-stepping buckets vs one barrier per hop");
+    let width = cyclops_algos::sssp::auto_bucket_width(&road);
+    let bucketed = cyclops_algos::sssp::run_cyclops_sssp_bucketed(
+        &road,
+        &proad,
+        &cluster,
+        workloads::SSSP_SOURCE,
+        100_000,
+        width,
+        cyclops_net::BucketMode::Det,
+        None,
+    );
+    assert_eq!(
+        sssp.values, bucketed.values,
+        "bucketed distances must be bitwise identical"
+    );
+    let mut table = Table::new(&["variant", "supersteps", "messages", "bytes", "time (s)"]);
+    for (name, supersteps, c, elapsed) in [
+        (
+            "barrier per hop",
+            sssp.supersteps,
+            &sssp.counters,
+            sssp.elapsed,
+        ),
+        (
+            "bucketed (auto width, det)",
+            bucketed.supersteps,
+            &bucketed.counters,
+            bucketed.elapsed,
+        ),
+    ] {
+        table.row(vec![
+            name.into(),
+            supersteps.to_string(),
+            report::count(c.messages),
+            report::count(c.bytes),
+            report::secs(elapsed),
+        ]);
+    }
+    table.print();
+    println!(
+        "  (width {width:.3} = 8x mean edge weight; each superstep drains one\n\
+         \x20 priority bucket to a fixpoint behind a single barrier pair, so the\n\
+         \x20 ~diameter-long chain of near-empty supersteps collapses; distances\n\
+         \x20 are bitwise identical — asserted above)"
+    );
 }

@@ -616,7 +616,7 @@ mod tests {
             .map(|i| TraceRecord {
                 superstep: i,
                 compute_ns: 1_000_000, // 1 ms for every record...
-                send_ns: if i == 99 { 80_000_000 } else { 1_000_000 }, // ...one 80 ms outlier
+                send_ns: if i >= 98 { 80_000_000 } else { 1_000_000 }, // ...two 80 ms outliers
                 ..Default::default()
             })
             .collect();
@@ -626,6 +626,12 @@ mod tests {
         };
         let t = phase_quantile_table(&trace);
         assert_eq!(t.rows.len(), 5); // header + 4 phases
+                                     // Pin the column layout the quantile bindings below rely on.
+        let header = &t.rows[0];
+        assert_eq!(header[3], "p50_ms");
+        assert_eq!(header[4], "p90_ms");
+        assert_eq!(header[5], "p99_ms");
+        assert_eq!(header[6], "max_ms");
         let cmp = &t.rows[2];
         assert_eq!(cmp[0], "cmp");
         assert_eq!(cmp[1], "100");
@@ -633,10 +639,15 @@ mod tests {
         assert!((p50 - 1.0).abs() / 1.0 <= 0.125, "cmp p50 {p50}");
         let snd = &t.rows[3];
         let p50: f64 = snd[3].parse().unwrap();
-        let p99: f64 = snd[4].parse().unwrap(); // p90 col
+        let p90: f64 = snd[4].parse().unwrap();
+        let p99: f64 = snd[5].parse().unwrap();
         let max: f64 = snd[6].parse().unwrap();
         assert!((p50 - 1.0).abs() / 1.0 <= 0.125, "snd p50 {p50}");
-        assert!(p99 < 10.0, "snd p90 should not see the outlier: {p99}");
+        assert!(p90 < 10.0, "snd p90 should not see the outliers: {p90}");
+        assert!(
+            (p99 - 80.0).abs() / 80.0 <= 0.125,
+            "snd p99 should surface the tail: {p99}"
+        );
         assert!((max - 80.0).abs() / 80.0 <= 0.125, "snd max {max}");
     }
 }

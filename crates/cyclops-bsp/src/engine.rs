@@ -13,12 +13,12 @@ use cyclops_graph::{Graph, VertexId};
 use cyclops_net::metrics::CounterSnapshot;
 use cyclops_net::trace::TraceSink;
 use cyclops_net::{
-    AggregateStats, ClusterSpec, FlatBarrier, InboxMode, Phase, PhaseTimes, SuperstepStats,
-    Transport,
+    priority_key, priority_key_inv, AggregateStats, BucketMode, ClusterSpec, FlatBarrier,
+    InboxMode, Phase, PhaseTimes, SuperstepStats, Transport, IMMEDIATE_KEY,
 };
 use cyclops_partition::EdgeCutPartition;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -52,6 +52,20 @@ pub struct BspConfig {
     /// vertices in the same ascending order — results, message counts and
     /// bytes are bitwise identical to the dense scan. `0.0` disables.
     pub sparse_cutoff: f64,
+    /// Bucketed (delta-stepping) execution: when `> 0.0`, activations carry
+    /// a priority ([`BspProgram::priority`]) and each superstep drains one
+    /// priority bucket of width `bucket_width` to a fixpoint through fused
+    /// lockstep rounds — deferring out-of-bucket vertices with their
+    /// mailboxes intact — instead of running exactly one relaxation round
+    /// per superstep. `0.0` (the default) disables bucketing and leaves the
+    /// classic loop untouched; the bucketed path always walks the pending
+    /// list, so `sparse_cutoff` does not apply to it.
+    pub bucket_width: f64,
+    /// Drain discipline of the bucketed scheduler (ignored when
+    /// `bucket_width` is `0.0`). [`BucketMode::Det`] keeps each round's
+    /// selection order ascending by vertex so schedules are reproducible
+    /// across runs; [`BucketMode::Fast`] selects in arrival order.
+    pub bucket_mode: BucketMode,
 }
 
 impl Default for BspConfig {
@@ -65,6 +79,8 @@ impl Default for BspConfig {
             network: cyclops_net::NetworkModel::ideal(),
             inbox: InboxMode::GlobalQueue,
             sparse_cutoff: 0.015,
+            bucket_width: 0.0,
+            bucket_mode: BucketMode::Det,
         }
     }
 }
@@ -216,6 +232,7 @@ fn run_bsp_inner<P: BspProgram>(
     let checkpoints: Mutex<Vec<Checkpoint<P::Value, P::Message>>> = Mutex::new(Vec::new());
     let last_counters = Mutex::new(CounterSnapshot::default());
     let supersteps_done = AtomicUsize::new(start_superstep);
+    let bucket_shared = BucketShared::new();
 
     let phase_hists = cyclops_net::metrics::PhaseHists::resolve("bsp");
     let sched_obs = cyclops_net::metrics::SchedObs::resolve("bsp");
@@ -247,6 +264,7 @@ fn run_bsp_inner<P: BspProgram>(
                 let phase_hists = phase_hists.as_ref();
                 let sched_obs = sched_obs.as_ref();
                 let cmp_ns = &cmp_ns;
+                let bucket_shared = &bucket_shared;
                 scope.spawn(move || {
                     worker_loop(
                         me,
@@ -272,6 +290,7 @@ fn run_bsp_inner<P: BspProgram>(
                         last_counters,
                         supersteps_done,
                         start_superstep,
+                        bucket_shared,
                     );
                 });
             }
@@ -339,7 +358,34 @@ fn worker_loop<P: BspProgram>(
     last_counters: &Mutex<CounterSnapshot>,
     supersteps_done: &AtomicUsize,
     start_superstep: usize,
+    bucket_shared: &BucketShared,
 ) {
+    if config.bucket_width > 0.0 {
+        return bucketed_worker_loop(
+            me,
+            trace,
+            phase_hists,
+            sched_obs,
+            cmp_ns,
+            program,
+            graph,
+            partition,
+            config,
+            st,
+            local_index,
+            transport,
+            barrier,
+            aggregate_acc,
+            prev_aggregate,
+            history,
+            current,
+            checkpoints,
+            last_counters,
+            supersteps_done,
+            start_superstep,
+            bucket_shared,
+        );
+    }
     let num_workers = partition.num_parts;
     let mut superstep = start_superstep;
     let mut outboxes: Vec<Vec<(VertexId, P::Message)>> =
@@ -397,7 +443,7 @@ fn worker_loop<P: BspProgram>(
                 && (superstep - start_superstep).is_multiple_of(every)
             {
                 let mut cp = checkpoints.lock();
-                capture_checkpoint(&mut cp, st, superstep, agg_in);
+                capture_checkpoint(&mut cp, st, superstep, config.checkpoint_every, agg_in);
                 checkpointed = true;
             }
         }
@@ -579,6 +625,7 @@ fn capture_checkpoint<V: Clone, M: Clone>(
     cps: &mut Vec<Checkpoint<V, M>>,
     st: &WorkerState<V, M>,
     superstep: usize,
+    interval: Option<usize>,
     aggregate: Option<AggregateStats>,
 ) {
     if cps.last().map(|c| c.superstep) != Some(superstep) {
@@ -590,7 +637,14 @@ fn capture_checkpoint<V: Clone, M: Clone>(
             aggregate,
         });
     }
-    let cp = cps.last_mut().unwrap();
+    // The push above guarantees an entry for this superstep; an empty store
+    // here would mean the capture trigger and the store went out of sync.
+    let cp = cps.last_mut().unwrap_or_else(|| {
+        panic!(
+            "checkpoint store empty at superstep {superstep} despite a capture trigger \
+             (checkpoint_every = {interval:?})"
+        )
+    });
     for (i, &v) in st.locals.iter().enumerate() {
         cp.values.push((v, st.values[i].clone()));
         cp.halted.push((v, st.halted[i]));
@@ -618,6 +672,382 @@ fn combine_batch<P: BspProgram>(program: &P, batch: &mut Vec<(VertexId, P::Messa
         }
     }
     *batch = out;
+}
+
+// ---- Bucketed (delta-stepping) execution. ----
+//
+// High-diameter push-mode algorithms (SSSP on road networks) spend hundreds
+// of near-empty supersteps paying a full barrier per hop. The bucketed path
+// replaces "one relaxation round per superstep" with "one priority bucket
+// per superstep": messages carry an activation priority
+// ([`BspProgram::priority`]), out-of-bucket vertices are deferred with their
+// mailboxes intact, and each superstep fuses however many lockstep rounds
+// the lowest nonempty bucket needs to settle. Correctness does not depend on
+// the drain order — with non-negative weights, min-relaxation reaches the
+// same fixpoint under any schedule — so deferral only batches work: a
+// deferred vertex later combines its whole accumulated mailbox in one
+// compute instead of one compute (and one message fan-out) per arrival.
+
+/// Round verdict: the current bucket needs another fused round.
+const VERDICT_CONTINUE: usize = 0;
+/// Round verdict: the bucket settled — advance to [`BucketShared::bucket`].
+const VERDICT_NEXT: usize = 1;
+/// Round verdict: the run is finished (drained or capped).
+const VERDICT_STOP: usize = 2;
+
+/// Shared coordination state for the bucketed BSP path. Workers contribute
+/// before a round's first barrier wait; the round leader reads, resets and
+/// writes the verdict between the two waits; everyone reads the verdict
+/// after the second — so every exchange is ordered by the barrier.
+struct BucketShared {
+    /// Vertices computed in the current fused round, summed over workers.
+    round_selected: AtomicUsize,
+    /// Minimum priority key among activations parked past the current
+    /// bucket, re-accumulated from scratch every round (the leader swaps it
+    /// back to `u64::MAX`), so it never holds stale minima from vertices
+    /// that have since been drained.
+    parked_min: AtomicU64,
+    /// Current bucket index, written by the leader on a bucket advance.
+    bucket: AtomicU64,
+    /// The leader's per-round verdict (`VERDICT_*`).
+    verdict: AtomicUsize,
+    /// Fused rounds executed so far. Bucketed runs budget `max_supersteps`
+    /// *rounds*: a fused round does at least one classic superstep's
+    /// relaxation work, so the cap is never looser than the classic loop's.
+    rounds_total: AtomicUsize,
+}
+
+impl BucketShared {
+    fn new() -> Self {
+        BucketShared {
+            round_selected: AtomicUsize::new(0),
+            parked_min: AtomicU64::new(u64::MAX),
+            bucket: AtomicU64::new(0),
+            verdict: AtomicUsize::new(VERDICT_CONTINUE),
+            rounds_total: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// The bucketed (delta-stepping) BSP superstep loop: one superstep = one
+/// priority bucket drained to a fixpoint through fused lockstep rounds.
+/// Every round runs PRS/CMP/SND over the pending vertices whose parked
+/// priority falls inside the bucket and defers the rest; the round leader
+/// decides between the two barrier waits whether the bucket needs another
+/// round, the next bucket starts, or the run is done. One trace record and
+/// one [`SuperstepStats`] entry cover each bucket, with the round count in
+/// the record's `fused` field.
+#[allow(clippy::too_many_arguments)]
+fn bucketed_worker_loop<P: BspProgram>(
+    me: usize,
+    trace: Option<&TraceSink>,
+    phase_hists: Option<&cyclops_net::metrics::PhaseHists>,
+    sched_obs: Option<&cyclops_net::metrics::SchedObs>,
+    cmp_ns: &[std::sync::atomic::AtomicU64],
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &BspConfig,
+    st: &mut WorkerState<P::Value, P::Message>,
+    local_index: &[u32],
+    transport: &Transport<(VertexId, P::Message)>,
+    barrier: &FlatBarrier,
+    aggregate_acc: &Mutex<AggregateStats>,
+    prev_aggregate: &Mutex<Option<AggregateStats>>,
+    history: &Mutex<Vec<SuperstepStats>>,
+    current: &Mutex<SuperstepStats>,
+    checkpoints: &Mutex<Vec<Checkpoint<P::Value, P::Message>>>,
+    last_counters: &Mutex<CounterSnapshot>,
+    supersteps_done: &AtomicUsize,
+    start_superstep: usize,
+    bucket_shared: &BucketShared,
+) {
+    let num_workers = partition.num_parts;
+    let delta = config.bucket_width;
+    let mut superstep = start_superstep;
+    // Transport epoch: one per fused round, advanced in lockstep — a round's
+    // sends are drained by the next round, exactly like classic supersteps.
+    let mut epoch = start_superstep;
+    let mut bucket: u64 = 0;
+    let mut outboxes: Vec<Vec<(VertexId, P::Message)>> =
+        (0..num_workers).map(|_| Vec::new()).collect();
+    let mut vertex_outbox: Vec<(VertexId, P::Message)> = Vec::new();
+    let mut fp_buf = bytes::BytesMut::new();
+    let tracer = trace.map(|s| s.worker(me));
+    let hot_k = trace.map(|s| s.hot_k()).unwrap_or(0);
+    let mut hot_local = (hot_k > 0).then(|| cyclops_net::trace::SpaceSaving::new(hot_k));
+    // Pending set: `awake` holds exactly the locals with `prio != u64::MAX`
+    // (kept unique by only pushing on that transition). A parked vertex
+    // keeps its mailbox until selected, so deferred arrivals batch into one
+    // compute. Seeded from the halted flags so a resume starts right.
+    let mut prio: Vec<u64> = vec![u64::MAX; st.locals.len()];
+    let mut awake: Vec<u32> = (0..st.locals.len())
+        .filter(|&li| !st.halted[li])
+        .map(|li| li as u32)
+        .collect();
+    for &li in &awake {
+        prio[li as usize] = IMMEDIATE_KEY;
+    }
+    let mut due: Vec<u32> = Vec::new();
+    // Per-bucket accumulators, reset on every bucket advance.
+    let mut rounds: u64 = 0;
+    let mut bucket_times = PhaseTimes::default();
+    let mut bucket_agg = AggregateStats::default();
+    let mut occupancy = 0usize;
+    let mut sel_gen: Vec<u64> = vec![0; st.locals.len()];
+    let mut cmp_acc = 0u64;
+    let mut checkpointed = false;
+
+    loop {
+        let mut times = PhaseTimes::default();
+        let agg_in = *prev_aggregate.lock();
+
+        // ---- Checkpoint at bucket start: the previous bucket settled, so
+        // the transport is empty and parked mailboxes are the only in-flight
+        // state — captured as the checkpoint's messages. A resume re-seeds
+        // every un-halted vertex as immediately due, which costs at most one
+        // extra (idempotent) relaxation per parked vertex. ----
+        if rounds == 0 {
+            if let Some(every) = config.checkpoint_every {
+                if every > 0
+                    && superstep > start_superstep
+                    && (superstep - start_superstep).is_multiple_of(every)
+                {
+                    let mut cp = checkpoints.lock();
+                    capture_checkpoint(&mut cp, st, superstep, config.checkpoint_every, agg_in);
+                    checkpointed = true;
+                }
+            }
+        }
+
+        // ---- PRS: drain this round's messages, wake or park by priority. ----
+        let received = times.time(Phase::Parse, || {
+            let msgs = transport.drain(me, epoch);
+            let count = msgs.len();
+            for (dest, msg) in msgs {
+                let li = local_index[dest as usize] as usize;
+                debug_assert_eq!(partition.part_of(dest) as usize, me);
+                let key = program.priority(&msg).map_or(IMMEDIATE_KEY, priority_key);
+                if prio[li] == u64::MAX {
+                    awake.push(li as u32);
+                }
+                prio[li] = prio[li].min(key);
+                st.halted[li] = false;
+                st.mailbox[li].push(msg);
+            }
+            if config.bucket_mode == BucketMode::Det {
+                awake.sort_unstable();
+            }
+            count
+        });
+
+        // ---- CMP: select the in-bucket pending vertices and compute them.
+        // `IMMEDIATE_KEY` compares below every non-negative priority, so
+        // priority-less activations are always due. ----
+        let end_key = priority_key((bucket + 1) as f64 * delta);
+        due.clear();
+        let mut parked_local = u64::MAX;
+        awake.retain(|&li| {
+            let p = prio[li as usize];
+            if p < end_key {
+                due.push(li);
+                false
+            } else {
+                parked_local = parked_local.min(p);
+                true
+            }
+        });
+        let mut local_activated = 0usize;
+        let mut local_agg = AggregateStats::default();
+        let mut redundant = 0usize;
+        times.time(Phase::Compute, || {
+            let gen = superstep as u64 + 1;
+            for &li32 in &due {
+                let li = li32 as usize;
+                if sel_gen[li] != gen {
+                    sel_gen[li] = gen;
+                    occupancy += 1;
+                }
+                let vertex = st.locals[li];
+                vertex_outbox.clear();
+                let inbox_len = st.mailbox[li].len();
+                let mut halted = false;
+                {
+                    // Programs see the logical relaxation round (the
+                    // lockstep epoch) as their superstep — one round does
+                    // one classic superstep's work, so e.g. "superstep 0"
+                    // initialization branches fire exactly once even though
+                    // the whole bucket shares one barrier-visible superstep.
+                    let mut ctx = BspContext {
+                        vertex,
+                        superstep: epoch,
+                        graph,
+                        value: &mut st.values[li],
+                        halted: &mut halted,
+                        outbox: &mut vertex_outbox,
+                        aggregate: &mut local_agg,
+                        prev_aggregate: agg_in,
+                    };
+                    let msgs = std::mem::take(&mut st.mailbox[li]);
+                    program.compute(&mut ctx, &msgs);
+                }
+                st.halted[li] = halted;
+                if halted {
+                    prio[li] = u64::MAX;
+                } else {
+                    // Still active with no pending message: due next round,
+                    // whatever the bucket (classic BSP semantics).
+                    prio[li] = IMMEDIATE_KEY;
+                    awake.push(li32);
+                    local_activated += 1;
+                }
+                if let Some(hs) = hot_local.as_mut() {
+                    hs.record(vertex, 1 + inbox_len as u64 + vertex_outbox.len() as u64);
+                }
+                if config.track_redundant && !vertex_outbox.is_empty() {
+                    let fp = fingerprint(&mut fp_buf, &vertex_outbox);
+                    if fp == st.last_sent[li] {
+                        redundant += vertex_outbox.len();
+                    }
+                    st.last_sent[li] = fp;
+                }
+                for (dest, msg) in vertex_outbox.drain(..) {
+                    outboxes[partition.part_of(dest) as usize].push((dest, msg));
+                }
+            }
+        });
+        cmp_acc += times.compute.as_nanos() as u64;
+        cmp_ns[me].store(cmp_acc, Ordering::Relaxed);
+        if !local_agg.is_empty() {
+            aggregate_acc.lock().merge(&local_agg);
+            bucket_agg.merge(&local_agg);
+        }
+        if let Some(tr) = tracer {
+            tr.add_drained(received as u64);
+            tr.add_computed(due.len() as u64);
+            tr.add_activated(local_activated as u64);
+        }
+
+        // ---- SND: combine and transmit, as in the classic loop. ----
+        times.time(Phase::Send, || {
+            for (dest_worker, outbox) in outboxes.iter_mut().enumerate() {
+                let mut batch = std::mem::take(outbox);
+                if batch.is_empty() {
+                    continue;
+                }
+                if config.use_combiner {
+                    combine_batch(program, &mut batch);
+                }
+                let sent = batch.len();
+                let lane = me * config.cluster.threads_per_worker;
+                let receipt = transport.send(lane, dest_worker, batch, epoch);
+                if let Some(tr) = tracer {
+                    tr.add_sent(sent as u64, receipt.bytes as u64);
+                }
+            }
+        });
+
+        // ---- SYN: contribute round state, barrier, leader verdict. ----
+        bucket_shared
+            .round_selected
+            .fetch_add(due.len(), Ordering::Relaxed);
+        if parked_local != u64::MAX {
+            bucket_shared
+                .parked_min
+                .fetch_min(parked_local, Ordering::Relaxed);
+        }
+        {
+            let mut cur = current.lock();
+            cur.active_vertices += due.len();
+            cur.redundant_messages += redundant;
+            cur.phase_times = cur.phase_times.merge(&times);
+        }
+        let sync_start = Instant::now();
+        let leader = barrier.wait();
+        if leader {
+            let sel = bucket_shared.round_selected.swap(0, Ordering::Relaxed);
+            let parked = bucket_shared.parked_min.swap(u64::MAX, Ordering::Relaxed);
+            let total_rounds = bucket_shared.rounds_total.fetch_add(1, Ordering::Relaxed) + 1;
+            // Publish the aggregate for the next round.
+            let mut acc = aggregate_acc.lock();
+            *prev_aggregate.lock() = if acc.is_empty() { None } else { Some(*acc) };
+            *acc = AggregateStats::default();
+            drop(acc);
+            let settled = sel == 0 && transport.all_empty();
+            let capped = total_rounds >= config.max_supersteps;
+            if settled || capped {
+                // The bucket (superstep) ends: record its statistics.
+                if let Some(so) = sched_obs {
+                    so.record_threads(cmp_ns.iter().map(|a| a.load(Ordering::Relaxed)));
+                }
+                let snap = transport.counters().snapshot();
+                let mut last = last_counters.lock();
+                let mut cur = current.lock();
+                cur.superstep = superstep;
+                cur.messages_sent = snap.messages - last.messages;
+                cur.bytes_sent = snap.bytes - last.bytes;
+                history.lock().push(std::mem::take(&mut cur));
+                *last = snap;
+                supersteps_done.store(superstep + 1, Ordering::Release);
+                let done = capped || parked == u64::MAX || superstep + 1 >= config.max_supersteps;
+                if done {
+                    bucket_shared.verdict.store(VERDICT_STOP, Ordering::Release);
+                } else {
+                    let next = ((priority_key_inv(parked) / delta) as u64).max(bucket + 1);
+                    bucket_shared.bucket.store(next, Ordering::Relaxed);
+                    bucket_shared.verdict.store(VERDICT_NEXT, Ordering::Release);
+                }
+            } else {
+                bucket_shared
+                    .verdict
+                    .store(VERDICT_CONTINUE, Ordering::Release);
+            }
+        }
+        barrier.wait();
+        // Barrier waits are charged exactly as in the classic loop: to the
+        // *next* stats record (the settled bucket's entry is already
+        // published) and to this bucket's trace record and histograms.
+        let sync_elapsed = sync_start.elapsed();
+        current.lock().phase_times.add(Phase::Sync, sync_elapsed);
+        times.add(Phase::Sync, sync_elapsed);
+        bucket_times = bucket_times.merge(&times);
+        rounds += 1;
+        epoch += 1;
+        let verdict = bucket_shared.verdict.load(Ordering::Acquire);
+        if verdict == VERDICT_CONTINUE {
+            continue;
+        }
+        // The bucket settled (or the run was capped mid-bucket): one trace
+        // record covers all its fused rounds.
+        if let Some(ph) = phase_hists {
+            ph.record(&bucket_times);
+            if me == 0 {
+                ph.set_supersteps(superstep + 1);
+            }
+        }
+        if let Some(tr) = tracer {
+            if !bucket_agg.is_empty() {
+                tr.set_thread_agg(0, bucket_agg);
+            }
+            if let Some(hs) = hot_local.as_mut() {
+                tr.set_thread_hot(0, hs);
+                hs.clear();
+            }
+            tr.set_bucket(bucket, rounds, occupancy as u64);
+            tr.commit(superstep, me, occupancy, &bucket_times, checkpointed);
+        }
+        if verdict == VERDICT_STOP {
+            return;
+        }
+        superstep += 1;
+        bucket = bucket_shared.bucket.load(Ordering::Relaxed);
+        rounds = 0;
+        bucket_times = PhaseTimes::default();
+        bucket_agg = AggregateStats::default();
+        occupancy = 0;
+        cmp_acc = 0;
+        checkpointed = false;
+    }
 }
 
 #[cfg(test)]
@@ -813,5 +1243,170 @@ mod tests {
         // Same machine everywhere -> zero bytes.
         let r2 = run_maxflood(ClusterSpec::flat(1, 4), false);
         assert_eq!(r2.counters.bytes, 0);
+    }
+
+    /// Push-mode shortest distances with a priority hook: messages carry the
+    /// candidate distance, which is exactly the delta-stepping priority.
+    struct MinDistBsp {
+        source: VertexId,
+    }
+    impl BspProgram for MinDistBsp {
+        type Value = f64;
+        type Message = f64;
+        fn init(&self, _v: VertexId, _g: &Graph) -> f64 {
+            f64::INFINITY
+        }
+        fn compute(&self, ctx: &mut BspContext<'_, f64, f64>, msgs: &[f64]) {
+            let mut best = *ctx.value();
+            if ctx.superstep() == 0 && ctx.vertex() == self.source {
+                best = best.min(0.0);
+            }
+            for &m in msgs {
+                best = best.min(m);
+            }
+            if best < *ctx.value() {
+                ctx.set_value(best);
+                ctx.send_along_edges(|_, w| best + w);
+            }
+            ctx.vote_to_halt();
+        }
+        fn combine(&self, a: &f64, b: &f64) -> Option<f64> {
+            Some(a.min(*b))
+        }
+        fn priority(&self, msg: &f64) -> Option<f64> {
+            Some(*msg)
+        }
+    }
+
+    fn mindist_config(bucket_width: f64, bucket_mode: BucketMode) -> BspConfig {
+        BspConfig {
+            cluster: ClusterSpec::flat(2, 2),
+            use_combiner: true,
+            bucket_width,
+            bucket_mode,
+            ..Default::default()
+        }
+    }
+
+    fn run_mindist(config: &BspConfig) -> BspResult<f64, f64> {
+        let g = cyclops_graph::gen::road_lattice(12, 12, 0.9, 0.1, 3);
+        let p = HashPartitioner.partition(&g, config.cluster.num_workers());
+        run_bsp(&MinDistBsp { source: 0 }, &g, &p, config)
+    }
+
+    #[test]
+    fn bucketed_bsp_matches_classic_and_cuts_supersteps() {
+        let classic = run_mindist(&mindist_config(0.0, BucketMode::Det));
+        let det = run_mindist(&mindist_config(2.0, BucketMode::Det));
+        let fast = run_mindist(&mindist_config(2.0, BucketMode::Fast));
+        // Distances are min-folds of identical candidate path sums, so the
+        // fixpoint is bitwise identical whatever the relaxation schedule.
+        assert_eq!(classic.values, det.values);
+        assert_eq!(classic.values, fast.values);
+        assert!(
+            det.supersteps < classic.supersteps,
+            "bucketed {} vs classic {}",
+            det.supersteps,
+            classic.supersteps
+        );
+        let g = cyclops_graph::gen::road_lattice(12, 12, 0.9, 0.1, 3);
+        let expect = cyclops_graph::reference::sssp(&g, 0);
+        for (a, b) in det.values.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn bucketed_without_priorities_fuses_to_one_superstep() {
+        // MaxFlood has no priority hook, so every activation is immediately
+        // due: bucket 0 runs the whole algorithm as fused rounds and the run
+        // is a single superstep with the same fixpoint.
+        let g = ring(64);
+        let p = HashPartitioner.partition(&g, 4);
+        let classic = run_bsp(&MaxFlood, &g, &p, &BspConfig::default());
+        let fused = run_bsp(
+            &MaxFlood,
+            &g,
+            &p,
+            &BspConfig {
+                bucket_width: 1.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(classic.values, fused.values);
+        assert_eq!(fused.supersteps, 1);
+        assert_eq!(fused.stats.len(), 1);
+        // All the classic supersteps' compute happened inside the one fused
+        // superstep.
+        let classic_active: usize = classic.stats.iter().map(|s| s.active_vertices).sum();
+        assert_eq!(fused.stats[0].active_vertices, classic_active);
+    }
+
+    #[test]
+    fn bucketed_bsp_traces_carry_fused_rounds() {
+        let config = mindist_config(2.0, BucketMode::Det);
+        let g = cyclops_graph::gen::road_lattice(12, 12, 0.9, 0.1, 3);
+        let p = HashPartitioner.partition(&g, config.cluster.num_workers());
+        let mut sink = cyclops_net::trace::TraceSink::new("bsp", &config.cluster);
+        let r = run_bsp_traced(&MinDistBsp { source: 0 }, &g, &p, &config, Some(&sink));
+        assert!(r.supersteps > 1);
+        let records = sink.take_records();
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|rec| rec.fused >= 1));
+        assert!(records.iter().any(|rec| rec.fused > 1));
+        // Buckets never move backwards as supersteps advance.
+        let mut by_step: Vec<(u64, u64)> = records
+            .iter()
+            .map(|rec| (rec.superstep, rec.bucket))
+            .collect();
+        by_step.sort_unstable();
+        for w in by_step.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn bucketed_checkpoint_resume_matches_full_run() {
+        let config = BspConfig {
+            checkpoint_every: Some(2),
+            ..mindist_config(1.0, BucketMode::Det)
+        };
+        let full = run_mindist(&config);
+        assert!(
+            !full.checkpoints.is_empty(),
+            "expected a checkpoint in {} supersteps",
+            full.supersteps
+        );
+        let g = cyclops_graph::gen::road_lattice(12, 12, 0.9, 0.1, 3);
+        let p = HashPartitioner.partition(&g, config.cluster.num_workers());
+        let resumed = run_bsp_from_checkpoint(
+            &MinDistBsp { source: 0 },
+            &g,
+            &p,
+            &BspConfig {
+                checkpoint_every: None,
+                ..config
+            },
+            &full.checkpoints[0],
+        );
+        assert_eq!(resumed.values, full.values);
+    }
+
+    #[test]
+    fn checkpoint_interval_longer_than_run_captures_nothing() {
+        // Regression: a capture interval that never fires (or a degenerate
+        // zero interval) must leave the store empty without panicking, in
+        // both the classic and the bucketed loop.
+        for every in [Some(1000), Some(0)] {
+            for bucket_width in [0.0, 1.0] {
+                let config = BspConfig {
+                    checkpoint_every: every,
+                    ..mindist_config(bucket_width, BucketMode::Det)
+                };
+                let r = run_mindist(&config);
+                assert!(r.checkpoints.is_empty(), "every={every:?}");
+                assert!(r.values.iter().any(|v| v.is_finite()));
+            }
+        }
     }
 }

@@ -32,8 +32,8 @@ use cyclops_net::metrics::CounterSnapshot;
 use cyclops_net::metrics::PhaseHists;
 use cyclops_net::trace::{digest_bytes, TraceSink};
 use cyclops_net::{
-    AggregateStats, ClusterSpec, Codec, DisjointSlots, HierarchicalBarrier, InboxMode, Phase,
-    PhaseTimes, ReplicaUpdate, SchedObs, SendReceipt, SuperstepStats, Transport, WireMode,
+    AggregateStats, BucketMode, ClusterSpec, Codec, DisjointSlots, HierarchicalBarrier, InboxMode,
+    Phase, PhaseTimes, ReplicaUpdate, SchedObs, SendReceipt, SuperstepStats, Transport, WireMode,
 };
 use cyclops_partition::EdgeCutPartition;
 use parking_lot::Mutex;
@@ -120,6 +120,21 @@ pub struct CyclopsConfig {
     /// fast path. Results are identical either way; only the schedule
     /// changes.
     pub sparse_cutoff: f64,
+    /// Priority-bucket width Δ of the bucketed (delta-stepping) scheduler.
+    /// `0.0` (the default) disables bucketing: the engine runs the classic
+    /// one-relaxation-round-per-barrier loop. With Δ > 0, each superstep
+    /// drains one priority bucket `[bΔ, (b+1)Δ)` to a fixpoint — fusing as
+    /// many relaxation rounds as the bucket needs behind a *single* pair of
+    /// global barrier waits — before advancing to the next nonempty bucket.
+    /// On high-diameter graphs this collapses the paper's Figure 9 SSSP
+    /// pathology (~one barrier per hop) to ~one barrier per bucket. Only
+    /// useful for programs with a [`CyclopsProgram::priority`]; without one,
+    /// every activation is immediately due and bucketing degrades to plain
+    /// fused execution (still correct, still fewer barriers).
+    pub bucket_width: f64,
+    /// Bucket drain discipline: deterministic (trace-diff-checkable) or
+    /// fast same-round chaining. Ignored while `bucket_width == 0.0`.
+    pub bucket_mode: BucketMode,
 }
 
 impl Default for CyclopsConfig {
@@ -133,6 +148,8 @@ impl Default for CyclopsConfig {
             network: cyclops_net::NetworkModel::ideal(),
             pooled: true,
             sparse_cutoff: 0.015,
+            bucket_width: 0.0,
+            bucket_mode: BucketMode::Det,
         }
     }
 }
@@ -523,6 +540,9 @@ struct ThreadEnv<'a, P: CyclopsProgram> {
 }
 
 fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
+    if env.config.bucket_width > 0.0 {
+        return bucketed_thread_loop(env);
+    }
     let ws = &env.shared[env.w];
     let wp = &env.plan.workers[env.w];
     let lane = env.w * env.threads + env.t;
@@ -616,7 +636,15 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         // from masters alone.
         if checkpoint_now {
             if env.t == 0 {
-                capture_checkpoint(env.checkpoints, wp, ws, superstep, cur_parity, agg_in);
+                capture_checkpoint(
+                    env.checkpoints,
+                    wp,
+                    ws,
+                    superstep,
+                    env.config.checkpoint_every,
+                    |li| ws.frontier.is_marked(cur_parity, li),
+                    agg_in,
+                );
             }
             ws.local.wait();
         }
@@ -1037,13 +1065,16 @@ fn build_mass_chunks(flat: &[u32], ends: &mut Vec<u32>, mass: &[u32], chunks: us
 }
 
 /// Captures a value-only checkpoint of one worker's masters (cooperative:
-/// the first worker to arrive creates the superstep's entry).
+/// the first worker to arrive creates the superstep's entry). `active`
+/// reports the vertex's activation flag — the barrier-per-superstep loop
+/// reads the frontier parity bit, the bucketed loop its pending-mark set.
 fn capture_checkpoint<V: Clone, M: Clone>(
     checkpoints: &Mutex<Vec<CyclopsCheckpoint<V, M>>>,
     wp: &crate::plan::WorkerPlan,
     ws: &WorkerShared<V, M>,
     superstep: usize,
-    cur_parity: usize,
+    interval: Option<usize>,
+    active: impl Fn(usize) -> bool,
     aggregate: Option<AggregateStats>,
 ) {
     let mut cps = checkpoints.lock();
@@ -1054,15 +1085,561 @@ fn capture_checkpoint<V: Clone, M: Clone>(
             aggregate,
         });
     }
-    let cp = cps.last_mut().unwrap();
+    let cp = cps.last_mut().unwrap_or_else(|| {
+        // The push above guarantees an entry for this superstep exists; an
+        // empty store here means the capture cadence and the store went out
+        // of sync (e.g. a caller invoked capture without its trigger).
+        panic!(
+            "checkpoint store empty at superstep {superstep} despite a capture trigger \
+             (checkpoint_every = {interval:?})"
+        )
+    });
     for (li, &v) in wp.masters.iter().enumerate() {
         cp.vertices.push((
             v,
             ws.values.read(li).clone(),
             ws.msg_cur.read(li).clone(),
-            ws.frontier.is_marked(cur_parity, li),
+            active(li),
         ));
     }
+}
+
+// ---- Bucketed (delta-stepping) execution. ----
+//
+// The paper's Figure 9 SSSP-on-RoadCA pathology: ~600 near-empty supersteps,
+// one global barrier pair per hop, so barrier cost dominates and Cyclops
+// loses to Hama. The bucketed scheduler replaces "one relaxation round per
+// barrier" with "one priority bucket per barrier": vertices carry an
+// activation priority (for SSSP, the tentative distance proposed by the
+// activating publication), parked activations wait in a bucket queue of
+// width Δ, and each superstep drains the lowest nonempty bucket to a local
+// fixpoint — fusing all the light-edge relaxation rounds the bucket needs —
+// before the one global barrier pair runs. Correctness does not depend on
+// the drain order: with non-negative weights, min-relaxation reaches the
+// same fixpoint under any schedule; the priority is only a lower bound used
+// to avoid relaxing vertices whose turn has not come.
+
+use cyclops_net::{priority_key as okey, priority_key_inv as okey_inv, IMMEDIATE_KEY as IMMEDIATE};
+
+/// Leader-owned state of the bucketed scheduler.
+///
+/// Only the global leader (worker 0, thread 0) ever touches it: the whole
+/// bucket settle runs sequentially between a superstep's two hierarchical
+/// barrier waits while every other thread sleeps at the second wait. That
+/// trades the compute parallelism of one superstep — negligible on these
+/// near-empty high-diameter supersteps — for a superstep (and barrier)
+/// count of ~one per nonempty bucket instead of one per hop.
+struct BucketSched<M> {
+    /// Per worker: local indices of parked/pending activations.
+    pending: Vec<Vec<u32>>,
+    /// Per worker, per master: whether the vertex is in `pending`.
+    marked: Vec<Vec<bool>>,
+    /// Per worker, per master: ordered-key activation priority. Valid only
+    /// while marked; re-marks fold with `min`.
+    prio: Vec<Vec<u64>>,
+    /// Per worker, per master: superstep generation of the last selection —
+    /// counts distinct bucket occupancy without a per-superstep reset pass.
+    sel_gen: Vec<Vec<u64>>,
+    /// Per worker, per master: round generation of the last publication —
+    /// dedups the round's dirty list so each mirror is sent exactly one
+    /// update per round even when fast-mode chaining republished a master.
+    dirty_gen: Vec<Vec<u64>>,
+    /// Scratch: masters that published this round (per-round dirty list).
+    dirty: Vec<u32>,
+    /// Scratch: the current fused round's selection, per worker.
+    selected: Vec<Vec<u32>>,
+    /// Scratch: per-destination replica-update outboxes, reused per round.
+    outboxes: Vec<Vec<ReplicaUpdate<M>>>,
+    /// Scratch: masters whose publication changed this round.
+    updated: Vec<u32>,
+    /// Index of the bucket the current superstep drains.
+    bucket: u64,
+    /// Transport epoch of the next fused round. Independent of the
+    /// superstep index: every round is its own send/drain parity cycle.
+    epoch: usize,
+    /// Fused relaxation rounds executed across the whole run — each is one
+    /// logical superstep of the classic loop, so the run's round budget is
+    /// capped at `max_supersteps` (never looser than classic).
+    rounds_total: usize,
+}
+
+impl<M> BucketSched<M> {
+    fn new<V>(shared: &[WorkerShared<V, M>], start_parity: usize) -> Self {
+        let num_workers = shared.len();
+        let mut s = BucketSched {
+            pending: (0..num_workers).map(|_| Vec::new()).collect(),
+            marked: shared
+                .iter()
+                .map(|ws| vec![false; ws.values.len()])
+                .collect(),
+            prio: shared
+                .iter()
+                .map(|ws| vec![0u64; ws.values.len()])
+                .collect(),
+            sel_gen: shared
+                .iter()
+                .map(|ws| vec![0u64; ws.values.len()])
+                .collect(),
+            dirty_gen: shared
+                .iter()
+                .map(|ws| vec![0u64; ws.values.len()])
+                .collect(),
+            dirty: Vec::new(),
+            selected: (0..num_workers).map(|_| Vec::new()).collect(),
+            outboxes: (0..num_workers).map(|_| Vec::new()).collect(),
+            updated: Vec::new(),
+            bucket: 0,
+            epoch: 0,
+            rounds_total: 0,
+        };
+        // Seed from the initial (or checkpoint-restored) frontier marks;
+        // their priorities are unknown, so they are due immediately.
+        for (w, ws) in shared.iter().enumerate() {
+            for li in 0..ws.values.len() {
+                if ws.frontier.is_marked(start_parity, li) {
+                    s.mark(w, li, IMMEDIATE);
+                }
+            }
+        }
+        s
+    }
+
+    /// Parks an activation of worker `w`'s local master `li` at priority
+    /// `key` (re-activations keep the smaller key).
+    fn mark(&mut self, w: usize, li: usize, key: u64) {
+        if self.marked[w][li] {
+            let p = &mut self.prio[w][li];
+            if key < *p {
+                *p = key;
+            }
+        } else {
+            self.marked[w][li] = true;
+            self.prio[w][li] = key;
+            self.pending[w].push(li as u32);
+        }
+    }
+
+    /// Moves worker `w`'s due activations (priority below `end_key`) out of
+    /// its pending list into `sel`, in place; parked vertices stay pending.
+    fn select(&mut self, w: usize, end_key: u64, sel: &mut Vec<u32>) {
+        let prio = &self.prio[w];
+        let marked = &mut self.marked[w];
+        let pending = &mut self.pending[w];
+        let mut keep = 0;
+        for i in 0..pending.len() {
+            let li = pending[i];
+            if prio[li as usize] < end_key {
+                marked[li as usize] = false;
+                sel.push(li);
+            } else {
+                pending[keep] = li;
+                keep += 1;
+            }
+        }
+        pending.truncate(keep);
+    }
+}
+
+/// Thread body of a bucketed run. Every thread still meets the two
+/// hierarchical barrier waits per superstep — so barrier-protocol
+/// accounting stays comparable with the classic loop — but all settle work
+/// happens on the global leader between them.
+fn bucketed_thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
+    let is_leader = env.w == 0 && env.t == 0;
+    let mut sched = is_leader.then(|| BucketSched::new(env.shared, env.start_superstep & 1));
+    let mut superstep = env.start_superstep;
+    loop {
+        env.barrier.wait(env.w, env.t);
+        if let Some(sched) = sched.as_mut() {
+            settle_bucket(&env, sched, superstep);
+        }
+        env.barrier.wait(env.w, env.t);
+        if env.stop.load(Ordering::Acquire) {
+            return;
+        }
+        superstep += 1;
+    }
+}
+
+/// One bucketed superstep, run by the global leader alone: drain the
+/// current bucket to a fixpoint (fused relaxation rounds), then do the
+/// whole-superstep bookkeeping the classic loop's leader does at SYN.
+fn settle_bucket<P: CyclopsProgram>(
+    env: &ThreadEnv<'_, P>,
+    sched: &mut BucketSched<P::Message>,
+    superstep: usize,
+) {
+    let settle_start = Instant::now();
+    let num_workers = env.plan.workers.len();
+    let delta = env.config.bucket_width;
+    let fast_mode = env.config.bucket_mode == BucketMode::Fast;
+    let bucket = sched.bucket;
+    let end_key = okey((bucket + 1) as f64 * delta);
+    let agg_in = *env.prev_aggregate.lock();
+    let capture_values = env.trace.map(|s| s.captures_values()).unwrap_or(false);
+    let hot_k = env.trace.map(|s| s.hot_k()).unwrap_or(0);
+    let gen = superstep as u64 + 1;
+
+    // Value-only checkpoint on the bucket boundary: the previous settle's
+    // final drain applied every in-flight update, so the transport is empty
+    // and each replica equals its master — the same consistent cut the
+    // classic loop captures. Parked priorities are not stored; a resume
+    // reactivates the parked set as immediately due, costing at most one
+    // extra (idempotent) relaxation.
+    let checkpoint_now = match env.config.checkpoint_every {
+        Some(every) => {
+            every > 0
+                && superstep > env.start_superstep
+                && (superstep - env.start_superstep).is_multiple_of(every)
+        }
+        None => false,
+    };
+    if checkpoint_now {
+        for w in 0..num_workers {
+            let marked = &sched.marked[w];
+            capture_checkpoint(
+                env.checkpoints,
+                &env.plan.workers[w],
+                &env.shared[w],
+                superstep,
+                env.config.checkpoint_every,
+                |li| marked[li],
+                agg_in,
+            );
+        }
+    }
+
+    // Per-worker accumulators for this superstep's trace records.
+    let mut drained = vec![0u64; num_workers];
+    let mut occupancy = vec![0u64; num_workers];
+    let mut computed = vec![0usize; num_workers];
+    let mut conv_delta = vec![0isize; num_workers];
+    let mut partials: Vec<ChunkPartial> = vec![ChunkPartial::default(); num_workers];
+    let mut times: Vec<PhaseTimes> = vec![PhaseTimes::default(); num_workers];
+    let mut hot: Vec<Option<cyclops_net::trace::SpaceSaving>> = (0..num_workers)
+        .map(|_| (hot_k > 0).then(|| cyclops_net::trace::SpaceSaving::new(hot_k)))
+        .collect();
+    let mut digest_buf = bytes::BytesMut::new();
+    let mut rounds = 0u64;
+    let mut budget_exhausted = false;
+
+    // ---- Fused relaxation rounds. ----
+    loop {
+        // A program that keeps re-activating (which the classic loop would
+        // cut off at its superstep cap) must not spin the drain forever:
+        // stop once the run has spent as many fused rounds as the classic
+        // loop would have been allowed barrier rounds.
+        if sched.rounds_total >= env.config.max_supersteps {
+            budget_exhausted = true;
+            break;
+        }
+        // Phase A: drain inbound sync messages and apply them to replicas,
+        // every worker in worker order; activations park at the priority
+        // their payload proposes.
+        for w in 0..num_workers {
+            let ws = &env.shared[w];
+            let wp = &env.plan.workers[w];
+            let t0 = Instant::now();
+            ws.rep_msg.begin_epoch();
+            let batch = env.transport.drain(w, sched.epoch);
+            drained[w] += batch.len() as u64;
+            for upd in batch {
+                let key = env
+                    .program
+                    .priority(&upd.payload)
+                    .map(okey)
+                    .unwrap_or(IMMEDIATE);
+                let rep = upd.replica as usize;
+                // SAFETY: the settle is sequential and the epoch is fresh —
+                // one writer, at most one write per replica per round.
+                unsafe { ws.rep_msg.write(rep, Some(upd.payload)) };
+                if upd.activate {
+                    for &lo in wp.rep_out(rep) {
+                        sched.mark(w, lo as usize, key);
+                    }
+                }
+            }
+            times[w].add(Phase::Parse, t0.elapsed());
+        }
+
+        // Phase B: select this round's due vertices per worker.
+        let mut selected = std::mem::take(&mut sched.selected);
+        let mut total_selected = 0usize;
+        for (w, sel) in selected.iter_mut().enumerate() {
+            sel.clear();
+            sched.select(w, end_key, sel);
+            if !fast_mode {
+                // Deterministic drain (and float-reduction) order.
+                sel.sort_unstable();
+            }
+            total_selected += sel.len();
+        }
+        if total_selected == 0 && env.transport.all_empty() {
+            sched.selected = selected;
+            break;
+        }
+        rounds += 1;
+        sched.rounds_total += 1;
+        // Each fused round is one logical superstep of relaxation; the
+        // program only ever sees the run's very first pass as superstep 0,
+        // so kick-off branches (`ctx.superstep() == 0`) fire exactly once
+        // even when the first bucket needs several rounds — or when a
+        // self-loop re-selects an initially active vertex.
+        let kickoff_round = superstep == 0 && sched.rounds_total == 1;
+
+        // Phase C+D: compute each worker's selection against the immutable
+        // view, publish, and send one sync batch per destination. In fast
+        // mode, newly due same-worker activations chain into extra passes
+        // of the same round instead of waiting for the next one.
+        for w in 0..num_workers {
+            let ws = &env.shared[w];
+            let wp = &env.plan.workers[w];
+            let mut outboxes = std::mem::take(&mut sched.outboxes);
+            let mut updated = std::mem::take(&mut sched.updated);
+            let mut dirty = std::mem::take(&mut sched.dirty);
+            // Round generation for the dirty-list dedup: the transport epoch
+            // is unique per round and never reset.
+            let rgen = sched.epoch as u64 + 1;
+            let sel = &mut selected[w];
+            let t_cmp = Instant::now();
+            let mut pass_superstep = if kickoff_round { 0 } else { superstep.max(1) };
+            loop {
+                ws.values.begin_epoch();
+                ws.msg_cur.begin_epoch();
+                ws.msg_next.begin_epoch();
+                updated.clear();
+                for &li in sel.iter() {
+                    let li = li as usize;
+                    computed[w] += 1;
+                    if sched.sel_gen[w][li] != gen {
+                        sched.sel_gen[w][li] = gen;
+                        occupancy[w] += 1;
+                    }
+                    if let Some(hs) = hot[w].as_mut() {
+                        hs.record(wp.masters[li], wp.work_mass[li].max(1) as u64);
+                    }
+                    let mut publish: Option<P::Message> = None;
+                    let mut reported: Option<f64> = None;
+                    {
+                        // SAFETY: `sel` is duplicate-free (mark/select keep
+                        // set semantics) and the settle is sequential.
+                        let value = unsafe { ws.values.get_mut(li) };
+                        let mut ctx = CyclopsContext {
+                            vertex: wp.masters[li],
+                            local: li,
+                            superstep: pass_superstep,
+                            graph: env.graph,
+                            plan: wp,
+                            value,
+                            msg_cur: &ws.msg_cur,
+                            rep_msg: &ws.rep_msg,
+                            publish: &mut publish,
+                            reported_error: &mut reported,
+                            aggregate: &mut partials[w].agg,
+                            prev_aggregate: agg_in,
+                        };
+                        env.program.compute(&mut ctx);
+                    }
+                    if let Some(err) = reported {
+                        partials[w].err_sum += err;
+                        partials[w].err_count += 1;
+                        if let Convergence::Proportion { epsilon, .. } = env.config.convergence {
+                            let now = err <= epsilon;
+                            let was = ws.converged[li].swap(now, Ordering::Relaxed);
+                            conv_delta[w] += now as isize - was as isize;
+                        }
+                    }
+                    if let Some(m) = publish {
+                        if capture_values {
+                            if let Some(trace) = env.trace {
+                                digest_buf.clear();
+                                m.encode(&mut digest_buf);
+                                trace
+                                    .worker(w)
+                                    .record_publication(wp.masters[li], digest_bytes(&digest_buf));
+                            }
+                        }
+                        let key = env.program.priority(&m).map(okey).unwrap_or(IMMEDIATE);
+                        // SAFETY: one write per master per epoch (per pass).
+                        unsafe { ws.msg_next.write(li, Some(m)) };
+                        updated.push(li as u32);
+                        for &lo in wp.local_out(li) {
+                            sched.mark(w, lo as usize, key);
+                        }
+                        if sched.dirty_gen[w][li] != rgen {
+                            sched.dirty_gen[w][li] = rgen;
+                            dirty.push(li as u32);
+                        }
+                    }
+                }
+                // Publish this pass's updates so the next round — or, in
+                // fast mode, the next chained pass — reads them.
+                for &li in &updated {
+                    let li = li as usize;
+                    let m = ws.msg_next.read(li).clone();
+                    // SAFETY: sequential; fresh epoch began this pass.
+                    unsafe { ws.msg_cur.write(li, m) };
+                }
+                if !fast_mode {
+                    break;
+                }
+                sel.clear();
+                sched.select(w, end_key, sel);
+                if sel.is_empty() {
+                    break;
+                }
+                // A chained pass is a later logical superstep.
+                pass_superstep = superstep.max(1);
+            }
+            // Sync each dirty master's *final* publication to its mirrors —
+            // exactly one update per replica per round, preserving the §3.4
+            // at-most-one-message invariant even when fast-mode chaining
+            // republished a master several times within the round (that
+            // collapse is delta-stepping's message saving).
+            for &li in &dirty {
+                let li = li as usize;
+                if let Some(m) = ws.msg_cur.read(li) {
+                    for &(mw, rep_idx) in wp.mirrors(li) {
+                        outboxes[mw as usize].push(ReplicaUpdate::new(rep_idx, m.clone(), true));
+                    }
+                }
+            }
+            dirty.clear();
+            times[w].add(Phase::Compute, t_cmp.elapsed());
+            let t_snd = Instant::now();
+            let lane = w * env.threads;
+            for (dest, batch) in outboxes.iter_mut().enumerate() {
+                if !batch.is_empty() {
+                    let sent = batch.len();
+                    let receipt =
+                        env.transport
+                            .send(lane, dest, std::mem::take(batch), sched.epoch);
+                    if let Some(trace) = env.trace {
+                        let tr = trace.worker(w);
+                        tr.add_sent(sent as u64, receipt.bytes as u64);
+                        record_wire_mode(tr, receipt);
+                    }
+                }
+            }
+            times[w].add(Phase::Send, t_snd.elapsed());
+            sched.outboxes = outboxes;
+            sched.updated = updated;
+            sched.dirty = dirty;
+        }
+        sched.selected = selected;
+        sched.epoch += 1;
+    }
+
+    // ---- Superstep epilogue: the classic loop's leader bookkeeping. ----
+    let total_computed: usize = computed.iter().sum();
+    let delta_conv: isize = conv_delta.iter().sum();
+    let conv_total = env.converged_total.fetch_add(delta_conv, Ordering::Relaxed) + delta_conv;
+    // Two-level deterministic float reduction: per worker sequentially
+    // above, workers merged in worker order here.
+    let mut agg = AggregateStats::default();
+    let mut err = (0.0f64, 0usize);
+    for part in &partials {
+        agg.merge(&part.agg);
+        err.0 += part.err_sum;
+        err.1 += part.err_count;
+    }
+    *env.prev_aggregate.lock() = if agg.is_empty() { None } else { Some(agg) };
+    let mean_err = if err.1 > 0 {
+        Some(err.0 / err.1 as f64)
+    } else {
+        None
+    };
+
+    let settle_elapsed = settle_start.elapsed();
+    // The settle is sequential: while one worker's state is processed every
+    // other worker's threads wait, so a worker's sync share is the superstep
+    // wall minus its own work — making why-slow's wait attribution reflect
+    // the serialization honestly.
+    for t in times.iter_mut() {
+        let work = t.total();
+        t.add(Phase::Sync, settle_elapsed.saturating_sub(work));
+    }
+
+    let snap = env.transport.counters().snapshot();
+    let mut last = env.last_counters.lock();
+    let mut stats = SuperstepStats {
+        superstep,
+        active_vertices: total_computed,
+        messages_sent: snap.messages - last.messages,
+        bytes_sent: snap.bytes - last.bytes,
+        ..SuperstepStats::default()
+    };
+    for t in &times {
+        stats.phase_times = stats.phase_times.merge(t);
+    }
+    env.history.lock().push(stats);
+    *last = snap;
+    drop(last);
+    env.supersteps_done.store(superstep + 1, Ordering::Release);
+
+    if let Some(trace) = env.trace {
+        for w in 0..num_workers {
+            let tr = trace.worker(w);
+            tr.add_drained(drained[w]);
+            tr.add_computed(computed[w] as u64);
+            tr.add_converged_delta(conv_delta[w] as i64);
+            // The locally-known next frontier is the parked set.
+            tr.add_activated(sched.pending[w].len() as u64);
+            tr.set_bucket(bucket, rounds.max(1), occupancy[w]);
+            if !partials[w].agg.is_empty() {
+                tr.set_thread_agg(0, partials[w].agg);
+            }
+            if let Some(hs) = hot[w].as_ref() {
+                tr.set_thread_hot(0, hs);
+            }
+            tr.commit(
+                superstep,
+                w,
+                occupancy[w] as usize,
+                &times[w],
+                checkpoint_now,
+            );
+        }
+    }
+    if let Some(ph) = env.phase_hists {
+        for t in &times {
+            ph.record(t);
+        }
+        ph.set_supersteps(superstep + 1);
+    }
+
+    // ---- Termination / bucket advance. ----
+    let converged_enough = match env.config.convergence {
+        Convergence::ActiveVertices => false,
+        Convergence::Proportion { target, .. } => {
+            conv_total as f64 >= target * env.total_vertices as f64
+        }
+        Convergence::GlobalError { epsilon } => mean_err.map(|e| e <= epsilon).unwrap_or(false),
+    };
+    let all_parked_empty = sched.pending.iter().all(|p| p.is_empty());
+    let drained_all = all_parked_empty && env.transport.all_empty();
+    let capped = superstep + 1 >= env.config.max_supersteps || budget_exhausted;
+    let stop = drained_all || converged_enough || capped;
+    if !stop {
+        // Jump straight to the bucket holding the smallest parked priority
+        // (parked keys are all >= end_key, so this always advances).
+        let mut min_key = u64::MAX;
+        for (w, p) in sched.pending.iter().enumerate() {
+            for &li in p {
+                min_key = min_key.min(sched.prio[w][li as usize]);
+            }
+        }
+        if min_key != u64::MAX {
+            let p = okey_inv(min_key);
+            let nb = if p.is_finite() && p >= 0.0 {
+                (p / delta) as u64
+            } else {
+                sched.bucket + 1
+            };
+            sched.bucket = nb.max(sched.bucket + 1);
+        }
+    }
+    env.stop.store(stop, Ordering::Release);
 }
 
 #[cfg(test)]
@@ -1394,5 +1971,193 @@ mod tests {
         );
         assert_eq!(r.supersteps, 3);
         assert_eq!(r.stats.len(), 3);
+    }
+
+    /// SSSP-shaped program with an activation priority: the published
+    /// tentative distance. The miniature of what the bucketed scheduler is
+    /// for.
+    struct MinDist {
+        source: VertexId,
+    }
+    impl CyclopsProgram for MinDist {
+        type Value = f64;
+        type Message = f64;
+        fn init(&self, v: VertexId, _g: &Graph) -> f64 {
+            if v == self.source {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        }
+        fn init_message(&self, v: VertexId, _g: &Graph, value: &f64) -> Option<f64> {
+            (v == self.source).then_some(*value)
+        }
+        fn initially_active(&self, v: VertexId, _g: &Graph) -> bool {
+            v == self.source
+        }
+        fn compute(&self, ctx: &mut CyclopsContext<'_, f64, f64>) {
+            let mut best = *ctx.value();
+            for (m, w) in ctx.in_messages() {
+                best = best.min(m + w);
+            }
+            if ctx.superstep() == 0 && ctx.vertex() == self.source {
+                ctx.activate_neighbors(0.0);
+            }
+            if best < *ctx.value() {
+                ctx.set_value(best);
+                ctx.activate_neighbors(best);
+            }
+        }
+        fn priority(&self, msg: &f64) -> Option<f64> {
+            Some(*msg)
+        }
+    }
+
+    fn run_mindist(config: &CyclopsConfig) -> CyclopsResult<f64, f64> {
+        let g = cyclops_graph::gen::road_lattice(12, 12, 0.9, 0.1, 3);
+        let p = HashPartitioner.partition(&g, config.cluster.num_workers());
+        run_cyclops(&MinDist { source: 0 }, &g, &p, config)
+    }
+
+    #[test]
+    fn bucketed_sssp_matches_classic_and_cuts_supersteps() {
+        let base = CyclopsConfig {
+            cluster: ClusterSpec::flat(4, 1),
+            ..Default::default()
+        };
+        let classic = run_mindist(&base);
+        let reference = cyclops_graph::reference::sssp(
+            &cyclops_graph::gen::road_lattice(12, 12, 0.9, 0.1, 3),
+            0,
+        );
+        for (a, b) in classic.values.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()));
+        }
+        for mode in [BucketMode::Det, BucketMode::Fast] {
+            let bucketed = run_mindist(&CyclopsConfig {
+                bucket_width: 2.0,
+                bucket_mode: mode,
+                ..base
+            });
+            // Relaxation order never changes the min fixpoint (and each
+            // candidate is the same left-folded path sum), so distances are
+            // bitwise identical, not merely close.
+            assert_eq!(classic.values, bucketed.values, "{mode:?}");
+            assert!(
+                bucketed.supersteps < classic.supersteps,
+                "{mode:?}: bucketed {} vs classic {} supersteps",
+                bucketed.supersteps,
+                classic.supersteps
+            );
+        }
+    }
+
+    #[test]
+    fn bucketed_runs_agree_across_cluster_shapes() {
+        let flat = run_mindist(&CyclopsConfig {
+            cluster: ClusterSpec::flat(4, 1),
+            bucket_width: 1.5,
+            ..Default::default()
+        });
+        let mt = run_mindist(&CyclopsConfig {
+            cluster: ClusterSpec::mt(2, 3, 2),
+            bucket_width: 1.5,
+            ..Default::default()
+        });
+        assert_eq!(flat.values, mt.values);
+    }
+
+    #[test]
+    fn bucketed_traces_carry_fused_rounds() {
+        let g = cyclops_graph::gen::road_lattice(12, 12, 0.9, 0.1, 3);
+        let cluster = ClusterSpec::flat(2, 2);
+        let p = HashPartitioner.partition(&g, cluster.num_workers());
+        let mut sink = TraceSink::new("cyclops", &cluster);
+        run_cyclops_with_plan_traced(
+            &MinDist { source: 0 },
+            &g,
+            &CyclopsPlan::build_parallel(&g, &p),
+            &CyclopsConfig {
+                cluster,
+                bucket_width: 2.0,
+                ..Default::default()
+            },
+            None,
+            Some(&sink),
+        );
+        let records = sink.take_records();
+        assert!(!records.is_empty());
+        assert!(
+            records.iter().all(|r| r.fused >= 1),
+            "every bucketed superstep fuses at least one round"
+        );
+        assert!(
+            records.iter().any(|r| r.fused > 1),
+            "some bucket needs more than one relaxation round"
+        );
+        // Buckets drain in nondecreasing order.
+        let mut by_step: Vec<(u64, u64)> =
+            records.iter().map(|r| (r.superstep, r.bucket)).collect();
+        by_step.sort_unstable();
+        assert!(by_step.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn bucketed_checkpoint_resume_matches_full_run() {
+        let config = CyclopsConfig {
+            cluster: ClusterSpec::flat(2, 2),
+            bucket_width: 2.0,
+            checkpoint_every: Some(3),
+            ..Default::default()
+        };
+        let full = run_mindist(&config);
+        assert!(!full.checkpoints.is_empty());
+        let resumed_config = CyclopsConfig {
+            checkpoint_every: None,
+            ..config
+        };
+        let g = cyclops_graph::gen::road_lattice(12, 12, 0.9, 0.1, 3);
+        let p = HashPartitioner.partition(&g, 4);
+        let resumed = run_cyclops_from_checkpoint(
+            &MinDist { source: 0 },
+            &g,
+            &p,
+            &resumed_config,
+            &full.checkpoints[0],
+        );
+        assert_eq!(full.values, resumed.values);
+    }
+
+    #[test]
+    fn checkpoint_interval_longer_than_run_captures_nothing() {
+        // Regression for the checkpoint-capture invariant: an interval the
+        // run never reaches must yield an empty checkpoint list — not a
+        // panic on an empty store — in both the classic and bucketed loops.
+        let g = ring(16);
+        let p = HashPartitioner.partition(&g, 2);
+        for every in [Some(1000), Some(0)] {
+            let r = run_cyclops(
+                &MaxPull,
+                &g,
+                &p,
+                &CyclopsConfig {
+                    cluster: ClusterSpec::flat(2, 1),
+                    checkpoint_every: every,
+                    ..Default::default()
+                },
+            );
+            assert!(r.checkpoints.is_empty(), "checkpoint_every {every:?}");
+            assert!(r.values.iter().all(|&v| v == 15));
+            let b = run_mindist(&CyclopsConfig {
+                cluster: ClusterSpec::flat(2, 2),
+                bucket_width: 2.0,
+                checkpoint_every: every,
+                ..Default::default()
+            });
+            assert!(
+                b.checkpoints.is_empty(),
+                "bucketed checkpoint_every {every:?}"
+            );
+        }
     }
 }

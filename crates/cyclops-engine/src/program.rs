@@ -49,6 +49,17 @@ pub trait CyclopsProgram: Sync {
 
     /// The per-vertex kernel, run once per activation.
     fn compute(&self, ctx: &mut CyclopsContext<'_, Self::Value, Self::Message>);
+
+    /// Activation priority carried by a publication, for the bucketed
+    /// (delta-stepping) scheduler: a lower bound on how "urgent" the
+    /// activated vertex is (for SSSP, the published tentative distance — any
+    /// distance reachable through it is at least that). Return `None` (the
+    /// default) for algorithms without a priority structure; the bucketed
+    /// scheduler then treats every activation as immediately due, degrading
+    /// to plain fused execution.
+    fn priority(&self, _msg: &Self::Message) -> Option<f64> {
+        None
+    }
 }
 
 /// Everything a [`CyclopsProgram::compute`] invocation may see and do.

@@ -98,6 +98,17 @@ pub struct TraceRecord {
     pub wire_dense: u64,
     /// Cross-machine batches this worker sent in the sparse wire mode.
     pub wire_sparse: u64,
+    /// Relaxation rounds fused into this superstep by the bucketed
+    /// scheduler (0 on non-bucketed runs — the field is then omitted from
+    /// JSONL, keeping bucket-off traces byte-identical to pre-bucketing
+    /// ones). Each fused round is one logical superstep of light-edge
+    /// relaxation that did *not* pay a global barrier.
+    pub fused: u64,
+    /// Priority-bucket index this superstep drained (bucketed runs only).
+    pub bucket: u64,
+    /// Distinct vertices this worker selected into the bucket across all
+    /// fused rounds (bucketed runs only).
+    pub bucket_occupancy: u64,
     /// This worker's aggregate contribution, reduced over its threads in
     /// thread order (deterministic, unlike the engines' global merge).
     pub agg: Option<AggregateStats>,
@@ -167,6 +178,11 @@ pub struct WorkerTracer {
     /// superstep.
     wire_dense: AtomicU64,
     wire_sparse: AtomicU64,
+    /// Bucketed-scheduler accounting for this superstep: fused relaxation
+    /// rounds, the bucket index drained, and distinct selected vertices.
+    fused: AtomicU64,
+    bucket: AtomicU64,
+    bucket_occupancy: AtomicU64,
     /// Per-thread aggregate partials, reduced in thread order at commit so
     /// the recorded aggregate is deterministic regardless of which thread
     /// finishes first. One slot per thread: no cross-thread contention.
@@ -214,6 +230,9 @@ impl WorkerTracer {
             fast_path: std::sync::atomic::AtomicBool::new(false),
             wire_dense: AtomicU64::new(0),
             wire_sparse: AtomicU64::new(0),
+            fused: AtomicU64::new(0),
+            bucket: AtomicU64::new(0),
+            bucket_occupancy: AtomicU64::new(0),
             thread_aggs: (0..threads.max(1))
                 .map(|_| Mutex::new(AggregateStats::default()))
                 .collect(),
@@ -277,6 +296,18 @@ impl WorkerTracer {
         if sparse > 0 {
             self.wire_sparse.fetch_add(sparse, Ordering::Relaxed);
         }
+    }
+
+    /// Records the bucketed scheduler's accounting for this superstep: the
+    /// bucket index being drained, how many relaxation rounds were fused
+    /// into the one global barrier, and how many distinct vertices this
+    /// worker selected into the bucket. `fused >= 1` on any bucketed
+    /// superstep; non-bucketed supersteps never call this.
+    #[inline]
+    pub fn set_bucket(&self, bucket: u64, fused: u64, occupancy: u64) {
+        self.bucket.store(bucket, Ordering::Relaxed);
+        self.fused.store(fused, Ordering::Relaxed);
+        self.bucket_occupancy.store(occupancy, Ordering::Relaxed);
     }
 
     /// Stores thread `t`'s aggregate partial for this superstep.
@@ -355,6 +386,9 @@ impl WorkerTracer {
             sparse_fast_path: self.fast_path.swap(false, Ordering::Relaxed),
             wire_dense: self.wire_dense.swap(0, Ordering::Relaxed),
             wire_sparse: self.wire_sparse.swap(0, Ordering::Relaxed),
+            fused: self.fused.swap(0, Ordering::Relaxed),
+            bucket: self.bucket.swap(0, Ordering::Relaxed),
+            bucket_occupancy: self.bucket_occupancy.swap(0, Ordering::Relaxed),
             agg: if agg.is_empty() { None } else { Some(agg) },
             pubs,
             hot,
@@ -736,6 +770,13 @@ impl TraceRecord {
         if self.wire_sparse > 0 {
             let _ = write!(out, ",\"wire_sparse\":{}", self.wire_sparse);
         }
+        if self.fused > 0 {
+            let _ = write!(
+                out,
+                ",\"fused\":{},\"bucket\":{},\"bucket_occupancy\":{}",
+                self.fused, self.bucket, self.bucket_occupancy
+            );
+        }
         if let Some(a) = &self.agg {
             let _ = write!(
                 out,
@@ -864,6 +905,9 @@ fn parse_record(line: &str) -> Option<TraceRecord> {
             .unwrap_or(false),
         wire_dense: num(line, "wire_dense").unwrap_or(0),
         wire_sparse: num(line, "wire_sparse").unwrap_or(0),
+        fused: num(line, "fused").unwrap_or(0),
+        bucket: num(line, "bucket").unwrap_or(0),
+        bucket_occupancy: num(line, "bucket_occupancy").unwrap_or(0),
         agg: None,
         pubs: Vec::new(),
         hot: Vec::new(),
@@ -971,8 +1015,11 @@ pub mod diff {
 
     /// The deterministic counters compared per record, in report order.
     /// Phase durations are deliberately excluded: wall-clock differs
-    /// between identical runs.
-    fn counters(r: &TraceRecord) -> [(&'static str, String); 8] {
+    /// between identical runs. The bucketed-scheduler counters *are*
+    /// compared: the deterministic bucket mode promises identical drain
+    /// order (and hence fused-round and occupancy counts) across thread
+    /// counts, and `trace-diff` is how that promise is checked.
+    fn counters(r: &TraceRecord) -> [(&'static str, String); 11] {
         [
             ("frontier", r.frontier.to_string()),
             ("computed", r.computed.to_string()),
@@ -981,6 +1028,9 @@ pub mod diff {
             ("drained", r.drained.to_string()),
             ("messages", r.messages.to_string()),
             ("bytes", r.bytes.to_string()),
+            ("fused", r.fused.to_string()),
+            ("bucket", r.bucket.to_string()),
+            ("bucket_occupancy", r.bucket_occupancy.to_string()),
             (
                 "agg",
                 r.agg
@@ -1407,6 +1457,50 @@ mod tests {
             diff::first_divergence(&mk(true, 7), &mk(false, 0), true),
             None
         );
+    }
+
+    #[test]
+    fn bucket_fields_round_trip_and_are_diffed() {
+        let sink = TraceSink::new("cyclops", &spec());
+        sink.worker(0).set_bucket(7, 12, 40);
+        sink.worker(0)
+            .commit(0, 0, 40, &PhaseTimes::default(), false);
+        // Reset at commit, like the counters.
+        sink.worker(0)
+            .commit(1, 0, 0, &PhaseTimes::default(), false);
+        let mut sink = sink;
+        let records = sink.take_records();
+        assert_eq!(records[0].bucket, 7);
+        assert_eq!(records[0].fused, 12);
+        assert_eq!(records[0].bucket_occupancy, 40);
+        assert_eq!(records[1].fused, 0);
+        let mut line = String::new();
+        records[0].to_json(&mut line);
+        assert!(line.contains("\"fused\":12"));
+        assert_eq!(parse_record_line(&line), Some(records[0].clone()));
+        // Bucket-off records omit the fields entirely, so pre-bucketing
+        // traces stay byte-identical and parse back with defaults.
+        let mut plain = String::new();
+        records[1].to_json(&mut plain);
+        assert!(!plain.contains("fused"));
+        assert!(!plain.contains("bucket"));
+        assert_eq!(parse_record_line(&plain), Some(records[1].clone()));
+        // Unlike the fast-path flag, bucket accounting is part of the
+        // deterministic-mode contract: trace-diff must flag a fused-round
+        // divergence.
+        let mk = |fused: u64| RunTrace {
+            meta: TraceMeta::default(),
+            records: vec![TraceRecord {
+                superstep: 0,
+                worker: 0,
+                fused,
+                bucket: 1,
+                ..Default::default()
+            }],
+        };
+        let d = diff::first_divergence(&mk(3), &mk(4), false).unwrap();
+        assert_eq!(d.counter, "fused");
+        assert_eq!(diff::first_divergence(&mk(3), &mk(3), false), None);
     }
 
     #[test]

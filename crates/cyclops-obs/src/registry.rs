@@ -166,13 +166,17 @@ impl MetricsRegistry {
         make: impl FnOnce() -> Metric,
     ) -> Metric {
         let id = MetricId::new(name, labels);
-        let mut metrics = self.metrics.lock().unwrap();
+        // Recover from poisoning: the map holds only registration state (no
+        // half-applied invariants — `entry` inserts atomically), so a panic
+        // on another thread while it held the lock must not take the
+        // process-global registry (and every later scrape) down with it.
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         metrics.entry(id).or_insert_with(make).clone()
     }
 
     /// Visits every metric in deterministic order.
     pub fn for_each(&self, mut f: impl FnMut(&MetricId, &Metric)) {
-        let metrics = self.metrics.lock().unwrap();
+        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         for (id, m) in metrics.iter() {
             f(id, m);
         }
@@ -180,7 +184,7 @@ impl MetricsRegistry {
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.metrics.lock().unwrap().len()
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether no metric has been registered.
@@ -248,6 +252,29 @@ mod tests {
         g.set(10);
         g.add(-25);
         assert_eq!(g.get(), -15);
+    }
+
+    #[test]
+    fn poisoned_registry_still_registers_and_scrapes() {
+        let r = std::sync::Arc::new(MetricsRegistry::new());
+        r.counter("before_total", &[]).inc(1);
+        // Poison the mutex: for_each runs the visitor under the lock, so a
+        // panicking visitor on another thread leaves it poisoned.
+        let r2 = std::sync::Arc::clone(&r);
+        let res = std::thread::spawn(move || {
+            r2.for_each(|_, _| panic!("visitor panic while holding the registry lock"));
+        })
+        .join();
+        assert!(res.is_err(), "the visitor should have panicked");
+        // Registration, scraping and len must all survive the poisoning.
+        assert_eq!(r.len(), 1);
+        let c = r.counter("after_total", &[("engine", "bsp")]);
+        c.inc(5);
+        assert_eq!(r.len(), 2);
+        let mut seen = Vec::new();
+        r.for_each(|id, _| seen.push(id.render()));
+        assert_eq!(seen, vec!["after_total{engine=\"bsp\"}", "before_total"]);
+        assert_eq!(r.counter("after_total", &[("engine", "bsp")]).get(), 5);
     }
 
     #[test]

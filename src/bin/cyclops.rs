@@ -36,6 +36,12 @@
 //!   --sparse-cutoff F     sparse-superstep fast path: engage when the
 //!                         frontier is below F of local masters
 //!                         (default 0.015; 0 disables; results identical)
+//!   --bucket-width D      bucketed (delta-stepping) sssp: drain one
+//!                         priority bucket of width D per superstep
+//!                         (`auto` tunes from the mean edge weight;
+//!                         default 0 = off; distances identical)
+//!   --bucket-mode M       bucket drain order: det (default, reproducible
+//!                         schedule) | fast (arrival order)
 //!
 //! algorithm:
 //!   --epsilon F           convergence threshold (pagerank; default 1e-9)
@@ -92,6 +98,9 @@ struct Options {
     inbox: String,
     sched: String,
     sparse_cutoff: f64,
+    bucket_width: f64,
+    bucket_auto: bool,
+    bucket_mode: String,
     prom: Option<String>,
     listen: Option<String>,
     hot: usize,
@@ -130,6 +139,10 @@ impl Default for Options {
             sched: "dynamic".into(),
             // Matches the engines' config defaults.
             sparse_cutoff: 0.015,
+            // 0 = bucketing off, keeping default traces/output unchanged.
+            bucket_width: 0.0,
+            bucket_auto: false,
+            bucket_mode: "det".into(),
             prom: None,
             listen: None,
             hot: 0,
@@ -224,6 +237,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--sparse-cutoff: {e}"))?
             }
+            "--bucket-width" => {
+                let v = value("--bucket-width")?;
+                if v == "auto" {
+                    opts.bucket_auto = true;
+                    opts.bucket_width = 0.0;
+                } else {
+                    opts.bucket_auto = false;
+                    opts.bucket_width = v.parse().map_err(|e| format!("--bucket-width: {e}"))?;
+                }
+            }
+            "--bucket-mode" => opts.bucket_mode = value("--bucket-mode")?,
             "--prom" => opts.prom = Some(value("--prom")?),
             "--listen" => opts.listen = Some(value("--listen")?),
             "--hot" => opts.hot = value("--hot")?.parse().map_err(|e| format!("--hot: {e}"))?,
@@ -241,8 +265,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.machines == 0 || opts.workers == 0 || opts.threads == 0 || opts.receivers == 0 {
         return Err("cluster dimensions must be positive".into());
     }
-    if !opts.sparse_cutoff.is_finite() || opts.sparse_cutoff < 0.0 {
-        return Err("--sparse-cutoff must be a finite fraction >= 0".into());
+    if !opts.sparse_cutoff.is_finite() || opts.sparse_cutoff < 0.0 || opts.sparse_cutoff > 1e6 {
+        return Err("--sparse-cutoff must be a finite fraction in [0, 1e6]".into());
+    }
+    if !opts.bucket_auto
+        && (!opts.bucket_width.is_finite() || opts.bucket_width < 0.0 || opts.bucket_width > 1e18)
+    {
+        return Err("--bucket-width must be `auto` or a finite width in [0, 1e18]".into());
+    }
+    if !matches!(opts.bucket_mode.as_str(), "det" | "fast") {
+        return Err(format!(
+            "unknown bucket mode {}; expected det or fast",
+            opts.bucket_mode
+        ));
     }
     Ok(opts)
 }
@@ -634,13 +669,44 @@ fn run(opts: &Options) -> Result<(), String> {
             } else {
                 build_sink(opts, "cyclops", &cluster)?
             };
+            // `auto` reaches the runners as width 0, which they resolve from
+            // the mean edge weight; an explicit positive width passes through.
+            let bucketed = opts.bucket_auto || opts.bucket_width > 0.0;
+            let bucket_mode = match opts.bucket_mode.as_str() {
+                "fast" => cyclops_net::BucketMode::Fast,
+                _ => cyclops_net::BucketMode::Det,
+            };
             let (values, supersteps) = if use_hama {
-                let r = cyclops_algos::sssp::run_bsp_sssp(
+                let r = if bucketed {
+                    cyclops_algos::sssp::run_bsp_sssp_bucketed(
+                        &g,
+                        &partition,
+                        &cluster,
+                        opts.source,
+                        opts.max_supersteps,
+                        opts.bucket_width,
+                        bucket_mode,
+                    )
+                } else {
+                    cyclops_algos::sssp::run_bsp_sssp(
+                        &g,
+                        &partition,
+                        &cluster,
+                        opts.source,
+                        opts.max_supersteps,
+                    )
+                };
+                (r.values, r.supersteps)
+            } else if bucketed {
+                let r = cyclops_algos::sssp::run_cyclops_sssp_bucketed(
                     &g,
                     &partition,
                     &cluster,
                     opts.source,
                     opts.max_supersteps,
+                    opts.bucket_width,
+                    bucket_mode,
+                    sink.as_ref(),
                 );
                 (r.values, r.supersteps)
             } else {
@@ -788,6 +854,14 @@ execution:   --engine cyclops|hama  --machines M --workers W
              --sparse-cutoff F  sparse-superstep fast path when the
              frontier is below F of local masters (default 0.015;
              0 disables; results bitwise identical either way)
+             --bucket-width D|auto  bucketed (delta-stepping) sssp:
+             each superstep drains one priority bucket of width D,
+             fusing the light-edge relaxation rounds behind a single
+             barrier (auto = 8x mean edge weight; default 0 = off;
+             distances bitwise identical)
+             --bucket-mode det|fast  det (default) fixes the in-bucket
+             drain order for reproducible traces; fast keeps arrival
+             order
 algorithm:   --epsilon F  --max-supersteps N  --source V  --sweeps N
 output:      --output FILE  --top N  --stats
 tracing:     --trace FILE (pagerank; sssp/cc on cyclops)  --stream  --values
@@ -805,6 +879,7 @@ tracing:     --trace FILE (pagerank; sssp/cc on cyclops)  --stream  --values
 examples:
   cyclops pagerank --dataset GWeb --scale 0.2 --machines 3 --workers 2
   cyclops sssp --dataset RoadCA --source 5 --partitioner metis
+  cyclops sssp --dataset RoadCA --bucket-width auto --bucket-mode det
   cyclops gen --dataset Wiki --scale 0.1 --output wiki.txt
   cyclops cc --input wiki.txt --engine hama
   cyclops pagerank --dataset Amazon --trace run-a.jsonl --values
@@ -897,6 +972,8 @@ mod tests {
         assert_eq!(o.sparse_cutoff, 0.0);
         assert!(parse_args(&args("sssp --sparse-cutoff -1")).is_err());
         assert!(parse_args(&args("sssp --sparse-cutoff nope")).is_err());
+        assert!(parse_args(&args("sssp --sparse-cutoff inf")).is_err());
+        assert!(parse_args(&args("sssp --sparse-cutoff 1e9")).is_err());
         let o = parse_args(&args("top run.jsonl --once --refresh-ms 100")).unwrap();
         assert_eq!(o.command, "top");
         assert_eq!(o.positional, vec!["run.jsonl"]);
@@ -905,6 +982,34 @@ mod tests {
         let o = parse_args(&args("metrics run.jsonl")).unwrap();
         assert_eq!(o.command, "metrics");
         assert_eq!(o.positional, vec!["run.jsonl"]);
+    }
+
+    #[test]
+    fn parses_and_validates_bucket_flags() {
+        // Off by default; no bucket flags means the classic path.
+        let o = parse_args(&args("sssp --dataset RoadCA")).unwrap();
+        assert_eq!(o.bucket_width, 0.0);
+        assert!(!o.bucket_auto);
+        assert_eq!(o.bucket_mode, "det");
+        let o = parse_args(&args("sssp --dataset RoadCA --bucket-width 2.5")).unwrap();
+        assert_eq!(o.bucket_width, 2.5);
+        assert!(!o.bucket_auto);
+        let o = parse_args(&args("sssp --dataset RoadCA --bucket-width auto")).unwrap();
+        assert!(o.bucket_auto);
+        assert_eq!(o.bucket_width, 0.0);
+        let o = parse_args(&args(
+            "sssp --dataset RoadCA --bucket-width 1 --bucket-mode fast",
+        ))
+        .unwrap();
+        assert_eq!(o.bucket_mode, "fast");
+        // Rejections: NaN, negative, non-finite, absurd, junk, bad mode.
+        assert!(parse_args(&args("sssp --bucket-width NaN")).is_err());
+        assert!(parse_args(&args("sssp --bucket-width -2")).is_err());
+        assert!(parse_args(&args("sssp --bucket-width inf")).is_err());
+        assert!(parse_args(&args("sssp --bucket-width 1e19")).is_err());
+        assert!(parse_args(&args("sssp --bucket-width nope")).is_err());
+        assert!(parse_args(&args("sssp --bucket-width")).is_err());
+        assert!(parse_args(&args("sssp --bucket-width 1 --bucket-mode greedy")).is_err());
     }
 
     #[test]

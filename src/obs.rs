@@ -285,6 +285,40 @@ pub fn wire_mix(trace: &RunTrace) -> Vec<WireMixRow> {
     rows.into_values().collect()
 }
 
+/// Per-superstep bucketed-scheduler accounting, aggregated over workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BucketRow {
+    /// Superstep index.
+    pub superstep: u64,
+    /// Index of the priority bucket this superstep drained.
+    pub bucket: u64,
+    /// Relaxation rounds fused behind this superstep's single barrier pair
+    /// (every worker records the same global round count; the max guards
+    /// against partially written traces).
+    pub fused: u64,
+    /// Distinct vertices drained from the bucket, summed over workers.
+    pub occupancy: u64,
+}
+
+/// The per-superstep bucket occupancy of a trace: which bucket each
+/// superstep drained, how many relaxation rounds it fused, and how many
+/// distinct vertices it computed. Unbucketed runs (and legacy traces)
+/// record no fused rounds and yield an empty vec.
+pub fn bucketing(trace: &RunTrace) -> Vec<BucketRow> {
+    let mut rows: std::collections::BTreeMap<u64, BucketRow> = std::collections::BTreeMap::new();
+    for r in &trace.records {
+        if r.fused == 0 {
+            continue;
+        }
+        let row = rows.entry(r.superstep).or_default();
+        row.superstep = r.superstep;
+        row.bucket = r.bucket;
+        row.fused = row.fused.max(r.fused);
+        row.occupancy += r.bucket_occupancy;
+    }
+    rows.into_values().collect()
+}
+
 fn pct(part: u64, whole: u64) -> f64 {
     if whole == 0 {
         0.0
@@ -407,6 +441,34 @@ pub fn why_slow_report(trace: &RunTrace) -> String {
     }
     out.push('\n');
 
+    let buckets = bucketing(trace);
+    if buckets.is_empty() {
+        out.push_str("bucketed execution: off (one barrier per relaxation hop)\n");
+    } else {
+        let rounds: u64 = buckets.iter().map(|b| b.fused).sum();
+        let _ = writeln!(
+            out,
+            "bucketed execution: {rounds} relaxation rounds fused into {} supersteps \
+             ({} barrier rounds saved)",
+            buckets.len(),
+            rounds.saturating_sub(buckets.len() as u64),
+        );
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>7} {:>6} {:>10}",
+            "step", "bucket", "fused", "occupancy"
+        );
+        let tail = buckets.len().saturating_sub(16);
+        for b in &buckets[tail..] {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>7} {:>6} {:>10}",
+                b.superstep, b.bucket, b.fused, b.occupancy
+            );
+        }
+    }
+    out.push('\n');
+
     let spans: Vec<u64> = cp.supersteps.iter().map(|s| s.span_ns).collect();
     let waits: Vec<u64> = cp.supersteps.iter().map(|s| s.caused_wait_ns).collect();
     let _ = writeln!(
@@ -490,6 +552,17 @@ pub fn why_slow_json(trace: &RunTrace) -> String {
             out,
             "\n    {{\"superstep\": {}, \"dense\": {}, \"sparse\": {}, \"fast_path_workers\": {}}}",
             m.superstep, m.dense, m.sparse, m.fast_workers
+        );
+    }
+    out.push_str("\n  ],\n  \"bucketing\": [");
+    for (i, b) in bucketing(trace).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"superstep\": {}, \"bucket\": {}, \"fused\": {}, \"occupancy\": {}}}",
+            b.superstep, b.bucket, b.fused, b.occupancy
         );
     }
     out.push_str("\n  ]\n}\n");
@@ -827,6 +900,54 @@ mod tests {
         // Legacy traces degrade to an explicit absence line / empty array.
         assert!(why_slow_report(&skewed_trace()).contains("no adaptive batches"));
         assert!(why_slow_json(&skewed_trace()).contains("\"wire_mix\": [\n  ]"));
+    }
+
+    #[test]
+    fn bucketing_aggregates_and_surfaces_in_reports() {
+        let mut trace = skewed_trace();
+        // Superstep 0 drained bucket 0 over 5 fused rounds; worker 0
+        // computed 7 distinct vertices, worker 1 computed 4.
+        trace.records[0].fused = 5;
+        trace.records[0].bucket = 0;
+        trace.records[0].bucket_occupancy = 7;
+        trace.records[1].fused = 5;
+        trace.records[1].bucket = 0;
+        trace.records[1].bucket_occupancy = 4;
+        trace.records[2].fused = 2;
+        trace.records[2].bucket = 3;
+        trace.records[2].bucket_occupancy = 1;
+        assert_eq!(
+            bucketing(&trace),
+            vec![
+                BucketRow {
+                    superstep: 0,
+                    bucket: 0,
+                    fused: 5,
+                    occupancy: 11
+                },
+                BucketRow {
+                    superstep: 1,
+                    bucket: 3,
+                    fused: 2,
+                    occupancy: 1
+                },
+            ]
+        );
+        let report = why_slow_report(&trace);
+        assert!(
+            report.contains("7 relaxation rounds fused into 2 supersteps"),
+            "{report}"
+        );
+        assert!(report.contains("(5 barrier rounds saved)"), "{report}");
+        let j = why_slow_json(&trace);
+        assert!(j.contains("\"bucketing\": ["), "{j}");
+        assert!(
+            j.contains("{\"superstep\": 0, \"bucket\": 0, \"fused\": 5, \"occupancy\": 11}"),
+            "{j}"
+        );
+        // Unbucketed traces degrade to an explicit off line / empty array.
+        assert!(why_slow_report(&skewed_trace()).contains("bucketed execution: off"));
+        assert!(why_slow_json(&skewed_trace()).contains("\"bucketing\": [\n  ]"));
     }
 
     #[test]

@@ -249,6 +249,83 @@ fn trace_commands_share_consistent_error_messages() {
 }
 
 #[test]
+fn invalid_bucket_width_fails_with_nonzero_exit() {
+    for width in ["NaN", "-3", "inf", "1e19", "nope"] {
+        let (ok, _, stderr) = cyclops(&["sssp", "--dataset", "RoadCA", "--bucket-width", width]);
+        assert!(!ok, "--bucket-width {width} must be rejected");
+        assert!(
+            stderr.contains("--bucket-width must be `auto` or a finite width")
+                || stderr.contains("--bucket-width:"),
+            "--bucket-width {width}: unexpected diagnostic {stderr:?}"
+        );
+    }
+    let (ok, _, stderr) = cyclops(&[
+        "sssp",
+        "--dataset",
+        "RoadCA",
+        "--bucket-width",
+        "1",
+        "--bucket-mode",
+        "greedy",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown bucket mode greedy"), "{stderr}");
+}
+
+#[test]
+fn bucketed_sssp_matches_classic_distances_with_fewer_supersteps() {
+    let graph_file = temp_path("bucketed.txt");
+    cyclops(&[
+        "gen",
+        "--dataset",
+        "RoadCA",
+        "--scale",
+        "0.05",
+        "--output",
+        graph_file.to_str().unwrap(),
+    ]);
+    let supersteps = |stdout: &str| -> u64 {
+        let rest = stdout.split("sssp from 0: ").nth(1).expect("summary line");
+        rest.split(' ').next().unwrap().parse().unwrap()
+    };
+    let classic_file = temp_path("classic-dist.txt");
+    let (ok, stdout, stderr) = cyclops(&[
+        "sssp",
+        "--input",
+        graph_file.to_str().unwrap(),
+        "--output",
+        classic_file.to_str().unwrap(),
+    ]);
+    assert!(ok, "classic: {stderr}");
+    let classic_steps = supersteps(&stdout);
+
+    for mode in ["det", "fast"] {
+        let file = temp_path(&format!("bucketed-dist-{mode}.txt"));
+        let (ok, stdout, stderr) = cyclops(&[
+            "sssp",
+            "--input",
+            graph_file.to_str().unwrap(),
+            "--bucket-width",
+            "auto",
+            "--bucket-mode",
+            mode,
+            "--output",
+            file.to_str().unwrap(),
+        ]);
+        assert!(ok, "bucketed {mode}: {stderr}");
+        assert!(
+            supersteps(&stdout) < classic_steps,
+            "bucketing must cut supersteps: {stdout} vs {classic_steps}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&classic_file).unwrap(),
+            std::fs::read_to_string(&file).unwrap(),
+            "bucketed {mode} distances must be byte-identical to classic"
+        );
+    }
+}
+
+#[test]
 fn engines_agree_via_cli_output_files() {
     let graph_file = temp_path("agree.txt");
     cyclops(&[
