@@ -4,8 +4,10 @@
 //! disciplines, barrier latency, CSR neighbor iteration, the ALS Cholesky
 //! solve, the metrics hot path (histogram record vs the disabled Option
 //! check), hot-vertex top-K capture (Space-Saving record vs the disabled
-//! Option check), and the compute scheduler's frontier-dispatch strategies
-//! on a skewed R-MAT frontier.
+//! Option check), the flight recorder's span hot path (ring write vs the
+//! disabled Option check), the communication matrix's per-flush accounting
+//! (per-destination cells vs the aggregate counters), and the compute
+//! scheduler's frontier-dispatch strategies on a skewed R-MAT frontier.
 
 use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
@@ -298,6 +300,83 @@ fn bench_hot_vertex(c: &mut Criterion) {
     group.finish();
 }
 
+/// The flight recorder's per-span cost at both ends of the dial: the
+/// disabled path (no recorder installed — the engine resolved `None` once
+/// per thread loop and pays one `Option` check at each span site, skipping
+/// the clock read) and the enabled path (a `now_ns` clock read plus one
+/// ring-buffer write). The acceptance bar pins the tentpole's overhead
+/// claim: the disabled check costs nothing measurable.
+fn bench_span_event(c: &mut Criterion) {
+    use cyclops_obs::{FlightRecorder, SpanKind, SpanRing, DEFAULT_FLIGHT_CAPACITY};
+    use std::sync::Arc;
+
+    assert!(
+        cyclops_obs::flight().is_none(),
+        "benches must not install the global flight recorder"
+    );
+    let mut group = c.benchmark_group("span_event_disabled");
+
+    // Exactly the engine's span-site shape: capture an optional start
+    // timestamp, do the (elided) work, record when the ring resolved.
+    let disabled: Option<Arc<SpanRing>> = None;
+    group.bench_function("disabled_option_check", |b| {
+        b.iter(|| {
+            let start = std::hint::black_box(&disabled).as_ref().map(|r| r.now_ns());
+            if let (Some(r), Some(s)) = (std::hint::black_box(&disabled), start) {
+                r.record(SpanKind::Compute, s, 1, 0, 0);
+            }
+        })
+    });
+
+    // Enabled: a local (non-global) recorder so the rest of the bench
+    // binary still sees the disabled path.
+    let fr = FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY);
+    let enabled: Option<Arc<SpanRing>> = Some(fr.ring(0, 0));
+    group.bench_function("enabled_clock_and_ring_write", |b| {
+        b.iter(|| {
+            let start = std::hint::black_box(&enabled).as_ref().map(|r| r.now_ns());
+            if let (Some(r), Some(s)) = (std::hint::black_box(&enabled), start) {
+                r.record(SpanKind::Compute, s, 1, 0, 0);
+            }
+        })
+    });
+    group.finish();
+}
+
+/// The communication matrix's per-flush accounting cost: the legacy
+/// aggregate counters (`add_sent`) vs the per-destination cells that feed
+/// the per-record matrix (`add_sent_to` + the wire-mode batch count). Both
+/// are a handful of relaxed atomic adds; the bar is that attributing by
+/// destination costs no more than a few nanoseconds over the aggregate.
+fn bench_comm_matrix(c: &mut Criterion) {
+    use cyclops_net::trace::TraceSink;
+    let cluster = ClusterSpec::flat(2, 2);
+    let sink = TraceSink::new("bench", &cluster);
+    let tr = sink.worker(0);
+
+    let mut group = c.benchmark_group("comm_matrix_per_flush");
+    group.bench_function("add_sent_aggregate_only", |b| {
+        let mut dst = 0usize;
+        b.iter(|| {
+            dst = (dst + 1) & 3;
+            tr.add_sent(std::hint::black_box(16), std::hint::black_box(256));
+        })
+    });
+    group.bench_function("add_sent_to_pair_cells", |b| {
+        let mut dst = 0usize;
+        b.iter(|| {
+            dst = (dst + 1) & 3;
+            tr.add_sent_to(
+                std::hint::black_box(dst),
+                std::hint::black_box(16),
+                std::hint::black_box(256),
+            );
+            tr.add_wire_batches_to(std::hint::black_box(dst), 1, 0);
+        })
+    });
+    group.finish();
+}
+
 /// The PR 3 scheduling dial, isolated from the engine: dispatch a skewed
 /// R-MAT frontier to T compute threads three ways and measure the aggregate
 /// CPU cost of the dispatch + per-vertex work.
@@ -435,6 +514,8 @@ criterion_group!(
     bench_cholesky,
     bench_metrics,
     bench_hot_vertex,
+    bench_span_event,
+    bench_comm_matrix,
     bench_scheduling
 );
 criterion_main!(benches);

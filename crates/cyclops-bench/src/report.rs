@@ -517,6 +517,7 @@ mod tests {
     #[test]
     fn trace_table_sums_workers_per_superstep() {
         let trace = RunTrace {
+            spans: Vec::new(),
             meta: TraceMeta {
                 engine: "cyclops".into(),
                 cluster: "1x2x1".into(),
@@ -569,6 +570,7 @@ mod tests {
             ..Default::default()
         };
         RunTrace {
+            spans: Vec::new(),
             meta: TraceMeta {
                 engine: "cyclops".into(),
                 cluster: "1x2x1".into(),
@@ -604,6 +606,7 @@ mod tests {
         assert!(s.contains("8.00 ms barrier wait"), "{s}");
         // Empty trace degrades gracefully.
         let empty = RunTrace {
+            spans: Vec::new(),
             meta: TraceMeta::default(),
             records: vec![],
         };
@@ -621,6 +624,7 @@ mod tests {
             })
             .collect();
         let trace = RunTrace {
+            spans: Vec::new(),
             meta: TraceMeta::default(),
             records,
         };

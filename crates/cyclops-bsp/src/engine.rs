@@ -16,6 +16,7 @@ use cyclops_net::{
     priority_key, priority_key_inv, AggregateStats, BucketMode, ClusterSpec, FlatBarrier,
     InboxMode, Phase, PhaseTimes, SuperstepStats, Transport, IMMEDIATE_KEY,
 };
+use cyclops_obs::SpanKind;
 use cyclops_partition::EdgeCutPartition;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -395,6 +396,9 @@ fn worker_loop<P: BspProgram>(
     // fingerprint used to allocate a fresh encode buffer per vertex.
     let mut fp_buf = bytes::BytesMut::new();
     let tracer = trace.map(|s| s.worker(me));
+    // Per-worker flight-recorder ring (BSP workers are single-threaded),
+    // resolved once; absent a recorder each span site is one Option check.
+    let flight = cyclops_obs::flight().map(|fr| fr.ring(me as u32, 0));
     // Hot-vertex capture, resolved once; disabled it costs one Option check
     // per computed vertex. BSP has no degree plan, so the cost proxy is the
     // message volume through the vertex: 1 + inbox + outbox.
@@ -415,6 +419,7 @@ fn worker_loop<P: BspProgram>(
         let agg_in = *prev_aggregate.lock();
 
         // ---- PRS: parse received messages into per-vertex mailboxes. ----
+        let prs_span = flight.as_ref().map(|r| r.now_ns());
         let received = times.time(Phase::Parse, || {
             let msgs = transport.drain(me, superstep);
             let count = msgs.len();
@@ -434,6 +439,9 @@ fn worker_loop<P: BspProgram>(
             awake.sort_unstable();
             count
         });
+        if let (Some(r), Some(start)) = (&flight, prs_span) {
+            r.record(SpanKind::Parse, start, superstep as u64, 0, 0);
+        }
 
         // ---- Checkpoint (post-parse state is a consistent cut). ----
         let mut checkpointed = false;
@@ -459,6 +467,7 @@ fn worker_loop<P: BspProgram>(
         let mut local_activated = 0usize;
         let mut local_agg = AggregateStats::default();
         let mut redundant = 0usize;
+        let cmp_span = flight.as_ref().map(|r| r.now_ns());
         times.time(Phase::Compute, || {
             next_awake.clear();
             let mut body = |li: usize| {
@@ -513,6 +522,9 @@ fn worker_loop<P: BspProgram>(
                 }
             }
         });
+        if let (Some(r), Some(start)) = (&flight, cmp_span) {
+            r.record(SpanKind::Compute, start, superstep as u64, 0, 0);
+        }
         // The ascending compute walk rebuilt the un-halted set in order.
         std::mem::swap(&mut awake, &mut next_awake);
         active_total.fetch_add(local_active, Ordering::Relaxed);
@@ -537,6 +549,7 @@ fn worker_loop<P: BspProgram>(
         }
 
         // ---- SND: combine and transmit. ----
+        let snd_span = flight.as_ref().map(|r| r.now_ns());
         times.time(Phase::Send, || {
             for (dest_worker, outbox) in outboxes.iter_mut().enumerate() {
                 let mut batch = std::mem::take(outbox);
@@ -552,10 +565,13 @@ fn worker_loop<P: BspProgram>(
                 let lane = me * config.cluster.threads_per_worker;
                 let receipt = transport.send(lane, dest_worker, batch, superstep);
                 if let Some(tr) = tracer {
-                    tr.add_sent(sent as u64, receipt.bytes as u64);
+                    tr.add_sent_to(dest_worker, sent as u64, receipt.bytes as u64);
                 }
             }
         });
+        if let (Some(r), Some(start)) = (&flight, snd_span) {
+            r.record(SpanKind::Send, start, superstep as u64, 0, 0);
+        }
 
         // ---- SYN: barrier + leader bookkeeping. ----
         let _ = received;
@@ -566,7 +582,7 @@ fn worker_loop<P: BspProgram>(
             cur.phase_times = cur.phase_times.merge(&times);
         }
         let sync_start = Instant::now();
-        let leader = barrier.wait();
+        let leader = barrier.wait_traced(flight.as_deref(), superstep as u64);
         if leader {
             let total_active = active_total.swap(0, Ordering::Relaxed);
             if let Some(so) = sched_obs {
@@ -774,6 +790,9 @@ fn bucketed_worker_loop<P: BspProgram>(
     let mut vertex_outbox: Vec<(VertexId, P::Message)> = Vec::new();
     let mut fp_buf = bytes::BytesMut::new();
     let tracer = trace.map(|s| s.worker(me));
+    // Per-worker flight-recorder ring (BSP workers are single-threaded),
+    // resolved once; absent a recorder each span site is one Option check.
+    let flight = cyclops_obs::flight().map(|fr| fr.ring(me as u32, 0));
     let hot_k = trace.map(|s| s.hot_k()).unwrap_or(0);
     let mut hot_local = (hot_k > 0).then(|| cyclops_net::trace::SpaceSaving::new(hot_k));
     // Pending set: `awake` holds exactly the locals with `prio != u64::MAX`
@@ -801,6 +820,7 @@ fn bucketed_worker_loop<P: BspProgram>(
     loop {
         let mut times = PhaseTimes::default();
         let agg_in = *prev_aggregate.lock();
+        let round_span = flight.as_ref().map(|r| r.now_ns());
 
         // ---- Checkpoint at bucket start: the previous bucket settled, so
         // the transport is empty and parked mailboxes are the only in-flight
@@ -821,6 +841,7 @@ fn bucketed_worker_loop<P: BspProgram>(
         }
 
         // ---- PRS: drain this round's messages, wake or park by priority. ----
+        let prs_span = flight.as_ref().map(|r| r.now_ns());
         let received = times.time(Phase::Parse, || {
             let msgs = transport.drain(me, epoch);
             let count = msgs.len();
@@ -840,6 +861,9 @@ fn bucketed_worker_loop<P: BspProgram>(
             }
             count
         });
+        if let (Some(r), Some(start)) = (&flight, prs_span) {
+            r.record(SpanKind::Parse, start, superstep as u64, 0, 0);
+        }
 
         // ---- CMP: select the in-bucket pending vertices and compute them.
         // `IMMEDIATE_KEY` compares below every non-negative priority, so
@@ -860,6 +884,7 @@ fn bucketed_worker_loop<P: BspProgram>(
         let mut local_activated = 0usize;
         let mut local_agg = AggregateStats::default();
         let mut redundant = 0usize;
+        let cmp_span = flight.as_ref().map(|r| r.now_ns());
         times.time(Phase::Compute, || {
             let gen = superstep as u64 + 1;
             for &li32 in &due {
@@ -916,6 +941,9 @@ fn bucketed_worker_loop<P: BspProgram>(
                 }
             }
         });
+        if let (Some(r), Some(start)) = (&flight, cmp_span) {
+            r.record(SpanKind::Compute, start, superstep as u64, 0, 0);
+        }
         cmp_acc += times.compute.as_nanos() as u64;
         cmp_ns[me].store(cmp_acc, Ordering::Relaxed);
         if !local_agg.is_empty() {
@@ -929,6 +957,7 @@ fn bucketed_worker_loop<P: BspProgram>(
         }
 
         // ---- SND: combine and transmit, as in the classic loop. ----
+        let snd_span = flight.as_ref().map(|r| r.now_ns());
         times.time(Phase::Send, || {
             for (dest_worker, outbox) in outboxes.iter_mut().enumerate() {
                 let mut batch = std::mem::take(outbox);
@@ -942,10 +971,13 @@ fn bucketed_worker_loop<P: BspProgram>(
                 let lane = me * config.cluster.threads_per_worker;
                 let receipt = transport.send(lane, dest_worker, batch, epoch);
                 if let Some(tr) = tracer {
-                    tr.add_sent(sent as u64, receipt.bytes as u64);
+                    tr.add_sent_to(dest_worker, sent as u64, receipt.bytes as u64);
                 }
             }
         });
+        if let (Some(r), Some(start)) = (&flight, snd_span) {
+            r.record(SpanKind::Send, start, superstep as u64, 0, 0);
+        }
 
         // ---- SYN: contribute round state, barrier, leader verdict. ----
         bucket_shared
@@ -963,7 +995,7 @@ fn bucketed_worker_loop<P: BspProgram>(
             cur.phase_times = cur.phase_times.merge(&times);
         }
         let sync_start = Instant::now();
-        let leader = barrier.wait();
+        let leader = barrier.wait_traced(flight.as_deref(), epoch as u64);
         if leader {
             let sel = bucket_shared.round_selected.swap(0, Ordering::Relaxed);
             let parked = bucket_shared.parked_min.swap(u64::MAX, Ordering::Relaxed);
@@ -1013,6 +1045,9 @@ fn bucketed_worker_loop<P: BspProgram>(
         bucket_times = bucket_times.merge(&times);
         rounds += 1;
         epoch += 1;
+        if let (Some(r), Some(start)) = (&flight, round_span) {
+            r.record(SpanKind::Round, start, bucket, rounds, due.len() as u64);
+        }
         let verdict = bucket_shared.verdict.load(Ordering::Acquire);
         if verdict == VERDICT_CONTINUE {
             continue;

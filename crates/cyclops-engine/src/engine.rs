@@ -35,6 +35,7 @@ use cyclops_net::{
     AggregateStats, BucketMode, ClusterSpec, Codec, DisjointSlots, HierarchicalBarrier, InboxMode,
     Phase, PhaseTimes, ReplicaUpdate, SchedObs, SendReceipt, SuperstepStats, Transport, WireMode,
 };
+use cyclops_obs::{SpanKind, SpanRing};
 use cyclops_partition::EdgeCutPartition;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
@@ -566,6 +567,10 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
     // message — the allocation Table 2 flags).
     let mut digest_buf = bytes::BytesMut::new();
     let tracer = env.trace.map(|s| s.worker(env.w));
+    // Per-thread flight-recorder ring, resolved once; with no recorder
+    // installed (the default) every span site below is one `Option` check,
+    // the same discipline as the tracer and the phase histograms.
+    let flight = cyclops_obs::flight().map(|fr| fr.ring(env.w as u32, env.t as u32));
     let capture_values = env.trace.map(|s| s.captures_values()).unwrap_or(false);
     // Hot-vertex capture, resolved once: a per-thread Space-Saving sketch of
     // per-vertex work mass, folded into the tracer each superstep. Disabled
@@ -599,6 +604,7 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
 
         // ---- Apply phase (PRS): receivers update replicas lock-free. ----
         let apply_start = Instant::now();
+        let prs_span = flight.as_ref().map(|r| r.now_ns());
         if env.t < env.receivers {
             let mut drained = 0u64;
             for (_, batch) in
@@ -627,6 +633,9 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         // and belong to SYN — charging them to PRS used to inflate the parse
         // column by a full barrier interval per superstep.
         times.add(Phase::Parse, apply_start.elapsed());
+        if let (Some(r), Some(start)) = (&flight, prs_span) {
+            r.record(SpanKind::Parse, start, superstep as u64, 0, 0);
+        }
         let wait_start = Instant::now();
         ws.local.wait();
         // Value-only checkpoint (no replicas, no messages — §3.6), taken on
@@ -683,6 +692,7 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
         // ---- Compute phase (CMP). ----
         let fast = ws.fast_path.load(Ordering::Relaxed);
         let compute_start = Instant::now();
+        let cmp_span = flight.as_ref().map(|r| r.now_ns());
         let mut computed = 0usize;
         let mut conv_delta = 0isize;
         updated.clear();
@@ -723,6 +733,13 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                 };
                 let lo = if c == 0 { 0 } else { ends[c - 1] as usize };
                 let hi = ends[c] as usize;
+                // Dynamic claims are the events worth their own timeline
+                // rows; static shards and fast-path walks are already the
+                // compute span.
+                let chunk_span = flight
+                    .as_ref()
+                    .filter(|_| sched == Sched::Dynamic && !fast)
+                    .map(|r| r.now_ns());
                 let mut part = ChunkPartial::default();
                 for &li in &flat[lo..hi] {
                     let li = li as usize;
@@ -805,11 +822,23 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                 // worker leader reduces slots in chunk-index order, so claim
                 // order never affects the float results.
                 *ws.partials[c].lock() = part;
+                if let (Some(r), Some(start)) = (&flight, chunk_span) {
+                    r.record(
+                        SpanKind::Chunk,
+                        start,
+                        superstep as u64,
+                        c as u64,
+                        (hi - lo) as u64,
+                    );
+                }
             }
         }
         let cmp_elapsed = compute_start.elapsed();
         ws.cmp_ns[env.t].store(cmp_elapsed.as_nanos() as u64, Ordering::Relaxed);
         times.add(Phase::Compute, cmp_elapsed);
+        if let (Some(r), Some(start)) = (&flight, cmp_span) {
+            r.record(SpanKind::Compute, start, superstep as u64, 0, 0);
+        }
         // Deposit this thread's outboxes into the worker-shared per-
         // destination slots (Vec swaps — the slot left empty by last
         // superstep's flush trades places with the filled local vec, so
@@ -831,6 +860,7 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
 
         // ---- Publish & send phase (SND). ----
         let send_start = Instant::now();
+        let snd_span = flight.as_ref().map(|r| r.now_ns());
         for &li in &updated {
             let li = li as usize;
             // SAFETY: only the owning thread copies its updated slots, after
@@ -865,8 +895,8 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                             env.transport
                                 .send(lane, dest, std::mem::take(batch), superstep);
                         if let Some(tr) = tracer {
-                            tr.add_sent(sent as u64, receipt.bytes as u64);
-                            record_wire_mode(tr, receipt);
+                            tr.add_sent_to(dest, sent as u64, receipt.bytes as u64);
+                            record_wire_mode(tr, dest, receipt);
                         }
                     }
                 }
@@ -884,13 +914,16 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                         env.transport
                             .send(lane, dest, std::mem::take(&mut flush), superstep);
                     if let Some(tr) = tracer {
-                        tr.add_sent(sent as u64, receipt.bytes as u64);
-                        record_wire_mode(tr, receipt);
+                        tr.add_sent_to(dest, sent as u64, receipt.bytes as u64);
+                        record_wire_mode(tr, dest, receipt);
                     }
                 }
             }
         }
         times.add(Phase::Send, send_start.elapsed());
+        if let (Some(r), Some(start)) = (&flight, snd_span) {
+            r.record(SpanKind::Send, start, superstep as u64, 0, 0);
+        }
 
         // ---- Publish per-thread statistics. ----
         env.computed_total.fetch_add(computed, Ordering::Relaxed);
@@ -951,7 +984,8 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
 
         // ---- SYN: hierarchical barrier + leader bookkeeping. ----
         let sync_start = Instant::now();
-        env.barrier.wait(env.w, env.t);
+        env.barrier
+            .wait_traced(env.w, env.t, flight.as_deref(), superstep as u64);
         if env.w == 0 && env.t == 0 {
             let total_computed = env.computed_total.swap(0, Ordering::Relaxed);
             let total_next = env.next_active_total.swap(0, Ordering::Relaxed);
@@ -1004,7 +1038,8 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             env.stop
                 .store(drained || converged_enough || capped, Ordering::Release);
         }
-        env.barrier.wait(env.w, env.t);
+        env.barrier
+            .wait_traced(env.w, env.t, flight.as_deref(), superstep as u64);
         if env.t == 0 {
             let final_sync = sync_start.elapsed();
             env.current.lock().phase_times.add(Phase::Sync, final_sync);
@@ -1032,12 +1067,13 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
 }
 
 /// Folds one send receipt's wire mode into the tracer's per-superstep
-/// dense/sparse batch counts (legacy and intra-machine sends count as
+/// dense/sparse batch counts — both the record totals and destination
+/// `dest`'s comm-matrix row (legacy and intra-machine sends count as
 /// neither).
-fn record_wire_mode(tr: &cyclops_net::WorkerTracer, receipt: SendReceipt) {
+fn record_wire_mode(tr: &cyclops_net::WorkerTracer, dest: usize, receipt: SendReceipt) {
     match receipt.wire_mode {
-        Some(WireMode::Dense) => tr.add_wire_batches(1, 0),
-        Some(WireMode::Sparse) => tr.add_wire_batches(0, 1),
+        Some(WireMode::Dense) => tr.add_wire_batches_to(dest, 1, 0),
+        Some(WireMode::Sparse) => tr.add_wire_batches_to(dest, 0, 1),
         _ => {}
     }
 }
@@ -1247,13 +1283,16 @@ impl<M> BucketSched<M> {
 fn bucketed_thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
     let is_leader = env.w == 0 && env.t == 0;
     let mut sched = is_leader.then(|| BucketSched::new(env.shared, env.start_superstep & 1));
+    let flight = cyclops_obs::flight().map(|fr| fr.ring(env.w as u32, env.t as u32));
     let mut superstep = env.start_superstep;
     loop {
-        env.barrier.wait(env.w, env.t);
+        env.barrier
+            .wait_traced(env.w, env.t, flight.as_deref(), superstep as u64);
         if let Some(sched) = sched.as_mut() {
-            settle_bucket(&env, sched, superstep);
+            settle_bucket(&env, sched, superstep, flight.as_deref());
         }
-        env.barrier.wait(env.w, env.t);
+        env.barrier
+            .wait_traced(env.w, env.t, flight.as_deref(), superstep as u64);
         if env.stop.load(Ordering::Acquire) {
             return;
         }
@@ -1268,6 +1307,7 @@ fn settle_bucket<P: CyclopsProgram>(
     env: &ThreadEnv<'_, P>,
     sched: &mut BucketSched<P::Message>,
     superstep: usize,
+    ring: Option<&SpanRing>,
 ) {
     let settle_start = Instant::now();
     let num_workers = env.plan.workers.len();
@@ -1325,6 +1365,7 @@ fn settle_bucket<P: CyclopsProgram>(
 
     // ---- Fused relaxation rounds. ----
     loop {
+        let round_span = ring.map(|r| r.now_ns());
         // A program that keeps re-activating (which the classic loop would
         // cut off at its superstep cap) must not spin the drain forever:
         // stop once the run has spent as many fused rounds as the classic
@@ -1516,8 +1557,8 @@ fn settle_bucket<P: CyclopsProgram>(
                             .send(lane, dest, std::mem::take(batch), sched.epoch);
                     if let Some(trace) = env.trace {
                         let tr = trace.worker(w);
-                        tr.add_sent(sent as u64, receipt.bytes as u64);
-                        record_wire_mode(tr, receipt);
+                        tr.add_sent_to(dest, sent as u64, receipt.bytes as u64);
+                        record_wire_mode(tr, dest, receipt);
                     }
                 }
             }
@@ -1528,6 +1569,15 @@ fn settle_bucket<P: CyclopsProgram>(
         }
         sched.selected = selected;
         sched.epoch += 1;
+        if let (Some(r), Some(start)) = (ring, round_span) {
+            r.record(
+                SpanKind::Round,
+                start,
+                bucket,
+                rounds,
+                total_selected as u64,
+            );
+        }
     }
 
     // ---- Superstep epilogue: the classic loop's leader bookkeeping. ----

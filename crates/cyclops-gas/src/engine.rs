@@ -16,6 +16,7 @@ use cyclops_net::trace::{digest_bytes, TraceSink};
 use cyclops_net::{
     ClusterSpec, Codec, FlatBarrier, InboxMode, Phase, PhaseTimes, SuperstepStats, Transport,
 };
+use cyclops_obs::SpanKind;
 use cyclops_partition::VertexCutPartition;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -507,6 +508,9 @@ fn gas_worker<P: GasProgram>(
     let mut digest_buf = BytesMut::new();
 
     let tracer = trace.map(|s| s.worker(me));
+    // Per-worker flight-recorder ring (GAS asserts one thread per worker),
+    // resolved once; absent a recorder each span site is one Option check.
+    let flight = cyclops_obs::flight().map(|fr| fr.ring(me as u32, 0));
     let capture_values = trace.map(|s| s.captures_values()).unwrap_or(false);
     // Hot-vertex capture, resolved once; disabled it costs one Option check
     // per applied vertex. The GAS cost proxy is the replication factor:
@@ -520,7 +524,7 @@ fn gas_worker<P: GasProgram>(
                 let sent = batch.len();
                 let receipt = transport.send(me, dest, std::mem::take(batch), epoch);
                 if let Some(tr) = tracer {
-                    tr.add_sent(sent as u64, receipt.bytes as u64);
+                    tr.add_sent_to(dest, sent as u64, receipt.bytes as u64);
                 }
             }
         }
@@ -544,6 +548,7 @@ fn gas_worker<P: GasProgram>(
         let mut drained = 0u64;
 
         // ---- Phase 0: absorb activations, decide the active set. ----
+        let prs_span = flight.as_ref().map(|r| r.now_ns());
         times.time(Phase::Parse, || {
             let msgs = transport.drain(me, base);
             drained += msgs.len() as u64;
@@ -568,6 +573,9 @@ fn gas_worker<P: GasProgram>(
             // Activations arrive in message order; restore ascending order.
             active_list.sort_unstable();
         });
+        if let (Some(r), Some(start)) = (&flight, prs_span) {
+            r.record(SpanKind::Parse, start, superstep as u64, 0, 0);
+        }
         let my_active = active_list.len();
         debug_assert_eq!(my_active, part.active.iter().filter(|&&a| a).count());
         // Below the sparse cutoff, walk the active list instead of scanning
@@ -577,7 +585,7 @@ fn gas_worker<P: GasProgram>(
             && (active_list.len() as f64) < config.sparse_cutoff * num_masters as f64;
         active_total.fetch_add(my_active, Ordering::Relaxed);
         let sync_start = Instant::now();
-        if barrier.wait() {
+        if barrier.wait_traced(flight.as_deref(), superstep as u64) {
             let total = active_total.swap(0, Ordering::Relaxed);
             stop.store(
                 total == 0 || superstep >= config.max_supersteps,
@@ -596,6 +604,7 @@ fn gas_worker<P: GasProgram>(
 
         // ---- Phase 0 (send): gather requests to mirrors. ----
         pending.clear();
+        let snd_span = flight.as_ref().map(|r| r.now_ns());
         times.time(Phase::Send, || {
             let mut request_for = |li: usize| {
                 if !part.active[li] {
@@ -626,10 +635,14 @@ fn gas_worker<P: GasProgram>(
             }
             flush(&mut outboxes, base);
         });
-        barrier.wait();
+        if let (Some(r), Some(start)) = (&flight, snd_span) {
+            r.record(SpanKind::Send, start, superstep as u64, 0, 0);
+        }
+        barrier.wait_traced(flight.as_deref(), superstep as u64);
 
         // ---- Phase 1: mirrors answer gather requests; master's own
         //      partial. ----
+        let cmp_span = flight.as_ref().map(|r| r.now_ns());
         times.time(Phase::Compute, || {
             let msgs = transport.drain(me, base + 1);
             drained += msgs.len() as u64;
@@ -650,11 +663,15 @@ fn gas_worker<P: GasProgram>(
                 merge_pending(program, &mut pending, li, acc);
             }
         });
+        if let (Some(r), Some(start)) = (&flight, cmp_span) {
+            r.record(SpanKind::Compute, start, superstep as u64, 1, 0);
+        }
         times.time(Phase::Send, || flush(&mut outboxes, base + 1));
-        barrier.wait();
+        barrier.wait_traced(flight.as_deref(), superstep as u64);
 
         // ---- Phase 2: apply at masters, broadcast new values. ----
         old_values.clear();
+        let cmp_span = flight.as_ref().map(|r| r.now_ns());
         times.time(Phase::Compute, || {
             let msgs = transport.drain(me, base + 2);
             drained += msgs.len() as u64;
@@ -703,12 +720,16 @@ fn gas_worker<P: GasProgram>(
             // list (phase 3 scatter may re-add some).
             active_list.retain(|&li| part.active[li as usize]);
         });
+        if let (Some(r), Some(start)) = (&flight, cmp_span) {
+            r.record(SpanKind::Compute, start, superstep as u64, 2, 0);
+        }
         times.time(Phase::Send, || flush(&mut outboxes, base + 2));
-        barrier.wait();
+        barrier.wait_traced(flight.as_deref(), superstep as u64);
 
         // ---- Phase 3: scatter at mirrors and at the master. ----
         locally_activated.clear();
         let computed = old_values.len();
+        let cmp_span = flight.as_ref().map(|r| r.now_ns());
         times.time(Phase::Compute, || {
             let mut mirror_old: HashMap<u32, P::Value> = HashMap::new();
             let msgs = transport.drain(me, base + 3);
@@ -768,6 +789,9 @@ fn gas_worker<P: GasProgram>(
                 }
             }
         });
+        if let (Some(r), Some(start)) = (&flight, cmp_span) {
+            r.record(SpanKind::Compute, start, superstep as u64, 3, 0);
+        }
         times.time(Phase::Send, || flush(&mut outboxes, base + 3));
 
         {
@@ -777,7 +801,7 @@ fn gas_worker<P: GasProgram>(
         }
         cmp_ns[me].store(times.compute.as_nanos() as u64, Ordering::Relaxed);
         let sync_start = Instant::now();
-        if barrier.wait() {
+        if barrier.wait_traced(flight.as_deref(), superstep as u64) {
             if let Some(so) = sched_obs {
                 so.record_threads(cmp_ns.iter().map(|a| a.load(Ordering::Relaxed)));
             }

@@ -8,7 +8,7 @@
 //! counting *barrier messages* — each non-leader participant contributes one
 //! message to its barrier — so experiments can report the reduction.
 
-use cyclops_obs::LogLinearHistogram;
+use cyclops_obs::{LogLinearHistogram, SpanKind, SpanRing};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -51,6 +51,18 @@ impl FlatBarrier {
         let leader = self.inner.wait().is_leader();
         if let (Some(h), Some(start)) = (&self.wait_ns, start) {
             h.record(start.elapsed().as_nanos() as u64);
+        }
+        leader
+    }
+
+    /// [`FlatBarrier::wait`], additionally recording the caller's wait as a
+    /// barrier span (epoch `epoch`) into its flight-recorder ring when one
+    /// is active. `None` costs one `Option` check.
+    pub fn wait_traced(&self, ring: Option<&SpanRing>, epoch: u64) -> bool {
+        let start = ring.map(|r| r.now_ns());
+        let leader = self.wait();
+        if let (Some(r), Some(start)) = (ring, start) {
+            r.record(SpanKind::Barrier, start, epoch, 0, 0);
         }
         leader
     }
@@ -110,6 +122,17 @@ impl HierarchicalBarrier {
         self.local[machine].wait();
         if let (Some(h), Some(start)) = (&self.wait_ns, start) {
             h.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// [`HierarchicalBarrier::wait`], additionally recording the caller's
+    /// wait as a barrier span (epoch `epoch`) into its flight-recorder ring
+    /// when one is active. `None` costs one `Option` check.
+    pub fn wait_traced(&self, machine: usize, thread: usize, ring: Option<&SpanRing>, epoch: u64) {
+        let start = ring.map(|r| r.now_ns());
+        self.wait(machine, thread);
+        if let (Some(r), Some(start)) = (ring, start) {
+            r.record(SpanKind::Barrier, start, epoch, 0, 0);
         }
     }
 

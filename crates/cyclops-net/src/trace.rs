@@ -36,6 +36,7 @@
 use crate::cluster::ClusterSpec;
 use crate::metrics::{AggregateStats, HotObs, PhaseTimes};
 pub use cyclops_obs::SpaceSaving;
+pub use cyclops_obs::{FlightSpan, SpanKind};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
@@ -121,6 +122,41 @@ pub struct TraceRecord {
     /// the determinism contract: under dynamic scheduling the sketch
     /// contents can depend on thread timing.
     pub hot: Vec<(u32, u64)>,
+    /// Worker-pair communication matrix row: this worker's per-destination
+    /// traffic for the superstep, ascending by destination, all-zero rows
+    /// omitted (so matrix-off records serialize byte-identically to older
+    /// traces). Row sums equal the `messages` / `bytes` counters exactly —
+    /// [`TraceRecord::comm_consistent`] checks it. The `(dst, messages,
+    /// bytes)` portion is deterministic across thread counts and compared
+    /// by [`diff`]; the per-pair wire-mode counts are diagnostic, excluded
+    /// like `wire_dense` / `wire_sparse`.
+    pub comm: Vec<CommEntry>,
+}
+
+/// One row of the worker-pair communication matrix: what the record's
+/// worker sent to `dst` during one superstep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommEntry {
+    /// Destination worker.
+    pub dst: u32,
+    /// Messages sent to `dst` (intra- and cross-machine alike).
+    pub messages: u64,
+    /// Cross-machine wire bytes sent to `dst` (0 for intra-machine pairs).
+    pub bytes: u64,
+    /// Cross-machine batches to `dst` encoded in the dense wire mode.
+    pub wire_dense: u64,
+    /// Cross-machine batches to `dst` encoded in the sparse wire mode.
+    pub wire_sparse: u64,
+}
+
+/// Per-destination traffic accumulators for one worker's current
+/// superstep (see [`WorkerTracer::add_sent_to`]).
+#[derive(Default)]
+struct CommCell {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    wire_dense: AtomicU64,
+    wire_sparse: AtomicU64,
 }
 
 /// Fixed-capacity ring of records; overwrites the oldest when full.
@@ -183,6 +219,11 @@ pub struct WorkerTracer {
     fused: AtomicU64,
     bucket: AtomicU64,
     bucket_occupancy: AtomicU64,
+    /// Per-destination traffic accumulators (the communication matrix row),
+    /// one slot per worker in the cluster. Relaxed atomics like the rest:
+    /// threads of the worker attribute sends concurrently, the leader
+    /// drains at commit.
+    comm: Vec<CommCell>,
     /// Per-thread aggregate partials, reduced in thread order at commit so
     /// the recorded aggregate is deterministic regardless of which thread
     /// finishes first. One slot per thread: no cross-thread contention.
@@ -219,7 +260,12 @@ pub struct WorkerTracer {
 unsafe impl Sync for WorkerTracer {}
 
 impl WorkerTracer {
-    fn new(threads: usize, cap: usize, stream: Option<SyncSender<TraceRecord>>) -> Self {
+    fn new(
+        threads: usize,
+        workers: usize,
+        cap: usize,
+        stream: Option<SyncSender<TraceRecord>>,
+    ) -> Self {
         WorkerTracer {
             computed: AtomicU64::new(0),
             activated: AtomicU64::new(0),
@@ -233,6 +279,7 @@ impl WorkerTracer {
             fused: AtomicU64::new(0),
             bucket: AtomicU64::new(0),
             bucket_occupancy: AtomicU64::new(0),
+            comm: (0..workers).map(|_| CommCell::default()).collect(),
             thread_aggs: (0..threads.max(1))
                 .map(|_| Mutex::new(AggregateStats::default()))
                 .collect(),
@@ -273,11 +320,28 @@ impl WorkerTracer {
         self.drained.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Adds messages/bytes sent by the calling thread.
+    /// Adds messages/bytes sent by the calling thread without attributing a
+    /// destination (the communication-matrix row stays empty). Engines use
+    /// [`WorkerTracer::add_sent_to`]; this remains for callers that have no
+    /// destination to attribute.
     #[inline]
     pub fn add_sent(&self, messages: u64, bytes: u64) {
         self.messages.fetch_add(messages, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds messages/bytes sent by the calling thread to worker `dst`,
+    /// feeding both the run totals and this worker's communication-matrix
+    /// row. Using this (never [`WorkerTracer::add_sent`]) at every send
+    /// site is what keeps the row sums equal to the totals.
+    #[inline]
+    pub fn add_sent_to(&self, dst: usize, messages: u64, bytes: u64) {
+        self.messages.fetch_add(messages, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(cell) = self.comm.get(dst) {
+            cell.messages.fetch_add(messages, Ordering::Relaxed);
+            cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
     }
 
     /// Marks this superstep as having run on the sparse fast path.
@@ -295,6 +359,24 @@ impl WorkerTracer {
         }
         if sparse > 0 {
             self.wire_sparse.fetch_add(sparse, Ordering::Relaxed);
+        }
+    }
+
+    /// Like [`WorkerTracer::add_wire_batches`], additionally attributing
+    /// the batches to destination `dst` in the communication-matrix row.
+    #[inline]
+    pub fn add_wire_batches_to(&self, dst: usize, dense: u64, sparse: u64) {
+        self.add_wire_batches(dense, sparse);
+        if dense == 0 && sparse == 0 {
+            return;
+        }
+        if let Some(cell) = self.comm.get(dst) {
+            if dense > 0 {
+                cell.wire_dense.fetch_add(dense, Ordering::Relaxed);
+            }
+            if sparse > 0 {
+                cell.wire_sparse.fetch_add(sparse, Ordering::Relaxed);
+            }
         }
     }
 
@@ -368,6 +450,26 @@ impl WorkerTracer {
         } else {
             Vec::new()
         };
+        // Drain (and reset) every destination cell; all-zero rows are
+        // dropped so matrix-off records serialize exactly as before.
+        let comm: Vec<CommEntry> = self
+            .comm
+            .iter()
+            .enumerate()
+            .filter_map(|(dst, cell)| {
+                let messages = cell.messages.swap(0, Ordering::Relaxed);
+                let bytes = cell.bytes.swap(0, Ordering::Relaxed);
+                let wire_dense = cell.wire_dense.swap(0, Ordering::Relaxed);
+                let wire_sparse = cell.wire_sparse.swap(0, Ordering::Relaxed);
+                (messages | bytes | wire_dense | wire_sparse != 0).then_some(CommEntry {
+                    dst: dst as u32,
+                    messages,
+                    bytes,
+                    wire_dense,
+                    wire_sparse,
+                })
+            })
+            .collect();
         let record = TraceRecord {
             superstep: superstep as u64,
             worker: worker as u64,
@@ -392,6 +494,7 @@ impl WorkerTracer {
             agg: if agg.is_empty() { None } else { Some(agg) },
             pubs,
             hot,
+            comm,
         };
         if let Some(tx) = &self.stream {
             // SAFETY: single committer per worker (see the Sync impl above).
@@ -521,7 +624,7 @@ impl TraceSink {
             capture_values: values,
             hot_k: 0,
             workers: (0..workers)
-                .map(|_| WorkerTracer::new(spec.threads_per_worker, cap, None))
+                .map(|_| WorkerTracer::new(spec.threads_per_worker, workers, cap, None))
                 .collect(),
             stream: None,
         }
@@ -554,7 +657,7 @@ impl TraceSink {
             workers: (0..workers)
                 // Streamed records bypass the ring; capacity 1 keeps the
                 // preallocation negligible.
-                .map(|_| WorkerTracer::new(spec.threads_per_worker, 1, Some(tx.clone())))
+                .map(|_| WorkerTracer::new(spec.threads_per_worker, workers, 1, Some(tx.clone())))
                 .collect(),
             meta,
             stream: Some(StreamState { handle }),
@@ -735,6 +838,21 @@ fn stream_writer_loop(
 }
 
 impl TraceRecord {
+    /// Whether the communication-matrix row sums equal the record's
+    /// `messages` / `bytes` totals. Trivially true when no matrix was
+    /// recorded (older traces, or sends attributed via
+    /// [`WorkerTracer::add_sent`]).
+    pub fn comm_consistent(&self) -> bool {
+        if self.comm.is_empty() {
+            return true;
+        }
+        let (m, b) = self
+            .comm
+            .iter()
+            .fold((0u64, 0u64), |(m, b), e| (m + e.messages, b + e.bytes));
+        m == self.messages && b == self.bytes
+    }
+
     /// Appends this record as a single JSON object (no trailing newline).
     pub fn to_json(&self, out: &mut String) {
         use std::fmt::Write as _;
@@ -777,6 +895,20 @@ impl TraceRecord {
                 self.fused, self.bucket, self.bucket_occupancy
             );
         }
+        if !self.comm.is_empty() {
+            out.push_str(",\"comm\":[");
+            for (i, e) in self.comm.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "[{},{},{},{},{}]",
+                    e.dst, e.messages, e.bytes, e.wire_dense, e.wire_sparse
+                );
+            }
+            out.push(']');
+        }
         if let Some(a) = &self.agg {
             let _ = write!(
                 out,
@@ -808,6 +940,99 @@ impl TraceRecord {
     }
 }
 
+/// One flight-recorder span as stored in trace JSONL: span lines sit after
+/// the records (appended once the run's threads have joined and the rings
+/// are drained) and are keyed by a leading `"span"` field so record
+/// parsers and older traces are unaffected. Timestamps are wall-clock and
+/// inherently nondeterministic — spans are never part of the [`diff`]
+/// contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Worker id (Chrome `pid`).
+    pub worker: u32,
+    /// Thread id within the worker (Chrome `tid`).
+    pub thread: u32,
+    /// What the span measures.
+    pub kind: SpanKind,
+    /// Start, nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Kind-specific argument (see [`SpanKind`]).
+    pub a: u64,
+    /// Kind-specific argument.
+    pub b: u64,
+    /// Kind-specific argument.
+    pub c: u64,
+}
+
+impl From<FlightSpan> for SpanRecord {
+    fn from(s: FlightSpan) -> Self {
+        SpanRecord {
+            worker: s.worker,
+            thread: s.thread,
+            kind: s.event.kind,
+            start_ns: s.event.start_ns,
+            dur_ns: s.event.dur_ns,
+            a: s.event.a,
+            b: s.event.b,
+            c: s.event.c,
+        }
+    }
+}
+
+impl SpanRecord {
+    /// Appends this span as a single JSON object (no trailing newline).
+    pub fn to_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"span\":\"{}\",\"worker\":{},\"thread\":{},\"start_ns\":{},\
+             \"dur_ns\":{},\"a\":{},\"b\":{},\"c\":{}}}",
+            self.kind.name(),
+            self.worker,
+            self.thread,
+            self.start_ns,
+            self.dur_ns,
+            self.a,
+            self.b,
+            self.c
+        );
+    }
+}
+
+/// Parses one span line of a JSONL trace. Returns `None` when the line is
+/// not a span line (record lines and garbage alike).
+pub fn parse_span_line(line: &str) -> Option<SpanRecord> {
+    let kind = SpanKind::parse(&string_field(line, "span")?)?;
+    Some(SpanRecord {
+        worker: num(line, "worker")?,
+        thread: num(line, "thread")?,
+        kind,
+        start_ns: num(line, "start_ns")?,
+        dur_ns: num(line, "dur_ns")?,
+        a: num(line, "a")?,
+        b: num(line, "b")?,
+        c: num(line, "c")?,
+    })
+}
+
+/// Appends flight-recorder spans to an existing trace file (one JSONL line
+/// per span), as the CLI does after a `--flight` run finishes. Returns the
+/// number of lines written.
+pub fn append_spans_jsonl(path: &str, spans: &[FlightSpan]) -> std::io::Result<u64> {
+    let f = std::fs::OpenOptions::new().append(true).open(path)?;
+    let mut f = BufWriter::new(f);
+    let mut line = String::with_capacity(128);
+    for &s in spans {
+        line.clear();
+        SpanRecord::from(s).to_json(&mut line);
+        writeln!(f, "{line}")?;
+    }
+    f.flush()?;
+    Ok(spans.len() as u64)
+}
+
 /// A loaded trace: metadata plus records ordered by `(superstep, worker)`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunTrace {
@@ -815,6 +1040,9 @@ pub struct RunTrace {
     pub meta: TraceMeta,
     /// All records, ordered by `(superstep, worker)`.
     pub records: Vec<TraceRecord>,
+    /// Flight-recorder spans, ordered by `(start_ns, worker, thread)`;
+    /// empty unless the run recorded with `--flight`.
+    pub spans: Vec<SpanRecord>,
 }
 
 impl RunTrace {
@@ -911,6 +1139,7 @@ fn parse_record(line: &str) -> Option<TraceRecord> {
         agg: None,
         pubs: Vec::new(),
         hot: Vec::new(),
+        comm: Vec::new(),
     };
     if let Some(agg) = field(line, "agg") {
         r.agg = Some(AggregateStats {
@@ -925,6 +1154,9 @@ fn parse_record(line: &str) -> Option<TraceRecord> {
     }
     if let Some(hot) = field(line, "hot") {
         r.hot = parse_pairs(hot)?;
+    }
+    if let Some(comm) = field(line, "comm") {
+        r.comm = parse_comm(comm)?;
     }
     Some(r)
 }
@@ -944,6 +1176,29 @@ fn parse_pairs(raw: &str) -> Option<Vec<(u32, u64)>> {
     Some(out)
 }
 
+/// Parses a `[[dst,messages,bytes,dense,sparse],...]` communication-matrix
+/// row list (the `comm` encoding).
+fn parse_comm(raw: &str) -> Option<Vec<CommEntry>> {
+    let inner = raw.trim().trim_start_matches('[').trim_end_matches(']');
+    let mut out = Vec::new();
+    for row in inner.split("],[") {
+        let row = row.trim_matches(|c| c == '[' || c == ']');
+        if row.is_empty() {
+            continue;
+        }
+        let mut it = row.split(',').map(|v| v.trim().parse::<u64>().ok());
+        let mut next = || it.next().flatten();
+        out.push(CommEntry {
+            dst: next()? as u32,
+            messages: next()?,
+            bytes: next()?,
+            wire_dense: next()?,
+            wire_sparse: next()?,
+        });
+    }
+    Some(out)
+}
+
 /// Loads a trace written by [`TraceSink::write_jsonl`].
 pub fn read_jsonl(path: &str) -> std::io::Result<RunTrace> {
     let corrupt = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
@@ -955,9 +1210,17 @@ pub fn read_jsonl(path: &str) -> std::io::Result<RunTrace> {
     let meta =
         parse_meta_line(&header).ok_or_else(|| corrupt(format!("{path}: bad trace header")))?;
     let mut records = Vec::new();
+    let mut spans = Vec::new();
     for (i, line) in lines.enumerate() {
         let line = line?;
         if line.trim().is_empty() {
+            continue;
+        }
+        if line.trim_start().starts_with("{\"span\"") {
+            spans.push(
+                parse_span_line(&line)
+                    .ok_or_else(|| corrupt(format!("{path}: bad span on line {}", i + 2)))?,
+            );
             continue;
         }
         records.push(
@@ -966,7 +1229,12 @@ pub fn read_jsonl(path: &str) -> std::io::Result<RunTrace> {
         );
     }
     records.sort_by_key(|r| (r.superstep, r.worker));
-    Ok(RunTrace { meta, records })
+    spans.sort_by_key(|s| (s.start_ns, s.worker, s.thread));
+    Ok(RunTrace {
+        meta,
+        records,
+        spans,
+    })
 }
 
 /// Comparing two traces: find where runs diverge.
@@ -1018,8 +1286,21 @@ pub mod diff {
     /// between identical runs. The bucketed-scheduler counters *are*
     /// compared: the deterministic bucket mode promises identical drain
     /// order (and hence fused-round and occupancy counts) across thread
-    /// counts, and `trace-diff` is how that promise is checked.
-    fn counters(r: &TraceRecord) -> [(&'static str, String); 11] {
+    /// counts, and `trace-diff` is how that promise is checked. The
+    /// communication matrix joins them — per-destination message/byte
+    /// splits are a pure function of graph + partition — but only its
+    /// `(dst, messages, bytes)` portion: per-pair wire-mode counts stay
+    /// diagnostic, like `wire_dense`/`wire_sparse`.
+    fn counters(r: &TraceRecord) -> [(&'static str, String); 12] {
+        let comm = if r.comm.is_empty() {
+            "-".to_string()
+        } else {
+            r.comm
+                .iter()
+                .map(|e| format!("{}:{}/{}", e.dst, e.messages, e.bytes))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
         [
             ("frontier", r.frontier.to_string()),
             ("computed", r.computed.to_string()),
@@ -1031,6 +1312,7 @@ pub mod diff {
             ("fused", r.fused.to_string()),
             ("bucket", r.bucket.to_string()),
             ("bucket_occupancy", r.bucket_occupancy.to_string()),
+            ("comm", comm),
             (
                 "agg",
                 r.agg
@@ -1222,6 +1504,7 @@ mod tests {
     fn diff_reports_first_divergent_counter() {
         let base = RunTrace {
             meta: TraceMeta::default(),
+            spans: Vec::new(),
             records: vec![
                 TraceRecord {
                     superstep: 0,
@@ -1251,6 +1534,7 @@ mod tests {
     fn diff_reports_first_divergent_vertex_in_values_mode() {
         let mk = |digest: u64| RunTrace {
             meta: TraceMeta::default(),
+            spans: Vec::new(),
             records: vec![TraceRecord {
                 superstep: 4,
                 worker: 1,
@@ -1276,10 +1560,12 @@ mod tests {
         };
         let a = RunTrace {
             meta: TraceMeta::default(),
+            spans: Vec::new(),
             records: vec![r(0), r(1)],
         };
         let b = RunTrace {
             meta: TraceMeta::default(),
+            spans: Vec::new(),
             records: vec![r(0)],
         };
         let d = diff::first_divergence(&a, &b, false).unwrap();
@@ -1444,6 +1730,7 @@ mod tests {
         // workload as identical: the fields are schedule, not results.
         let mk = |fast: bool, dense: u64| RunTrace {
             meta: TraceMeta::default(),
+            spans: Vec::new(),
             records: vec![TraceRecord {
                 superstep: 0,
                 worker: 0,
@@ -1490,6 +1777,7 @@ mod tests {
         // divergence.
         let mk = |fused: u64| RunTrace {
             meta: TraceMeta::default(),
+            spans: Vec::new(),
             records: vec![TraceRecord {
                 superstep: 0,
                 worker: 0,
@@ -1501,6 +1789,154 @@ mod tests {
         let d = diff::first_divergence(&mk(3), &mk(4), false).unwrap();
         assert_eq!(d.counter, "fused");
         assert_eq!(diff::first_divergence(&mk(3), &mk(3), false), None);
+    }
+
+    #[test]
+    fn comm_matrix_rows_round_trip_and_are_diffed() {
+        let sink = TraceSink::new("cyclops", &spec());
+        // Worker 0 sends to both workers; wire batches only cross-machine.
+        sink.worker(0).add_sent_to(0, 5, 0);
+        sink.worker(0).add_sent_to(1, 3, 120);
+        sink.worker(0).add_wire_batches_to(1, 1, 2);
+        sink.worker(0)
+            .commit(0, 0, 8, &PhaseTimes::default(), false);
+        // Rows reset at commit, like the counters.
+        sink.worker(0)
+            .commit(1, 0, 0, &PhaseTimes::default(), false);
+        let mut sink = sink;
+        let records = sink.take_records();
+        assert_eq!(
+            records[0].comm,
+            vec![
+                CommEntry {
+                    dst: 0,
+                    messages: 5,
+                    bytes: 0,
+                    wire_dense: 0,
+                    wire_sparse: 0,
+                },
+                CommEntry {
+                    dst: 1,
+                    messages: 3,
+                    bytes: 120,
+                    wire_dense: 1,
+                    wire_sparse: 2,
+                },
+            ]
+        );
+        // Row sums equal the totals: the consistency contract.
+        assert_eq!(records[0].messages, 8);
+        assert_eq!(records[0].bytes, 120);
+        assert!(records[0].comm_consistent());
+        assert!(records[1].comm.is_empty());
+        let mut line = String::new();
+        records[0].to_json(&mut line);
+        assert!(line.contains("\"comm\":[[0,5,0,0,0],[1,3,120,1,2]]"));
+        assert_eq!(parse_record_line(&line), Some(records[0].clone()));
+        // Matrix-off records omit the field entirely, so pre-matrix traces
+        // stay byte-identical and parse back with defaults.
+        let mut plain = String::new();
+        records[1].to_json(&mut plain);
+        assert!(!plain.contains("comm"));
+        assert_eq!(parse_record_line(&plain), Some(records[1].clone()));
+        // The (dst, messages, bytes) portion is part of the determinism
+        // contract: trace-diff must flag a divergent row...
+        let mk = |bytes: u64, dense: u64| RunTrace {
+            meta: TraceMeta::default(),
+            spans: Vec::new(),
+            records: vec![TraceRecord {
+                superstep: 0,
+                worker: 0,
+                messages: 3,
+                bytes,
+                comm: vec![CommEntry {
+                    dst: 1,
+                    messages: 3,
+                    bytes,
+                    wire_dense: dense,
+                    wire_sparse: 0,
+                }],
+                ..Default::default()
+            }],
+        };
+        let d = diff::first_divergence(&mk(10, 0), &mk(11, 0), false).unwrap();
+        assert_eq!(d.counter, "bytes", "totals diverge first, by report order");
+        let mut a = mk(10, 0);
+        a.records[0].comm[0].messages = 2;
+        a.records[0].comm.push(CommEntry {
+            dst: 0,
+            messages: 1,
+            ..Default::default()
+        });
+        let d = diff::first_divergence(&a, &mk(10, 0), false).unwrap();
+        assert_eq!(d.counter, "comm");
+        // ...while per-pair wire-mode counts never diff (diagnostic, like
+        // the record-level wire counters).
+        assert_eq!(diff::first_divergence(&mk(10, 4), &mk(10, 0), false), None);
+    }
+
+    #[test]
+    fn comm_consistency_detects_missing_attribution() {
+        let mut r = TraceRecord {
+            messages: 10,
+            bytes: 50,
+            comm: vec![CommEntry {
+                dst: 2,
+                messages: 10,
+                bytes: 50,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        assert!(r.comm_consistent());
+        r.messages = 11; // one send bypassed add_sent_to
+        assert!(!r.comm_consistent());
+        // Legacy records (no matrix) are trivially consistent.
+        r.comm.clear();
+        assert!(r.comm_consistent());
+    }
+
+    #[test]
+    fn span_lines_round_trip_and_load_beside_records() {
+        let span = SpanRecord {
+            worker: 1,
+            thread: 2,
+            kind: SpanKind::Flush,
+            start_ns: 1000,
+            dur_ns: 250,
+            a: 3,
+            b: 4096,
+            c: 2,
+        };
+        let mut line = String::new();
+        span.to_json(&mut line);
+        assert_eq!(
+            line,
+            "{\"span\":\"flush\",\"worker\":1,\"thread\":2,\"start_ns\":1000,\
+             \"dur_ns\":250,\"a\":3,\"b\":4096,\"c\":2}"
+        );
+        assert_eq!(parse_span_line(&line), Some(span));
+        assert_eq!(parse_span_line("{\"span\":\"nope\"}"), None);
+        // A trace file with spans appended after the records loads both.
+        let path = std::env::temp_dir().join("cyclops-trace-spans.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        let mut sink = TraceSink::new("cyclops", &spec());
+        committed(&sink, 0, 0);
+        sink.write_jsonl(&path).unwrap();
+        let fr = cyclops_obs::FlightRecorder::new(8);
+        let ring = fr.ring(0, 0);
+        let t0 = ring.now_ns();
+        ring.record(SpanKind::Parse, t0, 0, 0, 0);
+        ring.record(SpanKind::Barrier, ring.now_ns(), 0, 0, 0);
+        let dump = fr.drain();
+        assert_eq!(append_spans_jsonl(&path, &dump.spans).unwrap(), 2);
+        let loaded = read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.spans.len(), 2);
+        assert_eq!(loaded.spans[0].kind, SpanKind::Parse);
+        assert_eq!(loaded.spans[1].kind, SpanKind::Barrier);
+        assert!(loaded.spans[0].start_ns <= loaded.spans[1].start_ns);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::cluster::ClusterSpec;
 use crate::codec::{WireFormat, WireMode};
 use crate::metrics::RunCounters;
 use bytes::BytesMut;
-use cyclops_obs::{Counter, LogLinearHistogram};
+use cyclops_obs::{Counter, LogLinearHistogram, SpanKind, SpanRing};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -135,6 +135,13 @@ pub struct Transport<M> {
     /// Registry handles resolved once at construction; `None` (no global
     /// registry installed) costs the hot path one `Option` check.
     obs: Option<TransportObs>,
+    /// Worker-pair counters resolved once at construction; `None` costs
+    /// one `Option` check per send, like `obs`.
+    comm_obs: Option<CommObs>,
+    /// Flight-recorder rings, one per sender lane (each lane has exactly
+    /// one sending thread, preserving the single-writer ring discipline);
+    /// `None` (no recorder installed) costs one `Option` check per send.
+    flight: Option<Vec<Arc<SpanRing>>>,
 }
 
 /// Distribution-shape metrics for the fabric: totals tell you *how much*
@@ -171,6 +178,58 @@ fn wire_mode_index(mode: WireMode) -> usize {
         WireMode::Legacy => 0,
         WireMode::Sparse => 1,
         WireMode::Dense => 2,
+    }
+}
+
+/// Wire-mode code a flush span carries in its `c` argument: 0 intra-machine
+/// (no serialization), then 1 + [`wire_mode_index`].
+pub fn flush_span_mode(mode: Option<WireMode>) -> u64 {
+    match mode {
+        None => 0,
+        Some(m) => 1 + wire_mode_index(m) as u64,
+    }
+}
+
+/// Worker-pair traffic counters: `cyclops_comm_pair_{messages,bytes}_total
+/// {src,dst}` — the live (Prometheus) face of the per-record communication
+/// matrix. The full `workers²` family is resolved up front (registration is
+/// sharded, so large clusters don't serialize on one registry lock) and
+/// indexed flat by `src * workers + dst`; the send path pays two counter
+/// adds per batch.
+struct CommObs {
+    workers: usize,
+    pair_messages: Vec<Arc<Counter>>,
+    pair_bytes: Vec<Arc<Counter>>,
+}
+
+impl CommObs {
+    fn resolve(workers: usize) -> Option<CommObs> {
+        let reg = cyclops_obs::global()?;
+        let mut pair_messages = Vec::with_capacity(workers * workers);
+        let mut pair_bytes = Vec::with_capacity(workers * workers);
+        for src in 0..workers {
+            let src = src.to_string();
+            for dst in 0..workers {
+                let dst = dst.to_string();
+                let labels = [("src", src.as_str()), ("dst", dst.as_str())];
+                pair_messages.push(reg.counter("cyclops_comm_pair_messages_total", &labels));
+                pair_bytes.push(reg.counter("cyclops_comm_pair_bytes", &labels));
+            }
+        }
+        Some(CommObs {
+            workers,
+            pair_messages,
+            pair_bytes,
+        })
+    }
+
+    #[inline]
+    fn record(&self, src: usize, dst: usize, messages: u64, bytes: u64) {
+        let idx = src * self.workers + dst;
+        self.pair_messages[idx].inc(messages);
+        if bytes > 0 {
+            self.pair_bytes[idx].inc(bytes);
+        }
     }
 }
 
@@ -261,6 +320,16 @@ impl<M: WireFormat + Send> Transport<M> {
         let pool = (0..w * spec.threads_per_worker)
             .map(|_| Mutex::new(BytesMut::new()))
             .collect();
+        let flight = cyclops_obs::flight().map(|fr| {
+            (0..w * spec.threads_per_worker)
+                .map(|lane| {
+                    fr.ring(
+                        (lane / spec.threads_per_worker) as u32,
+                        (lane % spec.threads_per_worker) as u32,
+                    )
+                })
+                .collect()
+        });
         Transport {
             spec,
             mode,
@@ -272,6 +341,8 @@ impl<M: WireFormat + Send> Transport<M> {
             network,
             counters: RunCounters::default(),
             obs: TransportObs::resolve(mode),
+            comm_obs: CommObs::resolve(w),
+            flight,
         }
     }
 
@@ -311,6 +382,7 @@ impl<M: WireFormat + Send> Transport<M> {
         if msgs.is_empty() {
             return SendReceipt::default();
         }
+        let span_start = self.flight.as_ref().map(|rings| rings[from].now_ns());
         let from_worker = from / self.lanes_per_worker;
         let count = msgs.len();
         self.counters.add_messages(count);
@@ -401,6 +473,18 @@ impl<M: WireFormat + Send> Transport<M> {
             // Outside the lane lock (no lock-order cycle with drains); a
             // racing drain may leave this entry stale, which drains tolerate.
             self.dirty[parity][to].lock().push(lane_idx as u32);
+        }
+        if let Some(comm) = &self.comm_obs {
+            comm.record(from_worker, to, count as u64, bytes as u64);
+        }
+        if let (Some(rings), Some(start)) = (&self.flight, span_start) {
+            rings[from].record(
+                SpanKind::Flush,
+                start,
+                to as u64,
+                bytes as u64,
+                flush_span_mode(receipt.wire_mode),
+            );
         }
         receipt
     }

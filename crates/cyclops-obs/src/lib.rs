@@ -26,6 +26,10 @@
 //! - [`SpaceSaving`]: bounded heavy-hitter sketch for hot-vertex top-K.
 //! - [`MetricsServer`]: std-only HTTP listener serving `GET /metrics`
 //!   (live Prometheus exposition) and `/healthz`.
+//! - [`FlightRecorder`]: per-thread rings of timestamped span events
+//!   (phase spans, barrier waits, fused bucket rounds, dynamic chunk
+//!   claims, per-destination send flushes), drained after a run and
+//!   exported as Chrome trace-event JSON by `cyclops timeline --chrome`.
 //!
 //! The crate is deliberately std-only and sits *below* `cyclops-net` in the
 //! dependency order, so the transport and barrier layers can be
@@ -35,6 +39,7 @@
 
 mod critpath;
 mod expo;
+mod flight;
 mod hist;
 mod registry;
 mod serve;
@@ -45,6 +50,10 @@ pub use critpath::{
     CpPhase, CriticalPath, PhaseSample, StragglerShare, SuperstepPath, WorkerAttribution,
 };
 pub use expo::{render_json, render_prometheus};
+pub use flight::{
+    flight, install_flight, FlightDump, FlightRecorder, FlightSpan, SpanEvent, SpanKind, SpanRing,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 pub use hist::{
     bucket_bounds, bucket_index, bucket_mid, HistogramSnapshot, LogLinearHistogram, NUM_BUCKETS,
 };

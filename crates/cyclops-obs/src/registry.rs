@@ -113,19 +113,56 @@ impl Metric {
     }
 }
 
+/// Number of registration shards. Registration hashes the metric identity
+/// to one shard, so metric families registered concurrently (e.g. the
+/// per-worker-pair comm counters, one per `(src, dst)`) don't serialize on
+/// a single map lock. Exposition stays deterministic: [`MetricsRegistry::
+/// for_each`] merges the shards and sorts by identity.
+const REGISTRY_SHARDS: usize = 16;
+
 /// A get-or-create registry of named metrics.
 ///
 /// Ordered deterministically (by name, then labels) so exposition output is
-/// stable — the golden-file test relies on that.
-#[derive(Debug, Default)]
+/// stable — the golden-file test relies on that. Internally sharded by
+/// identity hash so concurrent registration of large metric families
+/// doesn't serialize on one lock.
+#[derive(Debug)]
 pub struct MetricsRegistry {
-    metrics: Mutex<BTreeMap<MetricId, Metric>>,
+    shards: Vec<Mutex<BTreeMap<MetricId, Metric>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            shards: (0..REGISTRY_SHARDS)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl MetricsRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// FNV-1a over the identity; stable and dependency-free. Shard choice
+    /// only affects lock distribution, never exposition order.
+    fn shard_of(&self, id: &MetricId) -> &Mutex<BTreeMap<MetricId, Metric>> {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(id.name.as_bytes());
+        for (k, v) in &id.labels {
+            eat(k.as_bytes());
+            eat(v.as_bytes());
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
     /// Returns the counter `name{labels}`, creating it on first use.
@@ -170,21 +207,33 @@ impl MetricsRegistry {
         // half-applied invariants — `entry` inserts atomically), so a panic
         // on another thread while it held the lock must not take the
         // process-global registry (and every later scrape) down with it.
-        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let shard = self.shard_of(&id);
+        let mut metrics = shard.lock().unwrap_or_else(|e| e.into_inner());
         metrics.entry(id).or_insert_with(make).clone()
     }
 
-    /// Visits every metric in deterministic order.
+    /// Visits every metric in deterministic order (by name, then labels —
+    /// independent of shard assignment). Entries are snapshotted out of the
+    /// shard locks first, so the visitor runs lock-free and a panicking
+    /// visitor cannot poison the registry.
     pub fn for_each(&self, mut f: impl FnMut(&MetricId, &Metric)) {
-        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
-        for (id, m) in metrics.iter() {
+        let mut all: Vec<(MetricId, Metric)> = Vec::new();
+        for shard in &self.shards {
+            let metrics = shard.lock().unwrap_or_else(|e| e.into_inner());
+            all.extend(metrics.iter().map(|(id, m)| (id.clone(), m.clone())));
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        for (id, m) in &all {
             f(id, m);
         }
     }
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.metrics.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
     }
 
     /// Whether no metric has been registered.
@@ -258,15 +307,17 @@ mod tests {
     fn poisoned_registry_still_registers_and_scrapes() {
         let r = std::sync::Arc::new(MetricsRegistry::new());
         r.counter("before_total", &[]).inc(1);
-        // Poison the mutex: for_each runs the visitor under the lock, so a
-        // panicking visitor on another thread leaves it poisoned.
+        // A visitor that panics on another thread must not break the
+        // registry. (Since sharding, for_each snapshots the entries before
+        // visiting, so the panic can't even poison a shard lock — and the
+        // lock paths still recover via `into_inner` if one ever is.)
         let r2 = std::sync::Arc::clone(&r);
         let res = std::thread::spawn(move || {
-            r2.for_each(|_, _| panic!("visitor panic while holding the registry lock"));
+            r2.for_each(|_, _| panic!("visitor panic during a scrape"));
         })
         .join();
         assert!(res.is_err(), "the visitor should have panicked");
-        // Registration, scraping and len must all survive the poisoning.
+        // Registration, scraping and len must all survive the panic.
         assert_eq!(r.len(), 1);
         let c = r.counter("after_total", &[("engine", "bsp")]);
         c.inc(5);
@@ -275,6 +326,41 @@ mod tests {
         r.for_each(|id, _| seen.push(id.render()));
         assert_eq!(seen, vec!["after_total{engine=\"bsp\"}", "before_total"]);
         assert_eq!(r.counter("after_total", &[("engine", "bsp")]).get(), 5);
+    }
+
+    #[test]
+    fn sharded_registration_is_concurrent_safe_and_scrapes_in_sorted_order() {
+        // A per-worker-pair family registered from many threads at once —
+        // the workload the sharding exists for. Every identity must land
+        // exactly once and exposition order must stay globally sorted,
+        // independent of shard assignment.
+        let r = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for src in 0..8u32 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    let src = src.to_string();
+                    for dst in 0..8u32 {
+                        r.counter(
+                            "comm_pair_bytes",
+                            &[("src", &src), ("dst", &dst.to_string())],
+                        )
+                        .inc(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 64);
+        let mut seen = Vec::new();
+        r.for_each(|id, _| seen.push(id.clone()));
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted, "for_each must visit in sorted identity order");
+        assert_eq!(
+            r.counter("comm_pair_bytes", &[("dst", "3"), ("src", "5")])
+                .get(),
+            1
+        );
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   top         live dashboard tailing a streaming trace file
 //!   why-slow    critical-path profile of a trace: straggler attribution,
 //!               hot-vertex table, per-superstep spans (`--json` for machines)
+//!   timeline    span-level timeline of a trace; `--chrome OUT.json` exports
+//!               Chrome trace-event JSON (chrome://tracing, Perfetto)
+//!   comm        worker-pair communication matrix: heatmap + row-sum check
 //!
 //! input (choose one):
 //!   --input FILE          edge-list file ("src dst [weight]" per line)
@@ -61,6 +64,9 @@
 //!   --prom FILE           write Prometheus metrics exposition after the run
 //!   --listen ADDR         serve GET /metrics + /healthz live during the run
 //!   --hot K               per-worker hot-vertex top-K sketch in the trace
+//!   --flight              record flight-recorder spans during the run and
+//!                         append them to the trace file (needs --trace)
+//!   --chrome FILE         timeline: write Chrome trace-event JSON to FILE
 //!   --json                why-slow: emit the report as JSON
 //!   --once                top: render one frame and exit
 //!   --refresh-ms N        top: refresh interval (default 500)
@@ -104,6 +110,8 @@ struct Options {
     prom: Option<String>,
     listen: Option<String>,
     hot: usize,
+    flight: bool,
+    chrome: Option<String>,
     json: bool,
     once: bool,
     refresh_ms: u64,
@@ -146,6 +154,8 @@ impl Default for Options {
             prom: None,
             listen: None,
             hot: 0,
+            flight: false,
+            chrome: None,
             json: false,
             once: false,
             refresh_ms: 500,
@@ -251,6 +261,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--prom" => opts.prom = Some(value("--prom")?),
             "--listen" => opts.listen = Some(value("--listen")?),
             "--hot" => opts.hot = value("--hot")?.parse().map_err(|e| format!("--hot: {e}"))?,
+            "--flight" => opts.flight = true,
+            "--chrome" => opts.chrome = Some(value("--chrome")?),
             "--json" => opts.json = true,
             "--once" => opts.once = true,
             "--refresh-ms" => {
@@ -278,6 +290,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "unknown bucket mode {}; expected det or fast",
             opts.bucket_mode
         ));
+    }
+    // Spans ride on the trace file; without one they would vanish.
+    if opts.flight && opts.trace.is_none() {
+        return Err("--flight needs --trace FILE".into());
     }
     Ok(opts)
 }
@@ -405,6 +421,22 @@ fn finish_sink(opts: &Options, sink: Option<cyclops_net::trace::TraceSink>) -> R
             .map_err(|e| format!("writing trace {path}: {e}"))?;
         println!("trace written to {path}");
     }
+    // Spans drain only after the engine's scoped threads have joined (the
+    // run returned), so every ring is quiescent here.
+    if opts.flight {
+        if let Some(fr) = cyclops::obs::flight() {
+            let dump = fr.drain();
+            let n = cyclops_net::trace::append_spans_jsonl(path, &dump.spans)
+                .map_err(|e| format!("appending spans to {path}: {e}"))?;
+            if dump.dropped > 0 {
+                eprintln!(
+                    "warning: flight recorder dropped {} spans to ring wraparound",
+                    dump.dropped
+                );
+            }
+            println!("{n} flight-recorder spans appended to {path}");
+        }
+    }
     Ok(())
 }
 
@@ -437,6 +469,8 @@ fn run(opts: &Options) -> Result<(), String> {
         "metrics",
         "top",
         "why-slow",
+        "timeline",
+        "comm",
     ];
     if !COMMANDS.contains(&opts.command.as_str()) {
         return Err(format!(
@@ -495,6 +529,38 @@ fn run(opts: &Options) -> Result<(), String> {
             print!("{}", cyclops::obs::why_slow_json(&trace));
         } else {
             print!("{}", cyclops::obs::why_slow_report(&trace));
+        }
+        return Ok(());
+    }
+
+    // `timeline` summarizes spans and optionally exports Chrome trace JSON.
+    if opts.command == "timeline" {
+        let [path] = opts.positional.as_slice() else {
+            return Err(
+                "timeline needs one trace file: timeline TRACE.jsonl [--chrome OUT.json]".into(),
+            );
+        };
+        let trace = load_trace(path)?;
+        print!("{}", cyclops::obs::timeline_summary(&trace));
+        if let Some(out) = &opts.chrome {
+            std::fs::write(out, cyclops::obs::chrome_trace(&trace))
+                .map_err(|e| format!("writing {out}: {e}"))?;
+            println!("chrome trace written to {out} (open in chrome://tracing or ui.perfetto.dev)");
+        }
+        return Ok(());
+    }
+
+    // `comm` renders the worker-pair communication matrix and verifies it.
+    if opts.command == "comm" {
+        let [path] = opts.positional.as_slice() else {
+            return Err("comm needs one trace file: comm TRACE.jsonl".into());
+        };
+        let trace = load_trace(path)?;
+        print!("{}", cyclops::obs::comm_report(&trace));
+        if !cyclops::obs::comm_mismatches(&trace).is_empty() {
+            return Err(format!(
+                "trace {path}: comm row sums disagree with sent counters"
+            ));
         }
         return Ok(());
     }
@@ -584,6 +650,11 @@ fn run(opts: &Options) -> Result<(), String> {
     // their transports/barriers, so instrumentation handles resolve.
     if opts.prom.is_some() || opts.listen.is_some() {
         cyclops::obs::install_global();
+    }
+    // Likewise the flight recorder: transports resolve their per-lane span
+    // rings once, at construction.
+    if opts.flight {
+        cyclops::obs::install_flight();
     }
     // The scrape endpoint serves the live registry for the whole run; the
     // server thread shuts down when `server` drops at the end of `run`.
@@ -842,7 +913,7 @@ usage: cyclops <command> [options]
 
 commands:
   pagerank | sssp | bfs | cc | cd | triangles | gen | info
-  trace-diff | metrics | top | why-slow | help
+  trace-diff | metrics | top | why-slow | timeline | comm | help
 
 input:       --input FILE | --dataset NAME [--scale F] [--seed N]
              datasets: Amazon GWeb LJournal Wiki SYN-GL DBLP RoadCA
@@ -874,7 +945,15 @@ tracing:     --trace FILE (pagerank; sssp/cc on cyclops)  --stream  --values
              metrics TRACE.jsonl  per-phase p50/p90/p99 + sparklines
              top TRACE.jsonl [--once] [--refresh-ms N]  live dashboard
              why-slow TRACE.jsonl [--json]  critical-path profile:
-             straggler attribution + hot-vertex table
+             straggler attribution + hot-vertex table + comm matrix
+             --flight  record span-level flight-recorder events during
+             the run and append them to the trace (needs --trace)
+             timeline TRACE.jsonl [--chrome OUT.json]  span summary;
+             --chrome exports Chrome trace-event JSON (chrome://tracing,
+             ui.perfetto.dev); traces without spans synthesize phase
+             spans from the deterministic counters
+             comm TRACE.jsonl  worker-pair communication matrix heatmap;
+             exits non-zero when row sums disagree with sent counters
 
 examples:
   cyclops pagerank --dataset GWeb --scale 0.2 --machines 3 --workers 2
@@ -889,6 +968,9 @@ examples:
   cyclops metrics run.jsonl
   cyclops top run.jsonl --once
   cyclops why-slow run.jsonl --json
+  cyclops pagerank --dataset Amazon --trace run.jsonl --flight
+  cyclops timeline run.jsonl --chrome run.chrome.json
+  cyclops comm run.jsonl
 ";
 
 fn main() -> ExitCode {
@@ -1029,6 +1111,24 @@ mod tests {
         assert_eq!(o.hot, 0);
         assert!(parse_args(&args("pagerank --hot nope")).is_err());
         assert!(parse_args(&args("pagerank --listen")).is_err());
+    }
+
+    #[test]
+    fn parses_flight_and_timeline_flags() {
+        let o = parse_args(&args("pagerank --dataset GWeb --trace run.jsonl --flight")).unwrap();
+        assert!(o.flight);
+        // Spans ride on the trace file, so --flight alone is an error.
+        assert!(parse_args(&args("pagerank --dataset GWeb --flight")).is_err());
+        let o = parse_args(&args("timeline run.jsonl --chrome out.json")).unwrap();
+        assert_eq!(o.command, "timeline");
+        assert_eq!(o.positional, vec!["run.jsonl"]);
+        assert_eq!(o.chrome.as_deref(), Some("out.json"));
+        let o = parse_args(&args("timeline run.jsonl")).unwrap();
+        assert!(o.chrome.is_none());
+        assert!(parse_args(&args("timeline run.jsonl --chrome")).is_err());
+        let o = parse_args(&args("comm run.jsonl")).unwrap();
+        assert_eq!(o.command, "comm");
+        assert_eq!(o.positional, vec!["run.jsonl"]);
     }
 
     #[test]

@@ -10,12 +10,16 @@
 //! so quantiles here and quantiles from the in-process registry agree.
 
 pub use cyclops_obs::{
-    global, install_global, render_json, render_prometheus, sparkline, sparkline_last, Counter,
-    CpPhase, CriticalPath, Gauge, HistogramSnapshot, LogLinearHistogram, MetricsRegistry,
-    MetricsServer, PhaseSample, SpaceSaving,
+    flight, global, install_flight, install_global, render_json, render_prometheus, sparkline,
+    sparkline_last, Counter, CpPhase, CriticalPath, FlightDump, FlightRecorder, Gauge,
+    HistogramSnapshot, LogLinearHistogram, MetricsRegistry, MetricsServer, PhaseSample,
+    SpaceSaving,
 };
 
-use cyclops_net::trace::{parse_meta_line, parse_record_line, RunTrace, TraceMeta, TraceRecord};
+use cyclops_net::trace::{
+    parse_meta_line, parse_record_line, RunTrace, SpanRecord, TraceMeta, TraceRecord,
+};
+use cyclops_obs::SpanKind;
 use std::fmt::Write as _;
 use std::io::{Read, Seek, SeekFrom};
 
@@ -319,6 +323,318 @@ pub fn bucketing(trace: &RunTrace) -> Vec<BucketRow> {
     rows.into_values().collect()
 }
 
+/// One `(src, dst)` cell of the worker-pair communication matrix,
+/// aggregated over the whole run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommPair {
+    /// Sending worker.
+    pub src: u64,
+    /// Receiving worker.
+    pub dst: u64,
+    /// Messages sent from `src` to `dst` (intra- and cross-machine alike).
+    pub messages: u64,
+    /// Cross-machine wire bytes from `src` to `dst`.
+    pub bytes: u64,
+    /// Cross-machine batches encoded in the dense wire mode.
+    pub wire_dense: u64,
+    /// Cross-machine batches encoded in the sparse wire mode.
+    pub wire_sparse: u64,
+}
+
+/// The worker-pair communication matrix of a trace: per-record `comm` rows
+/// summed over supersteps, keyed and ordered by `(src, dst)`. Empty for
+/// traces recorded before the matrix existed.
+pub fn comm_pairs(trace: &RunTrace) -> Vec<CommPair> {
+    let mut rows: std::collections::BTreeMap<(u64, u64), CommPair> =
+        std::collections::BTreeMap::new();
+    for r in &trace.records {
+        for e in &r.comm {
+            let row = rows.entry((r.worker, e.dst as u64)).or_default();
+            row.src = r.worker;
+            row.dst = e.dst as u64;
+            row.messages += e.messages;
+            row.bytes += e.bytes;
+            row.wire_dense += e.wire_dense;
+            row.wire_sparse += e.wire_sparse;
+        }
+    }
+    rows.into_values().collect()
+}
+
+/// The `(superstep, worker)` keys of records whose communication-matrix
+/// row sums disagree with their `messages`/`bytes` counters. Always empty
+/// for healthy traces — the matrix is populated from the same transport
+/// counters the totals come from.
+pub fn comm_mismatches(trace: &RunTrace) -> Vec<(u64, u64)> {
+    trace
+        .records
+        .iter()
+        .filter(|r| !r.comm_consistent())
+        .map(|r| (r.superstep, r.worker))
+        .collect()
+}
+
+const SHADES: [char; 5] = ['.', '░', '▒', '▓', '█'];
+
+fn shade(value: u64, max: u64) -> char {
+    if value == 0 || max == 0 {
+        SHADES[0]
+    } else {
+        // Map (0, max] onto the four non-zero shades.
+        let i = 1 + (value.saturating_mul(3)) / max;
+        SHADES[i.min(4) as usize]
+    }
+}
+
+/// The `cyclops comm` report: a worker-pair heatmap of wire bytes, the top
+/// pairs by volume, and the row-sum consistency verdict. Deterministic for
+/// a fixed trace file.
+pub fn comm_report(trace: &RunTrace) -> String {
+    let pairs = comm_pairs(trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "comm: engine {} on {} ({} workers), {} records over {} supersteps",
+        trace.meta.engine,
+        trace.meta.cluster,
+        trace.meta.workers,
+        trace.records.len(),
+        trace.supersteps(),
+    );
+    if pairs.is_empty() {
+        out.push_str("no communication matrix recorded (trace predates comm rows)\n");
+        return out;
+    }
+    let workers = trace.meta.workers as usize;
+    let mut bytes = vec![0u64; workers * workers];
+    let mut msgs = vec![0u64; workers * workers];
+    for p in &pairs {
+        if (p.src as usize) < workers && (p.dst as usize) < workers {
+            bytes[p.src as usize * workers + p.dst as usize] = p.bytes;
+            msgs[p.src as usize * workers + p.dst as usize] = p.messages;
+        }
+    }
+    let total_msgs: u64 = pairs.iter().map(|p| p.messages).sum();
+    let total_bytes: u64 = pairs.iter().map(|p| p.bytes).sum();
+    let dense: u64 = pairs.iter().map(|p| p.wire_dense).sum();
+    let sparse: u64 = pairs.iter().map(|p| p.wire_sparse).sum();
+    let _ = writeln!(
+        out,
+        "{total_msgs} messages / {total_bytes} wire bytes over {} worker pairs \
+         ({dense} dense / {sparse} sparse batches)",
+        pairs.len(),
+    );
+    out.push('\n');
+
+    // Shade heatmap of wire bytes (messages fall back when no pair crossed
+    // a machine boundary, e.g. single-machine clusters).
+    let (cells, unit) = if total_bytes > 0 {
+        (&bytes, "wire bytes")
+    } else {
+        (&msgs, "messages")
+    };
+    let max = cells.iter().copied().max().unwrap_or(0);
+    let _ = writeln!(out, "heatmap ({unit}, src rows -> dst cols):");
+    out.push_str("       ");
+    for d in 0..workers {
+        let _ = write!(out, "{d:>3}");
+    }
+    out.push('\n');
+    for s in 0..workers {
+        let _ = write!(out, "  {s:>4} ");
+        for d in 0..workers {
+            let _ = write!(out, "  {}", shade(cells[s * workers + d], max));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+
+    out.push_str("top pairs by volume:\n");
+    let _ = writeln!(
+        out,
+        "  {:>4} {:>4} {:>10} {:>12} {:>7} {:>7}",
+        "src", "dst", "messages", "bytes", "dense", "sparse"
+    );
+    let mut ranked = pairs.clone();
+    ranked.sort_by(|a, b| {
+        (b.bytes, b.messages, a.src, a.dst).cmp(&(a.bytes, a.messages, b.src, b.dst))
+    });
+    for p in ranked.iter().take(12) {
+        let _ = writeln!(
+            out,
+            "  {:>4} {:>4} {:>10} {:>12} {:>7} {:>7}",
+            p.src, p.dst, p.messages, p.bytes, p.wire_dense, p.wire_sparse
+        );
+    }
+    out.push('\n');
+
+    let bad = comm_mismatches(trace);
+    if bad.is_empty() {
+        let _ = writeln!(
+            out,
+            "row sums consistent with sent counters in all {} records",
+            trace.records.len()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "ROW-SUM MISMATCH in {} records (superstep, worker): {:?}",
+            bad.len(),
+            &bad[..bad.len().min(8)]
+        );
+    }
+    out
+}
+
+/// Renders `ns` as Chrome trace-event microseconds (`ts`/`dur` fields):
+/// integer microseconds with the nanosecond remainder as three decimals.
+fn chrome_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn chrome_args(s: &SpanRecord) -> String {
+    match s.kind {
+        SpanKind::Parse | SpanKind::Send => format!("{{\"superstep\":{}}}", s.a),
+        SpanKind::Compute => {
+            if s.b > 0 {
+                format!("{{\"superstep\":{},\"sub\":{}}}", s.a, s.b)
+            } else {
+                format!("{{\"superstep\":{}}}", s.a)
+            }
+        }
+        SpanKind::Barrier => format!("{{\"epoch\":{}}}", s.a),
+        SpanKind::Round => format!(
+            "{{\"bucket\":{},\"round\":{},\"selected\":{}}}",
+            s.a, s.b, s.c
+        ),
+        SpanKind::Chunk => format!(
+            "{{\"superstep\":{},\"chunk\":{},\"vertices\":{}}}",
+            s.a, s.b, s.c
+        ),
+        SpanKind::Flush => format!("{{\"dst\":{},\"bytes\":{},\"mode\":{}}}", s.a, s.b, s.c),
+    }
+}
+
+/// Exports a trace as Chrome trace-event JSON (`chrome://tracing`,
+/// Perfetto). Real flight-recorder spans are used when the trace has them
+/// (`--flight` runs); otherwise one complete-event per phase per record is
+/// synthesized on a per-worker cumulative clock, which preserves relative
+/// phase widths but not true wall-clock alignment across workers.
+pub fn chrome_trace(trace: &RunTrace) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let emit = |out: &mut String, first: &mut bool, line: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&line);
+    };
+    for w in 0..trace.meta.workers {
+        emit(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{w},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"worker {w}\"}}}}"
+            ),
+        );
+    }
+    if trace.spans.is_empty() {
+        // Synthesized fallback: per-worker cumulative clocks from the
+        // deterministic phase counters.
+        let mut clock: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for r in &trace.records {
+            let t = clock.entry(r.worker).or_default();
+            for (name, ns) in PHASES
+                .iter()
+                .zip([r.parse_ns, r.compute_ns, r.send_ns, r.sync_ns])
+            {
+                emit(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"X\",\"pid\":{},\"tid\":0,\"ts\":{},\"dur\":{},\
+                         \"name\":\"{}\",\"args\":{{\"superstep\":{},\"synthetic\":true}}}}",
+                        r.worker,
+                        chrome_us(*t),
+                        chrome_us(ns),
+                        name,
+                        r.superstep
+                    ),
+                );
+                *t += ns;
+            }
+        }
+    } else {
+        for s in &trace.spans {
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\
+                     \"name\":\"{}\",\"args\":{}}}",
+                    s.worker,
+                    s.thread,
+                    chrome_us(s.start_ns),
+                    chrome_us(s.dur_ns),
+                    s.kind.name(),
+                    chrome_args(s)
+                ),
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// The `cyclops timeline` stdout summary: span counts and total time per
+/// kind, or the synthesized-fallback note for traces without spans.
+pub fn timeline_summary(trace: &RunTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline: engine {} on {} ({} workers), {} spans over {} supersteps",
+        trace.meta.engine,
+        trace.meta.cluster,
+        trace.meta.workers,
+        trace.spans.len(),
+        trace.supersteps(),
+    );
+    if trace.spans.is_empty() {
+        out.push_str(
+            "no flight-recorder spans in trace (record with --flight); \
+             --chrome synthesizes phase spans from the records instead\n",
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>8} {:>12} {:>12}",
+        "kind", "spans", "total", "mean"
+    );
+    for kind in SpanKind::ALL {
+        let (count, total) = trace
+            .spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .fold((0u64, 0u64), |(c, t), s| (c + 1, t + s.dur_ns));
+        if count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>8} {:>12} {:>12}",
+            kind.name(),
+            count,
+            fmt_ns(total),
+            fmt_ns(total / count),
+        );
+    }
+    out
+}
+
 fn pct(part: u64, whole: u64) -> f64 {
     if whole == 0 {
         0.0
@@ -441,6 +757,43 @@ pub fn why_slow_report(trace: &RunTrace) -> String {
     }
     out.push('\n');
 
+    let pairs = comm_pairs(trace);
+    if pairs.is_empty() {
+        out.push_str("communication matrix: none recorded (trace predates comm rows)\n");
+    } else {
+        let msgs: u64 = pairs.iter().map(|p| p.messages).sum();
+        let bytes: u64 = pairs.iter().map(|p| p.bytes).sum();
+        let bad = comm_mismatches(trace);
+        let verdict = if bad.is_empty() {
+            "row sums consistent".to_string()
+        } else {
+            format!("ROW-SUM MISMATCH in {} records", bad.len())
+        };
+        let _ = writeln!(
+            out,
+            "communication matrix: {msgs} messages / {bytes} wire bytes over {} worker pairs, \
+             {verdict}",
+            pairs.len(),
+        );
+        let mut ranked = pairs.clone();
+        ranked.sort_by(|a, b| {
+            (b.bytes, b.messages, a.src, a.dst).cmp(&(a.bytes, a.messages, b.src, b.dst))
+        });
+        let _ = writeln!(
+            out,
+            "  {:>4} {:>4} {:>10} {:>12}",
+            "src", "dst", "messages", "bytes"
+        );
+        for p in ranked.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  {:>4} {:>4} {:>10} {:>12}",
+                p.src, p.dst, p.messages, p.bytes
+            );
+        }
+    }
+    out.push('\n');
+
     let buckets = bucketing(trace);
     if buckets.is_empty() {
         out.push_str("bucketed execution: off (one barrier per relaxation hop)\n");
@@ -552,6 +905,22 @@ pub fn why_slow_json(trace: &RunTrace) -> String {
             out,
             "\n    {{\"superstep\": {}, \"dense\": {}, \"sparse\": {}, \"fast_path_workers\": {}}}",
             m.superstep, m.dense, m.sparse, m.fast_workers
+        );
+    }
+    let _ = write!(
+        out,
+        "\n  ],\n  \"comm_consistent\": {},\n  \"comm\": [",
+        comm_mismatches(trace).is_empty()
+    );
+    for (i, p) in comm_pairs(trace).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"src\": {}, \"dst\": {}, \"messages\": {}, \"bytes\": {}, \
+             \"wire_dense\": {}, \"wire_sparse\": {}}}",
+            p.src, p.dst, p.messages, p.bytes, p.wire_dense, p.wire_sparse
         );
     }
     out.push_str("\n  ],\n  \"bucketing\": [");
@@ -817,6 +1186,7 @@ mod tests {
 
     fn skewed_trace() -> RunTrace {
         RunTrace {
+            spans: Vec::new(),
             meta: TraceMeta {
                 engine: "cyclops".into(),
                 cluster: "1x2x1".into(),
@@ -948,6 +1318,172 @@ mod tests {
         // Unbucketed traces degrade to an explicit off line / empty array.
         assert!(why_slow_report(&skewed_trace()).contains("bucketed execution: off"));
         assert!(why_slow_json(&skewed_trace()).contains("\"bucketing\": [\n  ]"));
+    }
+
+    #[test]
+    fn comm_pairs_aggregate_and_surface_in_reports() {
+        use cyclops_net::trace::CommEntry;
+        let mut trace = skewed_trace();
+        trace.records[0].messages = 12;
+        trace.records[0].bytes = 300;
+        trace.records[0].comm = vec![
+            CommEntry {
+                dst: 0,
+                messages: 4,
+                bytes: 0,
+                wire_dense: 0,
+                wire_sparse: 0,
+            },
+            CommEntry {
+                dst: 1,
+                messages: 8,
+                bytes: 300,
+                wire_dense: 1,
+                wire_sparse: 0,
+            },
+        ];
+        trace.records[2].messages = 5;
+        trace.records[2].bytes = 90;
+        trace.records[2].comm = vec![CommEntry {
+            dst: 1,
+            messages: 5,
+            bytes: 90,
+            wire_dense: 0,
+            wire_sparse: 1,
+        }];
+        let pairs = comm_pairs(&trace);
+        assert_eq!(
+            pairs,
+            vec![
+                CommPair {
+                    src: 0,
+                    dst: 0,
+                    messages: 4,
+                    bytes: 0,
+                    wire_dense: 0,
+                    wire_sparse: 0
+                },
+                CommPair {
+                    src: 0,
+                    dst: 1,
+                    messages: 13,
+                    bytes: 390,
+                    wire_dense: 1,
+                    wire_sparse: 1
+                },
+            ]
+        );
+        assert!(comm_mismatches(&trace).is_empty());
+        let report = comm_report(&trace);
+        assert!(report.contains("13"), "{report}");
+        assert!(report.contains("row sums consistent"), "{report}");
+        assert!(report.contains("heatmap"), "{report}");
+        let ws = why_slow_report(&trace);
+        assert!(
+            ws.contains("communication matrix: 17 messages / 390 wire bytes over 2 worker pairs"),
+            "{ws}"
+        );
+        let j = why_slow_json(&trace);
+        assert!(j.contains("\"comm_consistent\": true"), "{j}");
+        assert!(
+            j.contains(
+                "{\"src\": 0, \"dst\": 1, \"messages\": 13, \"bytes\": 390, \
+                 \"wire_dense\": 1, \"wire_sparse\": 1}"
+            ),
+            "{j}"
+        );
+        // Legacy traces degrade to an explicit absence line / empty array.
+        assert!(why_slow_report(&skewed_trace()).contains("communication matrix: none recorded"));
+        assert!(why_slow_json(&skewed_trace()).contains("\"comm\": [\n  ]"));
+        assert!(comm_report(&skewed_trace()).contains("no communication matrix recorded"));
+    }
+
+    #[test]
+    fn comm_mismatch_is_reported_loudly() {
+        use cyclops_net::trace::CommEntry;
+        let mut trace = skewed_trace();
+        trace.records[0].messages = 10;
+        trace.records[0].comm = vec![CommEntry {
+            dst: 1,
+            messages: 7, // != the record's sent counter
+            bytes: 0,
+            wire_dense: 0,
+            wire_sparse: 0,
+        }];
+        assert_eq!(comm_mismatches(&trace), vec![(0, 0)]);
+        assert!(comm_report(&trace).contains("ROW-SUM MISMATCH in 1 records"));
+        assert!(why_slow_json(&trace).contains("\"comm_consistent\": false"));
+    }
+
+    fn span(kind: SpanKind, worker: u32, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            worker,
+            thread: 0,
+            kind,
+            start_ns,
+            dur_ns,
+            a: 1,
+            b: 2,
+            c: 3,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_exports_real_spans() {
+        let mut trace = skewed_trace();
+        trace.spans = vec![
+            span(SpanKind::Compute, 0, 1_500, 2_750),
+            span(SpanKind::Flush, 1, 4_000, 500),
+        ];
+        let j = chrome_trace(&trace);
+        assert!(j.contains("\"traceEvents\""), "{j}");
+        assert!(j.contains("\"ph\":\"X\""), "{j}");
+        assert!(
+            j.contains("\"ts\":1.500,\"dur\":2.750,\"name\":\"cmp\""),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"args\":{\"dst\":1,\"bytes\":2,\"mode\":3}"),
+            "{j}"
+        );
+        assert!(j.contains("\"name\":\"worker 0\""), "{j}");
+        assert!(!j.contains("synthetic"), "{j}");
+        assert_eq!(j, chrome_trace(&trace));
+    }
+
+    #[test]
+    fn chrome_trace_synthesizes_from_records_without_spans() {
+        let trace = skewed_trace();
+        let j = chrome_trace(&trace);
+        assert!(j.contains("\"synthetic\":true"), "{j}");
+        // Worker 0 superstep 0: prs 10ns at t=0, cmp 900ns at t=10ns.
+        assert!(
+            j.contains("\"pid\":0,\"tid\":0,\"ts\":0.010,\"dur\":0.900,\"name\":\"cmp\""),
+            "{j}"
+        );
+        // Worker 1's clock is independent of worker 0's.
+        assert!(
+            j.contains("\"pid\":1,\"tid\":0,\"ts\":0.000,\"dur\":0.010,\"name\":\"prs\""),
+            "{j}"
+        );
+        assert_eq!(j, chrome_trace(&trace));
+    }
+
+    #[test]
+    fn timeline_summary_counts_spans_per_kind() {
+        let mut trace = skewed_trace();
+        let s = timeline_summary(&trace);
+        assert!(s.contains("no flight-recorder spans"), "{s}");
+        trace.spans = vec![
+            span(SpanKind::Compute, 0, 0, 1_000),
+            span(SpanKind::Compute, 1, 0, 3_000),
+            span(SpanKind::Barrier, 0, 1_000, 500),
+        ];
+        let s = timeline_summary(&trace);
+        assert!(s.contains("3 spans"), "{s}");
+        assert!(s.contains("cmp"), "{s}");
+        assert!(s.contains("barrier"), "{s}");
+        assert!(!s.contains("flush"), "{s}");
     }
 
     #[test]

@@ -224,7 +224,14 @@ fn trace_commands_share_consistent_error_messages() {
     .unwrap();
     let truncated = truncated.to_str().unwrap();
 
-    let commands = ["metrics", "top", "why-slow", "trace-diff"];
+    let commands = [
+        "metrics",
+        "top",
+        "why-slow",
+        "trace-diff",
+        "timeline",
+        "comm",
+    ];
     for command in commands {
         for (path, cause) in [
             (missing, "file not found"),
@@ -246,6 +253,163 @@ fn trace_commands_share_consistent_error_messages() {
             );
         }
     }
+}
+
+/// Minimal recursive-descent JSON syntax checker: returns the remainder
+/// after one value, or None on malformed input. Enough to assert the
+/// Chrome export *parses* without pulling in a JSON dependency.
+fn json_value(s: &str) -> Option<&str> {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    match chars.next()?.1 {
+        '{' => {
+            let mut rest = s[1..].trim_start();
+            if let Some(r) = rest.strip_prefix('}') {
+                return Some(r);
+            }
+            loop {
+                rest = json_value(rest)?.trim_start(); // key (validated as a value)
+                rest = rest.strip_prefix(':')?;
+                rest = json_value(rest)?.trim_start();
+                match rest.chars().next()? {
+                    ',' => rest = rest[1..].trim_start(),
+                    '}' => return Some(&rest[1..]),
+                    _ => return None,
+                }
+            }
+        }
+        '[' => {
+            let mut rest = s[1..].trim_start();
+            if let Some(r) = rest.strip_prefix(']') {
+                return Some(r);
+            }
+            loop {
+                rest = json_value(rest)?.trim_start();
+                match rest.chars().next()? {
+                    ',' => rest = rest[1..].trim_start(),
+                    ']' => return Some(&rest[1..]),
+                    _ => return None,
+                }
+            }
+        }
+        '"' => {
+            let mut escaped = false;
+            for (i, c) in chars {
+                match c {
+                    _ if escaped => escaped = false,
+                    '\\' => escaped = true,
+                    '"' => return Some(&s[i + 1..]),
+                    _ => {}
+                }
+            }
+            None
+        }
+        _ => {
+            let end = s
+                .find(|c: char| !c.is_ascii_alphanumeric() && !"+-.".contains(c))
+                .unwrap_or(s.len());
+            let token = &s[..end];
+            if token == "true"
+                || token == "false"
+                || token == "null"
+                || token.parse::<f64>().is_ok()
+            {
+                Some(&s[end..])
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn assert_valid_json(s: &str) {
+    let rest = json_value(s).unwrap_or_else(|| panic!("malformed JSON: {s}"));
+    assert!(
+        rest.trim().is_empty(),
+        "trailing garbage after JSON: {rest}"
+    );
+}
+
+/// The flight-recorder round trip: a `--flight` run appends span lines to
+/// the trace, `timeline --chrome` exports them as valid Chrome trace-event
+/// JSON, and `comm` verifies the worker-pair matrix against the sent
+/// counters.
+#[test]
+fn flight_run_exports_chrome_trace_and_comm_matrix() {
+    let trace = temp_path("flight.jsonl");
+    let trace = trace.to_str().unwrap();
+    let (ok, stdout, stderr) = cyclops(&[
+        "pagerank",
+        "--dataset",
+        "Amazon",
+        "--scale",
+        "0.03",
+        "--trace",
+        trace,
+        "--flight",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("flight-recorder spans appended"),
+        "{stdout}"
+    );
+    let raw = std::fs::read_to_string(trace).unwrap();
+    assert!(
+        raw.contains("\"span\":\"cmp\""),
+        "no compute spans in trace"
+    );
+    assert!(raw.contains("\"span\":\"barrier\""), "no barrier spans");
+    assert!(raw.contains("\"span\":\"flush\""), "no flush spans");
+
+    let (ok, stdout, stderr) = cyclops(&["timeline", trace]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("spans over"), "{stdout}");
+    assert!(stdout.contains("cmp"), "{stdout}");
+
+    let chrome = temp_path("flight.chrome.json");
+    let chrome = chrome.to_str().unwrap();
+    let (ok, _, stderr) = cyclops(&["timeline", trace, "--chrome", chrome]);
+    assert!(ok, "stderr: {stderr}");
+    let exported = std::fs::read_to_string(chrome).unwrap();
+    assert_valid_json(&exported);
+    assert!(exported.contains("\"traceEvents\""), "{exported}");
+    assert!(exported.contains("\"ph\":\"X\""), "{exported}");
+
+    let (ok, stdout, stderr) = cyclops(&["comm", trace]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("row sums consistent"), "{stdout}");
+    assert!(stdout.contains("heatmap"), "{stdout}");
+}
+
+/// Without `--flight` the trace has no spans; `timeline --chrome` still
+/// exports valid JSON by synthesizing phase spans from the records, and
+/// `--flight` without `--trace` is rejected.
+#[test]
+fn timeline_synthesizes_chrome_spans_without_flight() {
+    let trace = temp_path("noflight.jsonl");
+    let trace = trace.to_str().unwrap();
+    let (ok, _, stderr) = cyclops(&[
+        "pagerank",
+        "--dataset",
+        "Amazon",
+        "--scale",
+        "0.03",
+        "--trace",
+        trace,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let chrome = temp_path("noflight.chrome.json");
+    let chrome = chrome.to_str().unwrap();
+    let (ok, stdout, stderr) = cyclops(&["timeline", trace, "--chrome", chrome]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("no flight-recorder spans"), "{stdout}");
+    let exported = std::fs::read_to_string(chrome).unwrap();
+    assert_valid_json(&exported);
+    assert!(exported.contains("\"synthetic\":true"), "{exported}");
+
+    let (ok, _, stderr) = cyclops(&["pagerank", "--dataset", "Amazon", "--flight"]);
+    assert!(!ok);
+    assert!(stderr.contains("--flight needs --trace"), "{stderr}");
 }
 
 #[test]

@@ -89,6 +89,27 @@ fn scraping_metrics_matches_the_prom_file_exposition() {
         text.contains("cyclops_hot_vertex_cost"),
         "hot gauges:\n{text}"
     );
+    // The transport's worker-pair traffic counters: the full workers²
+    // family resolves at construction, and the traced run pushed real
+    // cross-worker traffic through at least one off-diagonal pair.
+    assert!(
+        text.contains("cyclops_comm_pair_messages_total"),
+        "comm pair messages:\n{text}"
+    );
+    assert!(
+        text.contains("cyclops_comm_pair_bytes"),
+        "comm pair bytes:\n{text}"
+    );
+    let off_diagonal_traffic = text.lines().any(|l| {
+        l.starts_with("cyclops_comm_pair_bytes{")
+            && l.contains("src=\"0\"")
+            && !l.contains("dst=\"0\"")
+            && !l.trim_end().ends_with(" 0")
+    });
+    assert!(
+        off_diagonal_traffic,
+        "no cross-worker bytes recorded:\n{text}"
+    );
 
     // Liveness probe and unknown routes.
     let (status, _, body) = http_get(addr, "/healthz");

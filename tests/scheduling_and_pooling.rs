@@ -20,6 +20,7 @@ use cyclops_net::trace::{diff, RunTrace, TraceSink};
 fn finish(mut sink: TraceSink) -> RunTrace {
     assert_eq!(sink.dropped_records(), 0, "ring buffer overflowed");
     RunTrace {
+        spans: Vec::new(),
         meta: sink.meta().clone(),
         records: sink.take_records(),
     }

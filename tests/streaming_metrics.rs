@@ -50,6 +50,7 @@ fn ring(n: usize) -> Graph {
 fn finish(mut sink: TraceSink) -> RunTrace {
     assert_eq!(sink.dropped_records(), 0, "ring buffer overflowed");
     RunTrace {
+        spans: Vec::new(),
         meta: sink.meta().clone(),
         records: sink.take_records(),
     }

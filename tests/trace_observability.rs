@@ -22,6 +22,7 @@ use cyclops_partition::{RandomVertexCut, VertexCutPartitioner};
 fn finish(mut sink: TraceSink) -> RunTrace {
     assert_eq!(sink.dropped_records(), 0, "ring buffer overflowed");
     RunTrace {
+        spans: Vec::new(),
         meta: sink.meta().clone(),
         records: sink.take_records(),
     }
@@ -246,6 +247,164 @@ fn resume_inject_preserves_lane_disjointness_under_sharded() {
         0,
         "messages left behind after partitioned drain"
     );
+}
+
+#[test]
+fn comm_matrix_rows_sum_to_sent_counters_across_engines() {
+    // Every engine populates the per-record communication matrix through
+    // the same per-destination tracer cells its `messages`/`bytes` totals
+    // come from, so the row sums must match the totals exactly — the
+    // consistency contract `cyclops comm` enforces with a non-zero exit.
+    let g = Dataset::Amazon.generate_scaled(0.05, 5);
+    let cluster = ClusterSpec::flat(2, 2);
+    let edge_cut = HashPartitioner.partition(&g, 4);
+    let vertex_cut = RandomVertexCut::default().partition(&g, 4);
+    let supersteps = 6;
+
+    let cy_sink = TraceSink::new("cyclops", &cluster);
+    run_cyclops_pagerank_traced(&g, &edge_cut, &cluster, 0.0, supersteps, Some(&cy_sink));
+    let bsp_sink = TraceSink::new("bsp", &cluster);
+    run_bsp_pagerank_traced(&g, &edge_cut, &cluster, 0.0, supersteps, Some(&bsp_sink));
+    let gas_sink = TraceSink::new("gas", &cluster);
+    run_gas_pagerank_traced(&g, &vertex_cut, &cluster, 0.0, supersteps, Some(&gas_sink));
+
+    for (name, trace) in [
+        ("cyclops", finish(cy_sink)),
+        ("bsp", finish(bsp_sink)),
+        ("gas", finish(gas_sink)),
+    ] {
+        let mut with_rows = 0usize;
+        let mut cross_machine_bytes = 0u64;
+        for r in &trace.records {
+            assert!(
+                r.comm_consistent(),
+                "{name}: superstep {} worker {}: comm rows {:?} disagree with \
+                 messages={} bytes={}",
+                r.superstep,
+                r.worker,
+                r.comm,
+                r.messages,
+                r.bytes
+            );
+            for e in &r.comm {
+                assert!(
+                    (e.dst as usize) < cluster.num_workers(),
+                    "{name}: bogus dst {}",
+                    e.dst
+                );
+                assert!(
+                    e.messages > 0 || e.bytes > 0,
+                    "{name}: all-zero comm row for dst {} survived commit",
+                    e.dst
+                );
+                cross_machine_bytes += e.bytes;
+            }
+            with_rows += usize::from(!r.comm.is_empty());
+        }
+        assert!(with_rows > 0, "{name}: no comm rows recorded");
+        assert!(
+            cross_machine_bytes > 0,
+            "{name}: no cross-machine bytes attributed to any pair"
+        );
+    }
+}
+
+#[test]
+fn comm_matrix_is_identical_across_thread_counts() {
+    // The matrix is a pure function of graph + partition: engines merge
+    // thread outboxes into one batch per (worker, dest) per superstep, so
+    // the per-pair (dst, messages, bytes) splits must be bitwise identical
+    // however many compute threads share a worker — under the dynamic
+    // chunk-claiming scheduler and the deterministic bucket mode alike.
+    // `diff::first_divergence` compares the comm column, so trace-diff
+    // covers the same promise.
+    type CommRows = Vec<(u64, u64, Vec<(u32, u64, u64)>)>;
+    let comm_of = |trace: &RunTrace| -> CommRows {
+        trace
+            .records
+            .iter()
+            .map(|r| {
+                (
+                    r.superstep,
+                    r.worker,
+                    r.comm
+                        .iter()
+                        .map(|e| (e.dst, e.messages, e.bytes))
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+
+    // Dynamic scheduler, PageRank.
+    let g = Dataset::GWeb.generate_scaled(0.05, 6);
+    let p = HashPartitioner.partition(&g, 2);
+    let mut base: Option<RunTrace> = None;
+    for threads in [1usize, 2, 4] {
+        let cluster = ClusterSpec::mt(2, threads, 1);
+        let sink = TraceSink::new("cyclops", &cluster);
+        cyclops_algos::pagerank::run_cyclops_pagerank_tuned(
+            &g,
+            &p,
+            &cluster,
+            0.0,
+            8,
+            cyclops_engine::Sched::Dynamic,
+            0.015,
+            Some(&sink),
+        );
+        let trace = finish(sink);
+        match &base {
+            None => base = Some(trace),
+            Some(b) => {
+                assert_eq!(
+                    diff::first_divergence(b, &trace, false),
+                    None,
+                    "dynamic sched diverged at {threads} threads"
+                );
+                assert_eq!(
+                    comm_of(b),
+                    comm_of(&trace),
+                    "comm matrix differs at {threads} threads (dynamic sched)"
+                );
+            }
+        }
+    }
+
+    // Deterministic bucket mode, delta-stepping SSSP.
+    let g = Dataset::RoadCa.generate_scaled(0.05, 7);
+    let p = HashPartitioner.partition(&g, 2);
+    let mut base: Option<RunTrace> = None;
+    for threads in [1usize, 3] {
+        let cluster = ClusterSpec::mt(2, threads, 1);
+        let sink = TraceSink::new("cyclops", &cluster);
+        cyclops_algos::sssp::run_cyclops_sssp_bucketed(
+            &g,
+            &p,
+            &cluster,
+            0,
+            100_000,
+            0.0, // auto width
+            cyclops_net::BucketMode::Det,
+            Some(&sink),
+        );
+        let trace = finish(sink);
+        match &base {
+            None => base = Some(trace),
+            Some(b) => {
+                assert_eq!(
+                    diff::first_divergence(b, &trace, false),
+                    None,
+                    "bucketed det diverged at {threads} threads"
+                );
+                assert_eq!(
+                    comm_of(b),
+                    comm_of(&trace),
+                    "comm matrix differs at {threads} threads (bucket-mode det)"
+                );
+            }
+        }
+    }
 }
 
 #[test]
