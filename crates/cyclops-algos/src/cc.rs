@@ -110,18 +110,21 @@ pub fn run_cyclops_cc_sched(
         cluster,
         sched,
         CyclopsConfig::default().sparse_cutoff,
+        0,
         trace,
     )
 }
 
 /// [`run_cyclops_cc_sched`] with an explicit sparse-superstep cutoff
-/// (fraction of local masters; `0.0` disables the fast path).
+/// (fraction of local masters; `0.0` disables the fast path) and hybrid
+/// replication degree threshold (`0` replicates every boundary vertex).
 pub fn run_cyclops_cc_tuned(
     graph: &Graph,
     partition: &EdgeCutPartition,
     cluster: &ClusterSpec,
     sched: cyclops_engine::Sched,
     sparse_cutoff: f64,
+    replicate_threshold: u32,
     trace: Option<&cyclops_net::trace::TraceSink>,
 ) -> CyclopsResult<u32, u32> {
     cyclops_engine::run_cyclops_traced(
@@ -133,6 +136,7 @@ pub fn run_cyclops_cc_tuned(
             max_supersteps: 100_000,
             sched,
             sparse_cutoff,
+            replicate_threshold,
             ..Default::default()
         },
         trace,

@@ -219,12 +219,14 @@ pub fn run_cyclops_pagerank_sched(
         max_supersteps,
         sched,
         CyclopsConfig::default().sparse_cutoff,
+        0,
         trace,
     )
 }
 
 /// [`run_cyclops_pagerank_sched`] with an explicit sparse-superstep cutoff
-/// (fraction of local masters; `0.0` disables the fast path).
+/// (fraction of local masters; `0.0` disables the fast path) and hybrid
+/// replication degree threshold (`0` replicates every boundary vertex).
 #[allow(clippy::too_many_arguments)]
 pub fn run_cyclops_pagerank_tuned(
     graph: &Graph,
@@ -234,6 +236,7 @@ pub fn run_cyclops_pagerank_tuned(
     max_supersteps: usize,
     sched: cyclops_engine::Sched,
     sparse_cutoff: f64,
+    replicate_threshold: u32,
     trace: Option<&TraceSink>,
 ) -> CyclopsResult<f64, f64> {
     run_cyclops_traced(
@@ -246,6 +249,7 @@ pub fn run_cyclops_pagerank_tuned(
             convergence: Convergence::ActiveVertices,
             sched,
             sparse_cutoff,
+            replicate_threshold,
             ..Default::default()
         },
         trace,

@@ -220,12 +220,14 @@ pub fn run_cyclops_sssp_sched(
         max_supersteps,
         sched,
         CyclopsConfig::default().sparse_cutoff,
+        0,
         trace,
     )
 }
 
 /// [`run_cyclops_sssp_sched`] with an explicit sparse-superstep cutoff
-/// (fraction of local masters; `0.0` disables the fast path).
+/// (fraction of local masters; `0.0` disables the fast path) and hybrid
+/// replication degree threshold (`0` replicates every boundary vertex).
 #[allow(clippy::too_many_arguments)]
 pub fn run_cyclops_sssp_tuned(
     graph: &Graph,
@@ -235,6 +237,7 @@ pub fn run_cyclops_sssp_tuned(
     max_supersteps: usize,
     sched: cyclops_engine::Sched,
     sparse_cutoff: f64,
+    replicate_threshold: u32,
     trace: Option<&cyclops_net::trace::TraceSink>,
 ) -> CyclopsResult<f64, f64> {
     cyclops_engine::run_cyclops_traced(
@@ -246,6 +249,7 @@ pub fn run_cyclops_sssp_tuned(
             max_supersteps,
             sched,
             sparse_cutoff,
+            replicate_threshold,
             ..Default::default()
         },
         trace,
@@ -286,6 +290,7 @@ pub fn run_cyclops_sssp_bucketed(
     max_supersteps: usize,
     bucket_width: f64,
     bucket_mode: cyclops_net::BucketMode,
+    replicate_threshold: u32,
     trace: Option<&cyclops_net::trace::TraceSink>,
 ) -> CyclopsResult<f64, f64> {
     let width = if bucket_width > 0.0 {
@@ -302,6 +307,7 @@ pub fn run_cyclops_sssp_bucketed(
             max_supersteps,
             bucket_width: width,
             bucket_mode,
+            replicate_threshold,
             ..Default::default()
         },
         trace,
@@ -432,7 +438,8 @@ mod tests {
         let cluster = ClusterSpec::flat(2, 2);
         let flat = run_cyclops_sssp(&g, &p, &cluster, 0, 10_000);
         for mode in [cyclops_net::BucketMode::Det, cyclops_net::BucketMode::Fast] {
-            let bucketed = run_cyclops_sssp_bucketed(&g, &p, &cluster, 0, 10_000, 0.0, mode, None);
+            let bucketed =
+                run_cyclops_sssp_bucketed(&g, &p, &cluster, 0, 10_000, 0.0, mode, 0, None);
             assert_eq!(flat.values, bucketed.values, "mode {mode:?}");
             assert!(
                 bucketed.supersteps < flat.supersteps,
@@ -473,6 +480,7 @@ mod tests {
             10_000,
             0.0,
             cyclops_net::BucketMode::Det,
+            0,
             None,
         );
         assert_distances_match(&r.values, &reference::sssp(&g, 0));

@@ -102,4 +102,37 @@ fn main() {
          \x20 <=1 for Cyclops -> ~5-6x message ratio. (Cy replicas counted per the\n\
          \x20 edge-cut definition, PG per vertex-cut incl. masters, as the paper does.)"
     );
+
+    // ---- Replication factor vs hybrid degree threshold. ----
+    // Cold boundary vertices (combined degree below the threshold) lose their
+    // replicas and fall back to direct messages, so the factor can only fall
+    // as the threshold rises; `auto` picks the traffic-model minimum.
+    report::subheading("Replication factor vs --replicate-threshold (hash partition, 48 workers)");
+    let thresholds: &[u32] = &[0, 2, 4, 8, 16, 64];
+    let mut header: Vec<String> = vec!["dataset".into()];
+    header.extend(thresholds.iter().map(|t| format!("t={t}")));
+    header.push("auto".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut sweep_table = Table::new(&header_refs);
+    for w in &workloads::paper_workloads()[..4] {
+        let g = workloads::gen_graph(w.dataset, fraction);
+        let p = HashPartitioner.partition(&g, 48);
+        let mut row = vec![w.dataset.to_string()];
+        row.extend(
+            p.replication_factor_sweep(&g, thresholds)
+                .iter()
+                .map(|(_, f)| format!("{f:.3}")),
+        );
+        let auto = p.auto_replicate_threshold(&g);
+        row.push(format!(
+            "{:.3} (t={auto})",
+            p.replication_factor_at_threshold(&g, auto)
+        ));
+        sweep_table.row(row);
+    }
+    sweep_table.print();
+    println!(
+        "  t=0 is full replication (the paper's immutable view); higher thresholds\n\
+         \x20 trade replicas for direct messages on cold boundary vertices."
+    );
 }

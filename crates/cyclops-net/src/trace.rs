@@ -99,6 +99,17 @@ pub struct TraceRecord {
     pub wire_dense: u64,
     /// Cross-machine batches this worker sent in the sparse wire mode.
     pub wire_sparse: u64,
+    /// Direct messages this worker sent during SND under hybrid
+    /// replication (cold boundary masters messaging instead of syncing a
+    /// replica). A subset of `messages`; 0 on full-replication runs — the
+    /// fields are then omitted from JSONL, keeping threshold-0 traces
+    /// byte-identical to pre-hybrid ones. Deterministic for a given
+    /// threshold and compared by [`diff`]; runs at *different* thresholds
+    /// compare with [`diff::first_value_divergence`], which skips every
+    /// traffic counter.
+    pub direct_messages: u64,
+    /// Cross-machine wire bytes of the direct-message batches above.
+    pub direct_bytes: u64,
     /// Relaxation rounds fused into this superstep by the bucketed
     /// scheduler (0 on non-bucketed runs — the field is then omitted from
     /// JSONL, keeping bucket-off traces byte-identical to pre-bucketing
@@ -214,6 +225,9 @@ pub struct WorkerTracer {
     /// superstep.
     wire_dense: AtomicU64,
     wire_sparse: AtomicU64,
+    /// Direct messages / bytes sent this superstep (hybrid replication).
+    direct_messages: AtomicU64,
+    direct_bytes: AtomicU64,
     /// Bucketed-scheduler accounting for this superstep: fused relaxation
     /// rounds, the bucket index drained, and distinct selected vertices.
     fused: AtomicU64,
@@ -276,6 +290,8 @@ impl WorkerTracer {
             fast_path: std::sync::atomic::AtomicBool::new(false),
             wire_dense: AtomicU64::new(0),
             wire_sparse: AtomicU64::new(0),
+            direct_messages: AtomicU64::new(0),
+            direct_bytes: AtomicU64::new(0),
             fused: AtomicU64::new(0),
             bucket: AtomicU64::new(0),
             bucket_occupancy: AtomicU64::new(0),
@@ -359,6 +375,21 @@ impl WorkerTracer {
         }
         if sparse > 0 {
             self.wire_sparse.fetch_add(sparse, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds direct messages / bytes sent by the calling thread this
+    /// superstep (hybrid replication's cold-vertex path). Callers also
+    /// attribute the same send through [`WorkerTracer::add_sent_to`] so the
+    /// run totals and the communication-matrix row stay consistent; this
+    /// only feeds the separate `direct_*` record columns.
+    #[inline]
+    pub fn add_direct(&self, messages: u64, bytes: u64) {
+        if messages > 0 {
+            self.direct_messages.fetch_add(messages, Ordering::Relaxed);
+        }
+        if bytes > 0 {
+            self.direct_bytes.fetch_add(bytes, Ordering::Relaxed);
         }
     }
 
@@ -488,6 +519,8 @@ impl WorkerTracer {
             sparse_fast_path: self.fast_path.swap(false, Ordering::Relaxed),
             wire_dense: self.wire_dense.swap(0, Ordering::Relaxed),
             wire_sparse: self.wire_sparse.swap(0, Ordering::Relaxed),
+            direct_messages: self.direct_messages.swap(0, Ordering::Relaxed),
+            direct_bytes: self.direct_bytes.swap(0, Ordering::Relaxed),
             fused: self.fused.swap(0, Ordering::Relaxed),
             bucket: self.bucket.swap(0, Ordering::Relaxed),
             bucket_occupancy: self.bucket_occupancy.swap(0, Ordering::Relaxed),
@@ -888,6 +921,12 @@ impl TraceRecord {
         if self.wire_sparse > 0 {
             let _ = write!(out, ",\"wire_sparse\":{}", self.wire_sparse);
         }
+        if self.direct_messages > 0 {
+            let _ = write!(out, ",\"direct_messages\":{}", self.direct_messages);
+        }
+        if self.direct_bytes > 0 {
+            let _ = write!(out, ",\"direct_bytes\":{}", self.direct_bytes);
+        }
         if self.fused > 0 {
             let _ = write!(
                 out,
@@ -1133,6 +1172,8 @@ fn parse_record(line: &str) -> Option<TraceRecord> {
             .unwrap_or(false),
         wire_dense: num(line, "wire_dense").unwrap_or(0),
         wire_sparse: num(line, "wire_sparse").unwrap_or(0),
+        direct_messages: num(line, "direct_messages").unwrap_or(0),
+        direct_bytes: num(line, "direct_bytes").unwrap_or(0),
         fused: num(line, "fused").unwrap_or(0),
         bucket: num(line, "bucket").unwrap_or(0),
         bucket_occupancy: num(line, "bucket_occupancy").unwrap_or(0),
@@ -1290,36 +1331,48 @@ pub mod diff {
     /// communication matrix joins them — per-destination message/byte
     /// splits are a pure function of graph + partition — but only its
     /// `(dst, messages, bytes)` portion: per-pair wire-mode counts stay
-    /// diagnostic, like `wire_dense`/`wire_sparse`.
-    fn counters(r: &TraceRecord) -> [(&'static str, String); 12] {
-        let comm = if r.comm.is_empty() {
-            "-".to_string()
-        } else {
-            r.comm
-                .iter()
-                .map(|e| format!("{}:{}/{}", e.dst, e.messages, e.bytes))
-                .collect::<Vec<_>>()
-                .join(" ")
-        };
-        [
+    /// diagnostic, like `wire_dense`/`wire_sparse`. With `values_only`
+    /// every traffic- and schedule-shaped counter (drained, messages,
+    /// bytes, direct_*, bucket accounting, comm) is skipped: those
+    /// legitimately differ between runs at different replication
+    /// thresholds, while the computation-shaped counters and the
+    /// publication digests must not.
+    fn counters(r: &TraceRecord, values_only: bool) -> Vec<(&'static str, String)> {
+        let mut out = vec![
             ("frontier", r.frontier.to_string()),
             ("computed", r.computed.to_string()),
             ("activated", r.activated.to_string()),
             ("converged_delta", r.converged_delta.to_string()),
-            ("drained", r.drained.to_string()),
-            ("messages", r.messages.to_string()),
-            ("bytes", r.bytes.to_string()),
-            ("fused", r.fused.to_string()),
-            ("bucket", r.bucket.to_string()),
-            ("bucket_occupancy", r.bucket_occupancy.to_string()),
-            ("comm", comm),
-            (
-                "agg",
-                r.agg
-                    .map(|a| format!("{:?}/{}/{:?}/{:?}", a.sum, a.count, a.min, a.max))
-                    .unwrap_or_else(|| "-".to_string()),
-            ),
-        ]
+        ];
+        if !values_only {
+            let comm = if r.comm.is_empty() {
+                "-".to_string()
+            } else {
+                r.comm
+                    .iter()
+                    .map(|e| format!("{}:{}/{}", e.dst, e.messages, e.bytes))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            out.extend([
+                ("drained", r.drained.to_string()),
+                ("messages", r.messages.to_string()),
+                ("bytes", r.bytes.to_string()),
+                ("direct_messages", r.direct_messages.to_string()),
+                ("direct_bytes", r.direct_bytes.to_string()),
+                ("fused", r.fused.to_string()),
+                ("bucket", r.bucket.to_string()),
+                ("bucket_occupancy", r.bucket_occupancy.to_string()),
+                ("comm", comm),
+            ]);
+        }
+        out.push((
+            "agg",
+            r.agg
+                .map(|a| format!("{:?}/{}/{:?}/{:?}", a.sum, a.count, a.min, a.max))
+                .unwrap_or_else(|| "-".to_string()),
+        ));
+        out
     }
 
     /// Returns the first divergence between `a` and `b`, or `None` when
@@ -1327,6 +1380,26 @@ pub mod diff {
     /// traces carry digests), publication digests are compared too and the
     /// divergence names the first differing vertex.
     pub fn first_divergence(a: &RunTrace, b: &RunTrace, values: bool) -> Option<Divergence> {
+        divergence(a, b, values, false)
+    }
+
+    /// Values-only comparison for runs whose *traffic* is expected to
+    /// differ — e.g. the same algorithm at two replication thresholds.
+    /// Compares record alignment, the computation-shaped counters
+    /// (frontier, computed, activated, converged_delta, agg), and the
+    /// publication digests, skipping every message/byte/schedule counter.
+    /// This is how hybrid replication's bitwise-identical-results promise
+    /// is checked.
+    pub fn first_value_divergence(a: &RunTrace, b: &RunTrace) -> Option<Divergence> {
+        divergence(a, b, true, true)
+    }
+
+    fn divergence(
+        a: &RunTrace,
+        b: &RunTrace,
+        values: bool,
+        values_only: bool,
+    ) -> Option<Divergence> {
         let mut ia = a.records.iter().peekable();
         let mut ib = b.records.iter().peekable();
         loop {
@@ -1366,7 +1439,10 @@ pub mod diff {
                             vertex: None,
                         });
                     }
-                    for ((name, va), (_, vb)) in counters(ra).iter().zip(counters(rb).iter()) {
+                    for ((name, va), (_, vb)) in counters(ra, values_only)
+                        .iter()
+                        .zip(counters(rb, values_only).iter())
+                    {
                         if va != vb {
                             return Some(Divergence {
                                 superstep: ra.superstep,
@@ -1549,6 +1625,64 @@ mod tests {
         assert_eq!(d.vertex, Some(5));
         // Without values mode the digests are ignored.
         assert_eq!(diff::first_divergence(&mk(22), &mk(99), false), None);
+    }
+
+    #[test]
+    fn direct_fields_round_trip_and_values_only_diff_skips_traffic() {
+        // Nonzero direct counters survive JSONL; zero ones are omitted so
+        // threshold-0 lines stay byte-identical to pre-hybrid traces.
+        let mut r = TraceRecord {
+            superstep: 2,
+            worker: 1,
+            direct_messages: 7,
+            direct_bytes: 120,
+            ..Default::default()
+        };
+        let mut line = String::new();
+        r.to_json(&mut line);
+        assert!(line.contains("\"direct_messages\":7"));
+        assert!(line.contains("\"direct_bytes\":120"));
+        assert_eq!(parse_record_line(&line), Some(r.clone()));
+        r.direct_messages = 0;
+        r.direct_bytes = 0;
+        line.clear();
+        r.to_json(&mut line);
+        assert!(!line.contains("direct_"));
+
+        // Full diff flags a direct-counter difference; the values-only
+        // diff (and digest compare) sees the runs as equivalent.
+        let mk = |dm: u64, db: u64, bytes: u64| RunTrace {
+            meta: TraceMeta::default(),
+            spans: Vec::new(),
+            records: vec![TraceRecord {
+                superstep: 0,
+                worker: 0,
+                computed: 5,
+                messages: 9,
+                bytes,
+                direct_messages: dm,
+                direct_bytes: db,
+                pubs: vec![(1, 42), (3, 7)],
+                ..Default::default()
+            }],
+        };
+        let a = mk(0, 0, 200);
+        let b = mk(4, 64, 150);
+        let d = diff::first_divergence(&a, &b, true).unwrap();
+        assert_eq!(d.counter, "bytes");
+        assert_eq!(diff::first_value_divergence(&a, &b), None);
+        // ...but a real value divergence is still caught.
+        let mut c = b.clone();
+        c.records[0].pubs[1] = (3, 8);
+        let d = diff::first_value_divergence(&a, &c).unwrap();
+        assert_eq!(d.counter, "publication_digest");
+        assert_eq!(d.vertex, Some(3));
+        let mut e = b.clone();
+        e.records[0].computed = 6;
+        assert_eq!(
+            diff::first_value_divergence(&a, &e).unwrap().counter,
+            "computed"
+        );
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub fn render_prometheus(reg: &MetricsRegistry) -> String {
             Metric::Gauge(g) => {
                 let _ = writeln!(out, "{} {}", id.render(), g.get());
             }
+            Metric::FloatGauge(g) => {
+                let _ = writeln!(out, "{} {}", id.render(), g.get());
+            }
             Metric::Histogram(h) => {
                 render_histogram(&mut out, id, &h.snapshot());
             }
@@ -36,7 +39,7 @@ pub fn render_prometheus(reg: &MetricsRegistry) -> String {
 fn type_of(metric: &Metric) -> &'static str {
     match metric {
         Metric::Counter(_) => "counter",
-        Metric::Gauge(_) => "gauge",
+        Metric::Gauge(_) | Metric::FloatGauge(_) => "gauge",
         Metric::Histogram(_) => "histogram",
     }
 }
@@ -104,6 +107,9 @@ pub fn render_json(reg: &MetricsRegistry) -> String {
                 let _ = write!(out, "\"type\":\"counter\",\"value\":{}", c.get());
             }
             Metric::Gauge(g) => {
+                let _ = write!(out, "\"type\":\"gauge\",\"value\":{}", g.get());
+            }
+            Metric::FloatGauge(g) => {
                 let _ = write!(out, "\"type\":\"gauge\",\"value\":{}", g.get());
             }
             Metric::Histogram(h) => {
@@ -178,6 +184,18 @@ mod tests {
         assert!(lines[1].ends_with(" 2"));
         assert!(lines[2].ends_with(" 3"));
         assert!(lines[3].contains("+Inf") && lines[3].ends_with(" 3"));
+    }
+
+    #[test]
+    fn float_gauge_renders_fractional_values() {
+        let r = MetricsRegistry::new();
+        r.float_gauge("cyclops_replication_factor", &[("mode", "hybrid")])
+            .set(1.375);
+        let text = render_prometheus(&r);
+        assert!(text.contains("# TYPE cyclops_replication_factor gauge"));
+        assert!(text.contains("cyclops_replication_factor{mode=\"hybrid\"} 1.375"));
+        let json = render_json(&r);
+        assert!(json.contains("\"type\":\"gauge\",\"value\":1.375"));
     }
 
     #[test]

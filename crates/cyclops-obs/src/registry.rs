@@ -56,6 +56,26 @@ impl Gauge {
     }
 }
 
+/// A gauge holding a floating-point value (f64 bits in an atomic), for
+/// ratios like the replication factor that an integer gauge would truncate.
+#[derive(Debug, Default)]
+pub struct FloatGauge {
+    bits: AtomicU64,
+}
+
+impl FloatGauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
 /// Fully qualified metric identity: name plus sorted label pairs.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MetricId {
@@ -99,6 +119,8 @@ pub enum Metric {
     Counter(Arc<Counter>),
     /// Up/down gauge.
     Gauge(Arc<Gauge>),
+    /// Floating-point gauge.
+    FloatGauge(Arc<FloatGauge>),
     /// Log-linear histogram.
     Histogram(Arc<LogLinearHistogram>),
 }
@@ -108,6 +130,7 @@ impl Metric {
         match self {
             Metric::Counter(_) => "counter",
             Metric::Gauge(_) => "gauge",
+            Metric::FloatGauge(_) => "gauge",
             Metric::Histogram(_) => "histogram",
         }
     }
@@ -182,6 +205,16 @@ impl MetricsRegistry {
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         match self.get_or_insert(name, labels, || Metric::Gauge(Arc::new(Gauge::default()))) {
             Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the float gauge `name{labels}`, creating it on first use.
+    pub fn float_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<FloatGauge> {
+        match self.get_or_insert(name, labels, || {
+            Metric::FloatGauge(Arc::new(FloatGauge::default()))
+        }) {
+            Metric::FloatGauge(g) => g,
             other => panic!("{name} already registered as a {}", other.kind()),
         }
     }

@@ -45,6 +45,12 @@
 //!                         default 0 = off; distances identical)
 //!   --bucket-mode M       bucket drain order: det (default, reproducible
 //!                         schedule) | fast (arrival order)
+//!   --replicate-threshold N|auto  hybrid replication: boundary vertices
+//!                         with combined degree below N get no replica —
+//!                         their cross-worker edges are messaged directly
+//!                         (`auto` picks the threshold minimizing modeled
+//!                         update traffic; default 0 = replicate every
+//!                         boundary vertex; results identical)
 //!
 //! algorithm:
 //!   --epsilon F           convergence threshold (pagerank; default 1e-9)
@@ -101,12 +107,15 @@ struct Options {
     trace: Option<String>,
     stream: bool,
     values: bool,
+    values_only: bool,
     inbox: String,
     sched: String,
     sparse_cutoff: f64,
     bucket_width: f64,
     bucket_auto: bool,
     bucket_mode: String,
+    replicate_threshold: u32,
+    replicate_auto: bool,
     prom: Option<String>,
     listen: Option<String>,
     hot: usize,
@@ -143,6 +152,7 @@ impl Default for Options {
             trace: None,
             stream: false,
             values: false,
+            values_only: false,
             inbox: "global".into(),
             sched: "dynamic".into(),
             // Matches the engines' config defaults.
@@ -151,6 +161,9 @@ impl Default for Options {
             bucket_width: 0.0,
             bucket_auto: false,
             bucket_mode: "det".into(),
+            // 0 = full replication, keeping default runs/traces unchanged.
+            replicate_threshold: 0,
+            replicate_auto: false,
             prom: None,
             listen: None,
             hot: 0,
@@ -240,6 +253,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--trace" => opts.trace = Some(value("--trace")?),
             "--stream" => opts.stream = true,
             "--values" => opts.values = true,
+            "--values-only" => opts.values_only = true,
             "--inbox" => opts.inbox = value("--inbox")?,
             "--sched" => opts.sched = value("--sched")?,
             "--sparse-cutoff" => {
@@ -258,6 +272,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--bucket-mode" => opts.bucket_mode = value("--bucket-mode")?,
+            "--replicate-threshold" => {
+                let v = value("--replicate-threshold")?;
+                if v == "auto" {
+                    opts.replicate_auto = true;
+                    opts.replicate_threshold = 0;
+                } else {
+                    opts.replicate_auto = false;
+                    opts.replicate_threshold = v
+                        .parse()
+                        .map_err(|e| format!("--replicate-threshold: {e}"))?;
+                }
+            }
             "--prom" => opts.prom = Some(value("--prom")?),
             "--listen" => opts.listen = Some(value("--listen")?),
             "--hot" => opts.hot = value("--hot")?.parse().map_err(|e| format!("--hot: {e}"))?,
@@ -325,6 +351,46 @@ fn build_cluster(opts: &Options) -> ClusterSpec {
         workers_per_machine: opts.workers,
         threads_per_worker: opts.threads,
         receivers_per_worker: opts.receivers,
+    }
+}
+
+/// Resolves `--replicate-threshold` against the run's actual graph and
+/// partition (`auto` models replica-update vs direct-message traffic from
+/// the boundary degree histogram and picks the argmin).
+fn resolve_replicate_threshold(opts: &Options, g: &Graph, partition: &EdgeCutPartition) -> u32 {
+    if opts.replicate_auto {
+        let t = partition.auto_replicate_threshold(g);
+        println!("replicate-threshold: auto -> {t}");
+        t
+    } else {
+        opts.replicate_threshold
+    }
+}
+
+/// Prints the hybrid-replication summary line (stable `key=value` fields,
+/// greppable by CI) and publishes the replication-mode metrics to the
+/// global registry when one is installed.
+fn report_hybrid<V, M>(threshold: u32, r: &cyclops_engine::CyclopsResult<V, M>) {
+    let ing = &r.ingress;
+    println!(
+        "hybrid: threshold={} replicated={} messaged={} boundary={} \
+         direct_messages={} direct_bytes={} replication_factor={:.6}",
+        threshold,
+        ing.replicated_boundary,
+        ing.messaged_boundary,
+        ing.replicated_boundary + ing.messaged_boundary,
+        r.direct_messages,
+        r.direct_bytes,
+        r.replication_factor,
+    );
+    if let Some(reg) = cyclops::obs::global() {
+        let mode = if threshold > 0 { "hybrid" } else { "full" };
+        reg.float_gauge("cyclops_replication_factor", &[("mode", mode)])
+            .set(r.replication_factor);
+        reg.counter("cyclops_direct_messages_total", &[])
+            .inc(r.direct_messages as u64);
+        reg.counter("cyclops_direct_bytes_total", &[])
+            .inc(r.direct_bytes as u64);
     }
 }
 
@@ -482,17 +548,35 @@ fn run(opts: &Options) -> Result<(), String> {
     // `trace-diff` compares two trace files and exits.
     if opts.command == "trace-diff" {
         let [a, b] = opts.positional.as_slice() else {
-            return Err("trace-diff needs two trace files: trace-diff A B [--values]".into());
+            return Err(
+                "trace-diff needs two trace files: trace-diff A B [--values|--values-only]".into(),
+            );
         };
         let ta = load_trace(a)?;
         let tb = load_trace(b)?;
-        let values = opts.values && ta.meta.values && tb.meta.values;
-        if opts.values && !values {
-            eprintln!("warning: --values requested but at least one trace lacks digests");
+        let want_values = opts.values || opts.values_only;
+        let values = want_values && ta.meta.values && tb.meta.values;
+        if want_values && !values {
+            eprintln!("warning: values requested but at least one trace lacks digests");
         }
-        match cyclops_net::trace::diff::first_divergence(&ta, &tb, values) {
+        // `--values-only` compares only the result-determined columns
+        // (frontier, computed, publications, aggregates), skipping traffic
+        // counters — the mode that can certify two hybrid-replication runs
+        // at different thresholds computed bitwise-identical values even
+        // though their wire traffic legitimately differs.
+        let divergence = if opts.values_only {
+            cyclops_net::trace::diff::first_value_divergence(&ta, &tb)
+        } else {
+            cyclops_net::trace::diff::first_divergence(&ta, &tb, values)
+        };
+        match divergence {
             None => println!(
-                "traces agree: {} supersteps x {} workers",
+                "traces agree{}: {} supersteps x {} workers",
+                if opts.values_only {
+                    " (values only)"
+                } else {
+                    ""
+                },
                 ta.supersteps(),
                 ta.meta.workers
             ),
@@ -504,6 +588,9 @@ fn run(opts: &Options) -> Result<(), String> {
                 if let Some(v) = d.vertex {
                     println!("first divergent vertex: {v}");
                 }
+                // Non-zero exit so CI can gate on agreement, matching
+                // `cyclops comm`'s consistency-check semantics.
+                return Err("traces diverge".into());
             }
         }
         return Ok(());
@@ -646,6 +733,13 @@ fn run(opts: &Options) -> Result<(), String> {
         "dynamic" => cyclops_engine::Sched::Dynamic,
         other => return Err(format!("unknown scheduler {other} (static|dynamic)")),
     };
+    let hybrid_requested = opts.replicate_auto || opts.replicate_threshold > 0;
+    if hybrid_requested && use_hama {
+        return Err("--replicate-threshold needs --engine cyclops".into());
+    }
+    if hybrid_requested && !matches!(opts.command.as_str(), "pagerank" | "sssp" | "cc") {
+        return Err("--replicate-threshold applies to pagerank, sssp, and cc".into());
+    }
     // Install the global metrics registry *before* the engines construct
     // their transports/barriers, so instrumentation handles resolve.
     if opts.prom.is_some() || opts.listen.is_some() {
@@ -701,6 +795,7 @@ fn run(opts: &Options) -> Result<(), String> {
                 );
                 (r.values, r.supersteps, r.counters.messages, r.stats)
             } else {
+                let threshold = resolve_replicate_threshold(opts, &g, &partition);
                 let r = cyclops_algos::pagerank::run_cyclops_pagerank_tuned(
                     &g,
                     &partition,
@@ -709,8 +804,10 @@ fn run(opts: &Options) -> Result<(), String> {
                     opts.max_supersteps,
                     sched,
                     opts.sparse_cutoff,
+                    threshold,
                     sink.as_ref(),
                 );
+                report_hybrid(threshold, &r);
                 (r.values, r.supersteps, r.counters.messages, r.stats)
             };
             finish_sink(opts, sink)?;
@@ -769,6 +866,7 @@ fn run(opts: &Options) -> Result<(), String> {
                 };
                 (r.values, r.supersteps)
             } else if bucketed {
+                let threshold = resolve_replicate_threshold(opts, &g, &partition);
                 let r = cyclops_algos::sssp::run_cyclops_sssp_bucketed(
                     &g,
                     &partition,
@@ -777,10 +875,13 @@ fn run(opts: &Options) -> Result<(), String> {
                     opts.max_supersteps,
                     opts.bucket_width,
                     bucket_mode,
+                    threshold,
                     sink.as_ref(),
                 );
+                report_hybrid(threshold, &r);
                 (r.values, r.supersteps)
             } else {
+                let threshold = resolve_replicate_threshold(opts, &g, &partition);
                 let r = cyclops_algos::sssp::run_cyclops_sssp_tuned(
                     &g,
                     &partition,
@@ -789,8 +890,10 @@ fn run(opts: &Options) -> Result<(), String> {
                     opts.max_supersteps,
                     sched,
                     opts.sparse_cutoff,
+                    threshold,
                     sink.as_ref(),
                 );
+                report_hybrid(threshold, &r);
                 (r.values, r.supersteps)
             };
             finish_sink(opts, sink)?;
@@ -842,15 +945,20 @@ fn run(opts: &Options) -> Result<(), String> {
             let values = if use_hama {
                 cyclops_algos::cc::run_bsp_cc(&sym, &partition, &cluster).values
             } else {
-                cyclops_algos::cc::run_cyclops_cc_tuned(
+                // Resolved against the symmetrized graph — the one the run
+                // actually partitions and replicates.
+                let threshold = resolve_replicate_threshold(opts, &sym, &partition);
+                let r = cyclops_algos::cc::run_cyclops_cc_tuned(
                     &sym,
                     &partition,
                     &cluster,
                     sched,
                     opts.sparse_cutoff,
+                    threshold,
                     sink.as_ref(),
-                )
-                .values
+                );
+                report_hybrid(threshold, &r);
+                r.values
             };
             finish_sink(opts, sink)?;
             let mut labels = values.clone();
@@ -933,6 +1041,12 @@ execution:   --engine cyclops|hama  --machines M --workers W
              --bucket-mode det|fast  det (default) fixes the in-bucket
              drain order for reproducible traces; fast keeps arrival
              order
+             --replicate-threshold N|auto  hybrid replication (cyclops
+             pagerank/sssp/cc): boundary vertices with combined degree
+             below N get no replica — their cross-worker edges receive
+             direct messages instead (auto = modeled-traffic argmin;
+             default 0 = replicate every boundary vertex; results
+             bitwise identical at every threshold)
 algorithm:   --epsilon F  --max-supersteps N  --source V  --sweeps N
 output:      --output FILE  --top N  --stats
 tracing:     --trace FILE (pagerank; sssp/cc on cyclops)  --stream  --values
@@ -941,7 +1055,11 @@ tracing:     --trace FILE (pagerank; sssp/cc on cyclops)  --stream  --values
              --listen ADDR  serves GET /metrics + /healthz live during
              the run (e.g. --listen 127.0.0.1:9184)
              trace-diff A B [--values]  reports the first divergent
-             superstep/worker/counter between two runs
+             superstep/worker/counter between two runs and exits
+             non-zero on divergence; --values-only compares only
+             result-determined columns (certifies two hybrid-threshold
+             runs computed identical values even though their traffic
+             counters differ)
              metrics TRACE.jsonl  per-phase p50/p90/p99 + sparklines
              top TRACE.jsonl [--once] [--refresh-ms N]  live dashboard
              why-slow TRACE.jsonl [--json]  critical-path profile:
@@ -959,6 +1077,7 @@ examples:
   cyclops pagerank --dataset GWeb --scale 0.2 --machines 3 --workers 2
   cyclops sssp --dataset RoadCA --source 5 --partitioner metis
   cyclops sssp --dataset RoadCA --bucket-width auto --bucket-mode det
+  cyclops pagerank --dataset GWeb --replicate-threshold auto
   cyclops gen --dataset Wiki --scale 0.1 --output wiki.txt
   cyclops cc --input wiki.txt --engine hama
   cyclops pagerank --dataset Amazon --trace run-a.jsonl --values
@@ -1092,6 +1211,34 @@ mod tests {
         assert!(parse_args(&args("sssp --bucket-width nope")).is_err());
         assert!(parse_args(&args("sssp --bucket-width")).is_err());
         assert!(parse_args(&args("sssp --bucket-width 1 --bucket-mode greedy")).is_err());
+    }
+
+    #[test]
+    fn parses_and_validates_replicate_threshold() {
+        // Off by default: full replication.
+        let o = parse_args(&args("pagerank --dataset GWeb")).unwrap();
+        assert_eq!(o.replicate_threshold, 0);
+        assert!(!o.replicate_auto);
+        let o = parse_args(&args("pagerank --dataset GWeb --replicate-threshold 8")).unwrap();
+        assert_eq!(o.replicate_threshold, 8);
+        assert!(!o.replicate_auto);
+        let o = parse_args(&args("pagerank --dataset GWeb --replicate-threshold auto")).unwrap();
+        assert!(o.replicate_auto);
+        assert_eq!(o.replicate_threshold, 0);
+        // Rejections mirror --bucket-width: junk, negative, fractional,
+        // overflow, missing value.
+        assert!(parse_args(&args("pagerank --replicate-threshold nope")).is_err());
+        assert!(parse_args(&args("pagerank --replicate-threshold -1")).is_err());
+        assert!(parse_args(&args("pagerank --replicate-threshold 2.5")).is_err());
+        assert!(parse_args(&args("pagerank --replicate-threshold 5000000000")).is_err());
+        assert!(parse_args(&args("pagerank --replicate-threshold")).is_err());
+    }
+
+    #[test]
+    fn parses_values_only_diff_flag() {
+        let o = parse_args(&args("trace-diff a.jsonl b.jsonl --values-only")).unwrap();
+        assert!(o.values_only);
+        assert!(!o.values);
     }
 
     #[test]

@@ -351,6 +351,7 @@ fn comm_matrix_is_identical_across_thread_counts() {
             8,
             cyclops_engine::Sched::Dynamic,
             0.015,
+            0,
             Some(&sink),
         );
         let trace = finish(sink);
@@ -386,6 +387,7 @@ fn comm_matrix_is_identical_across_thread_counts() {
             100_000,
             0.0, // auto width
             cyclops_net::BucketMode::Det,
+            0,
             Some(&sink),
         );
         let trace = finish(sink);
