@@ -9,8 +9,9 @@
 //! (per-destination cells vs the aggregate counters), the compute
 //! scheduler's frontier-dispatch strategies on a skewed R-MAT frontier,
 //! the hybrid-replication publish split (direct-message batches alongside
-//! replica flushes across boundary coldness levels), and hybrid plan
-//! construction against the full-replication build it extends.
+//! replica flushes across boundary coldness levels), hybrid plan
+//! construction against the full-replication build it extends, and the
+//! tracking allocator's malloc/free overhead disarmed vs armed.
 
 use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
@@ -23,6 +24,13 @@ use cyclops_net::{
     Transport, WireFormat,
 };
 use cyclops_partition::{EdgeCutPartitioner, HashPartitioner};
+
+/// Route every allocation in this bench binary through the tracking
+/// allocator so `bench_mem_tracking` prices the real disarmed and armed
+/// paths. Disarmed it is a pure pass-through, so the other groups are
+/// unaffected; `bench_mem_tracking` arms it and therefore runs last.
+#[global_allocator]
+static ALLOC: cyclops_obs::MemAlloc = cyclops_obs::MemAlloc;
 
 fn bench_codec(c: &mut Criterion) {
     let msgs: Vec<(u32, f64)> = (0..4096).map(|i| (i, i as f64 * 0.5)).collect();
@@ -622,6 +630,47 @@ fn bench_plan_build_hybrid(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tracking allocator's bargain: a disarmed `--mem` machinery must
+/// cost a single relaxed bool load per malloc/free, and the armed path's
+/// price (scope lookup, sharded side table, peak maintenance) is what a
+/// `--mem` run pays. Measured on the same allocate-and-free loop before
+/// and after the one-way `arm()`, plus the `MemScope::enter` guard itself.
+/// This group MUST stay last in `criterion_group!`: arming is process-
+/// global and irreversible, and every other group's numbers assume the
+/// disarmed pass-through.
+fn bench_mem_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem_tracking");
+    assert!(
+        !cyclops_obs::mem::armed(),
+        "mem_tracking must run before anything arms the allocator"
+    );
+    group.bench_function("alloc_free_256B_disarmed", |b| {
+        b.iter(|| std::hint::black_box(Vec::<u8>::with_capacity(256)))
+    });
+    group.bench_function("alloc_free_4KiB_disarmed", |b| {
+        b.iter(|| std::hint::black_box(Vec::<u8>::with_capacity(4096)))
+    });
+    cyclops_obs::mem::arm();
+    group.bench_function("alloc_free_256B_armed", |b| {
+        b.iter(|| std::hint::black_box(Vec::<u8>::with_capacity(256)))
+    });
+    group.bench_function("alloc_free_4KiB_armed", |b| {
+        b.iter(|| std::hint::black_box(Vec::<u8>::with_capacity(4096)))
+    });
+    group.bench_function("alloc_free_256B_armed_scoped", |b| {
+        let _scope = cyclops_obs::mem::MemScope::enter(cyclops_obs::Component::SendPool);
+        b.iter(|| std::hint::black_box(Vec::<u8>::with_capacity(256)))
+    });
+    group.bench_function("scope_enter_exit_armed", |b| {
+        b.iter(|| {
+            std::hint::black_box(cyclops_obs::mem::MemScope::enter(
+                cyclops_obs::Component::Inbox,
+            ))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_codec,
@@ -636,6 +685,7 @@ criterion_group!(
     bench_comm_matrix,
     bench_scheduling,
     bench_direct_vs_replica_publish,
-    bench_plan_build_hybrid
+    bench_plan_build_hybrid,
+    bench_mem_tracking
 );
 criterion_main!(benches);

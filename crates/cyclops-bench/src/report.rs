@@ -39,6 +39,22 @@ pub fn count(n: usize) -> String {
     out
 }
 
+/// Formats a byte count with a binary unit suffix.
+pub fn bytes(n: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{n} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
 /// A fixed-width text table writer.
 pub struct Table {
     widths: Vec<usize>,
@@ -518,6 +534,7 @@ mod tests {
     fn trace_table_sums_workers_per_superstep() {
         let trace = RunTrace {
             spans: Vec::new(),
+            mem: Vec::new(),
             meta: TraceMeta {
                 engine: "cyclops".into(),
                 cluster: "1x2x1".into(),
@@ -571,6 +588,7 @@ mod tests {
         };
         RunTrace {
             spans: Vec::new(),
+            mem: Vec::new(),
             meta: TraceMeta {
                 engine: "cyclops".into(),
                 cluster: "1x2x1".into(),
@@ -607,6 +625,7 @@ mod tests {
         // Empty trace degrades gracefully.
         let empty = RunTrace {
             spans: Vec::new(),
+            mem: Vec::new(),
             meta: TraceMeta::default(),
             records: vec![],
         };
@@ -625,6 +644,7 @@ mod tests {
             .collect();
         let trace = RunTrace {
             spans: Vec::new(),
+            mem: Vec::new(),
             meta: TraceMeta::default(),
             records,
         };

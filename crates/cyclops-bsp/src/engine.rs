@@ -396,6 +396,8 @@ fn worker_loop<P: BspProgram>(
     // fingerprint used to allocate a fresh encode buffer per vertex.
     let mut fp_buf = bytes::BytesMut::new();
     let tracer = trace.map(|s| s.worker(me));
+    // Worker-slot tag for the tracking allocator (two thread-local writes).
+    let _mem_tag = cyclops_obs::mem::MemScope::worker(me);
     // Per-worker flight-recorder ring (BSP workers are single-threaded),
     // resolved once; absent a recorder each span site is one Option check.
     let flight = cyclops_obs::flight().map(|fr| fr.ring(me as u32, 0));
@@ -628,6 +630,8 @@ fn worker_loop<P: BspProgram>(
         if let Some(tr) = tracer {
             tr.commit(superstep, me, local_active, &times, checkpointed);
         }
+        // Per-superstep memory sample (no-op unless `--mem` is armed).
+        cyclops_obs::mem::sample(superstep as u64, me as u32);
         if stop.load(Ordering::Acquire) {
             return;
         }
@@ -790,6 +794,8 @@ fn bucketed_worker_loop<P: BspProgram>(
     let mut vertex_outbox: Vec<(VertexId, P::Message)> = Vec::new();
     let mut fp_buf = bytes::BytesMut::new();
     let tracer = trace.map(|s| s.worker(me));
+    // Worker-slot tag for the tracking allocator (two thread-local writes).
+    let _mem_tag = cyclops_obs::mem::MemScope::worker(me);
     // Per-worker flight-recorder ring (BSP workers are single-threaded),
     // resolved once; absent a recorder each span site is one Option check.
     let flight = cyclops_obs::flight().map(|fr| fr.ring(me as u32, 0));
@@ -1071,6 +1077,8 @@ fn bucketed_worker_loop<P: BspProgram>(
             tr.set_bucket(bucket, rounds, occupancy as u64);
             tr.commit(superstep, me, occupancy, &bucket_times, checkpointed);
         }
+        // Per-superstep memory sample (no-op unless `--mem` is armed).
+        cyclops_obs::mem::sample(superstep as u64, me as u32);
         if verdict == VERDICT_STOP {
             return;
         }

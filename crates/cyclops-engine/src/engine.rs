@@ -36,6 +36,7 @@ use cyclops_net::{
     HierarchicalBarrier, InboxMode, Phase, PhaseTimes, ReplicaUpdate, SchedObs, SendReceipt,
     SuperstepStats, Transport, WireMode,
 };
+use cyclops_obs::mem::{Component, MemScope};
 use cyclops_obs::{SpanKind, SpanRing};
 use cyclops_partition::EdgeCutPartition;
 use parking_lot::Mutex;
@@ -358,7 +359,10 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
         let n = wp.num_masters();
         let mut values: Vec<P::Value> = Vec::with_capacity(n);
         let mut msgs: Vec<Option<P::Message>> = Vec::with_capacity(n);
-        let frontier = ShardedFrontier::new(n, threads);
+        let frontier = {
+            let _mem = MemScope::enter(Component::Frontier);
+            ShardedFrontier::new(n, threads)
+        };
         for (li, &v) in wp.masters.iter().enumerate() {
             let value = program.init(v, graph);
             let msg = program.init_message(v, graph, &value);
@@ -382,12 +386,18 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
                 .map(|_| Mutex::new(ChunkPartial::default()))
                 .collect(),
             cmp_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
-            outboxes: (0..num_workers)
-                .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
-                .collect(),
-            direct_outboxes: (0..num_workers)
-                .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
-                .collect(),
+            outboxes: {
+                let _mem = MemScope::enter(Component::SendPool);
+                (0..num_workers)
+                    .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
+                    .collect()
+            },
+            direct_outboxes: {
+                let _mem = MemScope::enter(Component::SendPool);
+                (0..num_workers)
+                    .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
+                    .collect()
+            },
             fast_path: AtomicBool::new(false),
             converged: (0..n).map(|_| AtomicBool::new(false)).collect(),
             local: Barrier::new(threads),
@@ -412,29 +422,35 @@ pub fn run_cyclops_with_plan_traced<P: CyclopsProgram>(
     // Seed replica publications from their masters — the initial one-way
     // sync of the ingress (and of checkpoint recovery).
     for w in 0..num_workers {
-        let reps: Vec<Option<P::Message>> = plan.workers[w]
-            .replicas
-            .iter()
-            .map(|&u| {
-                let ow = plan.owner[u as usize] as usize;
-                let li = plan.local_of[u as usize] as usize;
-                shared[ow].msg_cur.read(li).clone()
-            })
-            .collect();
+        let reps: Vec<Option<P::Message>> = {
+            let _mem = MemScope::enter(Component::Replicas);
+            plan.workers[w]
+                .replicas
+                .iter()
+                .map(|&u| {
+                    let ow = plan.owner[u as usize] as usize;
+                    let li = plan.local_of[u as usize] as usize;
+                    shared[ow].msg_cur.read(li).clone()
+                })
+                .collect()
+        };
         shared[w].rep_msg = DisjointSlots::new(reps);
         // Direct slots seed the same way: each slot starts at its source
         // master's current publication, so superstep 0 (and a checkpoint
         // resume) reads the identical immutable view the replica path
         // would have provided.
-        let dirs: Vec<Option<P::Message>> = plan.workers[w]
-            .direct_source
-            .iter()
-            .map(|&u| {
-                let ow = plan.owner[u as usize] as usize;
-                let li = plan.local_of[u as usize] as usize;
-                shared[ow].msg_cur.read(li).clone()
-            })
-            .collect();
+        let dirs: Vec<Option<P::Message>> = {
+            let _mem = MemScope::enter(Component::DirectSlots);
+            plan.workers[w]
+                .direct_source
+                .iter()
+                .map(|&u| {
+                    let ow = plan.owner[u as usize] as usize;
+                    let li = plan.local_of[u as usize] as usize;
+                    shared[ow].msg_cur.read(li).clone()
+                })
+                .collect()
+        };
         shared[w].direct_msg = DisjointSlots::new(dirs);
     }
     let mut ingress = plan.ingress;
@@ -638,6 +654,10 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
     // installed (the default) every span site below is one `Option` check,
     // the same discipline as the tracer and the phase histograms.
     let flight = cyclops_obs::flight().map(|fr| fr.ring(env.w as u32, env.t as u32));
+    // Tag this thread's allocations with its worker slot for the tracking
+    // allocator (two thread-local writes; the allocator itself is a single
+    // relaxed load when disarmed).
+    let _mem_tag = cyclops_obs::mem::MemScope::worker(env.w);
     let capture_values = env.trace.map(|s| s.captures_values()).unwrap_or(false);
     // Hot-vertex capture, resolved once: a per-thread Space-Saving sketch of
     // per-vertex work mass, folded into the tracer each superstep. Disabled
@@ -1212,6 +1232,10 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
             if let Some(tr) = tracer {
                 tr.commit(superstep, env.w, frontier_len, &times, checkpoint_now);
             }
+            // Per-superstep memory sample (no-op unless `--mem` armed the
+            // tracking allocator); lands in `{"mem":…}` JSONL lines beside
+            // the records, outside the trace-diff contract.
+            cyclops_obs::mem::sample(superstep as u64, env.w as u32);
         }
         if env.stop.load(Ordering::Acquire) {
             return;
@@ -1442,6 +1466,8 @@ fn bucketed_thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
     let is_leader = env.w == 0 && env.t == 0;
     let mut sched = is_leader.then(|| BucketSched::new(env.shared, env.start_superstep & 1));
     let flight = cyclops_obs::flight().map(|fr| fr.ring(env.w as u32, env.t as u32));
+    // Worker-slot tag for the tracking allocator (see `thread_loop`).
+    let _mem_tag = cyclops_obs::mem::MemScope::worker(env.w);
     let mut superstep = env.start_superstep;
     loop {
         env.barrier
@@ -1862,6 +1888,10 @@ fn settle_bucket<P: CyclopsProgram>(
                 &times[w],
                 checkpoint_now,
             );
+            // Per-superstep memory sample for each worker's slot (no-op
+            // unless `--mem` armed the allocator); the settle runs on the
+            // global leader, so it samples on every worker's behalf.
+            cyclops_obs::mem::sample(superstep as u64, w as u32);
         }
     }
     if let Some(ph) = env.phase_hists {

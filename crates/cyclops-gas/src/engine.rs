@@ -508,6 +508,8 @@ fn gas_worker<P: GasProgram>(
     let mut digest_buf = BytesMut::new();
 
     let tracer = trace.map(|s| s.worker(me));
+    // Worker-slot tag for the tracking allocator (two thread-local writes).
+    let _mem_tag = cyclops_obs::mem::MemScope::worker(me);
     // Per-worker flight-recorder ring (GAS asserts one thread per worker),
     // resolved once; absent a recorder each span site is one Option check.
     let flight = cyclops_obs::flight().map(|fr| fr.ring(me as u32, 0));
@@ -839,6 +841,8 @@ fn gas_worker<P: GasProgram>(
             // leader; the frontier is the active set entering the superstep.
             tr.commit(superstep, me, my_active, &times, false);
         }
+        // Per-superstep memory sample (no-op unless `--mem` is armed).
+        cyclops_obs::mem::sample(superstep as u64, me as u32);
         superstep += 1;
     }
 }

@@ -603,6 +603,10 @@ pub struct TraceSink {
     hot_k: usize,
     workers: Vec<WorkerTracer>,
     stream: Option<StreamState>,
+    /// When set, dropping the sink without [`TraceSink::write_jsonl`] /
+    /// [`TraceSink::finish`] flushes the buffered tail to this path — so a
+    /// panicking run still writes the supersteps that would explain it.
+    flush_path: Option<String>,
 }
 
 impl TraceSink {
@@ -660,6 +664,7 @@ impl TraceSink {
                 .map(|_| WorkerTracer::new(spec.threads_per_worker, workers, cap, None))
                 .collect(),
             stream: None,
+            flush_path: None,
         }
     }
 
@@ -694,7 +699,20 @@ impl TraceSink {
                 .collect(),
             meta,
             stream: Some(StreamState { handle }),
+            flush_path: None,
         })
+    }
+
+    /// Arms the panic-safety guard: if this sink is dropped without a
+    /// [`TraceSink::write_jsonl`] / [`TraceSink::finish`] — a panic
+    /// unwinding the run being the interesting case — the buffered records,
+    /// any flight-recorder spans, and any memory samples are best-effort
+    /// flushed to `path` so the trace tail that would explain the crash
+    /// survives. Normal completion paths disarm the guard, so nothing is
+    /// written twice.
+    pub fn flush_on_drop(mut self, path: &str) -> Self {
+        self.flush_path = Some(path.to_string());
+        self
     }
 
     /// Enables hot-vertex capture: every compute thread keeps a
@@ -743,6 +761,7 @@ impl TraceSink {
     ///
     /// Panics on a buffered sink (use [`TraceSink::write_jsonl`] there).
     pub fn finish(mut self) -> std::io::Result<StreamSummary> {
+        self.flush_path = None; // normal completion: disarm the Drop guard
         let state = self
             .stream
             .take()
@@ -822,6 +841,7 @@ impl TraceSink {
                 "write_jsonl on a streaming TraceSink; use finish()",
             ));
         }
+        self.flush_path = None; // normal completion: disarm the Drop guard
         let records = self.take_records();
         let mut f = BufWriter::new(std::fs::File::create(path)?);
         write_header(&mut f, &self.meta)?;
@@ -832,6 +852,60 @@ impl TraceSink {
             writeln!(f, "{line}")?;
         }
         f.flush()
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        // Only an armed guard (flush_on_drop without a completing
+        // write_jsonl/finish) does anything; every write is best-effort —
+        // this runs during panic unwinding, where a second panic aborts.
+        let Some(path) = self.flush_path.take() else {
+            return;
+        };
+        if let Some(state) = self.stream.take() {
+            // Streaming: the writer thread already appended everything that
+            // reached the channel; push the deferred backlog through and
+            // join it, exactly as finish() would.
+            for w in &mut self.workers {
+                if let Some(tx) = w.stream.take() {
+                    for r in w.deferred.get_mut().drain(..) {
+                        if tx.send(r).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = state.handle.join();
+        } else {
+            let mut buffered = self.take_records();
+            buffered.sort_by_key(|r| (r.superstep, r.worker));
+            let write = || -> std::io::Result<()> {
+                let mut f = BufWriter::new(std::fs::File::create(&path)?);
+                write_header(&mut f, &self.meta)?;
+                let mut line = String::with_capacity(256);
+                for r in &buffered {
+                    line.clear();
+                    r.to_json(&mut line);
+                    writeln!(f, "{line}")?;
+                }
+                f.flush()
+            };
+            if write().is_err() {
+                return;
+            }
+        }
+        // Flight spans and memory samples survive the crash too.
+        if let Some(fr) = cyclops_obs::flight() {
+            let dump = fr.drain();
+            if !dump.spans.is_empty() {
+                let _ = append_spans_jsonl(&path, &dump.spans);
+            }
+        }
+        let samples = cyclops_obs::mem::take_samples();
+        if !samples.is_empty() {
+            let _ = append_mem_jsonl(&path, &samples);
+        }
     }
 }
 
@@ -1072,6 +1146,115 @@ pub fn append_spans_jsonl(path: &str, spans: &[FlightSpan]) -> std::io::Result<u
     Ok(spans.len() as u64)
 }
 
+/// One memory sample as stored in trace JSONL: mem lines sit after the
+/// records (appended once the run's threads have joined, like flight
+/// spans) and are keyed by a leading `"mem"` field so record parsers and
+/// older traces are unaffected. Byte counts are allocator-tracked and
+/// inherently nondeterministic — mem lines are never part of the [`diff`]
+/// contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRecord {
+    /// Superstep the sample's barrier closed.
+    pub superstep: u64,
+    /// Worker id, or `u32::MAX` for the untagged (main-thread) slot.
+    pub worker: u32,
+    /// Live bytes per component, [`cyclops_obs::Component::ALL`] order.
+    pub live: [i64; cyclops_obs::NUM_COMPONENTS],
+    /// Peak bytes per component, [`cyclops_obs::Component::ALL`] order.
+    pub peak: [u64; cyclops_obs::NUM_COMPONENTS],
+    /// `/proc/self/status` VmRSS in kB (0 = absent or not sampled here).
+    pub rss_kb: u64,
+    /// `/proc/self/status` VmHWM in kB (0 = absent or not sampled here).
+    pub hwm_kb: u64,
+}
+
+impl From<cyclops_obs::MemSample> for MemRecord {
+    fn from(s: cyclops_obs::MemSample) -> Self {
+        MemRecord {
+            superstep: s.superstep,
+            worker: s.worker,
+            live: s.live,
+            peak: s.peak,
+            rss_kb: s.rss_kb,
+            hwm_kb: s.hwm_kb,
+        }
+    }
+}
+
+impl MemRecord {
+    /// Appends this sample as a single JSON object (no trailing newline).
+    pub fn to_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"mem\":1,\"superstep\":{},\"worker\":{},\"live\":[",
+            self.superstep, self.worker
+        );
+        for (i, v) in self.live.iter().enumerate() {
+            let _ = write!(out, "{}{v}", if i > 0 { "," } else { "" });
+        }
+        out.push_str("],\"peak\":[");
+        for (i, v) in self.peak.iter().enumerate() {
+            let _ = write!(out, "{}{v}", if i > 0 { "," } else { "" });
+        }
+        let _ = write!(
+            out,
+            "],\"rss_kb\":{},\"hwm_kb\":{}}}",
+            self.rss_kb, self.hwm_kb
+        );
+    }
+}
+
+/// Parses a fixed-length numeric array like `[1,2,3]` into `N` slots.
+fn parse_array<T: std::str::FromStr + Copy + Default, const N: usize>(raw: &str) -> Option<[T; N]> {
+    let inner = raw.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = [T::default(); N];
+    let mut n = 0;
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        // Older traces may carry fewer components; extras are rejected.
+        if n >= N {
+            return None;
+        }
+        out[n] = part.parse().ok()?;
+        n += 1;
+    }
+    Some(out)
+}
+
+/// Parses one mem line of a JSONL trace. Returns `None` when the line is
+/// not a mem line (record lines and garbage alike).
+pub fn parse_mem_line(line: &str) -> Option<MemRecord> {
+    field(line, "mem")?;
+    Some(MemRecord {
+        superstep: num(line, "superstep")?,
+        worker: num(line, "worker")?,
+        live: parse_array(field(line, "live")?)?,
+        peak: parse_array(field(line, "peak")?)?,
+        rss_kb: num(line, "rss_kb").unwrap_or(0),
+        hwm_kb: num(line, "hwm_kb").unwrap_or(0),
+    })
+}
+
+/// Appends memory samples to an existing trace file (one JSONL line per
+/// sample), as the CLI does after a `--mem` run finishes. Returns the
+/// number of lines written.
+pub fn append_mem_jsonl(path: &str, samples: &[cyclops_obs::MemSample]) -> std::io::Result<u64> {
+    let f = std::fs::OpenOptions::new().append(true).open(path)?;
+    let mut f = BufWriter::new(f);
+    let mut line = String::with_capacity(256);
+    for &s in samples {
+        line.clear();
+        MemRecord::from(s).to_json(&mut line);
+        writeln!(f, "{line}")?;
+    }
+    f.flush()?;
+    Ok(samples.len() as u64)
+}
+
 /// A loaded trace: metadata plus records ordered by `(superstep, worker)`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunTrace {
@@ -1082,6 +1265,9 @@ pub struct RunTrace {
     /// Flight-recorder spans, ordered by `(start_ns, worker, thread)`;
     /// empty unless the run recorded with `--flight`.
     pub spans: Vec<SpanRecord>,
+    /// Memory samples, ordered by `(superstep, worker)`; empty unless the
+    /// run recorded with `--mem`. Like spans, never part of [`diff`].
+    pub mem: Vec<MemRecord>,
 }
 
 impl RunTrace {
@@ -1252,6 +1438,7 @@ pub fn read_jsonl(path: &str) -> std::io::Result<RunTrace> {
         parse_meta_line(&header).ok_or_else(|| corrupt(format!("{path}: bad trace header")))?;
     let mut records = Vec::new();
     let mut spans = Vec::new();
+    let mut mem = Vec::new();
     for (i, line) in lines.enumerate() {
         let line = line?;
         if line.trim().is_empty() {
@@ -1264,6 +1451,13 @@ pub fn read_jsonl(path: &str) -> std::io::Result<RunTrace> {
             );
             continue;
         }
+        if line.trim_start().starts_with("{\"mem\"") {
+            mem.push(
+                parse_mem_line(&line)
+                    .ok_or_else(|| corrupt(format!("{path}: bad mem line on line {}", i + 2)))?,
+            );
+            continue;
+        }
         records.push(
             parse_record(&line)
                 .ok_or_else(|| corrupt(format!("{path}: bad record on line {}", i + 2)))?,
@@ -1271,10 +1465,12 @@ pub fn read_jsonl(path: &str) -> std::io::Result<RunTrace> {
     }
     records.sort_by_key(|r| (r.superstep, r.worker));
     spans.sort_by_key(|s| (s.start_ns, s.worker, s.thread));
+    mem.sort_by_key(|m| (m.superstep, m.worker));
     Ok(RunTrace {
         meta,
         records,
         spans,
+        mem,
     })
 }
 
@@ -1581,6 +1777,7 @@ mod tests {
         let base = RunTrace {
             meta: TraceMeta::default(),
             spans: Vec::new(),
+            mem: Vec::new(),
             records: vec![
                 TraceRecord {
                     superstep: 0,
@@ -1611,6 +1808,7 @@ mod tests {
         let mk = |digest: u64| RunTrace {
             meta: TraceMeta::default(),
             spans: Vec::new(),
+            mem: Vec::new(),
             records: vec![TraceRecord {
                 superstep: 4,
                 worker: 1,
@@ -1654,6 +1852,7 @@ mod tests {
         let mk = |dm: u64, db: u64, bytes: u64| RunTrace {
             meta: TraceMeta::default(),
             spans: Vec::new(),
+            mem: Vec::new(),
             records: vec![TraceRecord {
                 superstep: 0,
                 worker: 0,
@@ -1695,11 +1894,13 @@ mod tests {
         let a = RunTrace {
             meta: TraceMeta::default(),
             spans: Vec::new(),
+            mem: Vec::new(),
             records: vec![r(0), r(1)],
         };
         let b = RunTrace {
             meta: TraceMeta::default(),
             spans: Vec::new(),
+            mem: Vec::new(),
             records: vec![r(0)],
         };
         let d = diff::first_divergence(&a, &b, false).unwrap();
@@ -1865,6 +2066,7 @@ mod tests {
         let mk = |fast: bool, dense: u64| RunTrace {
             meta: TraceMeta::default(),
             spans: Vec::new(),
+            mem: Vec::new(),
             records: vec![TraceRecord {
                 superstep: 0,
                 worker: 0,
@@ -1912,6 +2114,7 @@ mod tests {
         let mk = |fused: u64| RunTrace {
             meta: TraceMeta::default(),
             spans: Vec::new(),
+            mem: Vec::new(),
             records: vec![TraceRecord {
                 superstep: 0,
                 worker: 0,
@@ -1978,6 +2181,7 @@ mod tests {
         let mk = |bytes: u64, dense: u64| RunTrace {
             meta: TraceMeta::default(),
             spans: Vec::new(),
+            mem: Vec::new(),
             records: vec![TraceRecord {
                 superstep: 0,
                 worker: 0,

@@ -17,6 +17,7 @@ use crate::cluster::ClusterSpec;
 use crate::codec::{WireFormat, WireMode};
 use crate::metrics::RunCounters;
 use bytes::BytesMut;
+use cyclops_obs::mem::{Component, MemScope};
 use cyclops_obs::{Counter, LogLinearHistogram, SpanKind, SpanRing};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -387,6 +388,9 @@ impl<M: WireFormat + Send> Transport<M> {
         let count = msgs.len();
         self.counters.add_messages(count);
         let (payload, receipt, alloc, saved) = if self.spec.crosses_machines(from_worker, to) {
+            // Encode-buffer growth (and the ablation baseline's fresh
+            // buffers) are send-pool bytes for the tracking allocator.
+            let _mem = MemScope::enter(Component::SendPool);
             let mut msgs = msgs;
             let (decoded, stats, bytes, alloc) = if self.pooled {
                 // Serialize into this sender lane's pooled buffer: only
@@ -453,6 +457,8 @@ impl<M: WireFormat + Send> Transport<M> {
         };
         let lane = &self.lanes[parity][to][lane_idx];
         self.counters.queue_enter(payload.len());
+        // Inbox-lane queue growth is charged to the Inbox component.
+        let _mem = MemScope::enter(Component::Inbox);
         // try_lock first so contended acquisitions are observable — the
         // effect Table 3 measures.
         let was_empty = match lane.try_lock() {
@@ -506,6 +512,7 @@ impl<M: WireFormat + Send> Transport<M> {
         self.counters.queue_enter(msgs.len());
         let lanes = &self.lanes[deliver_epoch & 1][to];
         let lane_idx = lanes.len() - 1;
+        let _mem = MemScope::enter(Component::Inbox);
         lanes[lane_idx].lock().extend(msgs);
         self.dirty[deliver_epoch & 1][to]
             .lock()

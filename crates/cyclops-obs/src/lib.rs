@@ -30,6 +30,9 @@
 //!   (phase spans, barrier waits, fused bucket rounds, dynamic chunk
 //!   claims, per-destination send flushes), drained after a run and
 //!   exported as Chrome trace-event JSON by `cyclops timeline --chrome`.
+//! - [`mem`]: a tagged tracking allocator ([`MemAlloc`]) with per-worker,
+//!   per-[`Component`] live/peak accounting, scope-tagged via [`MemScope`]
+//!   and sampled at superstep barriers into `{"mem":…}` trace lines.
 //!
 //! The crate is deliberately std-only and sits *below* `cyclops-net` in the
 //! dependency order, so the transport and barrier layers can be
@@ -41,6 +44,7 @@ mod critpath;
 mod expo;
 mod flight;
 mod hist;
+pub mod mem;
 mod registry;
 mod serve;
 mod spark;
@@ -54,6 +58,8 @@ pub use flight::{
     flight, install_flight, FlightDump, FlightRecorder, FlightSpan, SpanEvent, SpanKind, SpanRing,
     DEFAULT_FLIGHT_CAPACITY,
 };
+pub use mem::{Component, MemAlloc, MemSample, MemScope, NUM_COMPONENTS};
+
 pub use hist::{
     bucket_bounds, bucket_index, bucket_mid, HistogramSnapshot, LogLinearHistogram, NUM_BUCKETS,
 };

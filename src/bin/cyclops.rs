@@ -20,6 +20,8 @@
 //!   timeline    span-level timeline of a trace; `--chrome OUT.json` exports
 //!               Chrome trace-event JSON (chrome://tracing, Perfetto)
 //!   comm        worker-pair communication matrix: heatmap + row-sum check
+//!   mem         per-worker/per-component peak-memory table from a `--mem`
+//!               trace (`--json` for machines)
 //!
 //! input (choose one):
 //!   --input FILE          edge-list file ("src dst [weight]" per line)
@@ -72,6 +74,9 @@
 //!   --hot K               per-worker hot-vertex top-K sketch in the trace
 //!   --flight              record flight-recorder spans during the run and
 //!                         append them to the trace file (needs --trace)
+//!   --mem                 arm the tracking allocator and append per-superstep
+//!                         memory samples to the trace file (needs --trace;
+//!                         results and trace records stay identical)
 //!   --chrome FILE         timeline: write Chrome trace-event JSON to FILE
 //!   --json                why-slow: emit the report as JSON
 //!   --once                top: render one frame and exit
@@ -82,6 +87,11 @@ use cyclops::prelude::*;
 use cyclops_partition::EdgeCutPartition;
 use std::io::Write;
 use std::process::ExitCode;
+
+/// Tracking allocator: a pure pass-through over the system allocator (one
+/// relaxed bool load per call) until `--mem` arms per-component accounting.
+#[global_allocator]
+static ALLOC: cyclops::obs::MemAlloc = cyclops::obs::MemAlloc;
 
 /// Parsed command-line options.
 #[derive(Clone, Debug)]
@@ -120,6 +130,7 @@ struct Options {
     listen: Option<String>,
     hot: usize,
     flight: bool,
+    mem: bool,
     chrome: Option<String>,
     json: bool,
     once: bool,
@@ -168,6 +179,7 @@ impl Default for Options {
             listen: None,
             hot: 0,
             flight: false,
+            mem: false,
             chrome: None,
             json: false,
             once: false,
@@ -288,6 +300,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--listen" => opts.listen = Some(value("--listen")?),
             "--hot" => opts.hot = value("--hot")?.parse().map_err(|e| format!("--hot: {e}"))?,
             "--flight" => opts.flight = true,
+            "--mem" => opts.mem = true,
             "--chrome" => opts.chrome = Some(value("--chrome")?),
             "--json" => opts.json = true,
             "--once" => opts.once = true,
@@ -320,6 +333,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     // Spans ride on the trace file; without one they would vanish.
     if opts.flight && opts.trace.is_none() {
         return Err("--flight needs --trace FILE".into());
+    }
+    // Memory samples ride on the trace file the same way.
+    if opts.mem && opts.trace.is_none() {
+        return Err("--mem needs --trace FILE".into());
     }
     Ok(opts)
 }
@@ -450,6 +467,7 @@ fn build_sink(
         // would be silently dropped.
         return Err("--hot needs --trace FILE".into());
     }
+    let _mem = cyclops::obs::mem::MemScope::enter(cyclops::obs::Component::Trace);
     let mut sink = match &opts.trace {
         Some(path) if opts.stream => Some(
             if opts.values {
@@ -465,6 +483,12 @@ fn build_sink(
     };
     if opts.hot > 0 {
         sink = sink.map(|s| s.with_hot_k(opts.hot));
+    }
+    // Panic safety: if the run dies before `finish_sink`, the sink's Drop
+    // guard still writes the buffered trace tail (plus any flight spans and
+    // memory samples) to the trace path.
+    if let Some(path) = &opts.trace {
+        sink = sink.map(|s| s.flush_on_drop(path));
     }
     Ok(sink)
 }
@@ -503,6 +527,14 @@ fn finish_sink(opts: &Options, sink: Option<cyclops_net::trace::TraceSink>) -> R
             println!("{n} flight-recorder spans appended to {path}");
         }
     }
+    // Memory samples drain the same way: the engine threads have joined, so
+    // the per-barrier samples are complete.
+    if opts.mem {
+        let samples = cyclops::obs::mem::take_samples();
+        let n = cyclops_net::trace::append_mem_jsonl(path, &samples)
+            .map_err(|e| format!("appending memory samples to {path}: {e}"))?;
+        println!("{n} memory samples appended to {path}");
+    }
     Ok(())
 }
 
@@ -537,6 +569,7 @@ fn run(opts: &Options) -> Result<(), String> {
         "why-slow",
         "timeline",
         "comm",
+        "mem",
     ];
     if !COMMANDS.contains(&opts.command.as_str()) {
         return Err(format!(
@@ -616,6 +649,21 @@ fn run(opts: &Options) -> Result<(), String> {
             print!("{}", cyclops::obs::why_slow_json(&trace));
         } else {
             print!("{}", cyclops::obs::why_slow_report(&trace));
+        }
+        return Ok(());
+    }
+
+    // `mem` renders the per-worker/per-component peak-memory table from a
+    // `--mem` trace's samples and exits.
+    if opts.command == "mem" {
+        let [path] = opts.positional.as_slice() else {
+            return Err("mem needs one trace file: mem TRACE.jsonl [--json]".into());
+        };
+        let trace = load_trace(path)?;
+        if opts.json {
+            print!("{}", cyclops::obs::mem_json(&trace));
+        } else {
+            print!("{}", cyclops::obs::mem_report(&trace));
         }
         return Ok(());
     }
@@ -702,7 +750,17 @@ fn run(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
 
-    let g = load_graph(opts)?;
+    // Arm the tracking allocator before the graph is even loaded, so every
+    // long-lived structure (graph, plan, replicas, slots, pools) is
+    // attributed. One-way: disarming mid-run would let frees drift the live
+    // counters negative.
+    if opts.mem {
+        cyclops::obs::mem::arm();
+    }
+    let g = {
+        let _mem = cyclops::obs::mem::MemScope::enter(cyclops::obs::Component::Graph);
+        load_graph(opts)?
+    };
     if opts.command == "info" {
         let s = cyclops_graph::stats::degree_stats(&g);
         println!("vertices: {}", g.num_vertices());
@@ -1021,7 +1079,7 @@ usage: cyclops <command> [options]
 
 commands:
   pagerank | sssp | bfs | cc | cd | triangles | gen | info
-  trace-diff | metrics | top | why-slow | timeline | comm | help
+  trace-diff | metrics | top | why-slow | timeline | comm | mem | help
 
 input:       --input FILE | --dataset NAME [--scale F] [--seed N]
              datasets: Amazon GWeb LJournal Wiki SYN-GL DBLP RoadCA
@@ -1066,6 +1124,12 @@ tracing:     --trace FILE (pagerank; sssp/cc on cyclops)  --stream  --values
              straggler attribution + hot-vertex table + comm matrix
              --flight  record span-level flight-recorder events during
              the run and append them to the trace (needs --trace)
+             --mem  arm the tracking allocator: per-worker/per-component
+             live/peak bytes (+ VmRSS) sampled at each superstep barrier
+             and appended to the trace (needs --trace; results and trace
+             records stay bitwise identical)
+             mem TRACE.jsonl [--json]  per-worker/per-component peak
+             table from a --mem trace's samples
              timeline TRACE.jsonl [--chrome OUT.json]  span summary;
              --chrome exports Chrome trace-event JSON (chrome://tracing,
              ui.perfetto.dev); traces without spans synthesize phase
@@ -1090,6 +1154,8 @@ examples:
   cyclops pagerank --dataset Amazon --trace run.jsonl --flight
   cyclops timeline run.jsonl --chrome run.chrome.json
   cyclops comm run.jsonl
+  cyclops pagerank --dataset Amazon --trace run.jsonl --mem
+  cyclops mem run.jsonl --json
 ";
 
 fn main() -> ExitCode {
@@ -1258,6 +1324,20 @@ mod tests {
         assert_eq!(o.hot, 0);
         assert!(parse_args(&args("pagerank --hot nope")).is_err());
         assert!(parse_args(&args("pagerank --listen")).is_err());
+    }
+
+    #[test]
+    fn parses_mem_flags() {
+        let o = parse_args(&args("pagerank --dataset GWeb --trace run.jsonl --mem")).unwrap();
+        assert!(o.mem);
+        // Memory samples ride on the trace file, so --mem alone is an error.
+        assert!(parse_args(&args("pagerank --dataset GWeb --mem")).is_err());
+        let o = parse_args(&args("mem run.jsonl --json")).unwrap();
+        assert_eq!(o.command, "mem");
+        assert_eq!(o.positional, vec!["run.jsonl"]);
+        assert!(o.json);
+        let o = parse_args(&args("mem run.jsonl")).unwrap();
+        assert!(!o.json);
     }
 
     #[test]

@@ -10,10 +10,10 @@
 //! so quantiles here and quantiles from the in-process registry agree.
 
 pub use cyclops_obs::{
-    flight, global, install_flight, install_global, render_json, render_prometheus, sparkline,
-    sparkline_last, Counter, CpPhase, CriticalPath, FlightDump, FlightRecorder, Gauge,
-    HistogramSnapshot, LogLinearHistogram, MetricsRegistry, MetricsServer, PhaseSample,
-    SpaceSaving,
+    flight, global, install_flight, install_global, mem, render_json, render_prometheus, sparkline,
+    sparkline_last, Component, Counter, CpPhase, CriticalPath, FlightDump, FlightRecorder, Gauge,
+    HistogramSnapshot, LogLinearHistogram, MemAlloc, MetricsRegistry, MetricsServer, PhaseSample,
+    SpaceSaving, NUM_COMPONENTS,
 };
 
 use cyclops_net::trace::{
@@ -515,6 +515,172 @@ fn chrome_args(s: &SpanRecord) -> String {
     }
 }
 
+/// Per-worker peak bytes by component, aggregated from a trace's
+/// `{"mem":…}` samples. Peaks are monotonic within a run, so each row is
+/// the component-wise maximum over that worker's samples. The untagged
+/// (non-engine-thread) slot is reported as worker [`u32::MAX`].
+pub struct MemPeaks {
+    /// `(worker, per-component peak bytes)` rows, workers ascending with
+    /// the untagged slot last.
+    pub workers: Vec<(u32, [u64; NUM_COMPONENTS])>,
+    /// Component-wise sum over all rows.
+    pub totals: [u64; NUM_COMPONENTS],
+    /// Maximum `/proc/self/status` VmRSS seen across samples, kB (0 when
+    /// unavailable — non-Linux or restricted environments).
+    pub rss_kb: u64,
+    /// Maximum VmHWM seen across samples, kB (0 when unavailable).
+    pub hwm_kb: u64,
+    /// Number of mem samples aggregated.
+    pub samples: usize,
+}
+
+/// Aggregates a trace's mem samples into [`MemPeaks`] rows.
+pub fn mem_peaks(trace: &RunTrace) -> MemPeaks {
+    let mut rows: Vec<(u32, [u64; NUM_COMPONENTS])> = Vec::new();
+    let mut rss_kb = 0u64;
+    let mut hwm_kb = 0u64;
+    for m in &trace.mem {
+        rss_kb = rss_kb.max(m.rss_kb);
+        hwm_kb = hwm_kb.max(m.hwm_kb);
+        let row = match rows.iter_mut().find(|(w, _)| *w == m.worker) {
+            Some((_, row)) => row,
+            None => {
+                rows.push((m.worker, [0; NUM_COMPONENTS]));
+                &mut rows.last_mut().unwrap().1
+            }
+        };
+        for (slot, &p) in row.iter_mut().zip(m.peak.iter()) {
+            *slot = (*slot).max(p);
+        }
+    }
+    // Workers ascending; u32::MAX (untagged) naturally sorts last.
+    rows.sort_by_key(|&(w, _)| w);
+    let mut totals = [0u64; NUM_COMPONENTS];
+    for (_, row) in &rows {
+        for (t, p) in totals.iter_mut().zip(row.iter()) {
+            *t += p;
+        }
+    }
+    MemPeaks {
+        workers: rows,
+        totals,
+        rss_kb,
+        hwm_kb,
+        samples: trace.mem.len(),
+    }
+}
+
+/// Formats a byte count compactly and deterministically (`999 B`,
+/// `1.5 KiB`, `23.4 MiB`, `1.2 GiB`).
+pub fn fmt_bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let bf = b as f64;
+    if bf >= KIB * KIB * KIB {
+        format!("{:.1} GiB", bf / (KIB * KIB * KIB))
+    } else if bf >= KIB * KIB {
+        format!("{:.1} MiB", bf / (KIB * KIB))
+    } else if bf >= KIB {
+        format!("{:.1} KiB", bf / KIB)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// The `cyclops mem` report: a per-worker, per-component peak table from
+/// the trace's `{"mem":…}` samples, plus the process RSS high-water marks.
+pub fn mem_report(trace: &RunTrace) -> String {
+    let peaks = mem_peaks(trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mem: engine {} on {} ({} workers), {} samples over {} supersteps",
+        trace.meta.engine,
+        trace.meta.cluster,
+        trace.meta.workers,
+        peaks.samples,
+        trace.supersteps(),
+    );
+    if peaks.samples == 0 {
+        out.push_str("no memory samples recorded (run without --mem)\n");
+        return out;
+    }
+    out.push_str("peak bytes by worker and component:\n");
+    let _ = write!(out, "  {:>8}", "worker");
+    for c in Component::ALL {
+        let _ = write!(out, " {:>12}", c.name());
+    }
+    let _ = writeln!(out, " {:>12}", "total");
+    for (w, row) in &peaks.workers {
+        if *w == u32::MAX {
+            let _ = write!(out, "  {:>8}", "untagged");
+        } else {
+            let _ = write!(out, "  {:>8}", w);
+        }
+        for p in row {
+            let _ = write!(out, " {:>12}", fmt_bytes(*p));
+        }
+        let _ = writeln!(out, " {:>12}", fmt_bytes(row.iter().sum()));
+    }
+    let _ = write!(out, "  {:>8}", "all");
+    for t in &peaks.totals {
+        let _ = write!(out, " {:>12}", fmt_bytes(*t));
+    }
+    let _ = writeln!(out, " {:>12}", fmt_bytes(peaks.totals.iter().sum()));
+    if peaks.rss_kb > 0 || peaks.hwm_kb > 0 {
+        let _ = writeln!(
+            out,
+            "process rss: peak {} (VmHWM {})",
+            fmt_bytes(peaks.rss_kb * 1024),
+            fmt_bytes(peaks.hwm_kb * 1024),
+        );
+    } else {
+        out.push_str("process rss: unavailable (/proc/self/status not readable)\n");
+    }
+    out
+}
+
+/// The `cyclops mem --json` report: [`mem_peaks`] as one deterministic
+/// JSON object (stable key order, integers only; the untagged slot is
+/// reported as worker `-1`).
+pub fn mem_json(trace: &RunTrace) -> String {
+    let peaks = mem_peaks(trace);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"engine\": \"{}\",\n  \"cluster\": \"{}\",\n  \"samples\": {},\n  \
+         \"supersteps\": {},\n  \"rss_kb\": {},\n  \"hwm_kb\": {},\n  \"workers\": [",
+        trace.meta.engine,
+        trace.meta.cluster,
+        peaks.samples,
+        trace.supersteps(),
+        peaks.rss_kb,
+        peaks.hwm_kb,
+    );
+    for (i, (w, row)) in peaks.workers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let worker = if *w == u32::MAX { -1 } else { *w as i64 };
+        let _ = write!(out, "\n    {{\"worker\": {worker}, \"peak\": {{");
+        for (j, c) in Component::ALL.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", c.name(), row[j]);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n  ],\n  \"totals\": {");
+    for (j, c) in Component::ALL.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {}", c.name(), peaks.totals[j]);
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
 /// Exports a trace as Chrome trace-event JSON (`chrome://tracing`,
 /// Perfetto). Real flight-recorder spans are used when the trace has them
 /// (`--flight` runs); otherwise one complete-event per phase per record is
@@ -843,6 +1009,30 @@ pub fn why_slow_report(trace: &RunTrace) -> String {
     }
     out.push('\n');
 
+    // Memory paragraph — only for `--mem` traces (plain traces carry no
+    // samples, keeping pre-existing reports byte-identical).
+    if !trace.mem.is_empty() {
+        let peaks = mem_peaks(trace);
+        let _ = write!(out, "memory ({} samples): peak", peaks.samples);
+        for (j, c) in Component::ALL.iter().enumerate() {
+            if peaks.totals[j] > 0 {
+                let _ = write!(out, " {} {}", c.name(), fmt_bytes(peaks.totals[j]));
+            }
+        }
+        out.push('\n');
+        if peaks.rss_kb > 0 {
+            let _ = writeln!(
+                out,
+                "  process rss peak {} (VmHWM {}); see `cyclops mem` for the per-worker table",
+                fmt_bytes(peaks.rss_kb * 1024),
+                fmt_bytes(peaks.hwm_kb * 1024),
+            );
+        } else {
+            out.push_str("  process rss unavailable; see `cyclops mem` for the per-worker table\n");
+        }
+        out.push('\n');
+    }
+
     let spans: Vec<u64> = cp.supersteps.iter().map(|s| s.span_ns).collect();
     let waits: Vec<u64> = cp.supersteps.iter().map(|s| s.caused_wait_ns).collect();
     let _ = writeln!(
@@ -955,7 +1145,25 @@ pub fn why_slow_json(trace: &RunTrace) -> String {
             b.superstep, b.bucket, b.fused, b.occupancy
         );
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ]");
+    // Memory object — only for `--mem` traces, so goldens from plain runs
+    // are unchanged.
+    if !trace.mem.is_empty() {
+        let peaks = mem_peaks(trace);
+        let _ = write!(
+            out,
+            ",\n  \"memory\": {{\"samples\": {}, \"rss_kb\": {}, \"hwm_kb\": {}, \"peak\": {{",
+            peaks.samples, peaks.rss_kb, peaks.hwm_kb
+        );
+        for (j, c) in Component::ALL.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", c.name(), peaks.totals[j]);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -1208,6 +1416,7 @@ mod tests {
     fn skewed_trace() -> RunTrace {
         RunTrace {
             spans: Vec::new(),
+            mem: Vec::new(),
             meta: TraceMeta {
                 engine: "cyclops".into(),
                 cluster: "1x2x1".into(),

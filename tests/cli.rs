@@ -231,6 +231,7 @@ fn trace_commands_share_consistent_error_messages() {
         "trace-diff",
         "timeline",
         "comm",
+        "mem",
     ];
     for command in commands {
         for (path, cause) in [
@@ -518,5 +519,107 @@ fn engines_agree_via_cli_output_files() {
     assert_eq!(
         std::fs::read_to_string(&cy_file).unwrap(),
         std::fs::read_to_string(&ha_file).unwrap()
+    );
+}
+
+#[test]
+fn mem_json_matches_the_golden_report() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/mem.jsonl");
+    let golden = include_str!("golden/mem.json");
+    let (ok, stdout, stderr) = cyclops(&["mem", fixture, "--json"]);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(
+        stdout, golden,
+        "mem --json drifted from tests/golden/mem.json; \
+         if the change is intentional, regenerate the golden file"
+    );
+    // Byte-identical on a second run: the report is a pure function of
+    // the trace.
+    let (_, again, _) = cyclops(&["mem", fixture, "--json"]);
+    assert_eq!(stdout, again);
+}
+
+#[test]
+fn mem_report_renders_worker_and_untagged_rows() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/mem.jsonl");
+    let (ok, stdout, stderr) = cyclops(&["mem", fixture]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("peak bytes by worker and component"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("untagged"), "{stdout}");
+    assert!(stdout.contains("replicas"), "{stdout}");
+    assert!(stdout.contains("process rss: peak"), "{stdout}");
+
+    let (ok, _, stderr) = cyclops(&["mem"]);
+    assert!(!ok);
+    assert!(stderr.contains("mem needs one trace file"), "{stderr}");
+
+    // Memory samples ride on the trace file, so --mem alone is an error.
+    let (ok, _, stderr) = cyclops(&[
+        "pagerank",
+        "--dataset",
+        "Amazon",
+        "--scale",
+        "0.03",
+        "--mem",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--mem needs --trace"), "{stderr}");
+}
+
+/// A trace from a run without `--mem` reports "no memory samples" rather
+/// than an empty table or an error.
+#[test]
+fn mem_on_plain_trace_reports_no_samples() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/why_slow.jsonl");
+    let (ok, stdout, stderr) = cyclops(&["mem", fixture]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("no memory samples recorded"), "{stdout}");
+}
+
+/// The tentpole's determinism contract: arming the tracking allocator with
+/// `--mem` must not perturb the run — the trace (records and values alike)
+/// stays `trace-diff`-identical to the same run without it, because memory
+/// samples live on separate `{"mem":…}` lines outside the diff contract.
+#[test]
+fn mem_run_is_trace_diff_identical_to_plain_run() {
+    let plain = temp_path("mem-equiv-plain.jsonl");
+    let armed = temp_path("mem-equiv-armed.jsonl");
+    let plain = plain.to_str().unwrap();
+    let armed = armed.to_str().unwrap();
+    let base = [
+        "pagerank",
+        "--dataset",
+        "Amazon",
+        "--scale",
+        "0.04",
+        "--machines",
+        "2",
+        "--workers",
+        "2",
+        "--values",
+    ];
+    let mut a: Vec<&str> = base.to_vec();
+    a.extend_from_slice(&["--trace", plain]);
+    let (ok, _, stderr) = cyclops(&a);
+    assert!(ok, "stderr: {stderr}");
+    let mut b: Vec<&str> = base.to_vec();
+    b.extend_from_slice(&["--trace", armed, "--mem"]);
+    let (ok, stdout, stderr) = cyclops(&b);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("memory samples appended"), "{stdout}");
+
+    // Full diff including values digests: byte-for-byte identical records.
+    let (ok, stdout, stderr) = cyclops(&["trace-diff", plain, armed, "--values"]);
+    assert!(ok, "diff failed: {stdout} {stderr}");
+    assert!(stdout.contains("traces agree"), "{stdout}");
+
+    // And the armed trace actually carries mem samples.
+    let contents = std::fs::read_to_string(armed).unwrap();
+    assert!(
+        contents.lines().any(|l| l.starts_with("{\"mem\":")),
+        "no mem lines in {armed}"
     );
 }

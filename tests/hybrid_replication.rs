@@ -26,6 +26,7 @@ fn finish(mut sink: TraceSink) -> RunTrace {
     assert_eq!(sink.dropped_records(), 0, "ring buffer overflowed");
     RunTrace {
         spans: Vec::new(),
+        mem: Vec::new(),
         meta: sink.meta().clone(),
         records: sink.take_records(),
     }

@@ -1,0 +1,137 @@
+//! Exactness tests for the tagged tracking allocator: the static audit
+//! (`CyclopsPlan::memory_breakdown`) must equal the live bytes the armed
+//! allocator tracked for the `Plan`/`Replicas`/`DirectSlots` components,
+//! and memory samples must round-trip through the trace file format.
+//!
+//! This lives in its own test binary because arming is process-global and
+//! one-way; the `#[global_allocator]` below makes every allocation in this
+//! process flow through the tracker.
+
+use cyclops::engine::CyclopsPlan;
+use cyclops::obs::mem::{self, Component};
+use cyclops::prelude::*;
+use std::sync::Mutex;
+
+#[global_allocator]
+static ALLOC: cyclops::obs::MemAlloc = cyclops::obs::MemAlloc;
+
+/// Live-byte assertions read process-global counters, so the tests that
+/// make them serialize on this lock (the harness runs tests in threads).
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn plan_components_live() -> [i64; 3] {
+    [
+        mem::live_bytes(Component::Plan),
+        mem::live_bytes(Component::Replicas),
+        mem::live_bytes(Component::DirectSlots),
+    ]
+}
+
+/// The audit contract: after construction (which ends with
+/// `attribute_memory` re-materializing every vector at exact capacity
+/// under its component scope), the tracked live deltas equal the
+/// capacity-computed breakdown byte for byte — and dropping the plan
+/// returns every component to its baseline.
+#[test]
+fn plan_breakdown_matches_tracked_bytes_exactly() {
+    let _guard = LOCK.lock().unwrap();
+    mem::arm();
+    let g = Dataset::Amazon.generate_scaled(0.05, Dataset::Amazon.default_seed());
+    let partition = HashPartitioner.partition(&g, 4);
+    for threshold in [0u32, 4, u32::MAX] {
+        let before = plan_components_live();
+        let plan = CyclopsPlan::build_parallel_with_threshold(&g, &partition, threshold);
+        let after = plan_components_live();
+        let b = plan.memory_breakdown();
+        assert_eq!(
+            (after[0] - before[0]) as usize,
+            b.plan,
+            "Plan bytes diverge from the audit at threshold {threshold}"
+        );
+        assert_eq!(
+            (after[1] - before[1]) as usize,
+            b.replicas,
+            "Replicas bytes diverge from the audit at threshold {threshold}"
+        );
+        assert_eq!(
+            (after[2] - before[2]) as usize,
+            b.direct_slots,
+            "DirectSlots bytes diverge from the audit at threshold {threshold}"
+        );
+        drop(plan);
+        assert_eq!(
+            plan_components_live(),
+            before,
+            "drop did not return components to baseline at threshold {threshold}"
+        );
+    }
+}
+
+/// The serial builder attributes identically (it shares
+/// `attribute_memory`), and the replica ledger shrinks as the threshold
+/// trades replicas for direct slots — the bench panel's claim in
+/// miniature.
+#[test]
+fn serial_build_attributes_and_threshold_shrinks_replicas() {
+    let _guard = LOCK.lock().unwrap();
+    mem::arm();
+    let g = Dataset::Amazon.generate_scaled(0.05, Dataset::Amazon.default_seed());
+    let partition = HashPartitioner.partition(&g, 4);
+
+    let before = plan_components_live();
+    let full = CyclopsPlan::build_with_threshold(&g, &partition, 0);
+    let after = plan_components_live();
+    let bf = full.memory_breakdown();
+    assert_eq!((after[1] - before[1]) as usize, bf.replicas);
+
+    let hybrid = CyclopsPlan::build_with_threshold(&g, &partition, 8);
+    let bh = hybrid.memory_breakdown();
+    assert!(
+        bh.replicas < bf.replicas,
+        "threshold 8 must spend fewer replica bytes than full replication \
+         ({} vs {})",
+        bh.replicas,
+        bf.replicas
+    );
+    assert!(
+        bh.direct_slots > bf.direct_slots,
+        "threshold 8 must spend more direct-slot bytes than full replication"
+    );
+}
+
+/// Memory samples survive the JSONL round trip: `sample` → `take_samples`
+/// → `append_mem_jsonl` → `read_jsonl` yields the same values, parked in
+/// `RunTrace::mem` away from the record stream (the trace-diff contract).
+#[test]
+fn samples_round_trip_through_the_trace_file() {
+    let _guard = LOCK.lock().unwrap();
+    mem::arm();
+    let dir = std::env::temp_dir().join(format!("cyclops-memobs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.jsonl");
+    let path = path.to_str().unwrap();
+    std::fs::write(
+        path,
+        "{\"engine\":\"cyclops\",\"cluster\":\"1x1x1\",\"workers\":1,\"values\":false}\n\
+         {\"superstep\":0,\"worker\":0,\"parse_ns\":1,\"compute_ns\":1,\"send_ns\":1,\
+         \"sync_ns\":1,\"frontier\":1,\"computed\":1,\"activated\":0,\"converged_delta\":0,\
+         \"drained\":0,\"messages\":0,\"bytes\":0,\"checkpoint\":false}\n",
+    )
+    .unwrap();
+
+    mem::take_samples(); // discard anything a previous test parked
+    mem::sample(7, 0);
+    let samples = mem::take_samples();
+    assert!(!samples.is_empty(), "armed sample() must record");
+    let n = cyclops::net::trace::append_mem_jsonl(path, &samples).unwrap();
+    assert_eq!(n as usize, samples.len());
+
+    let trace = cyclops::net::trace::read_jsonl(path).unwrap();
+    assert_eq!(trace.mem.len(), samples.len());
+    assert_eq!(trace.records.len(), 1, "mem lines must not enter records");
+    let rec = trace.mem.iter().find(|m| m.worker == 0).unwrap();
+    assert_eq!(rec.superstep, 7);
+    let orig = samples.iter().find(|s| s.worker == 0).unwrap();
+    assert_eq!(rec.live, orig.live);
+    assert_eq!(rec.peak, orig.peak);
+}
