@@ -56,6 +56,16 @@ impl CyclopsProgram for CyclopsBfs {
             ctx.activate_neighbors(best);
         }
     }
+
+    fn priority(&self, msg: &u32) -> Option<f64> {
+        // The payload carries the sender's level and the receiver adopts
+        // level+1, so with bucket width 1.0 each hop ring is exactly one
+        // bucket: BFS rides the bucket scheduler like unit-weight SSSP,
+        // one barrier pair per ring instead of one per hop *per worker
+        // wave*. Only the bucketed loop consults this; classic runs are
+        // byte-identical with or without it.
+        Some(*msg as f64 + 1.0)
+    }
 }
 
 /// BSP BFS (push-mode flooding).
@@ -117,6 +127,38 @@ pub fn run_cyclops_bfs(
     )
 }
 
+/// Runs Cyclops BFS from `source` on the bucketed (hop-ring) scheduler:
+/// [`CyclopsBfs::priority`] maps each activation to its hop level, so a
+/// bucket of width 1.0 (`bucket_width` ≤ 0 resolves to it) drains exactly
+/// one BFS ring per barrier pair; wider buckets fuse that many rings
+/// behind one barrier. Levels are bitwise identical to
+/// [`run_cyclops_bfs`] at every width.
+pub fn run_cyclops_bfs_bucketed(
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    cluster: &ClusterSpec,
+    source: VertexId,
+    bucket_width: f64,
+    bucket_mode: cyclops_net::BucketMode,
+) -> CyclopsResult<u32, u32> {
+    run_cyclops(
+        &CyclopsBfs { source },
+        graph,
+        partition,
+        &CyclopsConfig {
+            cluster: *cluster,
+            max_supersteps: 1_000_000,
+            bucket_width: if bucket_width > 0.0 {
+                bucket_width
+            } else {
+                1.0
+            },
+            bucket_mode,
+            ..Default::default()
+        },
+    )
+}
+
 /// Runs BSP BFS from `source`.
 pub fn run_bsp_bfs(
     graph: &Graph,
@@ -169,6 +211,55 @@ mod tests {
         // Supersteps track the eccentricity of the source (+kickoff/drain).
         let max_level = *r.values.iter().filter(|&&l| l != UNREACHED).max().unwrap();
         assert!(r.supersteps as u32 >= max_level);
+    }
+
+    #[test]
+    fn bucketed_bfs_matches_classic_and_reference() {
+        use cyclops_net::BucketMode;
+        let g = erdos_renyi(400, 1200, 9);
+        let p = HashPartitioner.partition(&g, 4);
+        let cluster = ClusterSpec::flat(2, 2);
+        let classic = run_cyclops_bfs(&g, &p, &cluster, 0);
+        for mode in [BucketMode::Det, BucketMode::Fast] {
+            let bucketed = run_cyclops_bfs_bucketed(&g, &p, &cluster, 0, 0.0, mode);
+            assert_eq!(bucketed.values, classic.values, "{mode:?}");
+            assert_eq!(bucketed.values, reference::bfs_levels(&g, 0));
+            assert!(
+                bucketed.supersteps <= classic.supersteps,
+                "{mode:?}: one superstep per ring must not exceed classic \
+                 ({} vs {})",
+                bucketed.supersteps,
+                classic.supersteps
+            );
+        }
+    }
+
+    #[test]
+    fn bucketed_bfs_drains_one_ring_per_superstep_on_grid() {
+        use cyclops_net::BucketMode;
+        let g = road_lattice(15, 15, 1.0, 0.0, 1);
+        let p = HashPartitioner.partition(&g, 3);
+        let r = run_cyclops_bfs_bucketed(&g, &p, &ClusterSpec::flat(3, 1), 0, 0.0, BucketMode::Det);
+        assert_eq!(r.values, reference::bfs_levels(&g, 0));
+        let max_level = *r.values.iter().filter(|&&l| l != UNREACHED).max().unwrap() as usize;
+        // Kickoff + one settled bucket per ring (+ nothing else).
+        assert!(
+            r.supersteps <= max_level + 2,
+            "supersteps {} vs eccentricity {}",
+            r.supersteps,
+            max_level
+        );
+        // A wider bucket fuses that many rings behind one barrier: same
+        // levels, ~4x fewer supersteps.
+        let wide =
+            run_cyclops_bfs_bucketed(&g, &p, &ClusterSpec::flat(3, 1), 0, 4.0, BucketMode::Det);
+        assert_eq!(wide.values, r.values);
+        assert!(
+            wide.supersteps <= max_level / 4 + 3,
+            "width 4 fused {} supersteps vs eccentricity {}",
+            wide.supersteps,
+            max_level
+        );
     }
 
     #[test]

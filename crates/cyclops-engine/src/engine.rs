@@ -93,7 +93,7 @@ pub enum Sched {
 }
 
 /// Engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CyclopsConfig {
     /// Cluster topology; decides flat Cyclops vs CyclopsMT.
     pub cluster: ClusterSpec,
@@ -148,6 +148,26 @@ pub struct CyclopsConfig {
     /// memory change. Ignored by the `run_cyclops_with_plan*` entry points,
     /// which take a pre-built plan.
     pub replicate_threshold: u32,
+    /// Stop the run right after capturing a checkpoint (requires
+    /// `checkpoint_every`): every thread exits at the post-capture barrier,
+    /// before any superstep-`s` compute. The migration driver uses this to
+    /// carve a run into epochs — the run stopped at a checkpoint exactly
+    /// when `checkpoints.last().superstep == supersteps` (a naturally
+    /// finished run always has its last checkpoint strictly earlier).
+    pub stop_at_checkpoint: bool,
+    /// Deterministic per-vertex compute-cost ledger fed by the compute
+    /// loop: each computed master is charged its static work mass (the
+    /// same proxy the dynamic scheduler balances). `None` (the default)
+    /// records nothing. Counters, not clocks — the ledger's totals are
+    /// bitwise identical across thread counts.
+    pub load_ledger: Option<std::sync::Arc<cyclops_partition::LoadLedger>>,
+    /// Auto-retune the delta-stepping bucket width Δ from the live bucket
+    /// occupancy (`--bucket-width auto`): a bucket that drains far more
+    /// mass than the running average over many fused rounds halves Δ, a
+    /// near-empty one doubles it, clamped to `[Δ₀/16, 16·Δ₀]`. Decisions
+    /// read only deterministic counters, so `det`-mode traces stay stable
+    /// across thread counts; distances are unaffected at any width.
+    pub bucket_adapt: bool,
 }
 
 impl Default for CyclopsConfig {
@@ -164,6 +184,9 @@ impl Default for CyclopsConfig {
             bucket_width: 0.0,
             bucket_mode: BucketMode::Det,
             replicate_threshold: 0,
+            stop_at_checkpoint: false,
+            load_ledger: None,
+            bucket_adapt: false,
         }
     }
 }
@@ -767,6 +790,15 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                 );
             }
             ws.local.wait();
+            // Epoch boundary: `checkpoint_now` is a pure function of the
+            // superstep index, so every thread of every worker reaches this
+            // exact point and returns together — transports are drained,
+            // the frontier still holds superstep `s`'s activations (which
+            // the checkpoint captured), and `supersteps_done` already reads
+            // `s`. The migration driver resumes from the checkpoint.
+            if env.config.stop_at_checkpoint {
+                return;
+            }
         }
         times.add(Phase::Sync, wait_start.elapsed());
         // Snapshot the frontier: everything activated for this superstep by
@@ -863,6 +895,13 @@ fn thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
                         // proxy — the same estimate the dynamic scheduler
                         // balances on.
                         hs.record(wp.masters[li], wp.work_mass[li].max(1) as u64);
+                    }
+                    if let Some(ledger) = &env.config.load_ledger {
+                        // Same cost proxy as the hot sketch; relaxed integer
+                        // adds commute, so the ledger — and every migration
+                        // decision read from it — is independent of thread
+                        // count and chunk claim order.
+                        ledger.record(wp.masters[li], wp.work_mass[li].max(1) as u64);
                     }
                     let mut publish: Option<P::Message> = None;
                     let mut reported: Option<f64> = None;
@@ -1371,6 +1410,16 @@ struct BucketSched<M> {
     updated: Vec<u32>,
     /// Index of the bucket the current superstep drains.
     bucket: u64,
+    /// Live bucket width. Seeded from `config.bucket_width`; when
+    /// `config.bucket_adapt` is set it is retuned at bucket advances from
+    /// the occupancy history (see [`retune_delta`]).
+    delta: f64,
+    /// The seed width — anchor of the adaptation clamp.
+    delta0: f64,
+    /// Running sum of per-superstep bucket occupancy (all workers).
+    occ_sum: u64,
+    /// Number of supersteps folded into `occ_sum`.
+    occ_count: u64,
     /// Transport epoch of the next fused round. Independent of the
     /// superstep index: every round is its own send/drain parity cycle.
     epoch: usize,
@@ -1381,7 +1430,7 @@ struct BucketSched<M> {
 }
 
 impl<M> BucketSched<M> {
-    fn new<V>(shared: &[WorkerShared<V, M>], start_parity: usize) -> Self {
+    fn new<V>(shared: &[WorkerShared<V, M>], start_parity: usize, delta: f64) -> Self {
         let num_workers = shared.len();
         let mut s = BucketSched {
             pending: (0..num_workers).map(|_| Vec::new()).collect(),
@@ -1407,6 +1456,10 @@ impl<M> BucketSched<M> {
             direct_outboxes: (0..num_workers).map(|_| Vec::new()).collect(),
             updated: Vec::new(),
             bucket: 0,
+            delta,
+            delta0: delta,
+            occ_sum: 0,
+            occ_count: 0,
             epoch: 0,
             rounds_total: 0,
         };
@@ -1464,7 +1517,8 @@ impl<M> BucketSched<M> {
 /// happens on the global leader between them.
 fn bucketed_thread_loop<P: CyclopsProgram>(env: ThreadEnv<'_, P>) {
     let is_leader = env.w == 0 && env.t == 0;
-    let mut sched = is_leader.then(|| BucketSched::new(env.shared, env.start_superstep & 1));
+    let mut sched = is_leader
+        .then(|| BucketSched::new(env.shared, env.start_superstep & 1, env.config.bucket_width));
     let flight = cyclops_obs::flight().map(|fr| fr.ring(env.w as u32, env.t as u32));
     // Worker-slot tag for the tracking allocator (see `thread_loop`).
     let _mem_tag = cyclops_obs::mem::MemScope::worker(env.w);
@@ -1496,7 +1550,7 @@ fn settle_bucket<P: CyclopsProgram>(
     let settle_start = Instant::now();
     let num_workers = env.plan.workers.len();
     let hybrid = env.plan.workers.iter().any(|p| p.num_direct_slots() > 0);
-    let delta = env.config.bucket_width;
+    let delta = sched.delta;
     let fast_mode = env.config.bucket_mode == BucketMode::Fast;
     let bucket = sched.bucket;
     let end_key = okey((bucket + 1) as f64 * delta);
@@ -1915,6 +1969,24 @@ fn settle_bucket<P: CyclopsProgram>(
     let capped = superstep + 1 >= env.config.max_supersteps || budget_exhausted;
     let stop = drained_all || converged_enough || capped;
     if !stop {
+        // Feed the live occupancy histogram into the width controller.
+        // Counters, never clocks: the same run retunes identically on any
+        // machine or thread count, keeping `det` mode trace-stable.
+        let total_occ: u64 = occupancy.iter().sum();
+        sched.occ_sum += total_occ;
+        sched.occ_count += 1;
+        let new_delta = if env.config.bucket_adapt {
+            retune_delta(
+                sched.delta,
+                sched.delta0,
+                total_occ,
+                rounds,
+                sched.occ_sum,
+                sched.occ_count,
+            )
+        } else {
+            sched.delta
+        };
         // Jump straight to the bucket holding the smallest parked priority
         // (parked keys are all >= end_key, so this always advances).
         let mut min_key = u64::MAX;
@@ -1925,15 +1997,62 @@ fn settle_bucket<P: CyclopsProgram>(
         }
         if min_key != u64::MAX {
             let p = okey_inv(min_key);
-            let nb = if p.is_finite() && p >= 0.0 {
-                (p / delta) as u64
+            if new_delta != sched.delta {
+                // Bucket indices are in units of the width; after a retune
+                // re-derive the index containing the smallest parked
+                // priority directly (the monotonic guard below compares
+                // old-unit indices and would be meaningless). Progress is
+                // still guaranteed: the next end key strictly exceeds the
+                // smallest parked priority, so every superstep selects at
+                // least one vertex.
+                sched.delta = new_delta;
+                sched.bucket = if p.is_finite() && p >= 0.0 {
+                    (p / new_delta) as u64
+                } else {
+                    sched.bucket + 1
+                };
             } else {
-                sched.bucket + 1
-            };
-            sched.bucket = nb.max(sched.bucket + 1);
+                let nb = if p.is_finite() && p >= 0.0 {
+                    (p / delta) as u64
+                } else {
+                    sched.bucket + 1
+                };
+                sched.bucket = nb.max(sched.bucket + 1);
+            }
         }
     }
     env.stop.store(stop, Ordering::Release);
+}
+
+/// Deterministic bucket-width controller for `--bucket-width auto` runs:
+/// replaces the static 8x-mean-edge-weight rule with feedback from the live
+/// bucket-occupancy histogram. A bucket far fatter than the running mean
+/// that also needed many fused rounds halves the width (too much in-bucket
+/// re-relaxation); a bucket far thinner doubles it (too many near-empty
+/// barrier rounds). Inputs are pure counters — never wall-clock — so any
+/// topology and thread count makes the identical decision, and the result
+/// is clamped to [`delta0`/16, 16*`delta0`] so one skewed bucket cannot run
+/// the width away.
+fn retune_delta(
+    delta: f64,
+    delta0: f64,
+    occ: u64,
+    rounds: u64,
+    occ_sum: u64,
+    occ_count: u64,
+) -> f64 {
+    if occ_count < 2 {
+        return delta; // No history yet: the first bucket is its own mean.
+    }
+    let avg = occ_sum / occ_count;
+    let wanted = if occ > 4 * avg && rounds > 4 {
+        delta / 2.0
+    } else if occ * 4 < avg {
+        delta * 2.0
+    } else {
+        delta
+    };
+    wanted.clamp(delta0 / 16.0, delta0 * 16.0)
 }
 
 #[cfg(test)]
@@ -2079,7 +2198,7 @@ mod tests {
         for threshold in [2u32, 8, u32::MAX] {
             let hybrid = run_mindist(&CyclopsConfig {
                 replicate_threshold: threshold,
-                ..base
+                ..base.clone()
             });
             assert_eq!(full.values, hybrid.values, "threshold {threshold}");
         }
@@ -2393,7 +2512,7 @@ mod tests {
             let bucketed = run_mindist(&CyclopsConfig {
                 bucket_width: 2.0,
                 bucket_mode: mode,
-                ..base
+                ..base.clone()
             });
             // Relaxation order never changes the min fixpoint (and each
             // candidate is the same left-folded path sum), so distances are
@@ -2421,6 +2540,82 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(flat.values, mt.values);
+    }
+
+    #[test]
+    fn retune_delta_is_bounded_and_direction_correct() {
+        // No history: first bucket is its own mean, width untouched.
+        assert_eq!(retune_delta(4.0, 4.0, 100, 10, 100, 1), 4.0);
+        // Fat bucket with many fused rounds halves (avg = 80/4 = 20).
+        assert_eq!(retune_delta(4.0, 4.0, 100, 10, 80, 4), 2.0);
+        // Fat bucket that settled in few rounds is left alone (the width is
+        // not the bottleneck — the frontier just happened to be wide).
+        assert_eq!(retune_delta(4.0, 4.0, 100, 2, 80, 4), 4.0);
+        // Thin bucket doubles.
+        assert_eq!(retune_delta(4.0, 4.0, 1, 1, 80, 4), 8.0);
+        // Ordinary bucket: unchanged.
+        assert_eq!(retune_delta(4.0, 4.0, 20, 3, 80, 4), 4.0);
+        // Clamp: never below delta0/16 or above 16*delta0.
+        assert_eq!(retune_delta(4.0 / 16.0, 4.0, 100, 10, 80, 4), 4.0 / 16.0);
+        assert_eq!(retune_delta(64.0, 4.0, 1, 1, 800, 4), 64.0);
+        // All-idle history never divides by zero or drifts.
+        assert_eq!(retune_delta(4.0, 4.0, 0, 0, 0, 3), 4.0);
+    }
+
+    #[test]
+    fn adaptive_bucketed_sssp_matches_classic_bitwise() {
+        let base = CyclopsConfig {
+            cluster: ClusterSpec::flat(4, 1),
+            ..Default::default()
+        };
+        let classic = run_mindist(&base);
+        for mode in [BucketMode::Det, BucketMode::Fast] {
+            // A deliberately thin seed: the controller must widen it while
+            // the fixpoint (and thus every distance bit) stays put.
+            let adaptive = run_mindist(&CyclopsConfig {
+                bucket_width: 0.25,
+                bucket_mode: mode,
+                bucket_adapt: true,
+                ..base.clone()
+            });
+            assert_eq!(classic.values, adaptive.values, "{mode:?}");
+            let static_width = run_mindist(&CyclopsConfig {
+                bucket_width: 0.25,
+                bucket_mode: mode,
+                ..base.clone()
+            });
+            assert_eq!(classic.values, static_width.values, "{mode:?}");
+            assert!(
+                adaptive.supersteps < static_width.supersteps,
+                "{mode:?}: widening must cut barrier rounds \
+                 (adaptive {} vs static {})",
+                adaptive.supersteps,
+                static_width.supersteps
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_bucketed_runs_agree_across_cluster_shapes() {
+        let flat = run_mindist(&CyclopsConfig {
+            cluster: ClusterSpec::flat(4, 1),
+            bucket_width: 0.5,
+            bucket_adapt: true,
+            ..Default::default()
+        });
+        let mt = run_mindist(&CyclopsConfig {
+            cluster: ClusterSpec::mt(2, 3, 2),
+            bucket_width: 0.5,
+            bucket_adapt: true,
+            ..Default::default()
+        });
+        assert_eq!(flat.values, mt.values);
+        // The controller is counter-driven, so even the superstep *count*
+        // (one per settled bucket) is topology-independent... within the
+        // same worker count it is identical by construction; across worker
+        // counts occupancy sums match because occupancy counts vertices,
+        // not per-worker shares.
+        assert_eq!(flat.supersteps, mt.supersteps);
     }
 
     #[test]

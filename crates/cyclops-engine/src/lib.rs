@@ -39,6 +39,7 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod frontier;
+pub mod migrate;
 pub mod mutation;
 pub mod plan;
 pub mod program;
@@ -49,6 +50,10 @@ pub use engine::{
     run_cyclops_with_plan_traced, Convergence, CyclopsConfig, CyclopsResult, Sched,
 };
 pub use frontier::ShardedFrontier;
+pub use migrate::{
+    apply_migration, run_cyclops_migrated, run_cyclops_migrated_traced, MigrationEvent,
+    MigrationReport,
+};
 pub use mutation::{
     apply_mutations, run_cyclops_evolving, EvolvingResult, MutationBatch, WarmStart,
 };

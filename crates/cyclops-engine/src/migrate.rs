@@ -1,0 +1,615 @@
+//! Runtime hot-vertex migration: profiler-driven dynamic load balancing.
+//!
+//! Static edge-cut partitions fix master placement at load time, so compute
+//! skew the profiler observes can never be repaired mid-run. This module
+//! closes the loop from observation to action: the engine accumulates
+//! deterministic per-vertex cost counters into a
+//! [`cyclops_partition::LoadLedger`] while it runs, the run is carved into
+//! *epochs* at checkpoint boundaries (the engines' existing value-only
+//! checkpoints, §3.6), and between epochs a
+//! [`cyclops_partition::MigrationPlanner`] moves hot masters off the
+//! straggler worker. The plan is rewired **incrementally** — only the
+//! workers whose tables a move actually touches are rebuilt — and the moved
+//! vertices' state crosses the simulated wire in a dedicated
+//! `MigrationBatch` framing so the transfer cost is accounted like any
+//! other traffic.
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Determinism** — every migration decision is a pure function of
+//!   integer work-mass counters (never wall-clock), so the same inputs
+//!   migrate the same vertices at every thread count, and algorithm
+//!   results stay bitwise identical to a migration-off run.
+//! * **Structural equality** — [`apply_migration`] must leave the plan
+//!   exactly equal to a from-scratch
+//!   [`CyclopsPlan::build_parallel_with_threshold`] for the new
+//!   assignment; a proptest pins every field.
+
+use crate::checkpoint::CyclopsCheckpoint;
+use crate::engine::{run_cyclops_with_plan_traced, CyclopsConfig, CyclopsResult};
+use crate::plan::{
+    classify_cold, direct_keys, wire_in_refs, wire_out, wire_rep_out, CyclopsPlan, DirectKey,
+};
+use crate::program::CyclopsProgram;
+use bytes::BytesMut;
+use cyclops_graph::{Graph, VertexId};
+use cyclops_net::codec::{encode_migration_batch, try_decode_migration_batch, MigrationRecord};
+use cyclops_net::TraceSink;
+use cyclops_partition::{
+    compute_imbalance, EdgeCutPartition, LoadLedger, MigrationBatch, MigrationConfig,
+    MigrationPlanner,
+};
+use std::sync::Arc;
+
+/// Applies a [`MigrationBatch`] to a plan in place, producing exactly the
+/// plan a from-scratch build would produce for the post-move assignment.
+///
+/// The rewrite is incremental: a move of `v` from worker `f` to worker `t`
+/// can only change the tables of `f`, `t`, the owners of `v`'s in-neighbors
+/// (their sender-side fan-out points at `v`'s replica/slot/local index),
+/// and the owners of `v`'s out-neighbors (they hold `v`'s replica or direct
+/// slots, and own the targets of `v`'s direct keys). Those workers get a
+/// full per-worker rebuild — identical code path to the builders, so
+/// equality holds by construction. Every *other* worker keeps its masters,
+/// replicas, in-edge references, and work mass verbatim; only workers whose
+/// mirror / direct destinations point *into* the affected set re-resolve
+/// their sender-side tables (replica and slot indices there may have
+/// shifted).
+///
+/// Cold/hot classification can flip only for vertices whose entire remote
+/// readership lies inside `{f, t}` (a boundary edge appearing or
+/// disappearing), and every such vertex's owner and readers are already in
+/// the affected set — so the global `classify_cold` rescan feeds only
+/// affected-worker rebuilds.
+pub fn apply_migration(
+    plan: &mut CyclopsPlan,
+    graph: &Graph,
+    batch: &MigrationBatch,
+    threshold: u32,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let k = plan.workers.len();
+    let CyclopsPlan {
+        workers,
+        owner,
+        local_of,
+        ingress,
+    } = plan;
+
+    // 1. Ownership transfer.
+    for mv in &batch.moves {
+        assert_eq!(
+            owner[mv.vertex as usize], mv.from,
+            "move source must own the vertex"
+        );
+        assert!((mv.to as usize) < k, "destination worker out of range");
+        owner[mv.vertex as usize] = mv.to;
+    }
+
+    // 2. The affected worker set (under the new owner map; `from` and `to`
+    //    are added explicitly so the old owner rebuilds too).
+    let mut affected = vec![false; k];
+    let mut remaster = vec![false; k];
+    for mv in &batch.moves {
+        affected[mv.from as usize] = true;
+        affected[mv.to as usize] = true;
+        remaster[mv.from as usize] = true;
+        remaster[mv.to as usize] = true;
+        for &u in graph.in_neighbors(mv.vertex) {
+            affected[owner[u as usize] as usize] = true;
+        }
+        for &x in graph.out_neighbors(mv.vertex) {
+            affected[owner[x as usize] as usize] = true;
+        }
+    }
+
+    // 3. Master lists and local indices of the movers' endpoints, rebuilt
+    //    in ascending vertex order exactly like the builders' LD pass.
+    for (w, wp) in workers.iter_mut().enumerate() {
+        if !remaster[w] {
+            continue;
+        }
+        wp.masters = graph
+            .vertices()
+            .filter(|&v| owner[v as usize] as usize == w)
+            .collect();
+        for (li, &m) in wp.masters.iter().enumerate() {
+            local_of[m as usize] = li as u32;
+        }
+    }
+
+    // 4. Global cold classification and direct-slot key tables for the new
+    //    assignment (cheap O(V + E) scans, same as at build time).
+    let (cold, replicated_boundary, messaged_boundary) = classify_cold(graph, owner, threshold);
+    let key_lists: Vec<Vec<DirectKey>> = workers
+        .iter()
+        .enumerate()
+        .map(|(w, wp)| direct_keys(graph, owner, w, &wp.masters, &cold))
+        .collect();
+
+    // 5. Phase A for affected workers: replica discovery, in-edge
+    //    references, direct-slot tables — the builders' recipe verbatim.
+    for (w, wp) in workers.iter_mut().enumerate() {
+        if !affected[w] {
+            continue;
+        }
+        let mut reps: Vec<VertexId> = Vec::new();
+        for &v in &wp.masters {
+            for &u in graph.in_neighbors(v) {
+                if owner[u as usize] as usize != w && !cold[u as usize] {
+                    reps.push(u);
+                }
+            }
+        }
+        reps.sort_unstable();
+        reps.dedup();
+        wp.replicas = reps;
+        let (offsets, refs, weights) = wire_in_refs(
+            graph,
+            owner,
+            local_of,
+            w,
+            &wp.masters,
+            &wp.replicas,
+            &key_lists[w],
+            &cold,
+        );
+        wp.in_ref_offsets = offsets;
+        wp.in_refs = refs;
+        wp.in_weights = weights;
+        wp.direct_source = key_lists[w].iter().map(|key| key.1).collect();
+        wp.direct_target = key_lists[w].iter().map(|key| key.2).collect();
+    }
+
+    // 6. Phase B: sender-side wiring. Affected workers rebuild everything;
+    //    an unaffected worker re-resolves its mirror / direct destinations
+    //    only when they point into the affected set (replica and slot
+    //    indices there shifted), and its replica fan-out and counts are
+    //    untouched either way.
+    let replica_lists: Vec<Vec<VertexId>> = workers.iter().map(|wp| wp.replicas.clone()).collect();
+    for (w, wp) in workers.iter_mut().enumerate() {
+        let targets_affected = || {
+            wp.mirrors.iter().any(|&(t, _)| affected[t as usize])
+                || wp.direct_out.iter().any(|&(t, _)| affected[t as usize])
+        };
+        if !affected[w] && !targets_affected() {
+            continue;
+        }
+        let (lo_off, lo, mir_off, mir, d_off, d_out) = wire_out(
+            graph,
+            owner,
+            local_of,
+            w,
+            &wp.masters,
+            &cold,
+            &replica_lists,
+            &key_lists,
+        );
+        wp.local_out_offsets = lo_off;
+        wp.local_out = lo;
+        wp.mirror_offsets = mir_off;
+        wp.mirrors = mir;
+        wp.direct_out_offsets = d_off;
+        wp.direct_out = d_out;
+        if affected[w] {
+            let (ro_off, ro) = wire_rep_out(graph, owner, local_of, w, &wp.replicas);
+            wp.rep_out_offsets = ro_off;
+            wp.rep_out = ro;
+        }
+        wp.compute_work_mass();
+    }
+
+    // 7. Ingress size stats describe the *current* view; timings keep the
+    //    original build's values.
+    ingress.total_replicas = workers.iter().map(|wp| wp.replicas.len()).sum();
+    ingress.replicated_boundary = replicated_boundary;
+    ingress.messaged_boundary = messaged_boundary;
+    ingress.total_direct_slots = workers.iter().map(|wp| wp.num_direct_slots()).sum();
+
+    plan.attribute_memory();
+}
+
+/// What one migration epoch boundary did: sizes for observability and the
+/// before/after compute-imbalance the decision was based on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigrationEvent {
+    /// Superstep of the epoch boundary.
+    pub superstep: usize,
+    /// Vertices moved (0 when the planner stood pat).
+    pub moves: usize,
+    /// Wire bytes of the `MigrationBatch` frame (0 when no moves).
+    pub bytes: usize,
+    /// Max/mean per-worker compute load before the move, from the ledger.
+    pub imbalance_before: f64,
+    /// The same ratio after re-attributing the ledger to the new owners.
+    pub imbalance_after: f64,
+}
+
+/// Summary of a [`run_cyclops_migrated`] run's migration activity.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MigrationReport {
+    /// Engine epochs executed (boundaries + 1).
+    pub epochs: usize,
+    /// Total vertices migrated.
+    pub migrations_total: usize,
+    /// Total wire bytes of migration batches.
+    pub migrated_bytes: usize,
+    /// One entry per epoch boundary, in superstep order.
+    pub events: Vec<MigrationEvent>,
+}
+
+impl MigrationReport {
+    /// Imbalance before the first move and after the last, when any
+    /// boundary moved vertices.
+    pub fn imbalance_span(&self) -> Option<(f64, f64)> {
+        let moved: Vec<&MigrationEvent> = self.events.iter().filter(|e| e.moves > 0).collect();
+        Some((
+            moved.first()?.imbalance_before,
+            moved.last()?.imbalance_after,
+        ))
+    }
+}
+
+/// [`run_cyclops_migrated_traced`] without a trace sink.
+pub fn run_cyclops_migrated<P: CyclopsProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &CyclopsConfig,
+    every: usize,
+    migration: MigrationConfig,
+) -> (CyclopsResult<P::Value, P::Message>, MigrationReport) {
+    run_cyclops_migrated_traced(program, graph, partition, config, every, migration, None)
+}
+
+/// Runs `program` with dynamic vertex migration every `every` supersteps:
+/// the run is carved into epochs by stop-at-checkpoint boundaries, and at
+/// each boundary the planner may move hot masters off the most loaded
+/// worker before the run resumes warm from the checkpoint.
+///
+/// Results are bitwise identical to a plain run: the checkpoint carries
+/// every master's value, publication, and activation across the boundary,
+/// and moved vertices' state additionally round-trips through the
+/// `MigrationBatch` wire framing (honest byte accounting — the decoded
+/// records, not the originals, patch the resume state).
+///
+/// Restrictions: `config.checkpoint_every` / `stop_at_checkpoint` /
+/// `load_ledger` are driver-owned (any caller-set values are overridden),
+/// and programs with a global aggregate should not use migration — the
+/// per-worker float reduction grouping changes with ownership.
+pub fn run_cyclops_migrated_traced<P: CyclopsProgram>(
+    program: &P,
+    graph: &Graph,
+    partition: &EdgeCutPartition,
+    config: &CyclopsConfig,
+    every: usize,
+    migration: MigrationConfig,
+    trace: Option<&TraceSink>,
+) -> (CyclopsResult<P::Value, P::Message>, MigrationReport) {
+    assert!(every > 0, "migration epoch length must be positive");
+    let mut plan =
+        CyclopsPlan::build_parallel_with_threshold(graph, partition, config.replicate_threshold);
+    let ledger = Arc::new(LoadLedger::new(graph.num_vertices()));
+    let mut cfg = config.clone();
+    cfg.checkpoint_every = Some(every);
+    cfg.stop_at_checkpoint = true;
+    cfg.load_ledger = Some(ledger.clone());
+    let num_workers = cfg.cluster.num_workers();
+    let planner = MigrationPlanner::new(migration);
+    let state_bytes = std::mem::size_of::<P::Value>() as u32;
+
+    let mut report = MigrationReport::default();
+    let mut merged: Option<CyclopsResult<P::Value, P::Message>> = None;
+    let mut resume: Option<CyclopsCheckpoint<P::Value, P::Message>> = None;
+    loop {
+        let mut result =
+            run_cyclops_with_plan_traced(program, graph, &plan, &cfg, resume.as_ref(), trace);
+        report.epochs += 1;
+        // A run stopped at a checkpoint exactly when its last checkpoint
+        // sits at the final superstep; a natural finish is always strictly
+        // past its last capture.
+        let stopped = result
+            .checkpoints
+            .last()
+            .is_some_and(|cp| cp.superstep == result.supersteps);
+        let boundary = if stopped {
+            result.checkpoints.pop()
+        } else {
+            None
+        };
+        merged = Some(match merged.take() {
+            None => result,
+            Some(mut acc) => {
+                acc.stats.extend(result.stats);
+                acc.counters = acc.counters.merge(&result.counters);
+                acc.direct_messages += result.direct_messages;
+                acc.direct_bytes += result.direct_bytes;
+                acc.elapsed += result.elapsed;
+                acc.barrier_protocol_messages += result.barrier_protocol_messages;
+                acc.values = result.values;
+                acc.publications = result.publications;
+                acc.supersteps = result.supersteps;
+                acc.replication_factor = result.replication_factor;
+                acc.checkpoints = result.checkpoints;
+                acc
+            }
+        });
+        let Some(mut cp) = boundary else { break };
+
+        // Plan the boundary from the deterministic counters.
+        let totals = ledger.worker_totals(&plan.owner, num_workers);
+        let imbalance_before = compute_imbalance(&totals);
+        let batch = planner.plan(&ledger, &plan.owner, num_workers);
+        let mut event = MigrationEvent {
+            superstep: cp.superstep,
+            moves: batch.len(),
+            bytes: 0,
+            imbalance_before,
+            imbalance_after: imbalance_before,
+        };
+        if !batch.is_empty() {
+            // Ship the moved masters' in-flight state over the wire: the
+            // decoded records (not the originals) patch the checkpoint, so
+            // the resume genuinely consumed what crossed the network.
+            let move_of: std::collections::HashMap<VertexId, usize> = batch
+                .moves
+                .iter()
+                .enumerate()
+                .map(|(i, mv)| (mv.vertex, i))
+                .collect();
+            let mut slots: Vec<Option<usize>> = vec![None; batch.moves.len()];
+            let mut records: Vec<MigrationRecord<P::Message>> =
+                Vec::with_capacity(batch.moves.len());
+            for (ci, (v, _, publication, active)) in cp.vertices.iter().enumerate() {
+                if let Some(&i) = move_of.get(v) {
+                    slots[i] = Some(ci);
+                    records.push(MigrationRecord {
+                        vertex: *v,
+                        from: batch.moves[i].from,
+                        to: batch.moves[i].to,
+                        active: *active,
+                        publication: publication.clone(),
+                        state_bytes,
+                    });
+                }
+            }
+            let mut buf = BytesMut::new();
+            encode_migration_batch(&mut buf, &records);
+            event.bytes = buf.len();
+            let decoded = try_decode_migration_batch::<P::Message>(&mut &buf[..])
+                .expect("migration batch round-trips");
+            for rec in &decoded {
+                let i = move_of[&rec.vertex];
+                let ci = slots[i].expect("moved vertex present in checkpoint");
+                cp.vertices[ci].2 = rec.publication.clone();
+                cp.vertices[ci].3 = rec.active;
+            }
+            apply_migration(&mut plan, graph, &batch, cfg.replicate_threshold);
+            event.imbalance_after =
+                compute_imbalance(&ledger.worker_totals(&plan.owner, num_workers));
+            if let Some(sink) = trace {
+                for mv in &batch.moves {
+                    sink.worker(mv.to as usize).add_migrated(1);
+                }
+            }
+            report.migrations_total += batch.len();
+            report.migrated_bytes += event.bytes;
+        }
+        report.events.push(event);
+        ledger.reset();
+        resume = Some(cp);
+    }
+    (merged.expect("at least one epoch ran"), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_cyclops, Sched};
+    use crate::program::{CyclopsContext, CyclopsProgram};
+    use cyclops_graph::GraphBuilder;
+    use cyclops_net::ClusterSpec;
+    use cyclops_partition::{EdgeCutPartitioner, HashPartitioner, VertexMove};
+
+    /// Asserts two plans are field-identical (the contract
+    /// `apply_migration` promises against a from-scratch build).
+    pub(crate) fn assert_plans_equal(a: &CyclopsPlan, b: &CyclopsPlan) {
+        assert_eq!(a.owner, b.owner);
+        assert_eq!(a.local_of, b.local_of);
+        assert_eq!(a.ingress.total_replicas, b.ingress.total_replicas);
+        assert_eq!(a.ingress.replicated_boundary, b.ingress.replicated_boundary);
+        assert_eq!(a.ingress.messaged_boundary, b.ingress.messaged_boundary);
+        assert_eq!(a.ingress.total_direct_slots, b.ingress.total_direct_slots);
+        for (x, y) in a.workers.iter().zip(&b.workers) {
+            assert_eq!(x.masters, y.masters);
+            assert_eq!(x.replicas, y.replicas);
+            assert_eq!(x.in_ref_offsets, y.in_ref_offsets);
+            assert_eq!(x.in_refs, y.in_refs);
+            assert_eq!(x.in_weights, y.in_weights);
+            assert_eq!(x.local_out_offsets, y.local_out_offsets);
+            assert_eq!(x.local_out, y.local_out);
+            assert_eq!(x.mirror_offsets, y.mirror_offsets);
+            assert_eq!(x.mirrors, y.mirrors);
+            assert_eq!(x.rep_out_offsets, y.rep_out_offsets);
+            assert_eq!(x.rep_out, y.rep_out);
+            assert_eq!(x.direct_source, y.direct_source);
+            assert_eq!(x.direct_target, y.direct_target);
+            assert_eq!(x.direct_out_offsets, y.direct_out_offsets);
+            assert_eq!(x.direct_out, y.direct_out);
+            assert_eq!(x.work_mass, y.work_mass);
+            assert_eq!(x.work_mass_prefix, y.work_mass_prefix);
+        }
+    }
+
+    fn batch(moves: &[(VertexId, u32, u32)]) -> MigrationBatch {
+        MigrationBatch {
+            moves: moves
+                .iter()
+                .map(|&(vertex, from, to)| VertexMove {
+                    vertex,
+                    from,
+                    to,
+                    cost: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn rewired_plan_matches_from_scratch_build() {
+        use cyclops_graph::gen::{erdos_renyi, rmat, RmatConfig};
+        let graphs = [
+            erdos_renyi(120, 700, 11),
+            rmat(
+                RmatConfig {
+                    scale: 7,
+                    edges: 900,
+                    ..Default::default()
+                },
+                3,
+            ),
+        ];
+        for g in &graphs {
+            let k = 4;
+            let p = HashPartitioner.partition(g, k);
+            for threshold in [0u32, 3, u32::MAX] {
+                let mut plan = CyclopsPlan::build_parallel_with_threshold(g, &p, threshold);
+                // Two rounds of moves, chained: the second applies on top of
+                // an already-rewired plan.
+                for round in 0..2 {
+                    let wanted: Vec<(VertexId, u32, u32)> = if round == 0 {
+                        vec![(5, plan.owner[5], (plan.owner[5] + 1) % k as u32)]
+                    } else {
+                        vec![(9, plan.owner[9], 0), (30, plan.owner[30], 2)]
+                    };
+                    let moves: Vec<(VertexId, u32, u32)> = wanted
+                        .into_iter()
+                        .filter(|&(_, from, to)| from != to)
+                        .collect();
+                    if moves.is_empty() {
+                        continue;
+                    }
+                    let b = batch(&moves);
+                    apply_migration(&mut plan, g, &b, threshold);
+                    let fresh = CyclopsPlan::build_parallel_with_threshold(
+                        g,
+                        &EdgeCutPartition::new(k, plan.owner.clone()),
+                        threshold,
+                    );
+                    assert_plans_equal(&plan, &fresh);
+                }
+            }
+        }
+    }
+
+    /// Pull-mode max propagation: integer-valued, aggregate-free, runs for
+    /// about `diameter` supersteps — plenty of epoch boundaries to migrate
+    /// across.
+    struct MaxPull;
+    impl CyclopsProgram for MaxPull {
+        type Value = u32;
+        type Message = u32;
+        fn init(&self, v: VertexId, g: &Graph) -> u32 {
+            // Decreasing along vertex ids, so on a path 0 -> 1 -> ... the
+            // head's value sweeps forward one vertex per superstep.
+            (g.num_vertices() as u32 - v) * 10
+        }
+        fn init_message(&self, _v: VertexId, _g: &Graph, value: &u32) -> Option<u32> {
+            Some(*value)
+        }
+        fn compute(&self, ctx: &mut CyclopsContext<'_, u32, u32>) {
+            let mut best = *ctx.value();
+            for (m, _) in ctx.in_messages() {
+                best = best.max(*m);
+            }
+            if best > *ctx.value() {
+                ctx.set_value(best);
+                ctx.activate_neighbors(best);
+            }
+        }
+    }
+
+    fn long_path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as VertexId, (i + 1) as VertexId);
+        }
+        b.build()
+    }
+
+    /// A deliberately unbalanced assignment: the first `1/k` of the
+    /// vertices spread round-robin, the rest all on worker 0.
+    fn skewed_partition(n: usize, k: usize) -> EdgeCutPartition {
+        let assignment = (0..n)
+            .map(|v| if v < n / k { (v % k) as u32 } else { 0 })
+            .collect();
+        EdgeCutPartition::new(k, assignment)
+    }
+
+    #[test]
+    fn migrated_run_matches_plain_run_bitwise() {
+        let g = long_path(96);
+        let partition = skewed_partition(96, 3);
+        for cluster in [ClusterSpec::flat(3, 1), ClusterSpec::mt(3, 2, 1)] {
+            let config = CyclopsConfig {
+                cluster,
+                sched: Sched::Dynamic,
+                ..Default::default()
+            };
+            let plain = run_cyclops(&MaxPull, &g, &partition, &config);
+            let (migrated, report) = run_cyclops_migrated(
+                &MaxPull,
+                &g,
+                &partition,
+                &config,
+                8,
+                MigrationConfig::default(),
+            );
+            assert!(
+                report.migrations_total > 0,
+                "the skewed assignment must trigger migration"
+            );
+            assert!(report.migrated_bytes > 0);
+            assert!(report.epochs > 1);
+            assert_eq!(migrated.values, plain.values);
+            assert_eq!(migrated.publications, plain.publications);
+            assert_eq!(migrated.supersteps, plain.supersteps);
+            assert!(migrated.checkpoints.is_empty());
+            // Epoch stats concatenate contiguously over the supersteps.
+            for (i, s) in migrated.stats.iter().enumerate() {
+                assert_eq!(s.superstep, i);
+            }
+            assert_eq!(migrated.stats.len(), plain.stats.len());
+            // The planner should have actually improved the measured skew.
+            let (before, after) = report.imbalance_span().unwrap();
+            assert!(
+                after < before,
+                "imbalance must drop: before {before}, after {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_run_migrates_nothing_and_still_matches() {
+        let g = long_path(40);
+        let partition = HashPartitioner.partition(&g, 4);
+        let config = CyclopsConfig {
+            cluster: ClusterSpec::flat(4, 1),
+            ..Default::default()
+        };
+        let plain = run_cyclops(&MaxPull, &g, &partition, &config);
+        let (migrated, report) = run_cyclops_migrated(
+            &MaxPull,
+            &g,
+            &partition,
+            &config,
+            16,
+            MigrationConfig::default(),
+        );
+        assert_eq!(report.migrations_total, 0);
+        assert_eq!(migrated.values, plain.values);
+        assert_eq!(migrated.supersteps, plain.supersteps);
+    }
+}

@@ -161,7 +161,7 @@ impl WorkerPlan {
     /// Fills `work_mass` / `work_mass_prefix` from the already-built CSRs.
     /// Shared by both builders so the serial and parallel plans stay
     /// field-identical by construction.
-    fn compute_work_mass(&mut self) {
+    pub(crate) fn compute_work_mass(&mut self) {
         let n = self.num_masters();
         let mut mass = Vec::with_capacity(n);
         let mut prefix = Vec::with_capacity(n + 1);
@@ -323,13 +323,17 @@ pub struct CyclopsPlan {
 /// receiver derive the same key independently from their own edge lists, so
 /// the sorted key table plays the role the shared replica index plays for
 /// hot vertices.
-type DirectKey = (u32, VertexId, u32, u32);
+pub(crate) type DirectKey = (u32, VertexId, u32, u32);
 
 /// Cold flags plus `(replicated, messaged)` boundary-vertex counts at
 /// `threshold`: a vertex is cold when it has a cross-worker out-edge and
 /// its combined (in + out) degree is below the threshold. Threshold 0 marks
 /// nothing cold — full replication.
-fn classify_cold(graph: &Graph, owner: &[u32], threshold: u32) -> (Vec<bool>, usize, usize) {
+pub(crate) fn classify_cold(
+    graph: &Graph,
+    owner: &[u32],
+    threshold: u32,
+) -> (Vec<bool>, usize, usize) {
     let mut cold = vec![false; graph.num_vertices()];
     let (mut replicated, mut messaged) = (0usize, 0usize);
     for u in graph.vertices() {
@@ -353,7 +357,7 @@ fn classify_cold(graph: &Graph, owner: &[u32], threshold: u32) -> (Vec<bool>, us
 
 /// Worker `w`'s sorted direct-slot key table: one key per cross-worker
 /// in-edge from a cold vertex, discovered from the receiver's in-edge lists.
-fn direct_keys(
+pub(crate) fn direct_keys(
     graph: &Graph,
     owner: &[u32],
     w: usize,
@@ -381,7 +385,7 @@ fn direct_keys(
 /// direct-slot key table. Returns `(offsets, refs, weights)`. Shared by both
 /// builders so serial and parallel plans stay field-identical.
 #[allow(clippy::too_many_arguments)]
-fn wire_in_refs(
+pub(crate) fn wire_in_refs(
     graph: &Graph,
     owner: &[u32],
     local_of: &[u32],
@@ -430,7 +434,7 @@ fn wire_in_refs(
 /// `(local_out_offsets, local_out, mirror_offsets, mirrors,
 ///   direct_out_offsets, direct_out)`.
 #[allow(clippy::type_complexity, clippy::too_many_arguments)]
-fn wire_out(
+pub(crate) fn wire_out(
     graph: &Graph,
     owner: &[u32],
     local_of: &[u32],
@@ -503,6 +507,36 @@ fn wire_out(
         d_off.push(d_out.len() as u32);
     }
     (lo_off, lo, mir_off, mir, d_off, d_out)
+}
+
+/// Wires worker `w`'s replica activation fan-out: the local out-neighbors
+/// each replica activates (the paper's "L-Out" edges of a replica,
+/// Figure 6), deduplicated per replica. Returns `(rep_out_offsets,
+/// rep_out)`. Shared by both builders and the incremental migrator.
+pub(crate) fn wire_rep_out(
+    graph: &Graph,
+    owner: &[u32],
+    local_of: &[u32],
+    w: usize,
+    replicas: &[VertexId],
+) -> (Vec<u32>, Vec<u32>) {
+    let mut ro_off = vec![0u32];
+    let mut ro = Vec::new();
+    for &u in replicas {
+        for &x in graph.out_neighbors(u) {
+            if owner[x as usize] as usize == w {
+                let xi = local_of[x as usize];
+                if ro[ro_off.last().copied().unwrap() as usize..]
+                    .iter()
+                    .all(|&e| e != xi)
+                {
+                    ro.push(xi);
+                }
+            }
+        }
+        ro_off.push(ro.len() as u32);
+    }
+    (ro_off, ro)
 }
 
 impl CyclopsPlan {
@@ -627,22 +661,8 @@ impl CyclopsPlan {
                     wp.direct_out_offsets = d_off;
                     wp.direct_out = d_out;
 
-                    let mut ro_off = vec![0u32];
-                    let mut ro = Vec::new();
-                    for &u in &wp.replicas {
-                        for &x in graph.out_neighbors(u) {
-                            if owner_ref[x as usize] as usize == w {
-                                let xi = local_of_ref[x as usize];
-                                if ro[ro_off.last().copied().unwrap() as usize..]
-                                    .iter()
-                                    .all(|&e| e != xi)
-                                {
-                                    ro.push(xi);
-                                }
-                            }
-                        }
-                        ro_off.push(ro.len() as u32);
-                    }
+                    let (ro_off, ro) =
+                        wire_rep_out(graph, owner_ref, local_of_ref, w, &wp.replicas);
                     wp.rep_out_offsets = ro_off;
                     wp.rep_out = ro;
                     wp.compute_work_mass();
@@ -774,24 +794,7 @@ impl CyclopsPlan {
             worker.direct_out = d_out;
         }
         for (w, worker) in workers.iter_mut().enumerate() {
-            let replicas = std::mem::take(&mut worker.replicas);
-            let mut ro_off = vec![0u32];
-            let mut ro = Vec::new();
-            for &u in &replicas {
-                for &x in graph.out_neighbors(u) {
-                    if owner[x as usize] as usize == w {
-                        let xi = local_of[x as usize];
-                        if ro[ro_off.last().copied().unwrap() as usize..]
-                            .iter()
-                            .all(|&e| e != xi)
-                        {
-                            ro.push(xi);
-                        }
-                    }
-                }
-                ro_off.push(ro.len() as u32);
-            }
-            worker.replicas = replicas;
+            let (ro_off, ro) = wire_rep_out(graph, &owner, &local_of, w, &worker.replicas);
             worker.rep_out_offsets = ro_off;
             worker.rep_out = ro;
         }

@@ -110,6 +110,12 @@ pub struct TraceRecord {
     pub direct_messages: u64,
     /// Cross-machine wire bytes of the direct-message batches above.
     pub direct_bytes: u64,
+    /// Masters migrated *onto* this worker at the epoch boundary preceding
+    /// this superstep (dynamic load balancing). 0 on migration-off runs —
+    /// the field is then omitted from JSONL, keeping migration-off traces
+    /// byte-identical to pre-migration ones. Excluded from [`diff`]'s
+    /// values-only comparison like the other schedule-shaped counters.
+    pub migrated: u64,
     /// Relaxation rounds fused into this superstep by the bucketed
     /// scheduler (0 on non-bucketed runs — the field is then omitted from
     /// JSONL, keeping bucket-off traces byte-identical to pre-bucketing
@@ -228,6 +234,8 @@ pub struct WorkerTracer {
     /// Direct messages / bytes sent this superstep (hybrid replication).
     direct_messages: AtomicU64,
     direct_bytes: AtomicU64,
+    /// Masters migrated onto this worker at the preceding epoch boundary.
+    migrated: AtomicU64,
     /// Bucketed-scheduler accounting for this superstep: fused relaxation
     /// rounds, the bucket index drained, and distinct selected vertices.
     fused: AtomicU64,
@@ -292,6 +300,7 @@ impl WorkerTracer {
             wire_sparse: AtomicU64::new(0),
             direct_messages: AtomicU64::new(0),
             direct_bytes: AtomicU64::new(0),
+            migrated: AtomicU64::new(0),
             fused: AtomicU64::new(0),
             bucket: AtomicU64::new(0),
             bucket_occupancy: AtomicU64::new(0),
@@ -390,6 +399,17 @@ impl WorkerTracer {
         }
         if bytes > 0 {
             self.direct_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds masters migrated onto this worker at the epoch boundary that
+    /// precedes the superstep being accumulated (the migration driver calls
+    /// this between epochs; the count lands on the resumed epoch's first
+    /// committed record).
+    #[inline]
+    pub fn add_migrated(&self, n: u64) {
+        if n > 0 {
+            self.migrated.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -521,6 +541,7 @@ impl WorkerTracer {
             wire_sparse: self.wire_sparse.swap(0, Ordering::Relaxed),
             direct_messages: self.direct_messages.swap(0, Ordering::Relaxed),
             direct_bytes: self.direct_bytes.swap(0, Ordering::Relaxed),
+            migrated: self.migrated.swap(0, Ordering::Relaxed),
             fused: self.fused.swap(0, Ordering::Relaxed),
             bucket: self.bucket.swap(0, Ordering::Relaxed),
             bucket_occupancy: self.bucket_occupancy.swap(0, Ordering::Relaxed),
@@ -1001,6 +1022,9 @@ impl TraceRecord {
         if self.direct_bytes > 0 {
             let _ = write!(out, ",\"direct_bytes\":{}", self.direct_bytes);
         }
+        if self.migrated > 0 {
+            let _ = write!(out, ",\"migrated\":{}", self.migrated);
+        }
         if self.fused > 0 {
             let _ = write!(
                 out,
@@ -1360,6 +1384,7 @@ fn parse_record(line: &str) -> Option<TraceRecord> {
         wire_sparse: num(line, "wire_sparse").unwrap_or(0),
         direct_messages: num(line, "direct_messages").unwrap_or(0),
         direct_bytes: num(line, "direct_bytes").unwrap_or(0),
+        migrated: num(line, "migrated").unwrap_or(0),
         fused: num(line, "fused").unwrap_or(0),
         bucket: num(line, "bucket").unwrap_or(0),
         bucket_occupancy: num(line, "bucket_occupancy").unwrap_or(0),
@@ -1528,16 +1553,16 @@ pub mod diff {
     /// splits are a pure function of graph + partition — but only its
     /// `(dst, messages, bytes)` portion: per-pair wire-mode counts stay
     /// diagnostic, like `wire_dense`/`wire_sparse`. With `values_only`
-    /// every traffic- and schedule-shaped counter (drained, messages,
-    /// bytes, direct_*, bucket accounting, comm) is skipped: those
-    /// legitimately differ between runs at different replication
-    /// thresholds, while the computation-shaped counters and the
-    /// publication digests must not.
+    /// every traffic-, schedule-, and visibility-shaped counter
+    /// (activated, drained, messages, bytes, direct_*, migrated, bucket
+    /// accounting, comm) is skipped: those legitimately differ between
+    /// runs at different replication thresholds or migration settings,
+    /// while the computation-shaped counters and the publication digests
+    /// must not.
     fn counters(r: &TraceRecord, values_only: bool) -> Vec<(&'static str, String)> {
         let mut out = vec![
             ("frontier", r.frontier.to_string()),
             ("computed", r.computed.to_string()),
-            ("activated", r.activated.to_string()),
             ("converged_delta", r.converged_delta.to_string()),
         ];
         if !values_only {
@@ -1551,11 +1576,20 @@ pub mod diff {
                     .join(" ")
             };
             out.extend([
+                // `activated` is the worker's *locally-known* next
+                // frontier — activations crossing a worker boundary are
+                // still in flight when it is sampled, so its superstep sum
+                // depends on ownership and legitimately shifts when
+                // migration re-homes masters. Visibility-shaped, not
+                // computation-shaped; `frontier` (sampled after remote
+                // merge) is the ownership-independent counter.
+                ("activated", r.activated.to_string()),
                 ("drained", r.drained.to_string()),
                 ("messages", r.messages.to_string()),
                 ("bytes", r.bytes.to_string()),
                 ("direct_messages", r.direct_messages.to_string()),
                 ("direct_bytes", r.direct_bytes.to_string()),
+                ("migrated", r.migrated.to_string()),
                 ("fused", r.fused.to_string()),
                 ("bucket", r.bucket.to_string()),
                 ("bucket_occupancy", r.bucket_occupancy.to_string()),
@@ -1580,14 +1614,64 @@ pub mod diff {
     }
 
     /// Values-only comparison for runs whose *traffic* is expected to
-    /// differ — e.g. the same algorithm at two replication thresholds.
-    /// Compares record alignment, the computation-shaped counters
-    /// (frontier, computed, activated, converged_delta, agg), and the
-    /// publication digests, skipping every message/byte/schedule counter.
-    /// This is how hybrid replication's bitwise-identical-results promise
-    /// is checked.
+    /// differ — e.g. the same algorithm at two replication thresholds, or
+    /// with and without runtime migration. Compares superstep alignment,
+    /// the computation-shaped counters (frontier, computed,
+    /// converged_delta, agg), and the publication digests, skipping every
+    /// message/byte/schedule counter — and `activated`, whose local-only
+    /// visibility makes even its superstep sum ownership-dependent (see
+    /// [`counters`]). Records are aggregated **per
+    /// superstep across workers** before comparing: migration moves a
+    /// master's compute (and its publication digest) to a different
+    /// worker, so per-worker attribution legitimately shifts while the
+    /// superstep-level totals and the merged digest multiset must not.
+    /// Per-worker-equal runs trivially aggregate equal, so this remains
+    /// how hybrid replication's bitwise-identical-results promise is
+    /// checked too.
     pub fn first_value_divergence(a: &RunTrace, b: &RunTrace) -> Option<Divergence> {
         divergence(a, b, true, true)
+    }
+
+    /// Collapses a (superstep, worker)-sorted record list into one record
+    /// per superstep: integer counters sum, aggregates merge in worker
+    /// order, publication digests merge and re-sort. Only the
+    /// values-compared fields are filled; the skipped traffic counters are
+    /// left at zero.
+    fn aggregate_by_superstep(records: &[TraceRecord]) -> Vec<TraceRecord> {
+        let mut out: Vec<TraceRecord> = Vec::new();
+        for r in records {
+            match out.last_mut() {
+                Some(acc) if acc.superstep == r.superstep => {
+                    acc.frontier += r.frontier;
+                    acc.computed += r.computed;
+                    acc.converged_delta += r.converged_delta;
+                    match (&mut acc.agg, &r.agg) {
+                        (Some(a), Some(b)) => a.merge(b),
+                        (None, Some(b)) => acc.agg = Some(*b),
+                        _ => {}
+                    }
+                    acc.pubs.extend(r.pubs.iter().copied());
+                }
+                _ => {
+                    let mut acc = TraceRecord {
+                        superstep: r.superstep,
+                        worker: 0,
+                        frontier: r.frontier,
+                        computed: r.computed,
+                        converged_delta: r.converged_delta,
+                        agg: r.agg,
+                        pubs: r.pubs.clone(),
+                        ..TraceRecord::default()
+                    };
+                    acc.checkpoint = r.checkpoint;
+                    out.push(acc);
+                }
+            }
+        }
+        for acc in &mut out {
+            acc.pubs.sort_unstable();
+        }
+        out
     }
 
     fn divergence(
@@ -1596,8 +1680,16 @@ pub mod diff {
         values: bool,
         values_only: bool,
     ) -> Option<Divergence> {
-        let mut ia = a.records.iter().peekable();
-        let mut ib = b.records.iter().peekable();
+        let (agg_a, agg_b);
+        let (recs_a, recs_b): (&[TraceRecord], &[TraceRecord]) = if values_only {
+            agg_a = aggregate_by_superstep(&a.records);
+            agg_b = aggregate_by_superstep(&b.records);
+            (&agg_a, &agg_b)
+        } else {
+            (&a.records, &b.records)
+        };
+        let mut ia = recs_a.iter().peekable();
+        let mut ib = recs_b.iter().peekable();
         loop {
             match (ia.peek(), ib.peek()) {
                 (None, None) => return None,
@@ -1881,6 +1973,86 @@ mod tests {
         assert_eq!(
             diff::first_value_divergence(&a, &e).unwrap().counter,
             "computed"
+        );
+    }
+
+    #[test]
+    fn migrated_field_round_trips_and_values_only_diff_aggregates_workers() {
+        // Nonzero `migrated` survives JSONL; zero is omitted so
+        // migration-off lines stay byte-identical to pre-migration traces.
+        let mut r = TraceRecord {
+            superstep: 3,
+            worker: 0,
+            migrated: 2,
+            ..Default::default()
+        };
+        let mut line = String::new();
+        r.to_json(&mut line);
+        assert!(line.contains("\"migrated\":2"));
+        assert_eq!(parse_record_line(&line), Some(r.clone()));
+        r.migrated = 0;
+        line.clear();
+        r.to_json(&mut line);
+        assert!(!line.contains("migrated"));
+
+        // Migration shifts a vertex's compute (and its publication digest)
+        // between workers mid-run. The full diff flags the per-worker
+        // shift; the values-only diff aggregates per superstep across
+        // workers and sees the runs as equivalent.
+        let mk = |on_worker_one: bool| {
+            let rec = |worker, computed, pubs: Vec<(u32, u64)>| TraceRecord {
+                superstep: 0,
+                worker,
+                frontier: 4,
+                computed,
+                activated: computed,
+                pubs,
+                ..Default::default()
+            };
+            RunTrace {
+                meta: TraceMeta::default(),
+                spans: Vec::new(),
+                mem: Vec::new(),
+                records: if on_worker_one {
+                    vec![rec(0, 2, vec![(1, 10)]), rec(1, 3, vec![(5, 50), (7, 70)])]
+                } else {
+                    vec![rec(0, 3, vec![(1, 10), (7, 70)]), rec(1, 2, vec![(5, 50)])]
+                },
+            }
+        };
+        let a = mk(true);
+        let b = mk(false);
+        assert_eq!(
+            diff::first_divergence(&a, &b, true).unwrap().counter,
+            "computed"
+        );
+        assert_eq!(diff::first_value_divergence(&a, &b), None);
+        // A digest changed anywhere still diverges after aggregation.
+        let mut c = b.clone();
+        c.records[1].pubs[0] = (5, 51);
+        let d = diff::first_value_divergence(&a, &c).unwrap();
+        assert_eq!(d.counter, "publication_digest");
+        assert_eq!(d.vertex, Some(5));
+        // `activated` is local-only visibility: a boundary activation
+        // that goes remote after migration drops out of the sender's
+        // count without any computation change, so even the superstep
+        // total shifts with ownership. The values-only diff skips it;
+        // the full diff still flags it.
+        let mut e = b.clone();
+        e.records[0].activated = 2;
+        assert_eq!(diff::first_value_divergence(&a, &e), None);
+        assert_eq!(
+            diff::first_divergence(&a, &e, false).unwrap().counter,
+            "computed"
+        );
+        let mut f = b.clone();
+        f.records[0].computed = 2;
+        f.records[0].activated = 1;
+        f.records[1].computed = 3;
+        f.records[1].activated = 3;
+        assert_eq!(
+            diff::first_divergence(&a, &f, false).unwrap().counter,
+            "activated"
         );
     }
 

@@ -623,3 +623,148 @@ fn mem_run_is_trace_diff_identical_to_plain_run() {
         "no mem lines in {armed}"
     );
 }
+
+/// The why-slow migration paragraph, pinned against a golden fixture whose
+/// superstep-1 records carry `migrated` counters: the JSON gains a
+/// `migrations` array with integer-permille imbalance, and the human
+/// report gains the paragraph. The migration-free golden
+/// (`why_slow.json`, exact-matched above) proves static traces stay
+/// byte-identical.
+#[test]
+fn why_slow_migration_paragraph_matches_the_golden_report() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/why_slow_migrate.jsonl"
+    );
+    let golden = include_str!("golden/why_slow_migrate.json");
+    let (ok, stdout, stderr) = cyclops(&["why-slow", fixture, "--json"]);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(
+        stdout, golden,
+        "why-slow --json drifted from tests/golden/why_slow_migrate.json; \
+         if the change is intentional, regenerate the golden file"
+    );
+    let (ok, stdout, stderr) = cyclops(&["why-slow", fixture]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("dynamic migration: 5 masters moved across 1 epoch boundaries"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("imb-before"), "{stdout}");
+}
+
+/// End-to-end dynamic migration on a skewed partition: `--migrate K`
+/// actually moves masters, the run stays values-identical to
+/// `--migrate off` under the aggregated `trace-diff --values-only`
+/// contract, the communication matrix stays row-sum consistent across
+/// the migration boundaries, and why-slow reports the paragraph.
+#[test]
+fn migrated_run_is_values_identical_and_comm_consistent() {
+    let moved = temp_path("migrate-on.jsonl");
+    let still = temp_path("migrate-off.jsonl");
+    let moved = moved.to_str().unwrap();
+    let still = still.to_str().unwrap();
+    let base = [
+        "sssp",
+        "--dataset",
+        "RoadCA",
+        "--scale",
+        "0.05",
+        "--skew",
+        "0.6",
+        "--machines",
+        "4",
+        "--workers",
+        "1",
+        "--values",
+    ];
+    let mut a: Vec<&str> = base.to_vec();
+    a.extend_from_slice(&["--migrate", "8", "--trace", moved]);
+    let (ok, stdout, stderr) = cyclops(&a);
+    assert!(ok, "stderr: {stderr}");
+    let report = stdout
+        .lines()
+        .find(|l| l.starts_with("migration:"))
+        .unwrap_or_else(|| panic!("no migration report in {stdout}"))
+        .to_string();
+    assert!(!report.contains("moves=0"), "nothing migrated: {report}");
+    let mut b: Vec<&str> = base.to_vec();
+    b.extend_from_slice(&["--migrate", "off", "--trace", still]);
+    let (ok, stdout, stderr) = cyclops(&b);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        !stdout.contains("migration:"),
+        "off run must not report migration: {stdout}"
+    );
+
+    // Same values, same superstep count, per the aggregated contract.
+    let (ok, stdout, stderr) = cyclops(&["trace-diff", moved, still, "--values-only"]);
+    assert!(ok, "diff failed: {stdout} {stderr}");
+    assert!(stdout.contains("traces agree"), "{stdout}");
+
+    // Comm rows keep summing to the sent counters across every migration
+    // boundary — rewiring must not desynchronize the matrix.
+    let (ok, stdout, stderr) = cyclops(&["comm", moved]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("row sums consistent"), "{stdout}");
+
+    // The migrated trace carries the boundaries into why-slow.
+    let (ok, stdout, stderr) = cyclops(&["why-slow", moved]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("dynamic migration:"), "{stdout}");
+}
+
+/// `--migrate` is cyclops-engine-only and mutually exclusive with the
+/// bucketed scheduler; `--skew` rejects fractions outside [0, 1).
+#[test]
+fn migrate_flag_combinations_are_validated() {
+    let (ok, _, stderr) = cyclops(&[
+        "pagerank",
+        "--dataset",
+        "GWeb",
+        "--scale",
+        "0.03",
+        "--engine",
+        "hama",
+        "--migrate",
+        "4",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--migrate needs --engine cyclops"),
+        "{stderr}"
+    );
+    let (ok, _, stderr) = cyclops(&[
+        "bfs",
+        "--dataset",
+        "RoadCA",
+        "--scale",
+        "0.05",
+        "--migrate",
+        "4",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--migrate applies to pagerank and sssp"),
+        "{stderr}"
+    );
+    let (ok, _, stderr) = cyclops(&[
+        "sssp",
+        "--dataset",
+        "RoadCA",
+        "--scale",
+        "0.05",
+        "--migrate",
+        "4",
+        "--bucket-width",
+        "2",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--migrate and --bucket-width are mutually exclusive"),
+        "{stderr}"
+    );
+    let (ok, _, stderr) = cyclops(&["sssp", "--dataset", "RoadCA", "--skew", "1.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("--skew"), "{stderr}");
+}

@@ -1,0 +1,185 @@
+//! Dynamic migration equivalence matrix (ISSUE 10).
+//!
+//! `--migrate` moves hot masters between workers at superstep boundaries,
+//! but the planner's inputs are deterministic compute-cost counters and
+//! the rewired plan preserves the immutable-view contract, so algorithm
+//! results must be **bitwise identical** to the static run at every epoch
+//! length, on every engine topology. These tests pin that for PageRank
+//! and SSSP on deliberately skewed partitions, across epoch lengths
+//! {4, 8} × flat Cyclops and CyclopsMT, down to the values-mode trace —
+//! and pin the migrated run itself as bitwise stable across thread
+//! counts.
+
+use cyclops::prelude::*;
+use cyclops_algos::pagerank::{run_cyclops_pagerank_migrated, run_cyclops_pagerank_tuned};
+use cyclops_algos::sssp::{run_cyclops_sssp_migrated, run_cyclops_sssp_tuned};
+use cyclops_engine::{CyclopsResult, MigrationReport, Sched};
+use cyclops_net::trace::{diff, RunTrace, TraceSink};
+use cyclops_partition::{EdgeCutPartition, MigrationConfig};
+
+const SPARSE: f64 = 0.015;
+
+fn finish(mut sink: TraceSink) -> RunTrace {
+    assert_eq!(sink.dropped_records(), 0, "ring buffer overflowed");
+    RunTrace {
+        spans: Vec::new(),
+        mem: Vec::new(),
+        meta: sink.meta().clone(),
+        records: sink.take_records(),
+    }
+}
+
+/// A pathologically skewed assignment: hash-partition, then pile the
+/// first 60% of vertex ids onto worker 0 (the CLI's `--skew 0.6`).
+fn skewed(g: &Graph, workers: usize) -> EdgeCutPartition {
+    let mut p = HashPartitioner.partition(g, workers);
+    let cut = (0.6 * g.num_vertices() as f64) as usize;
+    for a in p.assignment.iter_mut().take(cut) {
+        *a = 0;
+    }
+    p
+}
+
+/// Both engine topologies with the same worker count, so one partition —
+/// and therefore one migration schedule — serves both.
+fn clusters() -> Vec<ClusterSpec> {
+    vec![ClusterSpec::flat(4, 1), ClusterSpec::mt(4, 2, 1)]
+}
+
+fn assert_matches_static(
+    label: &str,
+    report: &MigrationReport,
+    base: &CyclopsResult<f64, f64>,
+    migrated: &CyclopsResult<f64, f64>,
+    base_trace: &RunTrace,
+    migrated_trace: &RunTrace,
+) {
+    assert!(
+        report.migrations_total > 0,
+        "{label}: skew must trigger moves"
+    );
+    assert_eq!(migrated.supersteps, base.supersteps, "{label}");
+    for (v, (a, b)) in base.values.iter().zip(&migrated.values).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label} vertex {v}");
+    }
+    assert_eq!(
+        diff::first_value_divergence(base_trace, migrated_trace),
+        None,
+        "{label}: values-mode trace must match the static run"
+    );
+}
+
+#[test]
+fn migrated_pagerank_matches_static_across_topologies() {
+    let g = Dataset::GWeb.generate_scaled(0.04, 11);
+    let mut per_cluster: Vec<CyclopsResult<f64, f64>> = Vec::new();
+    for cluster in clusters() {
+        let p = skewed(&g, cluster.num_workers());
+        let sink0 = TraceSink::with_values("cyclops", &cluster);
+        let base = run_cyclops_pagerank_tuned(
+            &g,
+            &p,
+            &cluster,
+            1e-8,
+            200,
+            Sched::Dynamic,
+            SPARSE,
+            0,
+            Some(&sink0),
+        );
+        let base_trace = finish(sink0);
+        for every in [4usize, 8] {
+            let sink = TraceSink::with_values("cyclops", &cluster);
+            let (migrated, report) = run_cyclops_pagerank_migrated(
+                &g,
+                &p,
+                &cluster,
+                1e-8,
+                200,
+                Sched::Dynamic,
+                SPARSE,
+                0,
+                every,
+                MigrationConfig::default(),
+                Some(&sink),
+            );
+            assert_matches_static(
+                &format!("{cluster:?} every={every}"),
+                &report,
+                &base,
+                &migrated,
+                &base_trace,
+                &finish(sink),
+            );
+            if every == 8 {
+                per_cluster.push(migrated);
+            }
+        }
+    }
+    // The migration schedule is a pure function of graph + partition +
+    // superstep index, so the migrated run is itself bitwise stable
+    // across thread counts.
+    let (flat, mt) = (&per_cluster[0], &per_cluster[1]);
+    assert_eq!(flat.supersteps, mt.supersteps);
+    for (a, b) in flat.values.iter().zip(&mt.values) {
+        assert_eq!(a.to_bits(), b.to_bits(), "flat vs MT migrated run");
+    }
+}
+
+#[test]
+fn migrated_sssp_matches_static_across_topologies() {
+    let g = Dataset::RoadCa.generate_scaled(0.04, 7);
+    let mut traces: Vec<RunTrace> = Vec::new();
+    for cluster in clusters() {
+        let p = skewed(&g, cluster.num_workers());
+        let sink0 = TraceSink::with_values("cyclops", &cluster);
+        let base = run_cyclops_sssp_tuned(
+            &g,
+            &p,
+            &cluster,
+            0,
+            100_000,
+            Sched::Dynamic,
+            SPARSE,
+            0,
+            Some(&sink0),
+        );
+        let base_trace = finish(sink0);
+        for every in [4usize, 8] {
+            let sink = TraceSink::with_values("cyclops", &cluster);
+            let (migrated, report) = run_cyclops_sssp_migrated(
+                &g,
+                &p,
+                &cluster,
+                0,
+                100_000,
+                Sched::Dynamic,
+                SPARSE,
+                0,
+                every,
+                MigrationConfig::default(),
+                Some(&sink),
+            );
+            let trace = finish(sink);
+            assert_matches_static(
+                &format!("{cluster:?} every={every}"),
+                &report,
+                &base,
+                &migrated,
+                &base_trace,
+                &trace,
+            );
+            if every == 8 {
+                traces.push(trace);
+            }
+        }
+    }
+    // Same schedule on both topologies: even the values-mode *traces* of
+    // the migrated runs agree across thread counts once aggregated per
+    // superstep.
+    assert_eq!(
+        diff::first_value_divergence(&traces[0], &traces[1]),
+        None,
+        "migrated flat vs MT trace"
+    );
+}
